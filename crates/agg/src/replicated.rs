@@ -1,0 +1,295 @@
+//! Bootstrap-replicated aggregate states.
+//!
+//! A [`ReplicatedStates`] bundles, for a list of aggregate specs, one
+//! *main* state (updated with weight 1; the true estimate) and `B`
+//! *replica* states (updated with each tuple's deterministic `Poisson(1)`
+//! weights). This is the per-group incremental unit inside every lineage
+//! block: a mini-batch folds each tuple in once, and at any point the
+//! states finalize into an [`Estimate`] carrying a value plus its bootstrap
+//! distribution — from which confidence intervals *and* variation ranges
+//! are derived.
+
+use gola_bootstrap::{BootstrapSpec, Estimate};
+use gola_common::Value;
+
+use crate::kind::AggKind;
+use crate::state::AggState;
+
+/// Main + replica accumulators for a list of aggregates over one group.
+#[derive(Debug, Clone)]
+pub struct ReplicatedStates {
+    /// Flat, replica-major storage: row `0` holds the main state of each
+    /// aggregate, row `1 + b` holds replica `b`; row stride is `num_aggs`.
+    /// A single allocation keeps the per-tuple replica update loop walking
+    /// one contiguous region.
+    states: Vec<AggState>,
+    num_aggs: usize,
+}
+
+impl ReplicatedStates {
+    /// Fresh states for `kinds` with `trials` bootstrap replicas.
+    pub fn new(kinds: &[AggKind], trials: u32) -> Self {
+        let rows = 1 + trials as usize;
+        let mut states = Vec::with_capacity(rows * kinds.len());
+        for _ in 0..rows {
+            states.extend(kinds.iter().map(AggKind::new_state));
+        }
+        ReplicatedStates { states, num_aggs: kinds.len() }
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[AggState] {
+        &self.states[r * self.num_aggs..(r + 1) * self.num_aggs]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [AggState] {
+        let stride = self.num_aggs;
+        &mut self.states[r * stride..(r + 1) * stride]
+    }
+
+    /// Number of bootstrap replicas.
+    pub fn trials(&self) -> u32 {
+        if self.num_aggs == 0 {
+            0
+        } else {
+            (self.states.len() / self.num_aggs - 1) as u32
+        }
+    }
+
+    /// Number of aggregates per state.
+    pub fn num_aggs(&self) -> usize {
+        self.num_aggs
+    }
+
+    /// Fold one tuple in: `values[j]` is the j-th aggregate's argument
+    /// evaluated on the tuple. The main state updates with weight 1; each
+    /// replica with the tuple's hash-derived Poisson weight.
+    pub fn update(&mut self, values: &[Value], tuple_id: u64, bootstrap: &BootstrapSpec) {
+        debug_assert_eq!(values.len(), self.num_aggs());
+        for (s, v) in self.row_mut(0).iter_mut().zip(values) {
+            s.update(v, 1.0);
+        }
+        for b in 0..self.trials() {
+            let w = bootstrap.weight(tuple_id, b);
+            if w == 0 {
+                continue;
+            }
+            for (s, v) in self.row_mut(1 + b as usize).iter_mut().zip(values) {
+                s.update(v, w as f64);
+            }
+        }
+    }
+
+    /// Merge another group's states (same kinds/trials; used when combining
+    /// partial aggregations).
+    pub fn merge(&mut self, other: &ReplicatedStates) {
+        assert_eq!(self.states.len(), other.states.len());
+        for (a, b) in self.states.iter_mut().zip(&other.states) {
+            a.merge(b);
+        }
+    }
+
+    /// Merge only the main states (selective combination: per-trial
+    /// inclusion of the other partition is decided separately).
+    pub fn merge_main(&mut self, other: &ReplicatedStates) {
+        let stride = self.num_aggs;
+        for (a, b) in self.states[..stride].iter_mut().zip(&other.states[..stride]) {
+            a.merge(b);
+        }
+    }
+
+    /// Merge only replica `b`'s states.
+    pub fn merge_replica(&mut self, b: u32, other: &ReplicatedStates) {
+        let idx = 1 + b as usize;
+        for (a, o) in self.row_mut(idx).iter_mut().zip(other.row(idx)) {
+            a.merge(o);
+        }
+    }
+
+    /// Fold one tuple into the main state only (weight 1). Used when the
+    /// per-trial inclusion of a tuple is decided separately (uncertain-set
+    /// evaluation at answer time).
+    pub fn update_main(&mut self, values: &[Value]) {
+        for (s, v) in self.row_mut(0).iter_mut().zip(values) {
+            s.update(v, 1.0);
+        }
+    }
+
+    /// Fold one tuple into replica `b` only, with an explicit weight.
+    pub fn update_replica(&mut self, b: u32, values: &[Value], weight: f64) {
+        for (s, v) in self.row_mut(1 + b as usize).iter_mut().zip(values) {
+            s.update(v, weight);
+        }
+    }
+
+    /// Current value of aggregate `j` from the main state.
+    pub fn value(&self, j: usize, scale: f64) -> Value {
+        self.states[j].finalize(scale)
+    }
+
+    /// Value of aggregate `j` in bootstrap replica `b`.
+    pub fn trial_value(&self, j: usize, b: u32, scale: f64) -> Value {
+        self.states[(1 + b as usize) * self.num_aggs + j].finalize(scale)
+    }
+
+    /// Numeric value of aggregate `j` in replica `b`, without boxing —
+    /// the hot path of per-trial membership tests.
+    #[inline]
+    pub fn trial_value_f64(&self, j: usize, b: u32, scale: f64) -> Option<f64> {
+        self.states[(1 + b as usize) * self.num_aggs + j].finalize_f64(scale)
+    }
+
+    /// Monotone lower bound on aggregate `j`'s final value (see
+    /// [`AggState::monotone_lower_bound`]).
+    pub fn lower_bound(&self, j: usize) -> Option<f64> {
+        self.states[j].monotone_lower_bound()
+    }
+
+    /// Observation count of aggregate `j`'s main state, if tracked.
+    pub fn observations(&self, j: usize) -> Option<f64> {
+        self.states[j].observations()
+    }
+
+    /// Replica values of aggregate `j` (numeric replicas only; non-numeric
+    /// and null replica outcomes are dropped from the distribution).
+    pub fn replica_values(&self, j: usize, scale: f64) -> Vec<f64> {
+        (0..self.trials())
+            .filter_map(|b| self.trial_value_f64(j, b, scale))
+            .collect()
+    }
+
+    /// Full [`Estimate`] (value + bootstrap distribution) of aggregate `j`.
+    /// Returns `None` when the main value is non-numeric (e.g. MIN over
+    /// strings, or an empty SUM) — such results carry no error model.
+    pub fn estimate(&self, j: usize, scale: f64) -> Option<Estimate> {
+        let v = self.value(j, scale).as_f64()?;
+        Some(Estimate::new(v, self.replica_values(j, scale)))
+    }
+
+    /// `true` if the main states saw no data.
+    pub fn is_empty(&self) -> bool {
+        self.row(0).iter().all(AggState::is_empty)
+    }
+
+    /// Snapshot the states (cheap for the numeric aggregates; quantile and
+    /// UDAF states deep-clone).
+    pub fn snapshot(&self) -> ReplicatedStates {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::stats::mean;
+
+    fn spec() -> BootstrapSpec {
+        BootstrapSpec::new(64, 42)
+    }
+
+    #[test]
+    fn main_state_is_exact() {
+        let kinds = [AggKind::Sum, AggKind::Avg, AggKind::Count];
+        let mut rs = ReplicatedStates::new(&kinds, 8);
+        for t in 0..100u64 {
+            let x = Value::Float(t as f64);
+            rs.update(&[x.clone(), x.clone(), x], t, &spec());
+        }
+        assert_eq!(rs.value(0, 1.0), Value::Float(4950.0));
+        assert_eq!(rs.value(1, 1.0), Value::Float(49.5));
+        assert_eq!(rs.value(2, 1.0), Value::Float(100.0));
+        // Multiplicity scales SUM and COUNT but not AVG.
+        assert_eq!(rs.value(0, 2.0), Value::Float(9900.0));
+        assert_eq!(rs.value(1, 2.0), Value::Float(49.5));
+    }
+
+    #[test]
+    fn replica_distribution_centers_on_estimate() {
+        let kinds = [AggKind::Avg];
+        let mut rs = ReplicatedStates::new(&kinds, 100);
+        for t in 0..5000u64 {
+            rs.update(&[Value::Float((t % 100) as f64)], t, &spec());
+        }
+        let est = rs.estimate(0, 1.0).unwrap();
+        let m = mean(&est.replicas).unwrap();
+        assert!((m - est.value).abs() < 1.0, "replica mean {m} vs {}", est.value);
+        assert!(est.std_error().unwrap() > 0.0);
+        assert_eq!(est.replicas.len(), 100);
+    }
+
+    #[test]
+    fn update_is_replayable() {
+        // Feeding the same tuples twice in different order produces the
+        // same replica values for SUM (weights are per-tuple-id).
+        let kinds = [AggKind::Sum];
+        let mut a = ReplicatedStates::new(&kinds, 16);
+        let mut b = ReplicatedStates::new(&kinds, 16);
+        let s = spec();
+        for t in 0..50u64 {
+            a.update(&[Value::Float(t as f64)], t, &s);
+        }
+        for t in (0..50u64).rev() {
+            b.update(&[Value::Float(t as f64)], t, &s);
+        }
+        assert_eq!(a.replica_values(0, 1.0), b.replica_values(0, 1.0));
+    }
+
+    #[test]
+    fn zero_trials_disables_error_estimation() {
+        let kinds = [AggKind::Avg];
+        let mut rs = ReplicatedStates::new(&kinds, 0);
+        rs.update(&[Value::Float(5.0)], 1, &BootstrapSpec::new(0, 1));
+        let est = rs.estimate(0, 1.0).unwrap();
+        assert_eq!(est.value, 5.0);
+        assert!(est.replicas.is_empty());
+        assert_eq!(est.std_error(), None);
+    }
+
+    #[test]
+    fn non_numeric_estimate_is_none() {
+        let kinds = [AggKind::Min];
+        let mut rs = ReplicatedStates::new(&kinds, 4);
+        rs.update(&[Value::str("abc")], 1, &spec());
+        assert!(rs.estimate(0, 1.0).is_none());
+        assert_eq!(rs.value(0, 1.0), Value::str("abc"));
+    }
+
+    #[test]
+    fn merge_combines_partials() {
+        let kinds = [AggKind::Sum];
+        let s = spec();
+        let mut a = ReplicatedStates::new(&kinds, 16);
+        let mut b = ReplicatedStates::new(&kinds, 16);
+        let mut whole = ReplicatedStates::new(&kinds, 16);
+        for t in 0..40u64 {
+            let v = [Value::Float(t as f64)];
+            whole.update(&v, t, &s);
+            if t % 2 == 0 {
+                a.update(&v, t, &s);
+            } else {
+                b.update(&v, t, &s);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.value(0, 1.0), whole.value(0, 1.0));
+        assert_eq!(a.replica_values(0, 1.0), whole.replica_values(0, 1.0));
+    }
+
+    #[test]
+    fn snapshot_isolates() {
+        let kinds = [AggKind::Count];
+        let mut rs = ReplicatedStates::new(&kinds, 2);
+        rs.update(&[Value::Int(1)], 0, &spec());
+        let snap = rs.snapshot();
+        rs.update(&[Value::Int(1)], 1, &spec());
+        assert_eq!(snap.value(0, 1.0), Value::Float(1.0));
+        assert_eq!(rs.value(0, 1.0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let rs = ReplicatedStates::new(&[AggKind::Sum], 2);
+        assert!(rs.is_empty());
+    }
+}

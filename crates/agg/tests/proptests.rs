@@ -1,0 +1,156 @@
+//! Property tests for aggregate states: weighted updates equal repetition,
+//! merge is order-insensitive and matches single-pass accumulation, scaling
+//! laws hold, and monotone lower bounds actually bound.
+
+use gola_agg::{AggKind, AggState};
+use gola_common::Value;
+use proptest::prelude::*;
+
+fn numeric_kinds() -> Vec<AggKind> {
+    vec![
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Avg,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::VarPop,
+        AggKind::StdDev,
+    ]
+}
+
+fn feed(kind: &AggKind, xs: &[(f64, u8)]) -> AggState {
+    let mut s = kind.new_state();
+    for &(x, w) in xs {
+        s.update(&Value::Float(x), w as f64);
+    }
+    s
+}
+
+fn close(a: &Value, b: &Value, tol: f64) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x - y).abs() <= tol * (1.0 + y.abs()),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn weighted_update_equals_repetition(
+        xs in prop::collection::vec((-1e3f64..1e3, 0u8..4), 0..60),
+    ) {
+        for kind in numeric_kinds() {
+            let weighted = feed(&kind, &xs);
+            let mut repeated = kind.new_state();
+            for &(x, w) in &xs {
+                for _ in 0..w {
+                    repeated.update(&Value::Float(x), 1.0);
+                }
+            }
+            prop_assert!(
+                close(&weighted.finalize(1.0), &repeated.finalize(1.0), 1e-6),
+                "{kind}: {} vs {}",
+                weighted.finalize(1.0),
+                repeated.finalize(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_pass(
+        xs in prop::collection::vec((-1e3f64..1e3, 1u8..3), 1..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(xs.len());
+        for kind in numeric_kinds() {
+            let whole = feed(&kind, &xs);
+            let mut a = feed(&kind, &xs[..split]);
+            let b = feed(&kind, &xs[split..]);
+            a.merge(&b);
+            prop_assert!(
+                close(&a.finalize(1.0), &whole.finalize(1.0), 1e-6),
+                "{kind} merge mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec((-1e3f64..1e3, 1u8..3), 1..30),
+        ys in prop::collection::vec((-1e3f64..1e3, 1u8..3), 1..30),
+    ) {
+        for kind in numeric_kinds() {
+            let mut ab = feed(&kind, &xs);
+            ab.merge(&feed(&kind, &ys));
+            let mut ba = feed(&kind, &ys);
+            ba.merge(&feed(&kind, &xs));
+            prop_assert!(close(&ab.finalize(1.0), &ba.finalize(1.0), 1e-6), "{kind}");
+        }
+    }
+
+    #[test]
+    fn scale_laws(
+        xs in prop::collection::vec((-1e3f64..1e3, 1u8..3), 1..40),
+        m in 1.0f64..50.0,
+    ) {
+        // COUNT and SUM scale linearly in the multiplicity; AVG/MIN/MAX/
+        // STDDEV are scale-free.
+        let count = feed(&AggKind::Count, &xs);
+        let c1 = count.finalize(1.0).as_f64().unwrap();
+        let cm = count.finalize(m).as_f64().unwrap();
+        prop_assert!((cm - m * c1).abs() < 1e-9 * (1.0 + cm.abs()));
+        let sum = feed(&AggKind::Sum, &xs);
+        let s1 = sum.finalize(1.0).as_f64().unwrap();
+        let sm = sum.finalize(m).as_f64().unwrap();
+        prop_assert!((sm - m * s1).abs() < 1e-6 * (1.0 + sm.abs()));
+        for kind in [AggKind::Avg, AggKind::Min, AggKind::Max, AggKind::StdDev] {
+            let s = feed(&kind, &xs);
+            prop_assert!(close(&s.finalize(1.0), &s.finalize(m), 1e-12), "{kind}");
+        }
+    }
+
+    #[test]
+    fn monotone_lower_bound_bounds_future(
+        xs in prop::collection::vec(0.0f64..1e6, 1..40),
+        more in prop::collection::vec(0.0f64..1e6, 0..40),
+    ) {
+        // For non-negative data, the bound after a prefix holds for every
+        // extension of the stream.
+        for kind in [AggKind::Count, AggKind::Sum] {
+            let mut s = kind.new_state();
+            for &x in &xs {
+                s.update(&Value::Float(x), 1.0);
+            }
+            let bound = s.monotone_lower_bound().unwrap();
+            for &x in &more {
+                s.update(&Value::Float(x), 1.0);
+            }
+            let final_value = s.finalize(1.0).as_f64().unwrap();
+            prop_assert!(final_value >= bound - 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_sums_have_no_bound(x in -1e6f64..-1e-6) {
+        let mut s = AggKind::Sum.new_state();
+        s.update(&Value::Float(1.0), 1.0);
+        s.update(&Value::Float(x), 1.0);
+        prop_assert!(s.monotone_lower_bound().is_none());
+    }
+
+    #[test]
+    fn finalize_f64_matches_finalize(
+        xs in prop::collection::vec((-1e3f64..1e3, 1u8..3), 0..40),
+        m in 1.0f64..20.0,
+    ) {
+        for kind in numeric_kinds() {
+            let s = feed(&kind, &xs);
+            let boxed = s.finalize(m).as_f64();
+            let raw = s.finalize_f64(m);
+            match (boxed, raw) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-12),
+                (None, None) => {}
+                other => prop_assert!(false, "{kind}: {other:?}"),
+            }
+        }
+    }
+}

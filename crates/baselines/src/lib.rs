@@ -1,0 +1,21 @@
+//! Baseline execution strategies that G-OLA is evaluated against.
+//!
+//! * [`cdm`] — **classical delta maintenance** (paper §3.1, Figure 3(b)
+//!   baseline): monotonic blocks are maintained incrementally, but every
+//!   block whose predicates reference an inner aggregate is recomputed over
+//!   *all* data seen so far at every batch, because the inner value changed.
+//!   Total work across `k` batches is `O(k²)·n` versus G-OLA's `O(k)·n`.
+//! * [`naive`] — full per-batch recomputation of the whole query with the
+//!   exact engine (no incremental state at all).
+//! * [`ola`] — classic Hellerstein-style online aggregation: incremental
+//!   maintenance plus CLT confidence intervals, but **only** for monotonic
+//!   SPJA queries — nested aggregates are rejected, demonstrating exactly
+//!   the limitation G-OLA lifts.
+
+pub mod cdm;
+pub mod naive;
+pub mod ola;
+
+pub use cdm::CdmExecutor;
+pub use naive::NaiveExecutor;
+pub use ola::ClassicOlaExecutor;

@@ -1,0 +1,92 @@
+//! Bootstrap trial configuration and weight streams.
+
+use gola_common::rng::poisson_weight;
+
+/// Configuration of the poissonized bootstrap: how many replicas to
+/// maintain and the seed of the weight streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapSpec {
+    /// Number of bootstrap replicas `B`. Zero disables error estimation
+    /// entirely (used by the overhead ablation).
+    pub trials: u32,
+    /// Seed of the hash-derived weight streams.
+    pub seed: u64,
+}
+
+impl BootstrapSpec {
+    pub fn new(trials: u32, seed: u64) -> Self {
+        BootstrapSpec { trials, seed }
+    }
+
+    /// The `Poisson(1)` weight of `tuple_id` in replica `trial`.
+    /// Deterministic: the same `(tuple_id, trial)` always yields the same
+    /// weight under a given seed.
+    #[inline]
+    pub fn weight(&self, tuple_id: u64, trial: u32) -> u32 {
+        poisson_weight(tuple_id, trial, self.seed)
+    }
+
+    /// All replica weights of one tuple, reusing `buf` to avoid per-tuple
+    /// allocation in the hot update loop.
+    pub fn weights_into(&self, tuple_id: u64, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.reserve(self.trials as usize);
+        for b in 0..self.trials {
+            buf.push(self.weight(tuple_id, b));
+        }
+    }
+}
+
+impl Default for BootstrapSpec {
+    /// 100 trials — the BlinkDB/FluoDB default.
+    fn default() -> Self {
+        BootstrapSpec { trials: 100, seed: 0x60_1A }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_replayable() {
+        let spec = BootstrapSpec::new(50, 7);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        spec.weights_into(12345, &mut a);
+        spec.weights_into(12345, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn different_tuples_get_different_streams() {
+        let spec = BootstrapSpec::new(20, 7);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        spec.weights_into(1, &mut a);
+        spec.weights_into(2, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_is_allowed() {
+        let spec = BootstrapSpec::new(0, 7);
+        let mut buf = vec![99];
+        spec.weights_into(1, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn mean_weight_is_about_one_per_trial() {
+        let spec = BootstrapSpec::default();
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        for t in 0..2000u64 {
+            spec.weights_into(t, &mut buf);
+            total += buf.iter().map(|&w| w as u64).sum::<u64>();
+        }
+        let mean = total as f64 / (2000.0 * spec.trials as f64);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,254 @@
+//! `gola` — an interactive online-SQL console (the demo's "web-based query
+//! console", paper §6, as a terminal program).
+//!
+//! Start it, load a synthetic workload, and type SQL: answers stream in
+//! with error bars, refining batch by batch. `\demo` runs the scripted
+//! dashboard scenario (ad revenue, A/B retention, slowdown hotspots).
+//!
+//! ```text
+//! $ cargo run --release -p gola-cli
+//! gola> \load conviva 100000
+//! gola> SELECT AVG(play_time) FROM sessions
+//!       WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions);
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use gola_core::{OnlineConfig, OnlineSession};
+use gola_storage::Catalog;
+use gola_workloads::{ConvivaGenerator, MyTubeGenerator, TpchGenerator};
+
+struct Console {
+    catalog: Catalog,
+    config: OnlineConfig,
+}
+
+fn main() {
+    let mut console = Console {
+        catalog: Catalog::new(),
+        config: OnlineConfig::default().with_batches(40),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--demo") {
+        console.load("mytube", 100_000);
+        console.demo();
+        return;
+    }
+    println!("G-OLA interactive console — type \\help for commands.");
+    console.load("conviva", 50_000);
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("gola> ");
+        } else {
+            print!("  ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim_end();
+        if buffer.is_empty() && line.starts_with('\\') {
+            if !console.command(line) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // Execute once the statement ends with `;` or on a blank line.
+        if line.trim_end().ends_with(';') || (line.trim().is_empty() && !buffer.trim().is_empty())
+        {
+            let sql = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            if !sql.is_empty() {
+                console.run_sql(&sql);
+            }
+        }
+    }
+}
+
+impl Console {
+    /// Handle a `\`-command; returns `false` to quit.
+    fn command(&mut self, line: &str) -> bool {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "\\q" | "\\quit" | "\\exit" => return false,
+            "\\help" => {
+                println!("  \\load <conviva|tpch|mytube> [rows]   generate + register tables");
+                println!("  \\tables                              list tables");
+                println!("  \\explain <sql>                       show lineage blocks");
+                println!("  \\exact <sql>                         run on the batch engine");
+                println!("  \\batches <k>                         set mini-batch count");
+                println!("  \\trials <B>                          set bootstrap replicas");
+                println!("  \\demo                                scripted dashboard demo");
+                println!("  \\q                                   quit");
+                println!("  <sql>;                               run online (finish with ;)");
+            }
+            "\\tables" => {
+                for name in self.catalog.names() {
+                    let t = self.catalog.get(&name).expect("listed table");
+                    println!("  {name} ({} rows) {}", t.num_rows(), t.schema());
+                }
+            }
+            "\\load" => {
+                let kind = parts.get(1).copied().unwrap_or("conviva");
+                let rows: usize = parts
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(50_000);
+                self.load(kind, rows);
+            }
+            "\\batches" => {
+                if let Some(k) = parts.get(1).and_then(|s| s.parse().ok()) {
+                    self.config.num_batches = k;
+                    println!("  mini-batches = {k}");
+                }
+            }
+            "\\trials" => {
+                if let Some(b) = parts.get(1).and_then(|s| s.parse().ok()) {
+                    self.config.bootstrap.trials = b;
+                    println!("  bootstrap trials = {b}");
+                }
+            }
+            "\\explain" => {
+                let sql = line.trim_start_matches("\\explain").trim();
+                let session = OnlineSession::new(self.catalog.clone(), self.config.clone());
+                match session.prepare(sql) {
+                    Ok(p) => {
+                        println!("streamed table: {}", p.stream_table);
+                        print!("{}", p.meta.explain());
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\exact" => {
+                let sql = line.trim_start_matches("\\exact").trim();
+                let session = OnlineSession::new(self.catalog.clone(), self.config.clone());
+                let t0 = std::time::Instant::now();
+                match session.execute_exact(sql) {
+                    Ok(table) => {
+                        print!("{}", table.display_limit(20));
+                        println!("({:?})", t0.elapsed());
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "\\demo" => self.demo(),
+            other => println!("unknown command {other}; try \\help"),
+        }
+        true
+    }
+
+    fn load(&mut self, kind: &str, rows: usize) {
+        match kind {
+            "conviva" => {
+                self.catalog.register_or_replace(
+                    "sessions",
+                    Arc::new(ConvivaGenerator::default().generate(rows)),
+                );
+                println!("  registered 'sessions' ({rows} rows). try:");
+                println!("    SELECT AVG(play_time) FROM sessions WHERE buffer_time >");
+                println!("      (SELECT AVG(buffer_time) FROM sessions);");
+            }
+            "tpch" => {
+                self.catalog.register_or_replace(
+                    "lineitem_denorm",
+                    Arc::new(TpchGenerator::default().generate(rows)),
+                );
+                println!("  registered 'lineitem_denorm' (~{rows} rows); see Q11/Q17/Q18/Q20");
+            }
+            "mytube" => {
+                let g = MyTubeGenerator::default();
+                self.catalog
+                    .register_or_replace("mytube_sessions", Arc::new(g.sessions(rows)));
+                self.catalog.register_or_replace("ads", Arc::new(g.ads()));
+                println!("  registered 'mytube_sessions' ({rows} rows) and 'ads'");
+            }
+            other => println!("unknown workload '{other}' (conviva | tpch | mytube)"),
+        }
+    }
+
+    fn run_sql(&self, sql: &str) {
+        let session = OnlineSession::new(self.catalog.clone(), self.config.clone());
+        let exec = match session.execute_online(sql) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        let mut last = None;
+        for report in exec {
+            match report {
+                Ok(r) => {
+                    println!("  {r}");
+                    last = Some(r);
+                }
+                Err(e) => {
+                    println!("execution error: {e}");
+                    return;
+                }
+            }
+        }
+        if let Some(r) = last {
+            println!("\nfinal answer ({} rows):", r.table.num_rows());
+            print!("{}", r.table.display_limit(20));
+        }
+    }
+
+    /// Scripted dashboard: cycles the demo metrics like the paper's booth
+    /// dashboard, printing refreshed estimates as they refine.
+    fn demo(&mut self) {
+        if !self.catalog.contains("mytube_sessions") {
+            self.load("mytube", 100_000);
+        }
+        let metrics = [
+            (
+                "ad revenue by category (troubled sessions only)",
+                "SELECT a.category, SUM(s.ad_revenue) AS revenue FROM mytube_sessions s \
+                 JOIN ads a ON s.ad_id = a.ad_id \
+                 WHERE s.buffer_time > (SELECT AVG(buffer_time) FROM mytube_sessions) \
+                 GROUP BY a.category ORDER BY revenue DESC",
+            ),
+            (
+                "A/B retention",
+                "SELECT experiment, AVG(play_time) AS engagement, COUNT(*) AS n \
+                 FROM mytube_sessions GROUP BY experiment ORDER BY experiment",
+            ),
+            (
+                "evening slowdown",
+                "SELECT hour_of_day, AVG(buffer_time) AS buffering \
+                 FROM mytube_sessions GROUP BY hour_of_day ORDER BY buffering DESC LIMIT 5",
+            ),
+        ];
+        for (title, sql) in metrics {
+            println!("\n━━ {title} ━━");
+            let session = OnlineSession::new(self.catalog.clone(), self.config.clone());
+            let exec = match session.execute_online(sql) {
+                Ok(e) => e,
+                Err(e) => {
+                    println!("error: {e}");
+                    continue;
+                }
+            };
+            for report in exec {
+                let Ok(r) = report else { break };
+                if r.batch_index % 10 == 0 || r.is_final() {
+                    println!("  {r}");
+                }
+                if r.is_final() {
+                    print!("{}", r.table.display_limit(8));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-wide error type.
+//!
+//! A single enum keeps error plumbing simple across crates while still
+//! carrying enough structure for tests to assert on failure *kinds* rather
+//! than message strings.
+
+use std::fmt;
+
+/// Convenient alias used across the whole workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// All errors surfaced by the G-OLA engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// SQL text failed to tokenize.
+    Lex { pos: usize, message: String },
+    /// SQL token stream failed to parse.
+    Parse { pos: usize, message: String },
+    /// Name resolution / semantic analysis failure (unknown table, column,
+    /// function, mis-typed expression, unsupported correlation...).
+    Bind(String),
+    /// Logical-to-meta plan compilation failure (e.g. a query shape the
+    /// online executor cannot stream).
+    Plan(String),
+    /// Runtime evaluation failure (type mismatch at eval time, division by
+    /// zero in strict mode, invalid cast, ...).
+    Execution(String),
+    /// Catalog-level failure (duplicate or missing table).
+    Catalog(String),
+    /// Invalid configuration (zero batches, zero rows, bad epsilon...).
+    Config(String),
+    /// I/O failures from CSV import/export, carried as a string so the error
+    /// type stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::Bind`].
+    pub fn bind(msg: impl Into<String>) -> Self {
+        Error::Bind(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Plan`].
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Execution`].
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Execution(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Catalog`].
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::bind("unknown column x");
+        assert_eq!(e.to_string(), "bind error: unknown column x");
+        let e = Error::Lex { pos: 3, message: "bad char".into() };
+        assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::plan("x"), Error::plan("x"));
+        assert_ne!(Error::plan("x"), Error::exec("x"));
+    }
+}

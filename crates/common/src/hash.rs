@@ -1,0 +1,125 @@
+//! A fast, non-cryptographic hasher (FxHash, the algorithm used by rustc).
+//!
+//! Grouping and join hash tables are the hottest structures in the engine
+//! and their keys are engine-internal (no HashDoS exposure), so we trade
+//! SipHash's collision resistance for speed. Implemented in-repo to keep the
+//! dependency set to the allowed list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash state: a single u64 folded with multiply-rotate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Length tag prevents "ab" + "" colliding with "a" + "b".
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Full-avalanche finalizer. The multiply-rotate folding above only
+        // propagates entropy upward, so without this the low output bits
+        // depend only on the low input bits — catastrophic for hashbrown,
+        // which picks buckets from the low bits. (f64-encoded integer keys,
+        // whose low mantissa bits are all zero, otherwise collapse into one
+        // bucket and turn maps quadratic.)
+        crate::rng::mix(self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fx<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx(&42u64), fx(&42u64));
+        assert_eq!(fx(&"hello"), fx(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fx(&1u64), fx(&2u64));
+        assert_ne!(fx(&"a"), fx(&"b"));
+        assert_ne!(fx(&"abc"), fx(&"ab"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get("k123"), Some(&123));
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sanity-check distribution: 10k sequential ints into 64 buckets,
+        // no bucket should be wildly overloaded.
+        let mut buckets = [0usize; 64];
+        for i in 0..10_000u64 {
+            buckets[(fx(&i) % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 10_000 / 64 * 3, "max bucket {max}");
+        assert!(min > 0, "empty bucket");
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared foundation types for the G-OLA engine.
+//!
+//! This crate defines the dynamically-typed [`Value`] model, [`Schema`]
+//! metadata, [`Row`] storage, the crate-wide [`Error`] type, a fast
+//! non-cryptographic hasher used throughout the engine, deterministic RNG
+//! utilities (including the hash-derived Poisson sampler that powers
+//! incremental poissonized bootstrap), and small statistics helpers.
+//!
+//! Everything here is dependency-free so the rest of the workspace can build
+//! on a stable, minimal base.
+
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,159 @@
+//! Column metadata: [`Field`] and [`Schema`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields. Shared via `Arc` between tables, plans and
+/// executors. Column lookup is case-insensitive, matching SQL identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn empty() -> Arc<Schema> {
+        Arc::new(Schema::default())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Case-insensitive lookup of a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but returns a bind error naming the column.
+    pub fn index_of_or_err(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            Error::bind(format!(
+                "unknown column '{name}' (available: {})",
+                self.fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Append the fields of `other`, producing the schema of a join output.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("session_id", DataType::Int),
+            ("buffer_time", DataType::Float),
+            ("play_time", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("BUFFER_TIME"), Some(1));
+        assert_eq!(s.index_of("Play_Time"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn lookup_error_lists_columns() {
+        let err = sample().index_of_or_err("nope").unwrap_err();
+        assert!(err.to_string().contains("session_id"));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = sample();
+        let b = Schema::from_pairs(&[("ad_id", DataType::Int)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.index_of("ad_id"), Some(3));
+    }
+
+    #[test]
+    fn project_selects_by_index() {
+        let p = sample().project(&[2, 0]);
+        assert_eq!(p.field(0).name, "play_time");
+        assert_eq!(p.field(1).name, "session_id");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(
+            sample().to_string(),
+            "(session_id INT, buffer_time FLOAT, play_time FLOAT)"
+        );
+    }
+}

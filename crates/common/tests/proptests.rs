@@ -1,0 +1,126 @@
+//! Property tests for the foundation types: Eq/Hash consistency of values,
+//! Welford merge correctness, percentile bounds, and the determinism /
+//! distribution of the hash-derived Poisson sampler.
+
+use std::hash::{Hash, Hasher};
+
+use gola_common::rng::{poisson_weight, SplitMix64};
+use gola_common::stats::{percentile, Welford};
+use gola_common::{FxHasher, Value};
+use proptest::prelude::*;
+
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn fx_hash(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn value_eq_implies_hash_eq(a in any_value(), b in any_value()) {
+        if a == b {
+            prop_assert_eq!(fx_hash(&a), fx_hash(&b));
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(
+        a in any_value(),
+        b in any_value(),
+        c in any_value(),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (spot form): a<=b and b<=c ⇒ a<=c.
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn int_float_equality_is_consistent(i in any::<i32>()) {
+        let int = Value::Int(i as i64);
+        let float = Value::Float(i as f64);
+        prop_assert_eq!(&int, &float);
+        prop_assert_eq!(fx_hash(&int), fx_hash(&float));
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean - whole.mean).abs() <= 1e-6 * (1.0 + whole.mean.abs()));
+        let (va, vw) = (a.variance_pop().unwrap(), whole.variance_pop().unwrap());
+        prop_assert!((va - vw).abs() <= 1e-6 * (1.0 + vw));
+    }
+
+    #[test]
+    fn percentile_within_min_max(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let p = percentile(&xs, q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo && p <= hi);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&xs, lo_q).unwrap() <= percentile(&xs, hi_q).unwrap());
+    }
+
+    #[test]
+    fn poisson_weight_deterministic(t in any::<u64>(), b in 0u32..256, seed in any::<u64>()) {
+        prop_assert_eq!(poisson_weight(t, b, seed), poisson_weight(t, b, seed));
+    }
+
+    #[test]
+    fn splitmix_next_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(g.next_below(n) < n);
+        }
+    }
+
+    #[test]
+    fn cast_roundtrip_int_through_string(i in any::<i64>()) {
+        let v = Value::Int(i);
+        let s = v.cast(gola_common::DataType::Str).unwrap();
+        let back = s.cast(gola_common::DataType::Int).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}

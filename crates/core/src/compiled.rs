@@ -1,0 +1,482 @@
+//! Per-block compilation for online execution.
+//!
+//! [`CompiledBlock`] augments a [`Block`] with everything the executor
+//! precomputes once per query:
+//!
+//! * the split of WHERE conjuncts into *certain* (no subquery references —
+//!   evaluated once per tuple, decisions never flip) and *uncertain* ones;
+//! * the **lineage projection**: the minimal set of source columns that
+//!   uncertain tuples must cache (paper §3.3), and every downstream
+//!   expression rewritten into lineage-row coordinates.
+
+use gola_agg::AggKind;
+use gola_expr::Expr;
+use gola_plan::Block;
+
+/// A lineage block plus its precomputed online-execution artifacts.
+#[derive(Debug, Clone)]
+pub struct CompiledBlock {
+    pub block: Block,
+    /// WHERE conjuncts with no subquery references, over the source schema.
+    pub certain_filters: Vec<Expr>,
+    /// WHERE conjuncts referencing other blocks, over the source schema.
+    pub uncertain_filters: Vec<Expr>,
+    /// Source-schema columns cached for uncertain tuples (sorted).
+    pub lineage_cols: Vec<usize>,
+    /// `uncertain_filters` rewritten into lineage-row coordinates.
+    pub lin_filters: Vec<Expr>,
+    /// Group-by expressions in lineage-row coordinates.
+    pub lin_group_by: Vec<Expr>,
+    /// Aggregate argument expressions in lineage-row coordinates.
+    pub lin_agg_args: Vec<Expr>,
+    /// Aggregate kinds (for state construction).
+    pub agg_kinds: Vec<AggKind>,
+    /// Semi-join aggregation strategy (paper §3.2 applied at the *group*
+    /// level): when the only uncertain predicate is a single membership
+    /// test and every aggregate is mergeable, tuples are folded
+    /// unconditionally into partial aggregates keyed by the membership key;
+    /// the answer selects the partitions whose keys are (per trial)
+    /// members. No tuples are cached and membership flips are absorbed by
+    /// re-selection instead of recomputation. `(subquery, lineage-remapped
+    /// key exprs, negated)`.
+    pub semi_join: Option<(gola_expr::SubqueryId, Vec<Expr>, bool)>,
+    /// Fast HAVING evaluation: when every HAVING conjunct is
+    /// `agg-row-column θ constant`, the per-(group × trial) membership test
+    /// reduces to direct comparisons. `(column, op, constant)` triples.
+    pub fast_having: Option<Vec<(usize, gola_expr::BinOp, gola_common::Value)>>,
+    /// Fast scalar-comparison filter: the single uncertain predicate has
+    /// the shape `row-expr θ f(scalar-ref)` where `f`'s only row
+    /// dependence is the correlation key. Per-trial re-evaluation of the
+    /// uncertain set then caches `f` per (correlation key, trial) instead
+    /// of evaluating the full expression per (tuple, trial).
+    pub fast_scalar_cmp: Option<FastScalarCmp>,
+}
+
+/// Precompiled `lhs θ rhs(scalar-ref)` uncertain filter (lineage coords).
+#[derive(Debug, Clone)]
+pub struct FastScalarCmp {
+    pub op: gola_expr::BinOp,
+    /// Row-only side (no subquery references).
+    pub lhs: Expr,
+    /// Side containing exactly one scalar reference; row columns appear
+    /// only inside that reference's key expressions.
+    pub rhs: Expr,
+    /// The scalar reference's key expressions (lineage coords).
+    pub key: Vec<Expr>,
+}
+
+/// `e` qualifies as a cacheable RHS: exactly one `ScalarRef`, no membership
+/// references, and every row column sits inside that ref's keys.
+fn cacheable_rhs(e: &Expr) -> Option<Vec<Expr>> {
+    fn walk(e: &Expr, refs: &mut Vec<Vec<Expr>>, outside_cols: &mut bool) {
+        match e {
+            Expr::ScalarRef { key, .. } => refs.push(key.clone()),
+            Expr::InSubquery { .. } => {
+                // Membership inside the RHS disables the fast path.
+                *outside_cols = true;
+            }
+            Expr::Column(_) => *outside_cols = true,
+            _ => {
+                for c in e.children() {
+                    walk(c, refs, outside_cols);
+                }
+            }
+        }
+    }
+    let mut refs = Vec::new();
+    let mut outside = false;
+    walk(e, &mut refs, &mut outside);
+    if refs.len() == 1 && !outside {
+        Some(refs.pop().unwrap())
+    } else {
+        None
+    }
+}
+
+fn compile_fast_scalar_cmp(lin_filters: &[Expr]) -> Option<FastScalarCmp> {
+    let [Expr::Binary { op, left, right }] = lin_filters else { return None };
+    if !op.is_comparison() {
+        return None;
+    }
+    if !left.has_subquery_ref() {
+        let key = cacheable_rhs(right)?;
+        return Some(FastScalarCmp {
+            op: *op,
+            lhs: (**left).clone(),
+            rhs: (**right).clone(),
+            key,
+        });
+    }
+    if !right.has_subquery_ref() {
+        let flipped = match op {
+            gola_expr::BinOp::Lt => gola_expr::BinOp::Gt,
+            gola_expr::BinOp::LtEq => gola_expr::BinOp::GtEq,
+            gola_expr::BinOp::Gt => gola_expr::BinOp::Lt,
+            gola_expr::BinOp::GtEq => gola_expr::BinOp::LtEq,
+            other => *other,
+        };
+        let key = cacheable_rhs(left)?;
+        return Some(FastScalarCmp {
+            op: flipped,
+            lhs: (**right).clone(),
+            rhs: (**left).clone(),
+            key,
+        });
+    }
+    None
+}
+
+impl CompiledBlock {
+    pub fn new(block: Block) -> CompiledBlock {
+        let mut certain_filters = Vec::new();
+        let mut uncertain_filters = Vec::new();
+        for f in &block.filters {
+            if f.has_subquery_ref() {
+                uncertain_filters.push(f.clone());
+            } else {
+                certain_filters.push(f.clone());
+            }
+        }
+        // Lineage: only what uncertain re-evaluation and aggregation need.
+        let mut lineage_cols = Vec::new();
+        for e in uncertain_filters
+            .iter()
+            .chain(block.group_by.iter())
+            .chain(block.aggs.iter().map(|a| &a.arg))
+        {
+            e.collect_columns(&mut lineage_cols);
+        }
+        lineage_cols.sort_unstable();
+        let remap = |src: usize| -> usize {
+            lineage_cols
+                .binary_search(&src)
+                .expect("lineage projection covers all referenced columns")
+        };
+        let lin_filters: Vec<Expr> = uncertain_filters
+            .iter()
+            .map(|e| e.remap_columns(&remap))
+            .collect();
+        let lin_group_by: Vec<Expr> = block
+            .group_by
+            .iter()
+            .map(|e| e.remap_columns(&remap))
+            .collect();
+        let lin_agg_args: Vec<Expr> = block
+            .aggs
+            .iter()
+            .map(|a| a.arg.remap_columns(&remap))
+            .collect();
+        let agg_kinds: Vec<AggKind> = block.aggs.iter().map(|a| a.kind.clone()).collect();
+        let semi_join = match &lin_filters[..] {
+            [Expr::InSubquery { id, key, negated }]
+                if agg_kinds.iter().all(AggKind::is_mergeable) =>
+            {
+                Some((*id, key.clone(), *negated))
+            }
+            _ => None,
+        };
+        let fast_having = compile_fast_having(&block.having);
+        let fast_scalar_cmp = compile_fast_scalar_cmp(&lin_filters);
+        CompiledBlock {
+            block,
+            certain_filters,
+            uncertain_filters,
+            lineage_cols,
+            lin_filters,
+            lin_group_by,
+            lin_agg_args,
+            agg_kinds,
+            semi_join,
+            fast_having,
+            fast_scalar_cmp,
+        }
+    }
+
+    /// Number of group-key columns.
+    pub fn num_keys(&self) -> usize {
+        self.block.group_by.len()
+    }
+
+    /// `true` when tuples can need caching at all.
+    pub fn has_uncertainty(&self) -> bool {
+        !self.uncertain_filters.is_empty()
+    }
+}
+
+/// Recognize `Column θ constant` / `constant θ Column` HAVING conjuncts and
+/// pre-evaluate the constant side. Any non-matching conjunct disables the
+/// fast path.
+fn compile_fast_having(
+    having: &[Expr],
+) -> Option<Vec<(usize, gola_expr::BinOp, gola_common::Value)>> {
+    use gola_expr::eval::{eval, ExactContext};
+    if having.is_empty() {
+        return None;
+    }
+    let empty_row = gola_common::Row::new(vec![]);
+    let mut out = Vec::with_capacity(having.len());
+    for h in having {
+        let Expr::Binary { op, left, right } = h else { return None };
+        if !op.is_comparison() {
+            return None;
+        }
+        let constant = |e: &Expr| -> Option<gola_common::Value> {
+            let mut cols = Vec::new();
+            e.collect_columns(&mut cols);
+            if !cols.is_empty() || e.has_subquery_ref() {
+                return None;
+            }
+            eval(e, &ExactContext::new(&empty_row)).ok()
+        };
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), rhs) => {
+                out.push((*c, *op, constant(rhs)?));
+            }
+            (lhs, Expr::Column(c)) => {
+                // Flip `const θ col` into `col θ' const`.
+                let flipped = match op {
+                    gola_expr::BinOp::Lt => gola_expr::BinOp::Gt,
+                    gola_expr::BinOp::LtEq => gola_expr::BinOp::GtEq,
+                    gola_expr::BinOp::Gt => gola_expr::BinOp::Lt,
+                    gola_expr::BinOp::GtEq => gola_expr::BinOp::LtEq,
+                    other => *other,
+                };
+                out.push((*c, flipped, constant(lhs)?));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{DataType, Schema};
+    use gola_expr::{BinOp, SubqueryId};
+    use gola_plan::{AggCall, BlockRole};
+    use std::sync::Arc;
+
+    fn block() -> Block {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Float),
+            ("d", DataType::Float),
+        ]));
+        Block {
+            id: 1,
+            role: BlockRole::Root,
+            source_table: "t".into(),
+            is_streaming: true,
+            dims: vec![],
+            source_schema: Arc::clone(&schema),
+            filters: vec![
+                // certain: a > 0 (source col 0, not in lineage need? it is
+                // referenced only here → excluded from lineage)
+                Expr::gt(Expr::col(0), Expr::lit(0i64)),
+                // uncertain: c > $sq0
+                Expr::gt(
+                    Expr::col(2),
+                    Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                ),
+            ],
+            group_by: vec![Expr::col(3)],
+            aggs: vec![AggCall {
+                kind: AggKind::Avg,
+                arg: Expr::binary(BinOp::Add, Expr::col(1), Expr::col(3)),
+                name: "x".into(),
+            }],
+            agg_row_schema: Arc::new(Schema::from_pairs(&[
+                ("d", DataType::Float),
+                ("x", DataType::Float),
+            ])),
+            having: vec![],
+            post_project: None,
+            output_schema: Arc::new(Schema::from_pairs(&[
+                ("d", DataType::Float),
+                ("x", DataType::Float),
+            ])),
+            order_by: vec![],
+            limit: None,
+            deps: vec![SubqueryId(0)],
+            lineage_cols: vec![],
+        }
+    }
+
+    #[test]
+    fn filters_split_by_uncertainty() {
+        let c = CompiledBlock::new(block());
+        assert_eq!(c.certain_filters.len(), 1);
+        assert_eq!(c.uncertain_filters.len(), 1);
+        assert!(c.has_uncertainty());
+    }
+
+    #[test]
+    fn lineage_excludes_certain_only_columns() {
+        let c = CompiledBlock::new(block());
+        // Columns needed downstream: 1 (agg), 2 (uncertain filter), 3
+        // (group + agg). Column 0 is only in a certain filter.
+        assert_eq!(c.lineage_cols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn expressions_remapped_to_lineage_coordinates() {
+        let c = CompiledBlock::new(block());
+        // Source col 2 → lineage idx 1.
+        assert_eq!(c.lin_filters[0].to_string(), "(#1 > $sq0)");
+        // group col 3 → lineage idx 2.
+        assert_eq!(c.lin_group_by[0].to_string(), "#2");
+        // agg arg (#1 + #3) → (#0 + #2).
+        assert_eq!(c.lin_agg_args[0].to_string(), "(#0 + #2)");
+        assert_eq!(c.num_keys(), 1);
+        assert_eq!(c.agg_kinds.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use gola_common::{DataType, Schema, Value};
+    use gola_expr::{BinOp, SubqueryId};
+    use gola_plan::{AggCall, BlockRole};
+    use std::sync::Arc;
+
+    fn base_block(filters: Vec<Expr>, having: Vec<Expr>, kinds: Vec<AggKind>) -> Block {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("x", DataType::Float),
+        ]));
+        let aggs: Vec<AggCall> = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| AggCall { kind, arg: Expr::col(1), name: format!("a{i}") })
+            .collect();
+        Block {
+            id: 0,
+            role: BlockRole::Root,
+            source_table: "t".into(),
+            is_streaming: true,
+            dims: vec![],
+            source_schema: Arc::clone(&schema),
+            filters,
+            group_by: vec![Expr::col(0)],
+            aggs,
+            agg_row_schema: Arc::new(Schema::from_pairs(&[
+                ("k", DataType::Int),
+                ("a0", DataType::Float),
+            ])),
+            having,
+            post_project: None,
+            output_schema: Arc::new(Schema::from_pairs(&[
+                ("k", DataType::Int),
+                ("a0", DataType::Float),
+            ])),
+            order_by: vec![],
+            limit: None,
+            deps: vec![],
+            lineage_cols: vec![],
+        }
+    }
+
+    fn member_filter() -> Expr {
+        Expr::InSubquery { id: SubqueryId(0), key: vec![Expr::col(0)], negated: false }
+    }
+
+    #[test]
+    fn semi_join_detected_for_single_membership_with_mergeable_aggs() {
+        let cb = CompiledBlock::new(base_block(
+            vec![member_filter()],
+            vec![],
+            vec![AggKind::Sum, AggKind::Avg],
+        ));
+        assert!(cb.semi_join.is_some());
+        // A quantile aggregate disables it (states are unmergeable).
+        let cb = CompiledBlock::new(base_block(
+            vec![member_filter()],
+            vec![],
+            vec![AggKind::Quantile(0.5)],
+        ));
+        assert!(cb.semi_join.is_none());
+        // A second uncertain filter disables it too.
+        let scalar = Expr::gt(
+            Expr::col(1),
+            Expr::ScalarRef { id: SubqueryId(1), key: vec![] },
+        );
+        let cb = CompiledBlock::new(base_block(
+            vec![member_filter(), scalar],
+            vec![],
+            vec![AggKind::Sum],
+        ));
+        assert!(cb.semi_join.is_none());
+    }
+
+    #[test]
+    fn fast_having_detected_for_constant_thresholds() {
+        // agg column > constant (also flipped), constant side pre-evaluated.
+        let h1 = Expr::gt(Expr::col(1), Expr::binary(BinOp::Mul, Expr::lit(3.0), Expr::lit(100.0)));
+        let cb = CompiledBlock::new(base_block(vec![], vec![h1], vec![AggKind::Sum]));
+        let fh = cb.fast_having.as_ref().unwrap();
+        assert_eq!(fh.len(), 1);
+        assert_eq!(fh[0].0, 1);
+        assert_eq!(fh[0].1, BinOp::Gt);
+        assert_eq!(fh[0].2, Value::Float(300.0));
+        // Flipped: const < column normalizes to column > const.
+        let h2 = Expr::lt(Expr::lit(300.0), Expr::col(1));
+        let cb = CompiledBlock::new(base_block(vec![], vec![h2], vec![AggKind::Sum]));
+        assert_eq!(cb.fast_having.as_ref().unwrap()[0].1, BinOp::Gt);
+        // A scalar-ref threshold disables the fast path.
+        let h3 = Expr::gt(
+            Expr::col(1),
+            Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+        );
+        let cb = CompiledBlock::new(base_block(vec![], vec![h3], vec![AggKind::Sum]));
+        assert!(cb.fast_having.is_none());
+    }
+
+    #[test]
+    fn fast_scalar_cmp_detected_and_flipped() {
+        // x < 0.5 * $sq0[k] — cacheable by the correlation key.
+        let pred = Expr::lt(
+            Expr::col(1),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::lit(0.5),
+                Expr::ScalarRef { id: SubqueryId(0), key: vec![Expr::col(0)] },
+            ),
+        );
+        let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
+        let fsc = cb.fast_scalar_cmp.as_ref().unwrap();
+        assert_eq!(fsc.op, BinOp::Lt);
+        assert_eq!(fsc.key.len(), 1);
+        // Flipped orientation normalizes the operator.
+        let pred = Expr::gt(
+            Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            Expr::col(1),
+        );
+        let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
+        assert_eq!(cb.fast_scalar_cmp.as_ref().unwrap().op, BinOp::Lt);
+        // A row column outside the ref's key kills cacheability.
+        let pred = Expr::lt(
+            Expr::col(1),
+            Expr::binary(
+                BinOp::Add,
+                Expr::col(1),
+                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            ),
+        );
+        let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
+        assert!(cb.fast_scalar_cmp.is_none());
+        // Two scalar refs: not cacheable by a single key.
+        let pred = Expr::lt(
+            Expr::col(1),
+            Expr::binary(
+                BinOp::Add,
+                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                Expr::ScalarRef { id: SubqueryId(1), key: vec![] },
+            ),
+        );
+        let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
+        assert!(cb.fast_scalar_cmp.is_none());
+    }
+}

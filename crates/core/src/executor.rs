@@ -1,0 +1,1432 @@
+//! The mini-batch online executor.
+//!
+//! Orchestrates, per mini-batch and in topological block order:
+//!
+//! 1. **Ingest** (`ingest_block`): join new fact tuples against broadcast
+//!    dimensions, apply certain filters once, then classify each candidate
+//!    tuple (new ++ previous uncertain set) against the producers' committed
+//!    envelopes — fold, drop, or cache (paper §3.2).
+//! 2. **Publish** (`publish_block`): refresh the block's externally visible
+//!    values (point + per-trial + variation range), update committed
+//!    envelopes, and detect **failures** (a relied-upon value escaping its
+//!    envelope / a relied-upon membership flipping).
+//! 3. **Recover**: on failure, reset every transitive consumer and replay
+//!    all seen batches for just those blocks (the Query Controller's
+//!    recomputation jobs, paper §4).
+//! 4. **Report**: materialize the root block's current answer with
+//!    bootstrap error bars ([`BatchReport`]).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gola_bootstrap::{Estimate, VariationRange};
+use gola_common::{Error, FxHashMap, FxHashSet, Result, Row, Value};
+use gola_expr::eval::{eval, eval_predicate, eval_tri, ExactContext};
+use gola_expr::{Expr, RangeVal, Tri};
+use gola_plan::{BlockRole, MetaPlan};
+use gola_storage::{Catalog, MiniBatch, MiniBatchPartitioner};
+
+use crate::compiled::CompiledBlock;
+use crate::config::OnlineConfig;
+use crate::report::{BatchReport, CellEstimate};
+use crate::runtime::{
+    BlockRuntime, CachedTuple, CtxMode, GroupCtx, Published, PublishedMember, PublishedScalar,
+    TupleCtx,
+};
+
+/// Aggregate states for one group during answer/publish computation:
+/// borrowed when the group has no uncertain contributions, owned (a merged
+/// snapshot) otherwise.
+enum EffStates<'a> {
+    Borrowed(&'a gola_agg::ReplicatedStates),
+    Owned(gola_agg::ReplicatedStates),
+}
+
+impl EffStates<'_> {
+    fn get(&self) -> &gola_agg::ReplicatedStates {
+        match self {
+            EffStates::Borrowed(s) => s,
+            EffStates::Owned(s) => s,
+        }
+    }
+}
+
+/// The online query executor for one prepared query.
+pub struct OnlineExecutor {
+    config: OnlineConfig,
+    meta: MetaPlan,
+    compiled: Vec<CompiledBlock>,
+    partitioner: Arc<MiniBatchPartitioner>,
+    /// Per block, per dimension join: key → dim rows.
+    dims: Vec<Vec<FxHashMap<Vec<Value>, Vec<Row>>>>,
+    runtimes: Vec<BlockRuntime>,
+    published: Vec<Published>,
+    /// Direct consumers of each block.
+    consumers: Vec<Vec<usize>>,
+    batches_done: usize,
+    recomputations: usize,
+    cumulative: Duration,
+}
+
+impl OnlineExecutor {
+    /// Build an executor: compiles blocks, hashes dimension tables, and
+    /// computes static (non-streaming) blocks exactly.
+    pub fn new(
+        catalog: &Catalog,
+        meta: MetaPlan,
+        partitioner: Arc<MiniBatchPartitioner>,
+        config: OnlineConfig,
+    ) -> Result<OnlineExecutor> {
+        config.validate()?;
+        let compiled: Vec<CompiledBlock> =
+            meta.blocks.iter().cloned().map(CompiledBlock::new).collect();
+        let mut dims = Vec::with_capacity(compiled.len());
+        for cb in &compiled {
+            let mut block_dims = Vec::with_capacity(cb.block.dims.len());
+            for d in &cb.block.dims {
+                let table = catalog.get(&d.table)?;
+                let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
+                for row in table.rows() {
+                    let ctx = ExactContext::new(row);
+                    let key: Result<Vec<Value>> =
+                        d.dim_keys.iter().map(|k| eval(k, &ctx)).collect();
+                    let key = key?;
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    map.entry(key).or_default().push(row.clone());
+                }
+                block_dims.push(map);
+            }
+            dims.push(block_dims);
+        }
+        let mut consumers = vec![Vec::new(); compiled.len()];
+        for cb in &compiled {
+            for d in &cb.block.deps {
+                consumers[d.0].push(cb.block.id);
+            }
+        }
+        let runtimes = (0..compiled.len()).map(|_| BlockRuntime::default()).collect();
+        let published = (0..compiled.len()).map(|_| Published::default()).collect();
+        let mut exec = OnlineExecutor {
+            config,
+            meta,
+            compiled,
+            partitioner,
+            dims,
+            runtimes,
+            published,
+            consumers,
+            batches_done: 0,
+            recomputations: 0,
+            cumulative: Duration::ZERO,
+        };
+        exec.compute_static_blocks(catalog)?;
+        Ok(exec)
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_done(&self) -> usize {
+        self.batches_done
+    }
+
+    /// Total mini-batches `k`.
+    pub fn num_batches(&self) -> usize {
+        self.partitioner.num_batches()
+    }
+
+    /// Cumulative failure-triggered recomputations.
+    pub fn recomputations(&self) -> usize {
+        self.recomputations
+    }
+
+    /// Total uncertain items across all blocks: cached uncertain tuples
+    /// plus, for live membership producers, the number of group keys whose
+    /// membership is still classified as may-flip.
+    pub fn uncertain_tuples(&self) -> usize {
+        let cached: usize = self.runtimes.iter().map(|r| r.uncertain.len()).sum();
+        let maybe_members: usize = self
+            .published
+            .iter()
+            .filter(|p| p.live)
+            .map(|p| p.members.values().filter(|m| m.tri == Tri::Maybe).count())
+            .sum();
+        cached + maybe_members
+    }
+
+    /// Uncertain-set size of one block.
+    pub fn uncertain_in_block(&self, block: usize) -> usize {
+        self.runtimes[block].uncertain.len()
+    }
+
+    /// `true` once every batch has been processed.
+    pub fn is_finished(&self) -> bool {
+        self.batches_done == self.num_batches()
+    }
+
+    /// Process the next mini-batch and return the refined answer.
+    pub fn step(&mut self) -> Result<BatchReport> {
+        if self.is_finished() {
+            return Err(Error::exec("all mini-batches already processed"));
+        }
+        let start = Instant::now();
+        let i = self.batches_done;
+        let batch = self.partitioner.batch(i);
+        let m = self.partitioner.multiplicity_after(i);
+        let last = i + 1 == self.num_batches();
+
+        let order = self.meta.order.clone();
+        let mut violated = Vec::new();
+        let trace = std::env::var("GOLA_TRACE").is_ok();
+        for &b in &order {
+            if !self.compiled[b].block.is_streaming {
+                continue;
+            }
+            let t_in = Instant::now();
+            self.ingest_block(b, &batch)?;
+            let t_pub = Instant::now();
+            if self.publish_block(b, m, last)? {
+                violated.push(b);
+            }
+            if trace {
+                eprintln!(
+                    "    block {b}: ingest {:?} publish {:?}",
+                    t_pub - t_in,
+                    t_pub.elapsed()
+                );
+            }
+        }
+
+        if !violated.is_empty() {
+            self.recover(&violated, i, m, last)?;
+        }
+
+        let t_rep = Instant::now();
+        let mut report = self.build_report(i, m, last)?;
+        if trace {
+            eprintln!("    report: {:?}", t_rep.elapsed());
+        }
+        self.batches_done += 1;
+        let elapsed = start.elapsed();
+        self.cumulative += elapsed;
+        report.batch_time = elapsed;
+        report.cumulative_time = self.cumulative;
+        Ok(report)
+    }
+
+    // -----------------------------------------------------------------
+    // Ingest
+    // -----------------------------------------------------------------
+
+    fn ingest_block(&mut self, b: usize, batch: &MiniBatch) -> Result<()> {
+        let mut rt = std::mem::take(&mut self.runtimes[b]);
+        let result = self.ingest_into(b, &mut rt, batch);
+        self.runtimes[b] = rt;
+        result
+    }
+
+    fn ingest_into(&self, b: usize, rt: &mut BlockRuntime, batch: &MiniBatch) -> Result<()> {
+        let cb = &self.compiled[b];
+        let pubs = &self.published;
+        let mut candidates = std::mem::take(&mut rt.uncertain);
+
+        // Join + certain filters for the new tuples, then lineage-project.
+        let mut joined_buf: Vec<Row> = Vec::new();
+        for (tid, fact_row) in batch.iter() {
+            joined_buf.clear();
+            join_one(fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
+            'rows: for joined in &joined_buf {
+                let ctx = TupleCtx { row: joined, pubs, mode: CtxMode::Point };
+                for f in &cb.certain_filters {
+                    if !eval_predicate(f, &ctx)? {
+                        continue 'rows;
+                    }
+                }
+                candidates.push(CachedTuple {
+                    tuple_id: tid,
+                    lineage: joined.project(&cb.lineage_cols),
+                });
+            }
+        }
+
+        // Parallel path: shard the candidates across worker threads, each
+        // folding into a private BlockRuntime with the same per-tuple code,
+        // then merge shard results in shard order (deterministic for a
+        // fixed thread count). Gated on mergeable aggregate kinds.
+        let threads = self
+            .config
+            .threads
+            .min(candidates.len() / 1024 + 1)
+            .max(1);
+        if threads > 1 && cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable) {
+            let chunk_size = candidates.len().div_ceil(threads);
+            let chunks: Vec<&[CachedTuple]> = candidates.chunks(chunk_size).collect();
+            let shards: Result<Vec<BlockRuntime>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| -> Result<BlockRuntime> {
+                            let mut local = BlockRuntime::default();
+                            self.process_candidates(b, &mut local, chunk.to_vec())?;
+                            Ok(local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+            .expect("thread scope");
+            for shard in shards? {
+                for (key, states) in shard.groups {
+                    match rt.groups.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().merge(&states)
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(states);
+                        }
+                    }
+                }
+                for (mkey, groups) in shard.semi_groups {
+                    let slot = rt.semi_groups.entry(mkey).or_default();
+                    for (gkey, states) in groups {
+                        match slot.entry(gkey) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                e.get_mut().merge(&states)
+                            }
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                v.insert(states);
+                            }
+                        }
+                    }
+                }
+                rt.uncertain.extend(shard.uncertain);
+            }
+            return Ok(());
+        }
+        self.process_candidates(b, rt, candidates)
+    }
+
+    /// Classify and fold a set of candidate tuples into `rt` (the shared
+    /// per-tuple logic behind both the sequential and sharded paths).
+    fn process_candidates(
+        &self,
+        b: usize,
+        rt: &mut BlockRuntime,
+        candidates: Vec<CachedTuple>,
+    ) -> Result<()> {
+        let cb = &self.compiled[b];
+        let pubs = &self.published;
+        // Semi-join aggregation strategy: fold every candidate into
+        // partial aggregates keyed by its membership key — no
+        // classification, no caching, no reliance on the producer. The
+        // answer re-selects member partitions each batch, so membership
+        // flips cost nothing.
+        if let Some((_, key_exprs, _)) = &cb.semi_join {
+            for t in candidates {
+                let ctx =
+                    TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Point };
+                let mkey: Result<Vec<Value>> =
+                    key_exprs.iter().map(|k| eval(k, &ctx)).collect();
+                let mkey = mkey?;
+                if mkey.iter().any(Value::is_null) {
+                    continue; // NULL IN (...) never passes a filter
+                }
+                let gkey: Result<Vec<Value>> =
+                    cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
+                let args: Result<Vec<Value>> =
+                    cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
+                let states = rt
+                    .semi_groups
+                    .entry(mkey)
+                    .or_default()
+                    .entry(gkey?)
+                    .or_insert_with(|| {
+                        gola_agg::ReplicatedStates::new(
+                            &cb.agg_kinds,
+                            self.config.bootstrap.trials,
+                        )
+                    });
+                states.update(&args?, t.tuple_id, &self.config.bootstrap);
+            }
+            return Ok(());
+        }
+
+        // Scalar-comparison fast classification: cache the RHS variation
+        // range per correlation key, then each tuple classifies with two
+        // float comparisons instead of a generic interval evaluation.
+        if let Some(fsc) = &cb.fast_scalar_cmp {
+            let mut range_cache: FxHashMap<Vec<Value>, RangeVal> = FxHashMap::default();
+            for t in candidates {
+                let ctx = TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Classify };
+                let skey: Result<Vec<Value>> =
+                    fsc.key.iter().map(|k| eval(k, &ctx)).collect();
+                let skey = skey?;
+                let rhs = match range_cache.entry(skey.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(gola_expr::eval::eval_range(&fsc.rhs, &ctx)?)
+                    }
+                };
+                let lhs = eval(&fsc.lhs, &ctx)?;
+                let tri = classify_cmp(&lhs, fsc.op, rhs);
+                match tri {
+                    Tri::True | Tri::False => {
+                        // The decision relies on this key's envelope.
+                        if let Some(ps) = pubs[fsc_subquery(cb)].scalars.get(&skey) {
+                            ps.used.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        if tri == Tri::True {
+                            self.fold_tuple(cb, rt, &t)?;
+                        }
+                    }
+                    Tri::Maybe => rt.uncertain.push(t),
+                }
+            }
+            return Ok(());
+        }
+
+        // Classify every candidate against the current envelopes.
+        for t in candidates {
+            let ctx = TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Classify };
+            let mut tri = Tri::True;
+            for f in &cb.lin_filters {
+                tri = tri.and(eval_tri(f, &ctx)?);
+                if tri == Tri::False {
+                    break;
+                }
+            }
+            match tri {
+                Tri::True => {
+                    self.mark_reliance(&cb.lin_filters, &t.lineage)?;
+                    self.fold_tuple(cb, rt, &t)?;
+                }
+                Tri::False => {
+                    self.mark_reliance(&cb.lin_filters, &t.lineage)?;
+                }
+                Tri::Maybe => rt.uncertain.push(t),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a deterministically-passing tuple into the group states.
+    fn fold_tuple(&self, cb: &CompiledBlock, rt: &mut BlockRuntime, t: &CachedTuple) -> Result<()> {
+        let ctx = TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Point };
+        let key: Result<Vec<Value>> = cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
+        let args: Result<Vec<Value>> = cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
+        let states = rt.groups.entry(key?).or_insert_with(|| {
+            gola_agg::ReplicatedStates::new(&cb.agg_kinds, self.config.bootstrap.trials)
+        });
+        states.update(&args?, t.tuple_id, &self.config.bootstrap);
+        Ok(())
+    }
+
+    /// Record that a deterministic decision was made against the referenced
+    /// producers' envelopes/membership.
+    fn mark_reliance(&self, filters: &[Expr], lineage: &Row) -> Result<()> {
+        let ctx = TupleCtx { row: lineage, pubs: &self.published, mode: CtxMode::Point };
+        fn walk(e: &Expr, ctx: &TupleCtx<'_>, pubs: &[Published]) -> Result<()> {
+            match e {
+                Expr::ScalarRef { id, key } => {
+                    let keys: Result<Vec<Value>> = key.iter().map(|k| eval(k, ctx)).collect();
+                    if let Some(s) = pubs[id.0].scalars.get(&keys?) {
+                        s.used.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                Expr::InSubquery { id, key, .. } => {
+                    let keys: Result<Vec<Value>> = key.iter().map(|k| eval(k, ctx)).collect();
+                    if let Some(m) = pubs[id.0].members.get(&keys?) {
+                        if m.tri.is_deterministic() {
+                            m.mark_relied(m.tri == Tri::True);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for c in e.children() {
+                walk(c, ctx, pubs)?;
+            }
+            Ok(())
+        }
+        for f in filters {
+            walk(f, &ctx, &self.published)?;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Publish
+    // -----------------------------------------------------------------
+
+    /// Refresh block `b`'s published output. Returns `true` if a relied-upon
+    /// value violated its committed envelope (failure detected).
+    fn publish_block(&mut self, b: usize, m: f64, last: bool) -> Result<bool> {
+        let role = self.compiled[b].block.role;
+        if role == BlockRole::Root {
+            return Ok(false);
+        }
+        let old = std::mem::take(&mut self.published[b]);
+        let (new_pub, violated) = self.compute_published(b, m, last, old)?;
+        self.published[b] = new_pub;
+        Ok(violated)
+    }
+
+    fn compute_published(
+        &self,
+        b: usize,
+        m: f64,
+        last: bool,
+        mut old: Published,
+    ) -> Result<(Published, bool)> {
+        let cb = &self.compiled[b];
+        let rt = &self.runtimes[b];
+        let pubs = &self.published;
+        let trials = self.config.bootstrap.trials;
+        let eff = self.effective_states(cb, rt)?;
+        let n_aggs = cb.agg_kinds.len();
+        let mut violated = false;
+        let live = cb.block.is_streaming && !last;
+        let mut out = Published { live, ..Default::default() };
+
+        for (key, states) in &eff {
+            let states = states.get();
+            let point_aggs: Vec<Value> =
+                (0..n_aggs).map(|j| states.value(j, m)).collect();
+            match cb.block.role {
+                BlockRole::Scalar => {
+                    let post = &cb.block.post_project.as_ref().expect("scalar has projection")[0];
+                    let ctx = GroupCtx {
+                        keys: key,
+                        aggs: &point_aggs,
+                        agg_ranges: None,
+                        pubs,
+                        mode: CtxMode::Point,
+                    };
+                    let value = eval(post, &ctx)?;
+                    let mut trial_vals = Vec::with_capacity(trials as usize);
+                    let mut numeric_trials = Vec::with_capacity(trials as usize);
+                    let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+                    for t in 0..trials {
+                        agg_buf.clear();
+                        for j in 0..n_aggs {
+                            agg_buf.push(states.trial_value(j, t, m));
+                        }
+                        let ctx = GroupCtx {
+                            keys: key,
+                            aggs: &agg_buf,
+                            agg_ranges: None,
+                            pubs,
+                            mode: CtxMode::Trial(t),
+                        };
+                        let v = eval(post, &ctx)?;
+                        if let Some(x) = v.as_f64() {
+                            numeric_trials.push(x);
+                        }
+                        trial_vals.push(v);
+                    }
+                    // Small-sample guard: do not trust the bootstrap range
+                    // of a scalar derived from a handful of observations.
+                    // With no replicas at all (trials = 0) there is no error
+                    // model — nothing can be classified deterministically.
+                    let tiny = live
+                        && (trials == 0
+                            || (0..n_aggs).any(|j| {
+                                states
+                                    .observations(j)
+                                    .is_some_and(|o| o < self.config.min_group_obs)
+                            }));
+                    let fresh = if tiny {
+                        RangeVal::Unknown
+                    } else {
+                        match value.as_f64() {
+                            Some(v) => {
+                                let vr = VariationRange::from_replicas(
+                                    v,
+                                    &numeric_trials,
+                                    self.config.envelope_epsilon(),
+                                );
+                                RangeVal::num(vr.lo, vr.hi)
+                            }
+                            None if value.is_null() && !live => RangeVal::Exact(Value::Null),
+                            None if !value.is_null() => RangeVal::Exact(value.clone()),
+                            None => RangeVal::Unknown,
+                        }
+                    };
+                    let (env, used) = match old.scalars.remove(key) {
+                        Some(prev) if prev.is_used() => {
+                            let in_env = value
+                                .as_f64()
+                                .map(|v| prev.env.contains(v))
+                                .unwrap_or(false)
+                                && numeric_trials.iter().all(|&v| prev.env.contains(v));
+                            if in_env {
+                                (prev.env.intersect(&fresh).unwrap_or(fresh), true)
+                            } else {
+                                violated = true;
+                                (fresh, false)
+                            }
+                        }
+                        _ => (fresh, false),
+                    };
+                    out.scalars.insert(
+                        key.clone(),
+                        PublishedScalar {
+                            value,
+                            trials: trial_vals,
+                            env,
+                            used: AtomicBool::new(used),
+                        },
+                    );
+                }
+                BlockRole::Membership => {
+                    let n_keys = cb.num_keys();
+                    // Numeric-only fast HAVING: every conjunct compares an
+                    // aggregate column against a numeric constant.
+                    let numeric_fh: Option<Vec<(usize, gola_expr::BinOp, f64)>> =
+                        cb.fast_having.as_ref().and_then(|fh| {
+                            fh.iter()
+                                .map(|(c, op, k)| {
+                                    if *c >= n_keys {
+                                        k.as_f64().map(|v| (*c - n_keys, *op, v))
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .collect()
+                        });
+                    let (point, trial_pass) = if let Some(fh) = &numeric_fh {
+                        let cmp = |x: f64, op: gola_expr::BinOp, k: f64| match op {
+                            gola_expr::BinOp::Lt => x < k,
+                            gola_expr::BinOp::LtEq => x <= k,
+                            gola_expr::BinOp::Gt => x > k,
+                            gola_expr::BinOp::GtEq => x >= k,
+                            gola_expr::BinOp::Eq => x == k,
+                            gola_expr::BinOp::NotEq => x != k,
+                            _ => false,
+                        };
+                        let point = fh.iter().all(|(j, op, k)| {
+                            point_aggs[*j].as_f64().is_some_and(|x| cmp(x, *op, *k))
+                        });
+                        let mut trial_pass = Vec::with_capacity(trials as usize);
+                        for b in 0..trials {
+                            trial_pass.push(fh.iter().all(|(j, op, k)| {
+                                states
+                                    .trial_value_f64(*j, b, m)
+                                    .is_some_and(|x| cmp(x, *op, *k))
+                            }));
+                        }
+                        (point, trial_pass)
+                    } else if let Some(fh) = &cb.fast_having {
+                        // General constant comparisons (string keys etc.).
+                        let test = |col: &Value, op: gola_expr::BinOp, c: &Value| {
+                            gola_expr::eval::eval_binary_values(op, col, c)
+                                .ok()
+                                .and_then(|v| v.as_bool())
+                                .unwrap_or(false)
+                        };
+                        let cell = |c: usize, t: Option<u32>| -> Value {
+                            if c < n_keys {
+                                key[c].clone()
+                            } else {
+                                match t {
+                                    Some(b) => states.trial_value(c - n_keys, b, m),
+                                    None => point_aggs[c - n_keys].clone(),
+                                }
+                            }
+                        };
+                        let point = fh
+                            .iter()
+                            .all(|(c, op, k)| test(&cell(*c, None), *op, k));
+                        let mut trial_pass = Vec::with_capacity(trials as usize);
+                        for b in 0..trials {
+                            trial_pass.push(
+                                fh.iter()
+                                    .all(|(c, op, k)| test(&cell(*c, Some(b)), *op, k)),
+                            );
+                        }
+                        (point, trial_pass)
+                    } else {
+                        let point = self.having_pass(cb, key, &point_aggs, CtxMode::Point)?;
+                        let mut trial_pass = Vec::with_capacity(trials as usize);
+                        let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+                        for t in 0..trials {
+                            agg_buf.clear();
+                            for j in 0..n_aggs {
+                                agg_buf.push(states.trial_value(j, t, m));
+                            }
+                            trial_pass
+                                .push(self.having_pass(cb, key, &agg_buf, CtxMode::Trial(t))?);
+                        }
+                        (point, trial_pass)
+                    };
+                    // Classification ranges per aggregate (bootstrap range
+                    // + monotone bound + small-sample guard).
+                    let ranges: Vec<RangeVal> = (0..n_aggs)
+                        .map(|j| self.agg_range(states, j, m, live))
+                        .collect();
+                    let tri = if live {
+                        self.having_tri(cb, key, &point_aggs, &ranges)?
+                    } else {
+                        Tri::from(point)
+                    };
+                    let relied = match old.members.remove(key) {
+                        Some(prev) => match prev.relied_on() {
+                            Some(r) if point != r || trial_pass.iter().any(|&t| t != r) => {
+                                violated = true;
+                                0
+                            }
+                            Some(r) => {
+                                if r {
+                                    2
+                                } else {
+                                    1
+                                }
+                            }
+                            None => 0,
+                        },
+                        None => 0,
+                    };
+                    out.members.insert(
+                        key.clone(),
+                        PublishedMember {
+                            point,
+                            trials: trial_pass,
+                            tri,
+                            relied: std::sync::atomic::AtomicU8::new(relied),
+                        },
+                    );
+                }
+                BlockRole::Root => unreachable!(),
+            }
+        }
+
+        // Groups that vanished (their only contributions were uncertain
+        // tuples that resolved to false): if something relied on them, the
+        // decisions are void.
+        for (_, prev) in old.scalars.iter() {
+            if prev.is_used() {
+                violated = true;
+            }
+        }
+        for (_, prev) in old.members.iter() {
+            if prev.relied_on() == Some(true) {
+                // Relying on `false` for a vanished group stays correct.
+                violated = true;
+            }
+        }
+        Ok((out, violated))
+    }
+
+    fn having_pass(
+        &self,
+        cb: &CompiledBlock,
+        keys: &[Value],
+        aggs: &[Value],
+        mode: CtxMode,
+    ) -> Result<bool> {
+        let ctx = GroupCtx { keys, aggs, agg_ranges: None, pubs: &self.published, mode };
+        for h in &cb.block.having {
+            if !eval_predicate(h, &ctx)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn having_tri(
+        &self,
+        cb: &CompiledBlock,
+        keys: &[Value],
+        aggs: &[Value],
+        ranges: &[RangeVal],
+    ) -> Result<Tri> {
+        let ctx = GroupCtx {
+            keys,
+            aggs,
+            agg_ranges: Some(ranges),
+            pubs: &self.published,
+            mode: CtxMode::Classify,
+        };
+        let mut tri = Tri::True;
+        for h in &cb.block.having {
+            tri = tri.and(eval_tri(h, &ctx)?);
+            if tri == Tri::False {
+                break;
+            }
+        }
+        Ok(tri)
+    }
+
+    /// Variation range of one aggregate of a group, for classification.
+    ///
+    /// Combines three sources of knowledge (paper §3.2 plus two
+    /// engineering refinements documented in DESIGN.md):
+    /// * the bootstrap range `[min(û) − ε, max(û) + ε]` of the
+    ///   multiplicity-scaled replicas;
+    /// * a **monotone lower bound** — COUNT and SUM over non-negative
+    ///   values can only grow, so their raw running total bounds the final
+    ///   value from below *with certainty*;
+    /// * a **small-sample guard** — with fewer than `min_group_obs`
+    ///   observations the bootstrap spread is untrustworthy, so only the
+    ///   monotone bound is used (upper end stays unbounded).
+    fn agg_range(
+        &self,
+        states: &gola_agg::ReplicatedStates,
+        j: usize,
+        m: f64,
+        live: bool,
+    ) -> RangeVal {
+        let value = states.value(j, m);
+        if !live {
+            return match value.as_f64() {
+                Some(v) => RangeVal::point(v),
+                None => RangeVal::Exact(value),
+            };
+        }
+        let lb = states.lower_bound(j);
+        let tiny = self.config.bootstrap.trials == 0
+            || states
+                .observations(j)
+                .is_some_and(|o| o < self.config.min_group_obs);
+        if tiny {
+            return match lb {
+                Some(l) => RangeVal::Num { lo: l, hi: f64::INFINITY },
+                None => RangeVal::Unknown,
+            };
+        }
+        match value.as_f64() {
+            Some(v) => {
+                let reps = states.replica_values(j, m);
+                let vr =
+                    VariationRange::from_replicas(v, &reps, self.config.envelope_epsilon());
+                let lo = lb.map_or(vr.lo, |l| vr.lo.max(l));
+                RangeVal::num(lo, vr.hi.max(lo))
+            }
+            None => match lb {
+                Some(l) => RangeVal::Num { lo: l, hi: f64::INFINITY },
+                None => RangeVal::Unknown,
+            },
+        }
+    }
+
+    /// Combine semi-join partial aggregates: merge, per output group, the
+    /// partitions whose membership key currently passes — main states by
+    /// point membership, each replica by that trial's membership.
+    fn semi_join_states<'a>(
+        &self,
+        cb: &CompiledBlock,
+        rt: &'a BlockRuntime,
+        id: gola_expr::SubqueryId,
+        negated: bool,
+    ) -> Result<Vec<(Vec<Value>, EffStates<'a>)>> {
+        let trials = self.config.bootstrap.trials;
+        let members = &self.published[id.0].members;
+        let mut out: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
+        for (mkey, groups) in &rt.semi_groups {
+            let entry = members.get(mkey);
+            let point_in = entry.map(|m| m.point).unwrap_or(false) != negated;
+            for (gkey, states) in groups {
+                let acc = out.entry(gkey.clone()).or_insert_with(|| {
+                    gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
+                });
+                if point_in {
+                    acc.merge_main(states);
+                }
+                for b in 0..trials {
+                    let in_set = entry
+                        .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
+                        .unwrap_or(false);
+                    if in_set != negated {
+                        acc.merge_replica(b, states);
+                    }
+                }
+            }
+        }
+        let mut result: Vec<(Vec<Value>, EffStates<'a>)> = out
+            .into_iter()
+            .map(|(k, v)| (k, EffStates::Owned(v)))
+            .collect();
+        if result.is_empty() && cb.num_keys() == 0 {
+            result.push((
+                Vec::new(),
+                EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+            ));
+        }
+        Ok(result)
+    }
+
+    /// Merge the uncertain set's current contributions into snapshots of
+    /// the affected groups; untouched groups are borrowed.
+    fn effective_states<'a>(
+        &self,
+        cb: &CompiledBlock,
+        rt: &'a BlockRuntime,
+    ) -> Result<Vec<(Vec<Value>, EffStates<'a>)>> {
+        let trials = self.config.bootstrap.trials;
+        if let Some((id, _, negated)) = &cb.semi_join {
+            return self.semi_join_states(cb, rt, *id, *negated);
+        }
+        // Fast path: a single membership predicate (Q18-shaped semi-joins
+        // whose aggregates are not mergeable).
+        // Per-trial inclusion is then one hash lookup plus direct reads of
+        // the published per-trial membership bits, instead of a full
+        // expression evaluation per (tuple, trial).
+        let fast_member = match &cb.lin_filters[..] {
+            [Expr::InSubquery { id, key, negated }] => Some((*id, key, *negated)),
+            _ => None,
+        };
+        // Cache for the scalar-comparison fast path: correlation key →
+        // RHS value at point (index 0) and per trial (1 + b).
+        let mut rhs_cache: FxHashMap<Vec<Value>, Vec<Option<f64>>> = FxHashMap::default();
+        let mut touched: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
+        for t in &rt.uncertain {
+            let point_ctx =
+                TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Point };
+            let key: Result<Vec<Value>> =
+                cb.lin_group_by.iter().map(|g| eval(g, &point_ctx)).collect();
+            let key = key?;
+            let args: Result<Vec<Value>> =
+                cb.lin_agg_args.iter().map(|a| eval(a, &point_ctx)).collect();
+            let args = args?;
+            let entry = match touched.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let base = rt
+                        .groups
+                        .get(v.key())
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
+                        });
+                    v.insert(base)
+                }
+            };
+            if let Some((id, key_exprs, negated)) = fast_member {
+                let member_key: Result<Vec<Value>> =
+                    key_exprs.iter().map(|k| eval(k, &point_ctx)).collect();
+                let member_key = member_key?;
+                let null_key = member_key.iter().any(Value::is_null);
+                let entry_pub = self.published[id.0].members.get(&member_key);
+                let point_pass = !null_key
+                    && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
+                if point_pass {
+                    entry.update_main(&args);
+                }
+                for b in 0..trials {
+                    let w = self.config.bootstrap.weight(t.tuple_id, b);
+                    if w == 0 {
+                        continue;
+                    }
+                    let in_set = entry_pub
+                        .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
+                        .unwrap_or(false);
+                    if !null_key && in_set != negated {
+                        entry.update_replica(b, &args, w as f64);
+                    }
+                }
+                continue;
+            }
+            // Scalar-comparison fast path: evaluate the LHS once per tuple
+            // and the RHS once per (correlation key, trial).
+            if let Some(fsc) = &cb.fast_scalar_cmp {
+                let lhs = eval(&fsc.lhs, &point_ctx)?.as_f64();
+                let skey: Result<Vec<Value>> =
+                    fsc.key.iter().map(|k| eval(k, &point_ctx)).collect();
+                let skey = skey?;
+                let rhs = match rhs_cache.entry(skey) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let mut vals = Vec::with_capacity(1 + trials as usize);
+                        vals.push(eval(&fsc.rhs, &point_ctx)?.as_f64());
+                        for b in 0..trials {
+                            let trial_ctx = TupleCtx {
+                                row: &t.lineage,
+                                pubs: &self.published,
+                                mode: CtxMode::Trial(b),
+                            };
+                            vals.push(eval(&fsc.rhs, &trial_ctx)?.as_f64());
+                        }
+                        v.insert(vals)
+                    }
+                };
+                let cmp = |x: Option<f64>, y: Option<f64>| -> bool {
+                    let (Some(x), Some(y)) = (x, y) else { return false };
+                    match fsc.op {
+                        gola_expr::BinOp::Lt => x < y,
+                        gola_expr::BinOp::LtEq => x <= y,
+                        gola_expr::BinOp::Gt => x > y,
+                        gola_expr::BinOp::GtEq => x >= y,
+                        gola_expr::BinOp::Eq => x == y,
+                        gola_expr::BinOp::NotEq => x != y,
+                        _ => false,
+                    }
+                };
+                if cmp(lhs, rhs[0]) {
+                    entry.update_main(&args);
+                }
+                for b in 0..trials {
+                    let w = self.config.bootstrap.weight(t.tuple_id, b);
+                    if w == 0 {
+                        continue;
+                    }
+                    if cmp(lhs, rhs[1 + b as usize]) {
+                        entry.update_replica(b, &args, w as f64);
+                    }
+                }
+                continue;
+            }
+            // Point inclusion.
+            let mut pass = true;
+            for f in &cb.lin_filters {
+                if !eval_predicate(f, &point_ctx)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                entry.update_main(&args);
+            }
+            // Per-trial inclusion with the trial's own upstream values.
+            for b in 0..trials {
+                let w = self.config.bootstrap.weight(t.tuple_id, b);
+                if w == 0 {
+                    continue;
+                }
+                let trial_ctx =
+                    TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Trial(b) };
+                let mut pass = true;
+                for f in &cb.lin_filters {
+                    if !eval_predicate(f, &trial_ctx)? {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    entry.update_replica(b, &args, w as f64);
+                }
+            }
+        }
+        let mut out: Vec<(Vec<Value>, EffStates<'a>)> = Vec::with_capacity(
+            rt.groups.len() + touched.len(),
+        );
+        for (key, states) in &rt.groups {
+            if !touched.contains_key(key) {
+                out.push((key.clone(), EffStates::Borrowed(states)));
+            }
+        }
+        for (key, states) in touched {
+            out.push((key, EffStates::Owned(states)));
+        }
+        // A global aggregate over no data still has one (empty) group.
+        if out.is_empty() && cb.num_keys() == 0 {
+            out.push((
+                Vec::new(),
+                EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+            ));
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Failure recovery
+    // -----------------------------------------------------------------
+
+    /// Reset and replay every transitive consumer of the violated blocks.
+    fn recover(&mut self, violated: &[usize], upto: usize, m: f64, last: bool) -> Result<()> {
+        let mut affected: FxHashSet<usize> = FxHashSet::default();
+        let mut stack: Vec<usize> = violated.to_vec();
+        while let Some(v) = stack.pop() {
+            for &c in &self.consumers[v] {
+                if affected.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        self.recomputations += affected.len();
+        let order: Vec<usize> = self
+            .meta
+            .order
+            .clone()
+            .into_iter()
+            .filter(|b| affected.contains(b))
+            .collect();
+        for b in order {
+            self.runtimes[b].reset();
+            for j in 0..=upto {
+                let batch = self.partitioner.batch(j);
+                self.ingest_block(b, &batch)?;
+            }
+            // Publish once, from fresh (post-replay) state.
+            self.publish_block(b, m, last)?;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Answer materialization
+    // -----------------------------------------------------------------
+
+    fn build_report(&self, batch_index: usize, m: f64, last: bool) -> Result<BatchReport> {
+        let root = self.meta.root;
+        let cb = &self.compiled[root];
+        let rt = &self.runtimes[root];
+        let pubs = &self.published;
+        let trials = self.config.bootstrap.trials;
+        let n_keys = cb.num_keys();
+        let n_aggs = cb.agg_kinds.len();
+        let eff = self.effective_states(cb, rt)?;
+
+        // Post-projection (identity when absent).
+        let identity: Vec<Expr> = (0..cb.block.agg_row_schema.len()).map(Expr::col).collect();
+        let post: &[Expr] = cb.block.post_project.as_deref().unwrap_or(&identity);
+        // Which output columns carry sampling error at all?
+        let has_error: Vec<bool> = post
+            .iter()
+            .map(|e| {
+                let mut cols = Vec::new();
+                e.collect_columns(&mut cols);
+                cols.iter().any(|&c| c >= n_keys) || e.has_subquery_ref()
+            })
+            .collect();
+
+        let mut rows: Vec<Row> = Vec::new();
+        let mut flags: Vec<bool> = Vec::new();
+        let mut cell_replicas: Vec<Vec<Vec<f64>>> = Vec::new(); // per row, per col
+
+        for (key, states) in &eff {
+            let states = states.get();
+            let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, m)).collect();
+            if !self.having_pass(cb, key, &point_aggs, CtxMode::Point)? {
+                continue;
+            }
+            // Row certainty: deterministic HAVING classification. After
+            // the final batch the answer is exact, so every row is certain.
+            let certain = if cb.block.having.is_empty() || last {
+                true
+            } else {
+                let ranges: Vec<RangeVal> = (0..n_aggs)
+                    .map(|j| self.agg_range(states, j, m, !last))
+                    .collect();
+                self.having_tri(cb, key, &point_aggs, &ranges)? == Tri::True
+            };
+            let ctx = GroupCtx {
+                keys: key,
+                aggs: &point_aggs,
+                agg_ranges: None,
+                pubs,
+                mode: CtxMode::Point,
+            };
+            let out_vals: Result<Vec<Value>> = post.iter().map(|e| eval(e, &ctx)).collect();
+            // Per-trial output values for error estimation.
+            let mut col_reps: Vec<Vec<f64>> = vec![Vec::new(); post.len()];
+            let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+            for t in 0..trials {
+                agg_buf.clear();
+                for j in 0..n_aggs {
+                    agg_buf.push(states.trial_value(j, t, m));
+                }
+                let ctx = GroupCtx {
+                    keys: key,
+                    aggs: &agg_buf,
+                    agg_ranges: None,
+                    pubs,
+                    mode: CtxMode::Trial(t),
+                };
+                for (c, e) in post.iter().enumerate() {
+                    if !has_error[c] {
+                        continue;
+                    }
+                    if let Some(x) = eval(e, &ctx)?.as_f64() {
+                        col_reps[c].push(x);
+                    }
+                }
+            }
+            rows.push(Row::new(out_vals?));
+            flags.push(certain);
+            cell_replicas.push(col_reps);
+        }
+
+        // ORDER BY / LIMIT with flags and estimates kept aligned.
+        let mut perm: Vec<usize> = (0..rows.len()).collect();
+        if !cb.block.order_by.is_empty() {
+            let keys = &cb.block.order_by;
+            perm.sort_by(|&a, &b| {
+                for &(idx, desc) in keys {
+                    let ord = rows[a].get(idx).total_cmp(rows[b].get(idx));
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        } else if n_keys > 0 {
+            // Deterministic default order: by group key columns.
+            perm.sort_by(|&a, &b| {
+                for idx in 0..n_keys.min(rows[a].len()) {
+                    let ord = rows[a].get(idx).total_cmp(rows[b].get(idx));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = cb.block.limit {
+            perm.truncate(n);
+        }
+
+        let mut table_rows = Vec::with_capacity(perm.len());
+        let mut row_certain = Vec::with_capacity(perm.len());
+        let mut estimates = Vec::new();
+        for (out_idx, &src) in perm.iter().enumerate() {
+            table_rows.push(rows[src].clone());
+            row_certain.push(flags[src]);
+            for (c, reps) in cell_replicas[src].iter().enumerate() {
+                if !has_error[c] {
+                    continue;
+                }
+                if let Some(v) = rows[src].get(c).as_f64() {
+                    estimates.push(CellEstimate {
+                        row: out_idx,
+                        col: c,
+                        estimate: Estimate::new(v, reps.clone()),
+                    });
+                }
+            }
+        }
+        let table = gola_storage::Table::new_unchecked(
+            Arc::clone(&cb.block.output_schema),
+            table_rows,
+        );
+        Ok(BatchReport {
+            batch_index,
+            num_batches: self.num_batches(),
+            rows_seen: self.partitioner.rows_seen_through(batch_index),
+            total_rows: self.partitioner.total_rows(),
+            multiplicity: m,
+            table,
+            estimates,
+            row_certain,
+            ci_level: self.config.ci_level,
+            uncertain_tuples: self.uncertain_tuples(),
+            recomputations: self.recomputations,
+            batch_time: Duration::ZERO,
+            cumulative_time: Duration::ZERO,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Static (non-streaming) blocks
+    // -----------------------------------------------------------------
+
+    fn compute_static_blocks(&mut self, catalog: &Catalog) -> Result<()> {
+        let order = self.meta.order.clone();
+        for &b in &order {
+            if self.compiled[b].block.is_streaming
+                || self.compiled[b].block.role == BlockRole::Root
+            {
+                continue;
+            }
+            let cb = &self.compiled[b];
+            let table = catalog.get(&cb.block.source_table)?;
+            // Exact fold: no bootstrap replicas (a full table has no
+            // sampling error).
+            let mut groups: FxHashMap<Vec<Value>, Vec<gola_agg::AggState>> =
+                FxHashMap::default();
+            let mut joined_buf: Vec<Row> = Vec::new();
+            for row in table.rows() {
+                joined_buf.clear();
+                join_one(row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
+                'rows: for joined in &joined_buf {
+                    let ctx =
+                        TupleCtx { row: joined, pubs: &self.published, mode: CtxMode::Point };
+                    for f in &cb.block.filters {
+                        if !eval_predicate(f, &ctx)? {
+                            continue 'rows;
+                        }
+                    }
+                    let key: Result<Vec<Value>> =
+                        cb.block.group_by.iter().map(|g| eval(g, &ctx)).collect();
+                    let args: Result<Vec<Value>> =
+                        cb.block.aggs.iter().map(|a| eval(&a.arg, &ctx)).collect();
+                    let args = args?;
+                    let states = groups.entry(key?).or_insert_with(|| {
+                        cb.agg_kinds.iter().map(|k| k.new_state()).collect()
+                    });
+                    for (s, v) in states.iter_mut().zip(&args) {
+                        s.update(v, 1.0);
+                    }
+                }
+            }
+            if groups.is_empty() && cb.num_keys() == 0 {
+                groups.insert(
+                    Vec::new(),
+                    cb.agg_kinds.iter().map(|k| k.new_state()).collect(),
+                );
+            }
+            let trials = self.config.bootstrap.trials as usize;
+            let mut out = Published { live: false, ..Default::default() };
+            for (key, states) in groups {
+                let aggs: Vec<Value> = states.iter().map(|s| s.finalize(1.0)).collect();
+                match cb.block.role {
+                    BlockRole::Scalar => {
+                        let post =
+                            &cb.block.post_project.as_ref().expect("scalar projection")[0];
+                        let ctx = GroupCtx {
+                            keys: &key,
+                            aggs: &aggs,
+                            agg_ranges: None,
+                            pubs: &self.published,
+                            mode: CtxMode::Point,
+                        };
+                        let value = eval(post, &ctx)?;
+                        let env = RangeVal::Exact(value.clone());
+                        out.scalars.insert(
+                            key,
+                            PublishedScalar {
+                                trials: vec![value.clone(); trials],
+                                value,
+                                env,
+                                used: AtomicBool::new(false),
+                            },
+                        );
+                    }
+                    BlockRole::Membership => {
+                        let point = self.having_pass(cb, &key, &aggs, CtxMode::Point)?;
+                        out.members.insert(
+                            key,
+                            PublishedMember {
+                                point,
+                                trials: vec![point; trials],
+                                tri: Tri::from(point),
+                                relied: std::sync::atomic::AtomicU8::new(0),
+                            },
+                        );
+                    }
+                    BlockRole::Root => unreachable!(),
+                }
+            }
+            self.published[b] = out;
+            self.runtimes[b].static_done = true;
+        }
+        Ok(())
+    }
+}
+
+/// The subquery id of a block's fast scalar comparison (by construction it
+/// exists when `fast_scalar_cmp` is set).
+fn fsc_subquery(cb: &CompiledBlock) -> usize {
+    let mut refs = Vec::new();
+    cb.fast_scalar_cmp
+        .as_ref()
+        .expect("caller checked")
+        .rhs
+        .collect_subquery_refs(&mut refs);
+    refs[0].0
+}
+
+/// Classify `lhs θ rhs-range` exactly like the generic three-valued
+/// evaluator's comparison branch (NULL operands filter deterministically).
+fn classify_cmp(lhs: &Value, op: gola_expr::BinOp, rhs: &RangeVal) -> Tri {
+    use gola_expr::BinOp;
+    if lhs.is_null() {
+        return Tri::False;
+    }
+    if matches!(rhs, RangeVal::Exact(v) if v.is_null()) {
+        return Tri::False;
+    }
+    let l = RangeVal::Exact(lhs.clone());
+    match op {
+        BinOp::Lt => l.lt(rhs),
+        BinOp::LtEq => l.le(rhs),
+        BinOp::Gt => l.gt(rhs),
+        BinOp::GtEq => l.ge(rhs),
+        BinOp::Eq => l.eq_tri(rhs),
+        BinOp::NotEq => l.eq_tri(rhs).not(),
+        _ => Tri::Maybe,
+    }
+}
+
+/// Join one fact row against the block's broadcast dimensions, appending
+/// every joined output row to `out`. Shared with the baseline executors.
+pub fn join_one(
+    fact_row: &Row,
+    dim_maps: &[FxHashMap<Vec<Value>, Vec<Row>>],
+    dims: &[gola_plan::DimJoin],
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    out.push(fact_row.clone());
+    for (d, map) in dims.iter().zip(dim_maps) {
+        let mut next = Vec::with_capacity(out.len());
+        for acc in out.iter() {
+            let ctx = ExactContext::new(acc);
+            let key: Result<Vec<Value>> = d.fact_keys.iter().map(|k| eval(k, &ctx)).collect();
+            let key = key?;
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = map.get(&key) {
+                for mrow in matches {
+                    next.push(acc.concat(mrow));
+                }
+            }
+        }
+        *out = next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_expr::BinOp;
+
+    #[test]
+    fn classify_cmp_matches_range_semantics() {
+        let r = RangeVal::num(10.0, 20.0);
+        // Deterministic on either side of the range.
+        assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::Lt, &r), Tri::True);
+        assert_eq!(classify_cmp(&Value::Float(25.0), BinOp::Lt, &r), Tri::False);
+        assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::Lt, &r), Tri::Maybe);
+        assert_eq!(classify_cmp(&Value::Float(25.0), BinOp::Gt, &r), Tri::True);
+        assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::GtEq, &r), Tri::Maybe);
+        // Equality against a non-degenerate range can only be refuted.
+        assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::Eq, &r), Tri::False);
+        assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::Eq, &r), Tri::Maybe);
+    }
+
+    #[test]
+    fn classify_cmp_null_semantics() {
+        let r = RangeVal::num(0.0, 1.0);
+        // NULL lhs: the predicate is SQL NULL → deterministically filtered.
+        assert_eq!(classify_cmp(&Value::Null, BinOp::Lt, &r), Tri::False);
+        // NULL rhs (finished empty subquery): also filtered.
+        assert_eq!(
+            classify_cmp(&Value::Float(1.0), BinOp::Lt, &RangeVal::Exact(Value::Null)),
+            Tri::False
+        );
+        // Unknown rhs: cannot classify.
+        assert_eq!(
+            classify_cmp(&Value::Float(1.0), BinOp::Lt, &RangeVal::Unknown),
+            Tri::Maybe
+        );
+    }
+
+    #[test]
+    fn classify_cmp_boundaries() {
+        let r = RangeVal::num(10.0, 20.0);
+        // x = hi: x < u still possible only if u > 20 — impossible → False.
+        assert_eq!(classify_cmp(&Value::Float(20.0), BinOp::Lt, &r), Tri::False);
+        // x = lo: x <= u always true (u >= 10).
+        assert_eq!(classify_cmp(&Value::Float(10.0), BinOp::LtEq, &r), Tri::True);
+        // Degenerate (point) range: fully deterministic.
+        let p = RangeVal::point(5.0);
+        assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::Eq, &p), Tri::True);
+        assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::NotEq, &p), Tri::False);
+    }
+}

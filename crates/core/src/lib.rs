@@ -1,0 +1,42 @@
+//! The G-OLA mini-batch online execution engine (the paper's contribution).
+//!
+//! # Execution model (paper §2)
+//!
+//! The streamed fact table is randomly partitioned into `k` mini-batches.
+//! After batch `i` the engine reports `Q(Dᵢ, k/i)` — the query evaluated
+//! over the data seen so far under multiset semantics with multiplicity
+//! `m = k/i` — together with a poissonized-bootstrap confidence interval.
+//! The user stops whenever the accuracy suffices.
+//!
+//! # Delta maintenance (paper §3)
+//!
+//! Each lineage block maintains, per group, bootstrap-replicated aggregate
+//! states. At every predicate that references another block's (uncertain)
+//! output, incoming tuples are classified by **variation-range overlap**:
+//!
+//! * deterministic-true → folded into the aggregate states forever,
+//! * deterministic-false → dropped forever,
+//! * uncertain → cached in the block's **uncertain set** `Uᵢ` with its
+//!   lineage projection, and re-examined every batch.
+//!
+//! Per-batch work is `|ΔDᵢ| + |Uᵢ₋₁|` instead of `|Dᵢ|` — the paper's
+//! near-constant per-batch cost.
+//!
+//! Classification uses **committed envelopes**: the intersection of every
+//! variation range a decision was made against. The [`executor`] monitors
+//! published values (and each bootstrap replica) against the envelopes that
+//! consumers actually relied on; a violation triggers a counted,
+//! failure-driven recomputation of the affected downstream blocks (paper
+//! §3.2's recovery mechanism, scheduled by the Query Controller of §4).
+
+pub mod compiled;
+pub mod config;
+pub mod executor;
+pub mod report;
+pub mod runtime;
+pub mod session;
+
+pub use config::OnlineConfig;
+pub use executor::OnlineExecutor;
+pub use report::{BatchReport, CellEstimate};
+pub use session::{OnlineExecution, OnlineSession, PreparedQuery};

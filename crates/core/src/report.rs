@@ -1,0 +1,176 @@
+//! Per-batch progress reports — the OLA user interface.
+
+use std::fmt;
+use std::time::Duration;
+
+use gola_bootstrap::{ConfidenceInterval, Estimate};
+use gola_storage::Table;
+
+/// The error model of one output cell.
+#[derive(Debug, Clone)]
+pub struct CellEstimate {
+    /// Row index in [`BatchReport::table`].
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    pub estimate: Estimate,
+}
+
+/// One refinement step: the approximate answer after a mini-batch, with its
+/// error model and execution telemetry.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// 0-based index of the batch that was just processed.
+    pub batch_index: usize,
+    /// Total number of mini-batches `k`.
+    pub num_batches: usize,
+    /// Tuples of the streamed table processed so far (`|Dᵢ|`).
+    pub rows_seen: usize,
+    /// Total tuples of the streamed table (`|D|`).
+    pub total_rows: usize,
+    /// Multiplicity `m = |D| / |Dᵢ|` used for this answer.
+    pub multiplicity: f64,
+    /// The current approximate answer, shaped exactly like the final result.
+    pub table: Table,
+    /// Bootstrap estimates for every numeric output cell.
+    pub estimates: Vec<CellEstimate>,
+    /// Per output row: `true` if the row's membership in the result can no
+    /// longer change (HAVING classified deterministically).
+    pub row_certain: Vec<bool>,
+    /// Confidence level of [`BatchReport::ci`]/primary interval.
+    pub ci_level: f64,
+    /// Total size of all uncertain sets after this batch (`Σ |Uᵢ|`).
+    pub uncertain_tuples: usize,
+    /// Cumulative failure-triggered recomputations so far.
+    pub recomputations: usize,
+    /// Wall-clock time of this batch (including any recomputation).
+    pub batch_time: Duration,
+    /// Wall-clock time since the query started.
+    pub cumulative_time: Duration,
+}
+
+impl BatchReport {
+    /// The headline estimate: the first numeric cell (row 0), if any.
+    pub fn primary(&self) -> Option<&Estimate> {
+        self.estimates
+            .iter()
+            .find(|c| c.row == 0)
+            .map(|c| &c.estimate)
+    }
+
+    /// Relative standard deviation of the headline estimate — the y-axis of
+    /// the paper's Figure 3(a).
+    pub fn primary_rel_stddev(&self) -> Option<f64> {
+        self.primary().and_then(Estimate::rel_stddev)
+    }
+
+    /// Percentile-bootstrap CI of the headline estimate.
+    pub fn ci(&self) -> Option<ConfidenceInterval> {
+        self.primary().and_then(|e| e.ci_percentile(self.ci_level))
+    }
+
+    /// Estimate for a specific output cell, if it has one.
+    pub fn estimate_at(&self, row: usize, col: usize) -> Option<&Estimate> {
+        self.estimates
+            .iter()
+            .find(|c| c.row == row && c.col == col)
+            .map(|c| &c.estimate)
+    }
+
+    /// `true` after the final batch (the answer is exact).
+    pub fn is_final(&self) -> bool {
+        self.batch_index + 1 == self.num_batches
+    }
+
+    /// Fraction of data processed so far.
+    pub fn progress(&self) -> f64 {
+        self.rows_seen as f64 / self.total_rows as f64
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[batch {}/{} | {:5.1}% | {:?}] ",
+            self.batch_index + 1,
+            self.num_batches,
+            self.progress() * 100.0,
+            self.cumulative_time,
+        )?;
+        match self.primary() {
+            Some(e) => {
+                write!(f, "{e}")?;
+                if let Some(rsd) = e.rel_stddev() {
+                    write!(f, " (rel σ {:.3}%)", rsd * 100.0)?;
+                }
+            }
+            None => write!(f, "{} row(s)", self.table.num_rows())?,
+        }
+        if self.uncertain_tuples > 0 {
+            write!(f, " |U|={}", self.uncertain_tuples)?;
+        }
+        if self.recomputations > 0 {
+            write!(f, " recomputes={}", self.recomputations)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{row, DataType, Schema};
+    use std::sync::Arc;
+
+    fn sample() -> BatchReport {
+        let schema = Arc::new(Schema::from_pairs(&[("avg_play", DataType::Float)]));
+        let table = Table::new_unchecked(schema, vec![row![42.0f64]]);
+        BatchReport {
+            batch_index: 4,
+            num_batches: 10,
+            rows_seen: 500,
+            total_rows: 1000,
+            multiplicity: 2.0,
+            table,
+            estimates: vec![CellEstimate {
+                row: 0,
+                col: 0,
+                estimate: Estimate::new(42.0, vec![40.0, 41.0, 42.0, 43.0, 44.0]),
+            }],
+            row_certain: vec![true],
+            ci_level: 0.95,
+            uncertain_tuples: 7,
+            recomputations: 1,
+            batch_time: Duration::from_millis(12),
+            cumulative_time: Duration::from_millis(60),
+        }
+    }
+
+    #[test]
+    fn primary_and_ci() {
+        let r = sample();
+        assert_eq!(r.primary().unwrap().value, 42.0);
+        assert!(r.primary_rel_stddev().unwrap() > 0.0);
+        let ci = r.ci().unwrap();
+        assert!(ci.contains(42.0));
+        assert!(r.estimate_at(0, 0).is_some());
+        assert!(r.estimate_at(0, 1).is_none());
+    }
+
+    #[test]
+    fn progress_and_final() {
+        let r = sample();
+        assert_eq!(r.progress(), 0.5);
+        assert!(!r.is_final());
+    }
+
+    #[test]
+    fn display_mentions_uncertainty_and_recomputes() {
+        let s = sample().to_string();
+        assert!(s.contains("batch 5/10"), "{s}");
+        assert!(s.contains("|U|=7"), "{s}");
+        assert!(s.contains("recomputes=1"), "{s}");
+        assert!(s.contains("rel σ"), "{s}");
+    }
+}

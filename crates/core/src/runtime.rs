@@ -1,0 +1,442 @@
+//! Per-block runtime state and the online evaluation contexts.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+use gola_agg::ReplicatedStates;
+use gola_common::{Error, FxHashMap, Result, Row, Value};
+use gola_expr::{EvalContext, RangeVal, SubqueryId, Tri};
+
+/// A tuple cached in the uncertain set `Uᵢ`: its stable id (for bootstrap
+/// weight replay) and its lineage projection.
+#[derive(Debug, Clone)]
+pub struct CachedTuple {
+    pub tuple_id: u64,
+    pub lineage: Row,
+}
+
+/// The published output of a **scalar** block for one group.
+#[derive(Debug)]
+pub struct PublishedScalar {
+    /// Current point estimate of the subquery value.
+    pub value: Value,
+    /// Per-bootstrap-trial values (used for consistent replica propagation
+    /// into consumer aggregates).
+    pub trials: Vec<Value>,
+    /// The committed envelope: the intersection of every variation range a
+    /// consumer decision was made against. Only narrows while `used`.
+    pub env: RangeVal,
+    /// Set once any consumer makes a deterministic decision against `env`.
+    pub used: AtomicBool,
+}
+
+impl PublishedScalar {
+    pub fn is_used(&self) -> bool {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
+/// The published output of a **membership** block for one group.
+#[derive(Debug)]
+pub struct PublishedMember {
+    /// Current point membership (does the group pass HAVING now?).
+    pub point: bool,
+    /// Per-trial membership.
+    pub trials: Vec<bool>,
+    /// Range-classified membership: deterministic or may-flip.
+    pub tri: Tri,
+    /// 0 = no consumer relied; 1 = relied on `false`; 2 = relied on `true`.
+    pub relied: AtomicU8,
+}
+
+impl PublishedMember {
+    pub fn relied_on(&self) -> Option<bool> {
+        match self.relied.load(Ordering::Relaxed) {
+            1 => Some(false),
+            2 => Some(true),
+            _ => None,
+        }
+    }
+
+    pub fn mark_relied(&self, value: bool) {
+        let _ = self.relied.compare_exchange(
+            0,
+            if value { 2 } else { 1 },
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Everything a block exposes to its consumers.
+#[derive(Debug, Default)]
+pub struct Published {
+    pub scalars: FxHashMap<Vec<Value>, PublishedScalar>,
+    pub members: FxHashMap<Vec<Value>, PublishedMember>,
+    /// `true` while the producer may still add groups or move values
+    /// (streaming and not yet finished).
+    pub live: bool,
+}
+
+/// Runtime state of one lineage block.
+#[derive(Debug, Default)]
+pub struct BlockRuntime {
+    /// Deterministic aggregate states per group (main + bootstrap replicas).
+    pub groups: FxHashMap<Vec<Value>, ReplicatedStates>,
+    /// The uncertain set `Uᵢ`.
+    pub uncertain: Vec<CachedTuple>,
+    /// Semi-join partial aggregates: membership key → (group key → states).
+    /// Used instead of `groups`/`uncertain` when the block compiles to the
+    /// semi-join aggregation strategy.
+    pub semi_groups: FxHashMap<Vec<Value>, FxHashMap<Vec<Value>, ReplicatedStates>>,
+    /// `true` once a static (non-streaming) block has been computed.
+    pub static_done: bool,
+}
+
+impl BlockRuntime {
+    /// Drop all accumulated state (failure-triggered recomputation).
+    pub fn reset(&mut self) {
+        self.groups.clear();
+        self.uncertain.clear();
+        self.semi_groups.clear();
+        self.static_done = false;
+    }
+}
+
+/// Evaluation mode of the online contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxMode {
+    /// Range-based classification (uses envelopes / membership tri).
+    Classify,
+    /// Current point estimates.
+    Point,
+    /// Values of one bootstrap trial.
+    Trial(u32),
+}
+
+fn scalar_at<'a>(
+    pubs: &'a [Published],
+    id: SubqueryId,
+    key: &[Value],
+) -> Result<(&'a Published, Option<&'a PublishedScalar>)> {
+    let p = pubs
+        .get(id.0)
+        .ok_or_else(|| Error::exec(format!("no published output for {id}")))?;
+    Ok((p, p.scalars.get(key)))
+}
+
+fn member_at<'a>(
+    pubs: &'a [Published],
+    id: SubqueryId,
+    key: &[Value],
+) -> Result<(&'a Published, Option<&'a PublishedMember>)> {
+    let p = pubs
+        .get(id.0)
+        .ok_or_else(|| Error::exec(format!("no published output for {id}")))?;
+    Ok((p, p.members.get(key)))
+}
+
+fn scalar_current_impl(
+    pubs: &[Published],
+    id: SubqueryId,
+    key: &[Value],
+    mode: CtxMode,
+) -> Result<Value> {
+    let (_, entry) = scalar_at(pubs, id, key)?;
+    Ok(match entry {
+        Some(s) => match mode {
+            CtxMode::Trial(b) => s
+                .trials
+                .get(b as usize)
+                .cloned()
+                .unwrap_or_else(|| s.value.clone()),
+            _ => s.value.clone(),
+        },
+        // Missing group: behaves like an empty subquery (NULL) for now.
+        None => Value::Null,
+    })
+}
+
+fn scalar_range_impl(
+    pubs: &[Published],
+    id: SubqueryId,
+    key: &[Value],
+    mode: CtxMode,
+) -> Result<RangeVal> {
+    let (p, entry) = scalar_at(pubs, id, key)?;
+    Ok(match (entry, mode) {
+        (Some(s), CtxMode::Classify) => s.env.clone(),
+        (Some(s), CtxMode::Point) => RangeVal::Exact(s.value.clone()),
+        (Some(s), CtxMode::Trial(b)) => RangeVal::Exact(
+            s.trials
+                .get(b as usize)
+                .cloned()
+                .unwrap_or_else(|| s.value.clone()),
+        ),
+        (None, _) => {
+            if p.live && mode == CtxMode::Classify {
+                // The group may still appear — nothing can be bounded.
+                RangeVal::Unknown
+            } else {
+                RangeVal::Exact(Value::Null)
+            }
+        }
+    })
+}
+
+fn member_current_impl(
+    pubs: &[Published],
+    id: SubqueryId,
+    key: &[Value],
+    mode: CtxMode,
+) -> Result<bool> {
+    let (_, entry) = member_at(pubs, id, key)?;
+    Ok(match entry {
+        Some(m) => match mode {
+            CtxMode::Trial(b) => m.trials.get(b as usize).copied().unwrap_or(m.point),
+            _ => m.point,
+        },
+        None => false,
+    })
+}
+
+fn member_tri_impl(
+    pubs: &[Published],
+    id: SubqueryId,
+    key: &[Value],
+    mode: CtxMode,
+) -> Result<Tri> {
+    let (p, entry) = member_at(pubs, id, key)?;
+    Ok(match entry {
+        Some(m) => match mode {
+            CtxMode::Classify => m.tri,
+            CtxMode::Point => Tri::from(m.point),
+            CtxMode::Trial(b) => {
+                Tri::from(m.trials.get(b as usize).copied().unwrap_or(m.point))
+            }
+        },
+        None => {
+            if p.live && mode == CtxMode::Classify {
+                Tri::Maybe
+            } else {
+                Tri::False
+            }
+        }
+    })
+}
+
+/// Context for evaluating block-source expressions over one tuple.
+pub struct TupleCtx<'a> {
+    pub row: &'a Row,
+    pub pubs: &'a [Published],
+    pub mode: CtxMode,
+}
+
+impl EvalContext for TupleCtx<'_> {
+    fn column(&self, idx: usize) -> &Value {
+        self.row.get(idx)
+    }
+
+    fn scalar_current(&self, id: SubqueryId, key: &[Value]) -> Result<Value> {
+        scalar_current_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn scalar_range(&self, id: SubqueryId, key: &[Value]) -> Result<RangeVal> {
+        scalar_range_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn member_current(&self, id: SubqueryId, key: &[Value]) -> Result<bool> {
+        member_current_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn member_tri(&self, id: SubqueryId, key: &[Value]) -> Result<Tri> {
+        member_tri_impl(self.pubs, id, key, self.mode)
+    }
+}
+
+/// Context for evaluating HAVING / post-projection expressions over one
+/// group row (`keys ++ aggs`), optionally with per-aggregate variation
+/// ranges for classification.
+pub struct GroupCtx<'a> {
+    pub keys: &'a [Value],
+    pub aggs: &'a [Value],
+    /// Variation range per aggregate column (classification mode).
+    pub agg_ranges: Option<&'a [RangeVal]>,
+    pub pubs: &'a [Published],
+    pub mode: CtxMode,
+}
+
+impl EvalContext for GroupCtx<'_> {
+    fn column(&self, idx: usize) -> &Value {
+        if idx < self.keys.len() {
+            &self.keys[idx]
+        } else {
+            &self.aggs[idx - self.keys.len()]
+        }
+    }
+
+    fn column_range(&self, idx: usize) -> RangeVal {
+        if idx >= self.keys.len() {
+            if let Some(ranges) = self.agg_ranges {
+                return ranges[idx - self.keys.len()].clone();
+            }
+        }
+        RangeVal::Exact(self.column(idx).clone())
+    }
+
+    fn scalar_current(&self, id: SubqueryId, key: &[Value]) -> Result<Value> {
+        scalar_current_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn scalar_range(&self, id: SubqueryId, key: &[Value]) -> Result<RangeVal> {
+        scalar_range_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn member_current(&self, id: SubqueryId, key: &[Value]) -> Result<bool> {
+        member_current_impl(self.pubs, id, key, self.mode)
+    }
+
+    fn member_tri(&self, id: SubqueryId, key: &[Value]) -> Result<Tri> {
+        member_tri_impl(self.pubs, id, key, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::row;
+    use gola_expr::{eval, eval_tri, Expr};
+
+    fn pubs_with_scalar(live: bool) -> Vec<Published> {
+        let mut p = Published { live, ..Default::default() };
+        p.scalars.insert(
+            vec![],
+            PublishedScalar {
+                value: Value::Float(37.0),
+                trials: vec![Value::Float(36.0), Value::Float(38.0)],
+                env: RangeVal::num(28.9, 45.1),
+                used: AtomicBool::new(false),
+            },
+        );
+        vec![p]
+    }
+
+    fn sref() -> Expr {
+        Expr::ScalarRef { id: SubqueryId(0), key: vec![] }
+    }
+
+    #[test]
+    fn tuple_ctx_modes() {
+        let pubs = pubs_with_scalar(true);
+        let row = row![35.0f64];
+        let pred = Expr::gt(Expr::col(0), sref());
+        // Point: 35 > 37 → false.
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
+        // Trial 0: 35 > 36 → false; trial 1: 35 > 38 → false.
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Trial(0) };
+        assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
+        // Classify: 35 ∈ [28.9, 45.1] → Maybe.
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
+    }
+
+    #[test]
+    fn missing_group_semantics() {
+        let pubs = pubs_with_scalar(true);
+        let row = row![35.0f64];
+        let pred = Expr::gt(
+            Expr::col(0),
+            Expr::ScalarRef { id: SubqueryId(0), key: vec![Expr::lit(99i64)] },
+        );
+        // Unknown group while live: uncertain.
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
+        // Point: NULL comparison → filtered.
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        assert_eq!(eval(&pred, &ctx).unwrap(), Value::Null);
+        // Once the producer is finished, missing = deterministic NULL.
+        let pubs = pubs_with_scalar(false);
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::False);
+    }
+
+    #[test]
+    fn membership_semantics() {
+        let mut p = Published { live: true, ..Default::default() };
+        p.members.insert(
+            vec![Value::Int(7)],
+            PublishedMember {
+                point: true,
+                trials: vec![true, false],
+                tri: Tri::Maybe,
+                relied: AtomicU8::new(0),
+            },
+        );
+        let pubs = vec![p];
+        let row = row![7i64];
+        let e = Expr::InSubquery { id: SubqueryId(0), key: vec![Expr::col(0)], negated: false };
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(true));
+        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Trial(1) };
+        assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(false));
+        // Missing key while live → Maybe; not live → False.
+        let row2 = row![8i64];
+        let ctx = TupleCtx { row: &row2, pubs: &pubs, mode: CtxMode::Classify };
+        assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
+    }
+
+    #[test]
+    fn group_ctx_ranges() {
+        let pubs: Vec<Published> = vec![];
+        let keys = [Value::Int(1)];
+        let aggs = [Value::Float(310.0)];
+        let ranges = [RangeVal::num(280.0, 340.0)];
+        // HAVING sum > 300 with range overlapping → Maybe.
+        let having = Expr::gt(Expr::col(1), Expr::lit(300.0));
+        let ctx = GroupCtx {
+            keys: &keys,
+            aggs: &aggs,
+            agg_ranges: Some(&ranges),
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
+        assert_eq!(eval_tri(&having, &ctx).unwrap(), Tri::Maybe);
+        // Point evaluation passes.
+        let ctx = GroupCtx {
+            keys: &keys,
+            aggs: &aggs,
+            agg_ranges: None,
+            pubs: &pubs,
+            mode: CtxMode::Point,
+        };
+        assert_eq!(eval(&having, &ctx).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn relied_transitions() {
+        let m = PublishedMember {
+            point: true,
+            trials: vec![],
+            tri: Tri::True,
+            relied: AtomicU8::new(0),
+        };
+        assert_eq!(m.relied_on(), None);
+        m.mark_relied(true);
+        assert_eq!(m.relied_on(), Some(true));
+        // First reliance wins.
+        m.mark_relied(false);
+        assert_eq!(m.relied_on(), Some(true));
+    }
+
+    #[test]
+    fn runtime_reset() {
+        let mut rt = BlockRuntime::default();
+        rt.uncertain.push(CachedTuple { tuple_id: 1, lineage: row![1i64] });
+        rt.static_done = true;
+        rt.reset();
+        assert!(rt.uncertain.is_empty());
+        assert!(!rt.static_done);
+    }
+}

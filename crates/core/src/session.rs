@@ -1,0 +1,161 @@
+//! The user-facing online session API.
+
+use std::sync::Arc;
+
+use gola_common::{Error, Result};
+use gola_plan::{MetaPlan, QueryGraph};
+use gola_storage::{Catalog, MiniBatchPartitioner, Table};
+
+use crate::config::OnlineConfig;
+use crate::executor::OnlineExecutor;
+use crate::report::BatchReport;
+
+/// A catalog plus an online configuration; the entry point for running SQL
+/// with progressively-refined answers.
+pub struct OnlineSession {
+    catalog: Catalog,
+    config: OnlineConfig,
+}
+
+/// A compiled query: the resolved graph, its lineage-block meta plan, and
+/// the chosen stream table.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub graph: QueryGraph,
+    pub meta: MetaPlan,
+    pub stream_table: String,
+}
+
+impl OnlineSession {
+    pub fn new(catalog: Catalog, config: OnlineConfig) -> OnlineSession {
+        OnlineSession { catalog, config }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Compile `sql` to a meta query plan. The streamed table is the one
+    /// from [`OnlineConfig::stream_table`], or the largest scanned table —
+    /// the paper's default of streaming the fact table while reading small
+    /// dimension tables in entirety (§2).
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+        let graph = gola_sql::compile(sql, &self.catalog)?;
+        let stream_table = match &self.config.stream_table {
+            Some(t) => {
+                let t = t.to_ascii_lowercase();
+                if !self.catalog.contains(&t) {
+                    return Err(Error::config(format!("stream table '{t}' not in catalog")));
+                }
+                t
+            }
+            None => {
+                let mut tables = Vec::new();
+                graph.root.scanned_tables(&mut tables);
+                for sq in &graph.subqueries {
+                    sq.plan.scanned_tables(&mut tables);
+                }
+                let mut best: Option<(String, usize)> = None;
+                for t in tables {
+                    let rows = self.catalog.get(&t)?.num_rows();
+                    if best.as_ref().is_none_or(|(_, n)| rows > *n) {
+                        best = Some((t, rows));
+                    }
+                }
+                best.ok_or_else(|| Error::plan("query scans no tables"))?.0
+            }
+        };
+        let meta = MetaPlan::compile(&graph, &stream_table)?;
+        Ok(PreparedQuery { graph, meta, stream_table })
+    }
+
+    /// Compile and start online execution; iterate the result for one
+    /// [`BatchReport`] per mini-batch.
+    pub fn execute_online(&self, sql: &str) -> Result<OnlineExecution> {
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(&prepared)
+    }
+
+    /// Start online execution of an already-prepared query.
+    pub fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<OnlineExecution> {
+        let table = self.catalog.get(&prepared.stream_table)?;
+        // Never ask for more batches than rows.
+        let k = self.config.num_batches.min(table.num_rows()).max(1);
+        let partitioner = Arc::new(MiniBatchPartitioner::new(
+            table,
+            k,
+            self.config.partition_seed,
+        )?);
+        let executor = OnlineExecutor::new(
+            &self.catalog,
+            prepared.meta.clone(),
+            partitioner,
+            self.config.clone(),
+        )?;
+        Ok(OnlineExecution { executor })
+    }
+
+    /// Execute `sql` exactly with the batch engine (the baseline / ground
+    /// truth).
+    pub fn execute_exact(&self, sql: &str) -> Result<Table> {
+        let graph = gola_sql::compile(sql, &self.catalog)?;
+        gola_engine::BatchEngine::new(&self.catalog).execute(&graph)
+    }
+}
+
+/// A running online query. Each `next()` processes one mini-batch and
+/// yields the refined answer; drop it at any time to stop the query (the
+/// OLA accuracy/time contract).
+pub struct OnlineExecution {
+    executor: OnlineExecutor,
+}
+
+impl OnlineExecution {
+    /// The underlying executor (telemetry: uncertain-set sizes, recompute
+    /// counts, progress).
+    pub fn executor(&self) -> &OnlineExecutor {
+        &self.executor
+    }
+
+    /// Run every remaining batch, returning the final (exact) report.
+    pub fn run_to_completion(mut self) -> Result<BatchReport> {
+        let mut last = None;
+        while !self.executor.is_finished() {
+            last = Some(self.executor.step()?);
+        }
+        last.ok_or_else(|| Error::exec("query had no batches"))
+    }
+
+    /// Run until the primary estimate's relative standard deviation drops
+    /// below `target` (or data runs out). Returns the stopping report.
+    pub fn run_until_rel_stddev(mut self, target: f64) -> Result<BatchReport> {
+        let mut last: Option<BatchReport> = None;
+        while !self.executor.is_finished() {
+            let report = self.executor.step()?;
+            let done = report
+                .primary_rel_stddev()
+                .is_some_and(|rsd| rsd <= target);
+            last = Some(report);
+            if done {
+                break;
+            }
+        }
+        last.ok_or_else(|| Error::exec("query had no batches"))
+    }
+}
+
+impl Iterator for OnlineExecution {
+    type Item = Result<BatchReport>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.executor.is_finished() {
+            None
+        } else {
+            Some(self.executor.step())
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! The expression AST.
+//!
+//! Expressions are fully *resolved*: columns are positional indices into the
+//! input row, functions are bound registry entries, and inner-aggregate
+//! subqueries are [`SubqueryId`]s pointing at other lineage blocks. The SQL
+//! binder (in `gola-sql`) produces these from raw AST.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gola_common::Value;
+
+use crate::functions::ScalarFn;
+
+/// Identifier of a lineage block whose (grouped) aggregate output this
+/// expression references. Assigned by the meta-plan compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubqueryId(pub usize);
+
+impl fmt::Display for SubqueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sq{}", self.0)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// `true` for AND/OR.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// `true` for arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// A resolved expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Positional reference into the input row.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// A bound scalar function call.
+    Func {
+        name: String,
+        func: Arc<dyn ScalarFn>,
+        args: Vec<Expr>,
+    },
+    /// `CASE WHEN c1 THEN v1 ... ELSE e END` (searched form; the binder
+    /// rewrites the simple form into this).
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: gola_common::DataType,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// Scalar produced by another lineage block (an inner aggregate). For a
+    /// decorrelated subquery, `key` holds the correlation-column expressions
+    /// evaluated on the *current* row to select the group.
+    ScalarRef {
+        id: SubqueryId,
+        key: Vec<Expr>,
+    },
+    /// `keys IN (SELECT ... )` membership against another block's filtered
+    /// group set.
+    InSubquery {
+        id: SubqueryId,
+        key: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)` over literal lists.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    pub fn col(idx: usize) -> Expr {
+        Expr::Column(idx)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    pub fn gt(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Gt, left, right)
+    }
+
+    pub fn lt(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Lt, left, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, left, right)
+    }
+
+    /// Conjunction of a list of predicates; `None` for an empty list.
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        let first = if preds.is_empty() { return None } else { preds.remove(0) };
+        Some(preds.into_iter().fold(first, Expr::and))
+    }
+
+    /// Immediate children, in evaluation order.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => vec![],
+            Expr::Unary { expr, .. } => vec![expr],
+            Expr::Binary { left, right, .. } => vec![left, right],
+            Expr::Func { args, .. } => args.iter().collect(),
+            Expr::Case { branches, else_expr } => {
+                let mut v: Vec<&Expr> = Vec::new();
+                for (c, r) in branches {
+                    v.push(c);
+                    v.push(r);
+                }
+                if let Some(e) = else_expr {
+                    v.push(e);
+                }
+                v
+            }
+            Expr::Cast { expr, .. } => vec![expr],
+            Expr::IsNull { expr, .. } => vec![expr],
+            Expr::ScalarRef { key, .. } => key.iter().collect(),
+            Expr::InSubquery { key, .. } => key.iter().collect(),
+            Expr::InList { expr, list, .. } => {
+                let mut v = vec![expr.as_ref()];
+                v.extend(list.iter());
+                v
+            }
+        }
+    }
+
+    /// Collect the distinct column indices referenced anywhere in the tree
+    /// (used for lineage projections: the uncertain set caches only the
+    /// columns downstream operators need).
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        if let Expr::Column(i) = self {
+            if !out.contains(i) {
+                out.push(*i);
+            }
+        }
+        for c in self.children() {
+            c.collect_columns(out);
+        }
+    }
+
+    /// Collect every subquery reference (scalar or membership) in the tree.
+    pub fn collect_subquery_refs(&self, out: &mut Vec<SubqueryId>) {
+        match self {
+            Expr::ScalarRef { id, .. } | Expr::InSubquery { id, .. } => {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+            _ => {}
+        }
+        for c in self.children() {
+            c.collect_subquery_refs(out);
+        }
+    }
+
+    /// `true` if the tree contains any subquery reference — i.e. evaluating
+    /// it depends on another lineage block's (uncertain) output.
+    pub fn has_subquery_ref(&self) -> bool {
+        let mut refs = Vec::new();
+        self.collect_subquery_refs(&mut refs);
+        !refs.is_empty()
+    }
+
+    /// Rewrite column indices through `map` (e.g. when a projection reorders
+    /// inputs). `map[i]` is the new index of old column `i`.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        self.transform(&|e| match e {
+            Expr::Column(i) => Some(Expr::Column(map(*i))),
+            _ => None,
+        })
+    }
+
+    /// Bottom-up rewrite: `f` returns `Some(replacement)` to substitute a
+    /// node (children already rewritten), `None` to keep it.
+    pub fn transform(&self, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
+        let rebuilt = match self {
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.transform(f)),
+            },
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Func { name, func, args } => Expr::Func {
+                name: name.clone(),
+                func: Arc::clone(func),
+                args: args.iter().map(|a| a.transform(f)).collect(),
+            },
+            Expr::Case { branches, else_expr } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.transform(f), r.transform(f)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.transform(f))),
+            },
+            Expr::Cast { expr, to } => Expr::Cast {
+                expr: Box::new(expr.transform(f)),
+                to: *to,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated: *negated,
+            },
+            Expr::ScalarRef { id, key } => Expr::ScalarRef {
+                id: *id,
+                key: key.iter().map(|k| k.transform(f)).collect(),
+            },
+            Expr::InSubquery { id, key, negated } => Expr::InSubquery {
+                id: *id,
+                key: key.iter().map(|k| k.transform(f)).collect(),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(expr.transform(f)),
+                list: list.iter().map(|e| e.transform(f)).collect(),
+                negated: *negated,
+            },
+        };
+        f(&rebuilt).unwrap_or(rebuilt)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+            },
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Func { name, args, .. } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case { branches, else_expr } => {
+                write!(f, "CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarRef { id, key } => {
+                if key.is_empty() {
+                    write!(f, "${id}")
+                } else {
+                    write!(f, "${id}[")?;
+                    for (i, k) in key.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{k}")?;
+                    }
+                    write!(f, "]")
+                }
+            }
+            Expr::InSubquery { id, key, negated } => {
+                write!(f, "(")?;
+                for (i, k) in key.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, " {}IN ${id})", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = Expr::gt(
+            Expr::col(1),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::lit(0.2),
+                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            ),
+        );
+        assert_eq!(e.to_string(), "(#1 > (0.2 * $sq0))");
+    }
+
+    #[test]
+    fn collect_columns_dedupes() {
+        let e = Expr::and(
+            Expr::gt(Expr::col(2), Expr::col(0)),
+            Expr::lt(Expr::col(2), Expr::lit(5i64)),
+        );
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn collect_subquery_refs_finds_nested() {
+        let e = Expr::and(
+            Expr::gt(
+                Expr::col(0),
+                Expr::ScalarRef { id: SubqueryId(3), key: vec![Expr::col(1)] },
+            ),
+            Expr::InSubquery { id: SubqueryId(5), key: vec![Expr::col(2)], negated: false },
+        );
+        let mut refs = Vec::new();
+        e.collect_subquery_refs(&mut refs);
+        assert_eq!(refs, vec![SubqueryId(3), SubqueryId(5)]);
+        assert!(e.has_subquery_ref());
+        assert!(!Expr::col(0).has_subquery_ref());
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = Expr::gt(Expr::col(0), Expr::col(3));
+        let remapped = e.remap_columns(&|i| i + 10);
+        assert_eq!(remapped.to_string(), "(#10 > (#13))".replace("(#13)", "#13"));
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        assert!(Expr::conjunction(vec![]).is_none());
+        let one = Expr::conjunction(vec![Expr::lit(true)]).unwrap();
+        assert_eq!(one.to_string(), "true");
+        let two = Expr::conjunction(vec![Expr::lit(true), Expr::lit(false)]).unwrap();
+        assert_eq!(two.to_string(), "(true AND false)");
+    }
+
+    #[test]
+    fn transform_replaces_nodes() {
+        let e = Expr::binary(BinOp::Add, Expr::col(0), Expr::lit(1i64));
+        let out = e.transform(&|node| match node {
+            Expr::Literal(Value::Int(1)) => Some(Expr::lit(2i64)),
+            _ => None,
+        });
+        assert_eq!(out.to_string(), "(#0 + 2)");
+    }
+}

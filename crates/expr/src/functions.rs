@@ -1,0 +1,574 @@
+//! Scalar function registry with SQL built-ins and user-defined functions.
+//!
+//! G-OLA explicitly supports UDFs (paper §2): any type implementing
+//! [`ScalarFn`] can be registered and then referenced from SQL by name.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use gola_common::{DataType, Error, Result, Value};
+
+/// A scalar (row-at-a-time) function.
+pub trait ScalarFn: Send + Sync {
+    /// Evaluate on already-evaluated arguments.
+    fn call(&self, args: &[Value]) -> Result<Value>;
+
+    /// Static return type given argument types; also validates arity.
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType>;
+
+    /// `true` if `f(NULL, ...) = NULL` (the default). Null-strict functions
+    /// short-circuit on null inputs before `call` is invoked.
+    fn null_strict(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for dyn ScalarFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<scalar-fn>")
+    }
+}
+
+/// Name → function map (case-insensitive). Cloning shares entries.
+#[derive(Debug, Clone)]
+pub struct FunctionRegistry {
+    fns: BTreeMap<String, Arc<dyn ScalarFn>>,
+}
+
+impl FunctionRegistry {
+    /// Registry pre-populated with the SQL built-ins.
+    pub fn with_builtins() -> Self {
+        let mut r = FunctionRegistry { fns: BTreeMap::new() };
+        macro_rules! num1 {
+            ($name:expr, $f:expr) => {
+                r.register($name, Arc::new(NumericUnary { name: $name, f: $f }))
+                    .unwrap();
+            };
+        }
+        num1!("abs", |x| x.abs());
+        num1!("sqrt", |x| x.sqrt());
+        num1!("ln", |x| x.ln());
+        num1!("exp", |x| x.exp());
+        num1!("floor", |x| x.floor());
+        num1!("ceil", |x| x.ceil());
+        num1!("sign", |x| if x > 0.0 {
+            1.0
+        } else if x < 0.0 {
+            -1.0
+        } else {
+            0.0
+        });
+        num1!("log10", |x| x.log10());
+        num1!("log2", |x| x.log2());
+        num1!("trunc", |x| x.trunc());
+        r.register("round", Arc::new(RoundFn)).unwrap();
+        r.register("pow", Arc::new(PowFn)).unwrap();
+        r.register("least", Arc::new(LeastGreatest { greatest: false })).unwrap();
+        r.register("greatest", Arc::new(LeastGreatest { greatest: true })).unwrap();
+        r.register("coalesce", Arc::new(CoalesceFn)).unwrap();
+        r.register("if", Arc::new(IfFn)).unwrap();
+        r.register("nullif", Arc::new(NullIfFn)).unwrap();
+        r.register("length", Arc::new(LengthFn)).unwrap();
+        r.register("upper", Arc::new(CaseFn { upper: true })).unwrap();
+        r.register("lower", Arc::new(CaseFn { upper: false })).unwrap();
+        r.register("substr", Arc::new(SubstrFn)).unwrap();
+        r.register("concat", Arc::new(ConcatFn)).unwrap();
+        r.register("trim", Arc::new(TrimFn)).unwrap();
+        r.register("replace", Arc::new(ReplaceFn)).unwrap();
+        r.register("starts_with", Arc::new(StartsWithFn)).unwrap();
+        r
+    }
+
+    /// Empty registry (tests, restricted environments).
+    pub fn empty() -> Self {
+        FunctionRegistry { fns: BTreeMap::new() }
+    }
+
+    /// Register a function; errors on duplicate names.
+    pub fn register(&mut self, name: &str, f: Arc<dyn ScalarFn>) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.fns.contains_key(&key) {
+            return Err(Error::bind(format!("function '{key}' already registered")));
+        }
+        self.fns.insert(key, f);
+        Ok(())
+    }
+
+    /// Look up a function by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn ScalarFn>> {
+        self.fns
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::bind(format!("unknown function '{name}'")))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.fns.keys().cloned().collect()
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry::with_builtins()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-ins
+// ---------------------------------------------------------------------------
+
+struct NumericUnary {
+    name: &'static str,
+    f: fn(f64) -> f64,
+}
+
+impl ScalarFn for NumericUnary {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let x = args[0].expect_f64(self.name)?;
+        Ok(Value::Float((self.f)(x)))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity(self.name, arg_types, 1)?;
+        expect_numeric(self.name, arg_types[0])?;
+        Ok(DataType::Float)
+    }
+}
+
+struct RoundFn;
+
+impl ScalarFn for RoundFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let x = args[0].expect_f64("round")?;
+        let digits = if args.len() == 2 {
+            args[1].as_i64().unwrap_or(0)
+        } else {
+            0
+        };
+        let m = 10f64.powi(digits as i32);
+        Ok(Value::Float((x * m).round() / m))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        if arg_types.is_empty() || arg_types.len() > 2 {
+            return Err(Error::bind("round expects 1 or 2 arguments"));
+        }
+        expect_numeric("round", arg_types[0])?;
+        Ok(DataType::Float)
+    }
+}
+
+struct PowFn;
+
+impl ScalarFn for PowFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        Ok(Value::Float(
+            args[0].expect_f64("pow")?.powf(args[1].expect_f64("pow")?),
+        ))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("pow", arg_types, 2)?;
+        Ok(DataType::Float)
+    }
+}
+
+struct LeastGreatest {
+    greatest: bool,
+}
+
+impl ScalarFn for LeastGreatest {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let mut best: Option<&Value> = None;
+        for a in args {
+            best = Some(match best {
+                None => a,
+                Some(b) => {
+                    let a_wins = if self.greatest {
+                        a.total_cmp(b) == std::cmp::Ordering::Greater
+                    } else {
+                        a.total_cmp(b) == std::cmp::Ordering::Less
+                    };
+                    if a_wins {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        Ok(best.cloned().unwrap_or(Value::Null))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        if arg_types.is_empty() {
+            return Err(Error::bind("least/greatest expects at least 1 argument"));
+        }
+        let mut t = arg_types[0];
+        for &other in &arg_types[1..] {
+            t = t
+                .unify(other)
+                .ok_or_else(|| Error::bind("least/greatest arguments must share a type"))?;
+        }
+        Ok(t)
+    }
+}
+
+struct CoalesceFn;
+
+impl ScalarFn for CoalesceFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        if arg_types.is_empty() {
+            return Err(Error::bind("coalesce expects at least 1 argument"));
+        }
+        let mut t = DataType::Null;
+        for &other in arg_types {
+            t = t
+                .unify(other)
+                .ok_or_else(|| Error::bind("coalesce arguments must share a type"))?;
+        }
+        Ok(t)
+    }
+
+    fn null_strict(&self) -> bool {
+        false
+    }
+}
+
+struct IfFn;
+
+impl ScalarFn for IfFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        match args[0].as_bool() {
+            Some(true) => Ok(args[1].clone()),
+            _ => Ok(args[2].clone()),
+        }
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("if", arg_types, 3)?;
+        arg_types[1]
+            .unify(arg_types[2])
+            .ok_or_else(|| Error::bind("if branches must share a type"))
+    }
+
+    fn null_strict(&self) -> bool {
+        false
+    }
+}
+
+struct NullIfFn;
+
+impl ScalarFn for NullIfFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        if args[0].sql_eq(&args[1]) == Some(true) {
+            Ok(Value::Null)
+        } else {
+            Ok(args[0].clone())
+        }
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("nullif", arg_types, 2)?;
+        Ok(arg_types[0])
+    }
+
+    fn null_strict(&self) -> bool {
+        false
+    }
+}
+
+struct LengthFn;
+
+impl ScalarFn for LengthFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("length expects a string"))?;
+        Ok(Value::Int(s.chars().count() as i64))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("length", arg_types, 1)?;
+        Ok(DataType::Int)
+    }
+}
+
+struct CaseFn {
+    upper: bool,
+}
+
+impl ScalarFn for CaseFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("upper/lower expects a string"))?;
+        Ok(Value::str(if self.upper {
+            s.to_uppercase()
+        } else {
+            s.to_lowercase()
+        }))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("upper/lower", arg_types, 1)?;
+        Ok(DataType::Str)
+    }
+}
+
+struct SubstrFn;
+
+impl ScalarFn for SubstrFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("substr expects a string"))?;
+        // SQL substr is 1-based.
+        let start = (args[1].as_i64().unwrap_or(1).max(1) - 1) as usize;
+        let len = if args.len() == 3 {
+            args[2].as_i64().unwrap_or(0).max(0) as usize
+        } else {
+            usize::MAX
+        };
+        Ok(Value::str(
+            s.chars().skip(start).take(len).collect::<String>(),
+        ))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        if arg_types.len() < 2 || arg_types.len() > 3 {
+            return Err(Error::bind("substr expects 2 or 3 arguments"));
+        }
+        Ok(DataType::Str)
+    }
+}
+
+struct ConcatFn;
+
+impl ScalarFn for ConcatFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let mut out = String::new();
+        for a in args {
+            if !a.is_null() {
+                out.push_str(&a.to_string());
+            }
+        }
+        Ok(Value::str(out))
+    }
+
+    fn return_type(&self, _arg_types: &[DataType]) -> Result<DataType> {
+        Ok(DataType::Str)
+    }
+
+    fn null_strict(&self) -> bool {
+        false
+    }
+}
+
+struct TrimFn;
+
+impl ScalarFn for TrimFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("trim expects a string"))?;
+        Ok(Value::str(s.trim()))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("trim", arg_types, 1)?;
+        Ok(DataType::Str)
+    }
+}
+
+struct ReplaceFn;
+
+impl ScalarFn for ReplaceFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("replace expects strings"))?;
+        let from = args[1]
+            .as_str()
+            .ok_or_else(|| Error::exec("replace expects strings"))?;
+        let to = args[2]
+            .as_str()
+            .ok_or_else(|| Error::exec("replace expects strings"))?;
+        if from.is_empty() {
+            return Ok(Value::str(s));
+        }
+        Ok(Value::str(s.replace(from, to)))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("replace", arg_types, 3)?;
+        Ok(DataType::Str)
+    }
+}
+
+struct StartsWithFn;
+
+impl ScalarFn for StartsWithFn {
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        let s = args[0]
+            .as_str()
+            .ok_or_else(|| Error::exec("starts_with expects strings"))?;
+        let prefix = args[1]
+            .as_str()
+            .ok_or_else(|| Error::exec("starts_with expects strings"))?;
+        Ok(Value::Bool(s.starts_with(prefix)))
+    }
+
+    fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+        expect_arity("starts_with", arg_types, 2)?;
+        Ok(DataType::Bool)
+    }
+}
+
+fn expect_arity(name: &str, arg_types: &[DataType], n: usize) -> Result<()> {
+    if arg_types.len() != n {
+        return Err(Error::bind(format!(
+            "{name} expects {n} argument(s), got {}",
+            arg_types.len()
+        )));
+    }
+    Ok(())
+}
+
+fn expect_numeric(name: &str, t: DataType) -> Result<()> {
+    if !t.is_numeric() && t != DataType::Null {
+        return Err(Error::bind(format!("{name} expects a numeric argument, got {t}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> FunctionRegistry {
+        FunctionRegistry::with_builtins()
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert!(reg().get("ABS").is_ok());
+        assert!(reg().get("nope").is_err());
+        assert!(reg().contains("Sqrt"));
+    }
+
+    #[test]
+    fn numeric_builtins() {
+        let r = reg();
+        assert_eq!(r.get("abs").unwrap().call(&[Value::Float(-2.0)]).unwrap(), Value::Float(2.0));
+        assert_eq!(r.get("sqrt").unwrap().call(&[Value::Int(9)]).unwrap(), Value::Float(3.0));
+        assert_eq!(r.get("sign").unwrap().call(&[Value::Float(-7.0)]).unwrap(), Value::Float(-1.0));
+        assert_eq!(
+            r.get("round").unwrap().call(&[Value::Float(2.345), Value::Int(2)]).unwrap(),
+            Value::Float(2.35)
+        );
+        assert_eq!(
+            r.get("pow").unwrap().call(&[Value::Int(2), Value::Int(10)]).unwrap(),
+            Value::Float(1024.0)
+        );
+    }
+
+    #[test]
+    fn conditional_builtins() {
+        let r = reg();
+        assert_eq!(
+            r.get("coalesce").unwrap().call(&[Value::Null, Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            r.get("if").unwrap().call(&[Value::Bool(false), Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            r.get("nullif").unwrap().call(&[Value::Int(3), Value::Int(3)]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            r.get("least").unwrap().call(&[Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            r.get("greatest").unwrap().call(&[Value::Float(1.5), Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn string_builtins() {
+        let r = reg();
+        assert_eq!(r.get("length").unwrap().call(&[Value::str("héllo")]).unwrap(), Value::Int(5));
+        assert_eq!(r.get("upper").unwrap().call(&[Value::str("ab")]).unwrap(), Value::str("AB"));
+        assert_eq!(
+            r.get("substr").unwrap().call(&[Value::str("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::str("ell")
+        );
+        assert_eq!(
+            r.get("concat").unwrap().call(&[Value::str("a"), Value::Null, Value::Int(3)]).unwrap(),
+            Value::str("a3")
+        );
+    }
+
+    #[test]
+    fn return_types_validate_arity() {
+        let r = reg();
+        assert!(r.get("abs").unwrap().return_type(&[DataType::Int]).is_ok());
+        assert!(r.get("abs").unwrap().return_type(&[]).is_err());
+        assert!(r.get("abs").unwrap().return_type(&[DataType::Str]).is_err());
+        assert_eq!(
+            r.get("if").unwrap().return_type(&[DataType::Bool, DataType::Int, DataType::Float]).unwrap(),
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn more_string_and_math_builtins() {
+        let r = reg();
+        assert_eq!(r.get("trim").unwrap().call(&[Value::str("  hi ")]).unwrap(), Value::str("hi"));
+        assert_eq!(
+            r.get("replace").unwrap().call(&[Value::str("a-b-c"), Value::str("-"), Value::str("+")]).unwrap(),
+            Value::str("a+b+c")
+        );
+        assert_eq!(
+            r.get("replace").unwrap().call(&[Value::str("abc"), Value::str(""), Value::str("x")]).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(
+            r.get("starts_with").unwrap().call(&[Value::str("Brand#11"), Value::str("Brand")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(r.get("log10").unwrap().call(&[Value::Int(1000)]).unwrap(), Value::Float(3.0));
+        assert_eq!(r.get("trunc").unwrap().call(&[Value::Float(-2.7)]).unwrap(), Value::Float(-2.0));
+    }
+
+    #[test]
+    fn udf_registration() {
+        struct Double;
+        impl ScalarFn for Double {
+            fn call(&self, args: &[Value]) -> Result<Value> {
+                Ok(Value::Float(args[0].expect_f64("double")? * 2.0))
+            }
+            fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
+                expect_arity("double", arg_types, 1)?;
+                Ok(DataType::Float)
+            }
+        }
+        let mut r = reg();
+        r.register("double", Arc::new(Double)).unwrap();
+        assert_eq!(r.get("DOUBLE").unwrap().call(&[Value::Int(4)]).unwrap(), Value::Float(8.0));
+        assert!(r.register("double", Arc::new(Double)).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests for the expression layer.
+//!
+//! The load-bearing invariant of G-OLA's classification is **interval
+//! soundness**: if `eval_tri` declares a predicate deterministic against a
+//! variation range, then point evaluation must agree for *every* value in
+//! that range. These tests sample ranges, predicates, and in-range values
+//! and verify agreement.
+
+use gola_common::{Result, Row, Value};
+use gola_expr::eval::{eval, eval_predicate, eval_range, eval_tri};
+use gola_expr::{BinOp, EvalContext, Expr, RangeVal, SubqueryId, Tri};
+use proptest::prelude::*;
+
+/// Context with one uncertain scalar (`sq0`) whose current value can be
+/// repositioned inside a fixed range.
+struct Ctx {
+    row: Row,
+    value: f64,
+    range: (f64, f64),
+    member: Tri,
+    member_point: bool,
+}
+
+impl EvalContext for Ctx {
+    fn column(&self, idx: usize) -> &Value {
+        self.row.get(idx)
+    }
+    fn scalar_current(&self, _: SubqueryId, _: &[Value]) -> Result<Value> {
+        Ok(Value::Float(self.value))
+    }
+    fn scalar_range(&self, _: SubqueryId, _: &[Value]) -> Result<RangeVal> {
+        Ok(RangeVal::num(self.range.0, self.range.1))
+    }
+    fn member_current(&self, _: SubqueryId, _: &[Value]) -> Result<bool> {
+        Ok(self.member_point)
+    }
+    fn member_tri(&self, _: SubqueryId, _: &[Value]) -> Result<Tri> {
+        Ok(self.member)
+    }
+}
+
+fn sref() -> Expr {
+    Expr::ScalarRef { id: SubqueryId(0), key: vec![] }
+}
+
+fn cmp_ops() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+    ]
+}
+
+/// A predicate comparing a column against an affine function of the
+/// uncertain scalar — the shape of every nested-aggregate filter in the
+/// paper's queries.
+fn affine_predicate(op: BinOp, a: f64, b: f64) -> Expr {
+    Expr::binary(
+        op,
+        Expr::col(0),
+        Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::lit(a), sref()),
+            Expr::lit(b),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Deterministic classification must agree with point evaluation at
+    /// every sampled value of the uncertain scalar within its range.
+    #[test]
+    fn tri_soundness_for_affine_predicates(
+        x in -100.0f64..100.0,
+        lo in -50.0f64..50.0,
+        width in 0.0f64..40.0,
+        a in -3.0f64..3.0,
+        b in -20.0f64..20.0,
+        op in cmp_ops(),
+        samples in prop::collection::vec(0.0f64..=1.0, 8),
+    ) {
+        let hi = lo + width;
+        let pred = affine_predicate(op, a, b);
+        let ctx = Ctx {
+            row: Row::new(vec![Value::Float(x)]),
+            value: lo,
+            range: (lo, hi),
+            member: Tri::Maybe,
+            member_point: false,
+        };
+        let tri = eval_tri(&pred, &ctx).unwrap();
+        if tri.is_deterministic() {
+            for s in samples {
+                let u = lo + s * width;
+                let ctx = Ctx { value: u, ..ctx_clone(&ctx) };
+                let point = eval_predicate(&pred, &ctx).unwrap();
+                prop_assert_eq!(
+                    point,
+                    tri == Tri::True,
+                    "tri {:?} but point {} at u = {} in [{}, {}] (pred {})",
+                    tri, point, u, lo, hi, pred
+                );
+            }
+        }
+    }
+
+    /// `eval_range` must contain the point evaluation for every position of
+    /// the uncertain scalar inside its range.
+    #[test]
+    fn range_evaluation_contains_point_evaluation(
+        x in -100.0f64..100.0,
+        lo in -50.0f64..50.0,
+        width in 0.0f64..40.0,
+        a in -3.0f64..3.0,
+        b in -20.0f64..20.0,
+        s in 0.0f64..=1.0,
+    ) {
+        let hi = lo + width;
+        let expr = Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::lit(a), sref()),
+            Expr::binary(BinOp::Sub, Expr::col(0), Expr::lit(b)),
+        );
+        let ctx = Ctx {
+            row: Row::new(vec![Value::Float(x)]),
+            value: lo + s * width,
+            range: (lo, hi),
+            member: Tri::Maybe,
+            member_point: false,
+        };
+        let r = eval_range(&expr, &ctx).unwrap();
+        let point = eval(&expr, &ctx).unwrap().as_f64().unwrap();
+        match r.bounds() {
+            Some((rlo, rhi)) => {
+                prop_assert!(
+                    rlo - 1e-9 <= point && point <= rhi + 1e-9,
+                    "point {} outside range [{}, {}]",
+                    point, rlo, rhi
+                );
+            }
+            None => {} // Unknown is trivially sound
+        }
+    }
+
+    /// Kleene conjunction of classifications is itself sound: combining a
+    /// deterministic filter with an uncertain one never produces a wrong
+    /// deterministic verdict.
+    #[test]
+    fn conjunction_classification_soundness(
+        x in -100.0f64..100.0,
+        threshold in -100.0f64..100.0,
+        lo in -50.0f64..50.0,
+        width in 0.0f64..40.0,
+        s in 0.0f64..=1.0,
+    ) {
+        let hi = lo + width;
+        let pred = Expr::and(
+            Expr::gt(Expr::col(0), Expr::lit(threshold)),
+            Expr::lt(Expr::col(0), sref()),
+        );
+        let u = lo + s * width;
+        let ctx = Ctx {
+            row: Row::new(vec![Value::Float(x)]),
+            value: u,
+            range: (lo, hi),
+            member: Tri::Maybe,
+            member_point: false,
+        };
+        let tri = eval_tri(&pred, &ctx).unwrap();
+        if tri.is_deterministic() {
+            let point = eval_predicate(&pred, &ctx).unwrap();
+            prop_assert_eq!(point, tri == Tri::True);
+        }
+    }
+
+    /// Membership classification: a deterministic tri must match the point
+    /// membership it was derived from.
+    #[test]
+    fn membership_tri_consistency(member in any::<bool>(), negated in any::<bool>()) {
+        let pred = Expr::InSubquery {
+            id: SubqueryId(0),
+            key: vec![Expr::col(0)],
+            negated,
+        };
+        let ctx = Ctx {
+            row: Row::new(vec![Value::Int(1)]),
+            value: 0.0,
+            range: (0.0, 0.0),
+            member: Tri::from(member),
+            member_point: member,
+        };
+        let tri = eval_tri(&pred, &ctx).unwrap();
+        prop_assert!(tri.is_deterministic());
+        prop_assert_eq!(tri == Tri::True, eval_predicate(&pred, &ctx).unwrap());
+    }
+
+    /// Interval arithmetic is sound under composition: sampling both
+    /// endpoints and the midpoint of sub-ranges stays inside the computed
+    /// interval for +, -, ×.
+    #[test]
+    fn interval_arithmetic_soundness(
+        alo in -100.0f64..100.0,
+        aw in 0.0f64..50.0,
+        blo in -100.0f64..100.0,
+        bw in 0.0f64..50.0,
+        sa in 0.0f64..=1.0,
+        sb in 0.0f64..=1.0,
+    ) {
+        let a = RangeVal::num(alo, alo + aw);
+        let b = RangeVal::num(blo, blo + bw);
+        let pa = alo + sa * aw;
+        let pb = blo + sb * bw;
+        for (r, v) in [
+            (a.add(&b), pa + pb),
+            (a.sub(&b), pa - pb),
+            (a.mul(&b), pa * pb),
+        ] {
+            let (lo, hi) = r.bounds().unwrap();
+            prop_assert!(lo - 1e-6 <= v && v <= hi + 1e-6, "{v} outside [{lo}, {hi}]");
+        }
+    }
+}
+
+fn ctx_clone(c: &Ctx) -> Ctx {
+    Ctx {
+        row: c.row.clone(),
+        value: c.value,
+        range: c.range,
+        member: c.member,
+        member_point: c.member_point,
+    }
+}

@@ -1,0 +1,19 @@
+//! Query plans for G-OLA.
+//!
+//! Two plan layers:
+//!
+//! * [`logical`] — a conventional resolved logical plan ([`LogicalPlan`]),
+//!   plus the [`QueryGraph`] that ties the root plan to its (possibly
+//!   nested, possibly decorrelated) aggregate subqueries.
+//! * [`meta`] — the **meta query plan** (paper §4: the online query
+//!   compiler's output). The compiler decomposes the query graph into
+//!   maximal SPJA **lineage blocks** (paper §3.3): within a block, lineage
+//!   (a projection of the needed source columns) is propagated with each
+//!   cached uncertain tuple; across blocks only finalized aggregate values
+//!   and their variation ranges flow.
+
+pub mod logical;
+pub mod meta;
+
+pub use logical::{AggCall, LogicalPlan, QueryGraph, SubqueryKind, SubqueryPlan};
+pub use meta::{Block, BlockRole, DimJoin, MetaPlan};

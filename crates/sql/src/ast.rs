@@ -1,0 +1,177 @@
+//! Raw (unresolved) SQL AST produced by the parser.
+
+/// A binary operator in the raw AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+/// An unresolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column reference (`a.b` → `["a", "b"]`).
+    Ident(Vec<String>),
+    IntLit(i64),
+    FloatLit(f64),
+    StringLit(String),
+    BoolLit(bool),
+    NullLit,
+    Binary {
+        op: AstBinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Neg(Box<AstExpr>),
+    Not(Box<AstExpr>),
+    /// Function or aggregate call. `star` marks `COUNT(*)`.
+    Call {
+        name: String,
+        args: Vec<AstExpr>,
+        star: bool,
+    },
+    Case {
+        /// Simple form operand (`CASE x WHEN ...`), rewritten by the binder.
+        operand: Option<Box<AstExpr>>,
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    Cast {
+        expr: Box<AstExpr>,
+        ty: String,
+    },
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<AstExpr>,
+        subquery: Box<SelectStmt>,
+        negated: bool,
+    },
+    /// `(SELECT ...)` used as a scalar.
+    ScalarSubquery(Box<SelectStmt>),
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: AstExpr,
+    pub alias: Option<String>,
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// An explicit `JOIN <table> ON <cond>` clause (inner joins only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableRef,
+    pub on: AstExpr,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: AstExpr,
+    pub desc: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+impl AstExpr {
+    /// Convenience: build `left op right`.
+    pub fn binary(op: AstBinOp, left: AstExpr, right: AstExpr) -> AstExpr {
+        AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Split a predicate into top-level AND conjuncts.
+    pub fn conjuncts(&self) -> Vec<&AstExpr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a AstExpr, out: &mut Vec<&'a AstExpr>) {
+            match e {
+                AstExpr::Binary { op: AstBinOp::And, left, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from parts (`None` for empty input).
+    pub fn conjunction(parts: Vec<AstExpr>) -> Option<AstExpr> {
+        let mut it = parts.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, e| AstExpr::binary(AstBinOp::And, acc, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting_roundtrip() {
+        let a = AstExpr::BoolLit(true);
+        let b = AstExpr::BoolLit(false);
+        let c = AstExpr::IntLit(1);
+        let e = AstExpr::binary(
+            AstBinOp::And,
+            AstExpr::binary(AstBinOp::And, a.clone(), b.clone()),
+            c.clone(),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &a);
+        assert_eq!(parts[2], &c);
+        let rebuilt = AstExpr::conjunction(vec![a, b, c]).unwrap();
+        assert_eq!(rebuilt, e);
+        assert_eq!(AstExpr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn or_is_not_split() {
+        let e = AstExpr::binary(AstBinOp::Or, AstExpr::BoolLit(true), AstExpr::BoolLit(false));
+        assert_eq!(e.conjuncts().len(), 1);
+    }
+}

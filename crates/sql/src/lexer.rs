@@ -1,0 +1,301 @@
+//! SQL tokenizer.
+
+use gola_common::{Error, Result};
+
+/// A lexical token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized by the parser from `Ident` (SQL
+/// identifiers are case-insensitive), except for quoted identifiers which
+/// arrive as `QuotedIdent` and never match keywords.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    QuotedIdent(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl TokenKind {
+    /// The uppercase keyword string if this token is an unquoted identifier.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            TokenKind::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string. Supports `--` line comments, single-quoted string
+/// literals with `''` escapes, and double-quoted identifiers.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_simple(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push_simple(&mut tokens, TokenKind::RParen, &mut i),
+            ',' => push_simple(&mut tokens, TokenKind::Comma, &mut i),
+            '.' if !next_is_digit(bytes, i + 1) => {
+                push_simple(&mut tokens, TokenKind::Dot, &mut i)
+            }
+            ';' => push_simple(&mut tokens, TokenKind::Semicolon, &mut i),
+            '+' => push_simple(&mut tokens, TokenKind::Plus, &mut i),
+            '-' => push_simple(&mut tokens, TokenKind::Minus, &mut i),
+            '*' => push_simple(&mut tokens, TokenKind::Star, &mut i),
+            '/' => push_simple(&mut tokens, TokenKind::Slash, &mut i),
+            '%' => push_simple(&mut tokens, TokenKind::Percent, &mut i),
+            '=' => push_simple(&mut tokens, TokenKind::Eq, &mut i),
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, pos: i });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex { pos: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(&b'=') => (TokenKind::LtEq, 2),
+                    Some(&b'>') => (TokenKind::NotEq, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, pos: i });
+                i += len;
+            }
+            '>' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(&b'=') => (TokenKind::GtEq, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, pos: i });
+                i += len;
+            }
+            '\'' => {
+                let (s, end) = lex_quoted(sql, i, '\'')?;
+                tokens.push(Token { kind: TokenKind::Str(s), pos: i });
+                i = end;
+            }
+            '"' => {
+                let (s, end) = lex_quoted(sql, i, '"')?;
+                tokens.push(Token { kind: TokenKind::QuotedIdent(s), pos: i });
+                i = end;
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i + 1)) => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E') && !saw_exp && i > start {
+                        saw_exp = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if saw_dot || saw_exp {
+                    TokenKind::Float(text.parse().map_err(|_| Error::Lex {
+                        pos: start,
+                        message: format!("invalid number '{text}'"),
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => TokenKind::Float(text.parse().map_err(|_| Error::Lex {
+                            pos: start,
+                            message: format!("invalid number '{text}'"),
+                        })?),
+                    }
+                };
+                tokens.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(Error::Lex {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push_simple(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, pos: *i });
+    *i += 1;
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_some_and(|b| b.is_ascii_digit())
+}
+
+/// Lex a quoted run starting at `start` (which holds the quote char).
+/// Doubled quotes escape. Returns (content, index-after-closing-quote).
+fn lex_quoted(sql: &str, start: usize, quote: char) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let q = quote as u8;
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == q {
+            if bytes.get(i + 1) == Some(&q) {
+                out.push(quote);
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Multi-byte UTF-8 safe: copy the full char.
+            let ch = sql[i..].chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(Error::Lex { pos: start, message: format!("unterminated {quote}-quoted literal") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        let k = kinds("SELECT AVG(play_time) FROM sessions WHERE buffer_time > 3.5");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(k[1], TokenKind::Ident("AVG".into()));
+        assert_eq!(k[2], TokenKind::LParen);
+        assert!(k.contains(&TokenKind::Gt));
+        assert_eq!(*k.last().unwrap(), TokenKind::Float(3.5));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != = < >"),
+            vec![
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("4.25"), vec![TokenKind::Float(4.25)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5E-2"), vec![TokenKind::Float(0.025)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5)]);
+        // Overflowing integers fall back to float.
+        assert_eq!(kinds("99999999999999999999"), vec![TokenKind::Float(1e20)]);
+    }
+
+    #[test]
+    fn strings_and_quoted_idents() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(
+            kinds("\"weird col\""),
+            vec![TokenKind::QuotedIdent("weird col".into())]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT 1 -- trailing comment\n, 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        let k = kinds("s.buffer_time");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("buffer_time".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("SELECT @").unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

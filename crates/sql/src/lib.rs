@@ -1,0 +1,34 @@
+//! SQL front end for G-OLA.
+//!
+//! A from-scratch pipeline: [`lexer`] → [`parser`] ([`ast`]) → [`binder`],
+//! producing a resolved [`gola_plan::QueryGraph`]. The binder performs the
+//! work G-OLA's online query compiler needs before blockification:
+//!
+//! * name resolution against a catalog (with table aliases and qualified
+//!   references),
+//! * aggregate extraction and GROUP BY validation,
+//! * nested scalar subqueries → [`gola_expr::Expr::ScalarRef`],
+//! * **decorrelation** of equality-correlated scalar subqueries into
+//!   grouped blocks keyed by the correlation columns (TPC-H Q17-style),
+//! * `IN (SELECT …)` membership subqueries → grouped membership blocks
+//!   (TPC-H Q18-style), and
+//! * scalar-function and UDAF resolution from registries.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::Binder;
+pub use parser::parse_select;
+
+use gola_common::Result;
+use gola_plan::QueryGraph;
+use gola_storage::Catalog;
+
+/// One-call convenience: parse and bind `sql` against `catalog` with the
+/// default function/UDAF registries.
+pub fn compile(sql: &str, catalog: &Catalog) -> Result<QueryGraph> {
+    let stmt = parse_select(sql)?;
+    Binder::new(catalog).bind(&stmt)
+}

@@ -1,0 +1,648 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (subset of SQL-92 plus `QUANTILE(x, q)`):
+//!
+//! ```text
+//! select   := SELECT item (, item)* FROM table_ref join* [WHERE expr]
+//!             [GROUP BY expr (, expr)*] [HAVING expr]
+//!             [ORDER BY key (, key)*] [LIMIT int]
+//! join     := [INNER] JOIN table_ref ON expr
+//! expr     := or_expr
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | predicate
+//! predicate:= additive [cmp additive | IS [NOT] NULL | [NOT] BETWEEN a AND b
+//!             | [NOT] IN (list | select)]
+//! additive := multiplicative ((+|-) multiplicative)*
+//! mult     := unary ((*|/|%) unary)*
+//! unary    := - unary | primary
+//! primary  := literal | ident[.ident] | call | CASE ... | CAST(e AS ty)
+//!             | (select) | (expr)
+//! ```
+
+use gola_common::{Error, Result};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a single SELECT statement (an optional trailing `;` is allowed).
+pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_select_stmt()?;
+    if p.peek_kind() == Some(&TokenKind::Semicolon) {
+        p.advance();
+    }
+    if p.pos < p.tokens.len() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_keyword(&self) -> Option<String> {
+        self.peek_kind().and_then(TokenKind::keyword)
+    }
+
+    fn keyword_at(&self, offset: usize) -> Option<String> {
+        self.tokens.get(self.pos + offset).and_then(|t| t.kind.keyword())
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        Error::Parse { pos: self.pos, message: msg.into() }
+    }
+
+    /// Consume `kw` (case-insensitive) or error.
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}")))
+        }
+    }
+
+    /// Consume `kw` if present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek_kind() == Some(&kind) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {:?}", self.peek_kind())))
+        }
+    }
+
+    fn eat_token(&mut self, kind: TokenKind) -> bool {
+        if self.peek_kind() == Some(&kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_select_stmt(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_token(TokenKind::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let save = self.pos;
+            if self.eat_keyword("INNER") {
+                if !self.eat_keyword("JOIN") {
+                    self.pos = save;
+                    break;
+                }
+            } else if !self.eat_keyword("JOIN") {
+                break;
+            }
+            let table = self.parse_table_ref()?;
+            self.expect_keyword("ON")?;
+            let on = self.parse_expr()?;
+            joins.push(JoinClause { table, on });
+        }
+        if self.peek_kind() == Some(&TokenKind::Comma) {
+            return Err(self.error(
+                "comma joins are not supported; use explicit JOIN ... ON with the \
+                 fact table listed first",
+            ));
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_token(TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_token(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance().map(|t| t.kind.clone()) {
+                Some(TokenKind::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.error("LIMIT expects a non-negative integer")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, from, joins, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.parse_ident_string()?)
+        } else {
+            // Bare alias: an identifier that is not a clause keyword.
+            match self.peek_keyword().as_deref() {
+                Some(
+                    "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER"
+                    | "ON" | "AND" | "OR" | "ASC" | "DESC",
+                )
+                | None => None,
+                Some(_) => match self.peek_kind() {
+                    Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
+                        Some(self.parse_ident_string()?)
+                    }
+                    _ => None,
+                },
+            }
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let table = self.parse_ident_string()?;
+        let alias = match self.peek_keyword().as_deref() {
+            Some("AS") => {
+                self.advance();
+                Some(self.parse_ident_string()?)
+            }
+            Some(
+                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON",
+            )
+            | None => None,
+            Some(_) => match self.peek_kind() {
+                Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
+                    Some(self.parse_ident_string()?)
+                }
+                _ => None,
+            },
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn parse_ident_string(&mut self) -> Result<String> {
+        match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Ident(s)) | Some(TokenKind::QuotedIdent(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Entry point for expressions.
+    pub fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = AstExpr::binary(AstBinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = AstExpr::binary(AstBinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.eat_keyword("NOT") {
+            Ok(AstExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<AstExpr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.peek_keyword().as_deref() == Some("IS") {
+            self.advance();
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] BETWEEN / IN
+        let negated = if self.peek_keyword().as_deref() == Some("NOT")
+            && matches!(self.keyword_at(1).as_deref(), Some("BETWEEN") | Some("IN"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_token(TokenKind::LParen)?;
+            if self.peek_keyword().as_deref() == Some("SELECT") {
+                let sub = self.parse_select_stmt()?;
+                self.expect_token(TokenKind::RParen)?;
+                return Ok(AstExpr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_token(TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_token(TokenKind::RParen)?;
+            return Ok(AstExpr::InList { expr: Box::new(left), list, negated });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN or IN after NOT"));
+        }
+        // Comparison.
+        let op = match self.peek_kind() {
+            Some(TokenKind::Eq) => Some(AstBinOp::Eq),
+            Some(TokenKind::NotEq) => Some(AstBinOp::NotEq),
+            Some(TokenKind::Lt) => Some(AstBinOp::Lt),
+            Some(TokenKind::LtEq) => Some(AstBinOp::LtEq),
+            Some(TokenKind::Gt) => Some(AstBinOp::Gt),
+            Some(TokenKind::GtEq) => Some(AstBinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(AstExpr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Plus) => AstBinOp::Add,
+                Some(TokenKind::Minus) => AstBinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Star) => AstBinOp::Mul,
+                Some(TokenKind::Slash) => AstBinOp::Div,
+                Some(TokenKind::Percent) => AstBinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = AstExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        if self.eat_token(TokenKind::Minus) {
+            return Ok(AstExpr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_token(TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Int(v)) => {
+                self.advance();
+                Ok(AstExpr::IntLit(v))
+            }
+            Some(TokenKind::Float(v)) => {
+                self.advance();
+                Ok(AstExpr::FloatLit(v))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.advance();
+                Ok(AstExpr::StringLit(s))
+            }
+            Some(TokenKind::LParen) => {
+                self.advance();
+                if self.peek_keyword().as_deref() == Some("SELECT") {
+                    let sub = self.parse_select_stmt()?;
+                    self.expect_token(TokenKind::RParen)?;
+                    return Ok(AstExpr::ScalarSubquery(Box::new(sub)));
+                }
+                let e = self.parse_expr()?;
+                self.expect_token(TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
+                match self.peek_keyword().as_deref() {
+                    Some("TRUE") => {
+                        self.advance();
+                        return Ok(AstExpr::BoolLit(true));
+                    }
+                    Some("FALSE") => {
+                        self.advance();
+                        return Ok(AstExpr::BoolLit(false));
+                    }
+                    Some("NULL") => {
+                        self.advance();
+                        return Ok(AstExpr::NullLit);
+                    }
+                    Some("CASE") => return self.parse_case(),
+                    Some("CAST") => return self.parse_cast(),
+                    _ => {}
+                }
+                let name = self.parse_ident_string()?;
+                // Function call?
+                if self.peek_kind() == Some(&TokenKind::LParen) {
+                    self.advance();
+                    if self.eat_token(TokenKind::Star) {
+                        self.expect_token(TokenKind::RParen)?;
+                        return Ok(AstExpr::Call { name, args: vec![], star: true });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek_kind() != Some(&TokenKind::RParen) {
+                        args.push(self.parse_expr()?);
+                        while self.eat_token(TokenKind::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_token(TokenKind::RParen)?;
+                    return Ok(AstExpr::Call { name, args, star: false });
+                }
+                // Qualified reference a.b (at most two parts).
+                if self.eat_token(TokenKind::Dot) {
+                    let col = self.parse_ident_string()?;
+                    return Ok(AstExpr::Ident(vec![name, col]));
+                }
+                Ok(AstExpr::Ident(vec![name]))
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr> {
+        self.expect_keyword("CASE")?;
+        let operand = if self.peek_keyword().as_deref() != Some("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(AstExpr::Case { operand, branches, else_expr })
+    }
+
+    fn parse_cast(&mut self) -> Result<AstExpr> {
+        self.expect_keyword("CAST")?;
+        self.expect_token(TokenKind::LParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword("AS")?;
+        let ty = self.parse_ident_string()?;
+        self.expect_token(TokenKind::RParen)?;
+        Ok(AstExpr::Cast { expr: Box::new(expr), ty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sbi_query() {
+        let sql = "SELECT AVG(play_time) FROM Sessions \
+                   WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.items.len(), 1);
+        assert_eq!(stmt.from.table, "Sessions");
+        match stmt.where_clause.unwrap() {
+            AstExpr::Binary { op: AstBinOp::Gt, right, .. } => {
+                assert!(matches!(*right, AstExpr::ScalarSubquery(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_having_order_limit() {
+        let sql = "SELECT ad_id, SUM(revenue) AS rev FROM logs \
+                   GROUP BY ad_id HAVING SUM(revenue) > 100 \
+                   ORDER BY rev DESC, ad_id LIMIT 10";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.group_by.len(), 1);
+        assert!(stmt.having.is_some());
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].desc);
+        assert!(!stmt.order_by[1].desc);
+        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.items[1].alias.as_deref(), Some("rev"));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let sql = "SELECT s.play_time FROM sessions s JOIN ads a ON s.ad_id = a.ad_id \
+                   INNER JOIN geo g ON s.geo_id = g.id WHERE a.kind = 'video'";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.joins.len(), 2);
+        assert_eq!(stmt.joins[0].table.table, "ads");
+        assert_eq!(stmt.joins[0].table.alias.as_deref(), Some("a"));
+        assert_eq!(stmt.from.alias.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn comma_join_rejected_with_hint() {
+        let err = parse_select("SELECT 1 FROM a, b").unwrap_err();
+        assert!(err.to_string().contains("JOIN"), "{err}");
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let e = parse_select("SELECT 1 + 2 * 3 - 4 FROM t").unwrap().items[0]
+            .expr
+            .clone();
+        // ((1 + (2*3)) - 4)
+        match e {
+            AstExpr::Binary { op: AstBinOp::Sub, left, .. } => match *left {
+                AstExpr::Binary { op: AstBinOp::Add, right, .. } => {
+                    assert!(matches!(*right, AstExpr::Binary { op: AstBinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let stmt = parse_select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
+        // OR(a=1, AND(b=2, NOT(c=3)))
+        match stmt.where_clause.unwrap() {
+            AstExpr::Binary { op: AstBinOp::Or, right, .. } => match *right {
+                AstExpr::Binary { op: AstBinOp::And, right, .. } => {
+                    assert!(matches!(*right, AstExpr::Not(_)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_quantile() {
+        let stmt = parse_select("SELECT COUNT(*), QUANTILE(x, 0.95) FROM t").unwrap();
+        assert!(matches!(
+            &stmt.items[0].expr,
+            AstExpr::Call { star: true, name, .. } if name == "COUNT"
+        ));
+        assert!(matches!(
+            &stmt.items[1].expr,
+            AstExpr::Call { args, .. } if args.len() == 2
+        ));
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let stmt = parse_select(
+            "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2) AND c IS NOT NULL",
+        )
+        .unwrap();
+        let w = stmt.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert!(matches!(parts[0], AstExpr::Between { negated: false, .. }));
+        assert!(matches!(parts[1], AstExpr::InList { negated: true, .. }));
+        assert!(matches!(parts[2], AstExpr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let stmt = parse_select(
+            "SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM t GROUP BY k HAVING SUM(q) > 300)",
+        )
+        .unwrap();
+        assert!(matches!(stmt.where_clause.unwrap(), AstExpr::InSubquery { .. }));
+    }
+
+    #[test]
+    fn case_expressions() {
+        let stmt =
+            parse_select("SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t").unwrap();
+        assert!(matches!(&stmt.items[0].expr, AstExpr::Case { operand: None, .. }));
+        let stmt = parse_select("SELECT CASE x WHEN 1 THEN 'a' END FROM t").unwrap();
+        assert!(matches!(&stmt.items[0].expr, AstExpr::Case { operand: Some(_), .. }));
+    }
+
+    #[test]
+    fn cast_and_unary() {
+        let stmt = parse_select("SELECT CAST(-x AS FLOAT) FROM t").unwrap();
+        match &stmt.items[0].expr {
+            AstExpr::Cast { expr, ty } => {
+                assert_eq!(ty, "FLOAT");
+                assert!(matches!(expr.as_ref(), AstExpr::Neg(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_select("SELECT 1 FROM t extra junk here").is_err());
+        assert!(parse_select("SELECT 1 FROM t;").is_ok());
+    }
+
+    #[test]
+    fn nested_subqueries_two_levels() {
+        let sql = "SELECT AVG(a) FROM t WHERE b > \
+                   (SELECT AVG(b) FROM t WHERE c > (SELECT AVG(c) FROM t))";
+        let stmt = parse_select(sql).unwrap();
+        match stmt.where_clause.unwrap() {
+            AstExpr::Binary { right, .. } => match *right {
+                AstExpr::ScalarSubquery(inner) => {
+                    assert!(matches!(
+                        inner.where_clause.unwrap(),
+                        AstExpr::Binary { .. }
+                    ));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the SQL front end: the lexer and parser must never
+//! panic on arbitrary input, valid expressions round-trip through
+//! parse→bind→display deterministically, and structured query generation
+//! always binds.
+
+use std::sync::Arc;
+
+use gola_common::{DataType, Row, Schema, Value};
+use gola_sql::{lexer::tokenize, parse_select, Binder};
+use gola_storage::{Catalog, Table};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("s", DataType::Str),
+    ]));
+    let mut c = Catalog::new();
+    c.register(
+        "t",
+        Arc::new(Table::new_unchecked(
+            schema,
+            vec![Row::new(vec![
+                Value::Int(1),
+                Value::Float(1.0),
+                Value::Float(2.0),
+                Value::str("a"),
+            ])],
+        )),
+    )
+    .unwrap();
+    c
+}
+
+/// Grammar for small well-formed numeric expressions over columns x/y/k.
+fn arb_num_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("k".to_string()),
+        (0i32..100).prop_map(|i| i.to_string()),
+        (0i32..100).prop_map(|i| format!("{}.5", i)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("/")], inner)
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+proptest! {
+    /// Total robustness: arbitrary byte soup must produce Ok or Err, never
+    /// a panic, from both the lexer and the parser.
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,120}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_select(&input);
+    }
+
+    /// SQL-looking garbage (keywords + symbols soup) must not panic either.
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("HAVING"), Just("IN"), Just("("), Just(")"),
+                Just(","), Just("AVG"), Just("SUM"), Just("t"), Just("x"),
+                Just(">"), Just("<"), Just("="), Just("1"), Just("'s'"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("NULL"), Just("*"),
+            ],
+            0..25,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse_select(&sql);
+    }
+
+    /// Generated well-formed aggregate queries always parse and bind.
+    #[test]
+    fn well_formed_queries_bind(
+        agg in prop_oneof![Just("AVG"), Just("SUM"), Just("MIN"), Just("MAX"), Just("COUNT")],
+        arg in arb_num_expr(),
+        pred in arb_num_expr(),
+        threshold in -100.0f64..100.0,
+        grouped in any::<bool>(),
+    ) {
+        let sql = if grouped {
+            format!(
+                "SELECT k, {agg}({arg}) FROM t WHERE {pred} > {threshold} GROUP BY k"
+            )
+        } else {
+            format!("SELECT {agg}({arg}) FROM t WHERE {pred} > {threshold}")
+        };
+        let cat = catalog();
+        let stmt = parse_select(&sql).expect("generated SQL must parse");
+        let graph = Binder::new(&cat).bind(&stmt);
+        prop_assert!(graph.is_ok(), "{sql}: {:?}", graph.err());
+    }
+
+    /// Nested variants with a scalar subquery always parse, bind, and
+    /// blockify.
+    #[test]
+    fn well_formed_nested_queries_compile(
+        outer in arb_num_expr(),
+        inner in arb_num_expr(),
+        factor in 0.1f64..4.0,
+    ) {
+        let sql = format!(
+            "SELECT AVG({outer}) FROM t WHERE x > {factor} * (SELECT AVG({inner}) FROM t)"
+        );
+        let cat = catalog();
+        let graph = gola_sql::compile(&sql, &cat);
+        prop_assert!(graph.is_ok(), "{sql}: {:?}", graph.err());
+        let meta = gola_plan::MetaPlan::compile(&graph.unwrap(), "t");
+        prop_assert!(meta.is_ok(), "{sql}: {:?}", meta.err());
+    }
+
+    /// Binding is deterministic: the same SQL yields the same plan display.
+    #[test]
+    fn binding_is_deterministic(arg in arb_num_expr(), pred in arb_num_expr()) {
+        let sql = format!("SELECT SUM({arg}) FROM t WHERE {pred} >= 0 GROUP BY k");
+        let cat = catalog();
+        let a = gola_sql::compile(&sql, &cat).map(|g| g.explain());
+        let b = gola_sql::compile(&sql, &cat).map(|g| g.explain());
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "nondeterministic outcome {other:?}"),
+        }
+    }
+}

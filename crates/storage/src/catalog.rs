@@ -1,0 +1,120 @@
+//! Named-table [`Catalog`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gola_common::{Error, Result};
+
+use crate::table::Table;
+
+/// A case-insensitive map from table name to table.
+///
+/// `BTreeMap` keeps iteration deterministic (catalog listings in tests and
+/// the CLI are stable across runs).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table; errors on duplicate names.
+    pub fn register(&mut self, name: impl Into<String>, table: Arc<Table>) -> Result<()> {
+        let key = name.into().to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(Error::catalog(format!("table '{key}' already exists")));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Replace or insert a table.
+    pub fn register_or_replace(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into().to_ascii_lowercase(), table);
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                Error::catalog(format!(
+                    "unknown table '{name}' (available: {})",
+                    self.names().join(", ")
+                ))
+            })
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{row, DataType, Schema};
+
+    fn table() -> Arc<Table> {
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]));
+        Arc::new(Table::try_new(schema, vec![row![1i64]]).unwrap())
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("Sessions", table()).unwrap();
+        assert!(c.get("sessions").is_ok());
+        assert!(c.get("SESSIONS").is_ok());
+        assert!(c.contains("SeSsIoNs"));
+    }
+
+    #[test]
+    fn duplicate_rejected_but_replace_allowed() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        assert!(c.register("T", table()).is_err());
+        c.register_or_replace("T", table());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn missing_table_error_lists_names() {
+        let mut c = Catalog::new();
+        c.register("alpha", table()).unwrap();
+        c.register("beta", table()).unwrap();
+        let e = c.get("gamma").unwrap_err().to_string();
+        assert!(e.contains("alpha") && e.contains("beta"));
+    }
+
+    #[test]
+    fn deregister() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        assert!(c.deregister("T").is_some());
+        assert!(c.deregister("t").is_none());
+        assert!(c.is_empty());
+    }
+}

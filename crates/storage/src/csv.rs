@@ -1,0 +1,202 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Supports quoted fields with embedded commas/quotes/newlines (RFC-4180
+//! style) — enough to round-trip any table the engine produces and to load
+//! external traces for the examples.
+
+use std::io::{BufReader, Read, Write};
+use std::sync::Arc;
+
+use gola_common::{DataType, Error, Result, Row, Schema, Value};
+
+use crate::table::{Table, TableBuilder};
+
+/// Write `table` as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<()> {
+    let header: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in table.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read CSV with a header row into a table with the given schema. Column
+/// order must match the schema; empty cells become `NULL`.
+pub fn read_csv<R: Read>(schema: Arc<Schema>, input: R) -> Result<Table> {
+    let mut reader = BufReader::new(input);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut records = parse_records(&text)?;
+    if records.is_empty() {
+        return Err(Error::Io("csv input has no header row".into()));
+    }
+    let header = records.remove(0);
+    if header.len() != schema.len() {
+        return Err(Error::Io(format!(
+            "csv header has {} columns, schema has {}",
+            header.len(),
+            schema.len()
+        )));
+    }
+    let mut builder = TableBuilder::with_capacity(Arc::clone(&schema), records.len());
+    for (line_no, rec) in records.into_iter().enumerate() {
+        if rec.len() != schema.len() {
+            return Err(Error::Io(format!(
+                "csv record {} has {} fields, expected {}",
+                line_no + 2,
+                rec.len(),
+                schema.len()
+            )));
+        }
+        let values: Result<Vec<Value>> = rec
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| parse_cell(&cell, schema.field(i).data_type))
+            .collect();
+        builder.push(Row::new(values?))?;
+    }
+    builder.finish_checked()
+}
+
+fn parse_cell(cell: &str, ty: DataType) -> Result<Value> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    Value::str(cell).cast(ty)
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// RFC-4180-ish record parser handling quoted fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // swallow; \n terminates the record
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Io("unterminated quoted csv field".into()));
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::row;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("score", DataType::Float),
+        ]))
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = Table::try_new(
+            schema(),
+            vec![
+                row![1i64, "plain", 1.5f64],
+                row![2i64, "with,comma", 2.5f64],
+                row![3i64, "with \"quote\"", 3.5f64],
+                Row::new(vec![Value::Int(4), Value::Null, Value::Null]),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(schema(), &buf[..]).unwrap();
+        assert_eq!(back.num_rows(), 4);
+        assert_eq!(back.rows()[1].get(1), &Value::str("with,comma"));
+        assert_eq!(back.rows()[2].get(1), &Value::str("with \"quote\""));
+        assert!(back.rows()[3].get(1).is_null());
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let input = "id,name,score\n1,x\n";
+        assert!(read_csv(schema(), input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let input = "id,name,score\n1,\"oops,2.0\n";
+        assert!(read_csv(schema(), input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_csv(schema(), "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parses_crlf() {
+        let input = "id,name,score\r\n1,a,2.0\r\n2,b,3.0\r\n";
+        let t = read_csv(schema(), input.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.rows()[1].get(1), &Value::str("b"));
+    }
+
+    #[test]
+    fn quoted_newline_in_field() {
+        let input = "id,name,score\n1,\"two\nlines\",2.0\n";
+        let t = read_csv(schema(), input.as_bytes()).unwrap();
+        assert_eq!(t.rows()[0].get(1), &Value::str("two\nlines"));
+    }
+}

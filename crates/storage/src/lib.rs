@@ -1,0 +1,13 @@
+//! Storage substrate for G-OLA: an in-memory row store, a table catalog,
+//! random shuffling, the **mini-batch partitioner** at the heart of the
+//! G-OLA execution model (paper §2.1–2.2), and CSV import/export.
+
+pub mod catalog;
+pub mod csv;
+pub mod partition;
+pub mod shuffle;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use partition::{MiniBatch, MiniBatchPartitioner};
+pub use table::{Table, TableBuilder};

@@ -1,0 +1,215 @@
+//! The mini-batch partitioner (paper §2.1–2.2).
+//!
+//! G-OLA randomly partitions the dataset `D` into `k` mini-batches
+//! `ΔD₁ … ΔDₖ` of (near-)uniform size and streams them to the online
+//! executor. After batch `i` the running result is `Q(Dᵢ, k/i)` where every
+//! tuple is annotated with multiplicity `m = |D| / |Dᵢ|` — because a random
+//! prefix of the shuffled data is a uniform sample, seeing a tuple once in
+//! `Dᵢ` is "roughly equivalent to seeing it m times in D".
+//!
+//! Each tuple also carries a stable `tuple_id` (its index in the underlying
+//! table). The poissonized bootstrap derives per-replica weights from this
+//! id, so a tuple's weight is identical every time it is (re-)processed —
+//! the property that makes uncertain-set re-evaluation and failure-triggered
+//! recomputation statistically consistent.
+
+use std::sync::Arc;
+
+use gola_common::{Error, Result, Row};
+
+use crate::shuffle::permutation;
+use crate::table::Table;
+
+/// One randomly-drawn batch of tuples with stable ids.
+#[derive(Debug, Clone)]
+pub struct MiniBatch {
+    /// 0-based batch number.
+    pub index: usize,
+    /// Stable per-tuple ids (row index in the source table).
+    pub tuple_ids: Vec<u64>,
+    /// The tuples themselves (cheap `Arc`-backed clones).
+    pub rows: Vec<Row>,
+}
+
+impl MiniBatch {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(tuple_id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Row)> + '_ {
+        self.tuple_ids.iter().copied().zip(self.rows.iter())
+    }
+}
+
+/// Splits a table into `k` random mini-batches. Deterministic under
+/// `(table, k, seed)`.
+#[derive(Debug, Clone)]
+pub struct MiniBatchPartitioner {
+    table: Arc<Table>,
+    perm: Vec<usize>,
+    /// Exclusive end offset of each batch within `perm`.
+    bounds: Vec<usize>,
+}
+
+impl MiniBatchPartitioner {
+    /// Create a partitioner with `k` batches. Sizes differ by at most one
+    /// row (the paper's "uniform size").
+    pub fn new(table: Arc<Table>, k: usize, seed: u64) -> Result<Self> {
+        let n = table.num_rows();
+        if k == 0 {
+            return Err(Error::config("mini-batch count must be >= 1"));
+        }
+        if n == 0 {
+            return Err(Error::config("cannot partition an empty table"));
+        }
+        if k > n {
+            return Err(Error::config(format!(
+                "mini-batch count {k} exceeds row count {n}"
+            )));
+        }
+        let perm = permutation(n, seed);
+        // Balanced split: the first (n % k) batches get one extra row.
+        let base = n / k;
+        let extra = n % k;
+        let mut bounds = Vec::with_capacity(k);
+        let mut end = 0usize;
+        for i in 0..k {
+            end += base + usize::from(i < extra);
+            bounds.push(end);
+        }
+        debug_assert_eq!(end, n);
+        Ok(MiniBatchPartitioner { table, perm, bounds })
+    }
+
+    /// Number of batches `k`.
+    pub fn num_batches(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total number of rows `|D|`.
+    pub fn total_rows(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Rows contained in batches `0..=i` (that is `|Dᵢ₊₁|` in paper terms).
+    pub fn rows_seen_through(&self, i: usize) -> usize {
+        self.bounds[i]
+    }
+
+    /// The multiplicity annotation `m = |D| / |Dᵢ|` after batch `i`
+    /// (0-based). With uniform batch sizes this is the paper's `k / i`.
+    pub fn multiplicity_after(&self, i: usize) -> f64 {
+        self.total_rows() as f64 / self.rows_seen_through(i) as f64
+    }
+
+    /// Materialize batch `i`.
+    pub fn batch(&self, i: usize) -> MiniBatch {
+        let start = if i == 0 { 0 } else { self.bounds[i - 1] };
+        let end = self.bounds[i];
+        let idxs = &self.perm[start..end];
+        MiniBatch {
+            index: i,
+            tuple_ids: idxs.iter().map(|&x| x as u64).collect(),
+            rows: idxs.iter().map(|&x| self.table.rows()[x].clone()).collect(),
+        }
+    }
+
+    /// Iterate all batches in order.
+    pub fn iter(&self) -> impl Iterator<Item = MiniBatch> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch(i))
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{row, DataType, Schema};
+
+    fn table(n: usize) -> Arc<Table> {
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]));
+        Arc::new(Table::new_unchecked(
+            schema,
+            (0..n).map(|i| row![i as i64]).collect(),
+        ))
+    }
+
+    #[test]
+    fn batches_partition_all_tuples_exactly_once() {
+        let p = MiniBatchPartitioner::new(table(103), 10, 5).unwrap();
+        let mut ids: Vec<u64> = p.iter().flat_map(|b| b.tuple_ids.clone()).collect();
+        assert_eq!(ids.len(), 103);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..103u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_near_uniform() {
+        let p = MiniBatchPartitioner::new(table(103), 10, 5).unwrap();
+        let sizes: Vec<usize> = p.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn multiplicity_matches_paper_k_over_i() {
+        let p = MiniBatchPartitioner::new(table(100), 10, 1).unwrap();
+        // Uniform sizes: after batch i (0-based) multiplicity = k/(i+1).
+        for i in 0..10 {
+            let expected = 10.0 / (i as f64 + 1.0);
+            assert!((p.multiplicity_after(i) - expected).abs() < 1e-12);
+        }
+        assert_eq!(p.rows_seen_through(9), 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = table(50);
+        let a = MiniBatchPartitioner::new(Arc::clone(&t), 5, 9).unwrap();
+        let b = MiniBatchPartitioner::new(Arc::clone(&t), 5, 9).unwrap();
+        for i in 0..5 {
+            assert_eq!(a.batch(i).tuple_ids, b.batch(i).tuple_ids);
+        }
+        let c = MiniBatchPartitioner::new(t, 5, 10).unwrap();
+        assert_ne!(a.batch(0).tuple_ids, c.batch(0).tuple_ids);
+    }
+
+    #[test]
+    fn rows_match_tuple_ids() {
+        let p = MiniBatchPartitioner::new(table(30), 3, 2).unwrap();
+        for b in p.iter() {
+            for (id, row) in b.iter() {
+                assert_eq!(row.get(0).as_i64().unwrap(), id as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn config_errors() {
+        assert!(MiniBatchPartitioner::new(table(10), 0, 1).is_err());
+        assert!(MiniBatchPartitioner::new(table(10), 11, 1).is_err());
+        let empty = Arc::new(Table::empty(Arc::new(Schema::from_pairs(&[(
+            "x",
+            DataType::Int,
+        )]))));
+        assert!(MiniBatchPartitioner::new(empty, 1, 1).is_err());
+    }
+
+    #[test]
+    fn single_batch_is_whole_table() {
+        let p = MiniBatchPartitioner::new(table(10), 1, 1).unwrap();
+        assert_eq!(p.batch(0).len(), 10);
+        assert!((p.multiplicity_after(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! The in-memory row-store [`Table`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use gola_common::{Error, Result, Row, Schema, Value};
+
+/// An immutable, schema-tagged collection of rows. Tables are shared via
+/// `Arc` between the catalog, partitioner and executors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Build a table, validating row arity and (non-null) value types
+    /// against the schema.
+    pub fn try_new(schema: Arc<Schema>, rows: Vec<Row>) -> Result<Table> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(Error::catalog(format!(
+                    "row {i} has {} values, schema has {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            for (j, v) in row.iter().enumerate() {
+                let expected = schema.field(j).data_type;
+                if !v.is_null() && v.data_type() != expected {
+                    return Err(Error::catalog(format!(
+                        "row {i} column '{}': expected {expected}, got {}",
+                        schema.field(j).name,
+                        v.data_type()
+                    )));
+                }
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// Build a table without validation (generators construct well-typed
+    /// rows by design; validation there would just re-scan gigabytes).
+    pub fn new_unchecked(schema: Arc<Schema>, rows: Vec<Row>) -> Table {
+        Table { schema, rows }
+    }
+
+    /// Empty table with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Table {
+        Table { schema, rows: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Take ownership of the rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Column values by name, for tests and quick inspection.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of_or_err(name)?;
+        Ok(self.rows.iter().map(|r| r.get(idx).clone()).collect())
+    }
+
+    /// Pretty-print at most `limit` rows as an aligned text table.
+    pub fn display_limit(&self, limit: usize) -> String {
+        let header: Vec<String> = self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(limit)
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&header, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &shown {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        if self.rows.len() > limit {
+            out.push_str(&format!("... {} more rows\n", self.rows.len() - limit));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_limit(20))
+    }
+}
+
+/// Incremental construction of a [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl TableBuilder {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        TableBuilder { schema, rows: Vec::new() }
+    }
+
+    pub fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
+        TableBuilder { schema, rows: Vec::with_capacity(capacity) }
+    }
+
+    /// Append a row, checking arity (type checks are deferred to
+    /// [`TableBuilder::finish_checked`]).
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::catalog(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finish without per-value validation.
+    pub fn finish(self) -> Table {
+        Table::new_unchecked(self.schema, self.rows)
+    }
+
+    /// Finish with full validation.
+    pub fn finish_checked(self) -> Result<Table> {
+        Table::try_new(self.schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{row, DataType};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("score", DataType::Float),
+        ]))
+    }
+
+    #[test]
+    fn validates_arity_and_types() {
+        let ok = Table::try_new(schema(), vec![row![1i64, 2.0f64]]);
+        assert!(ok.is_ok());
+        let bad_arity = Table::try_new(schema(), vec![row![1i64]]);
+        assert!(bad_arity.is_err());
+        let bad_type = Table::try_new(schema(), vec![row![1i64, "x"]]);
+        assert!(bad_type.is_err());
+    }
+
+    #[test]
+    fn nulls_pass_validation() {
+        let t = Table::try_new(schema(), vec![Row::new(vec![Value::Null, Value::Null])]);
+        assert!(t.is_ok());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = Table::try_new(schema(), vec![row![1i64, 2.0f64], row![2i64, 4.0f64]]).unwrap();
+        assert_eq!(t.column("score").unwrap(), vec![Value::Float(2.0), Value::Float(4.0)]);
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn builder_checks_arity() {
+        let mut b = TableBuilder::new(schema());
+        assert!(b.push(row![1i64, 1.0f64]).is_ok());
+        assert!(b.push(row![1i64]).is_err());
+        assert_eq!(b.finish().num_rows(), 1);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let rows: Vec<Row> = (0..30).map(|i| row![i as i64, i as f64]).collect();
+        let t = Table::new_unchecked(schema(), rows);
+        let s = t.display_limit(5);
+        assert!(s.contains("... 25 more rows"));
+        assert!(s.contains("| id | score |"));
+    }
+}

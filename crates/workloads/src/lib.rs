@@ -1,0 +1,26 @@
+//! Synthetic workloads reproducing the paper's evaluation data (§5, §6).
+//!
+//! The paper evaluates on (a) a 100 GB TPC-H dataset **denormalized into a
+//! single fact table** and (b) a Conviva video-session trace (a single
+//! denormalized fact table of session logs). Neither raw dataset is
+//! available, so this crate generates seeded synthetic equivalents with the
+//! same *statistical shape* (skewed positive times, a minority of abnormal
+//! sessions, per-group variation) at laptop scale, plus the adapted query
+//! suites:
+//!
+//! * [`conviva`] — the Sessions log with queries C1–C3 ("statistics of
+//!   sessions with abnormal behaviour") and the SBI running example;
+//! * [`tpch`] — the denormalized TPC-H-like fact table with nested-
+//!   aggregate adaptations of Q11, Q17, Q18 and Q20 (per the paper's
+//!   footnote, structure retained but overly-selective constants relaxed);
+//! * [`mytube`] — the demo's "MyTube Inc." scenario data: sessions tagged
+//!   with A/B experiment variants plus an ads dimension table, for the ad
+//!   optimization and A/B testing walkthroughs.
+
+pub mod conviva;
+pub mod mytube;
+pub mod tpch;
+
+pub use conviva::ConvivaGenerator;
+pub use mytube::MyTubeGenerator;
+pub use tpch::TpchGenerator;

@@ -1,0 +1,76 @@
+//! The paper's TPC-H evaluation queries (§5) running online.
+//!
+//! Executes the adapted Q11 / Q17 / Q18 / Q20 over the denormalized
+//! synthetic fact table, showing per-batch refinement, uncertain-set sizes
+//! and any failure-triggered recomputations — then verifies the final
+//! answer against the exact batch engine.
+//!
+//! Run with: `cargo run --release --example tpch_online`
+
+use std::sync::Arc;
+
+use g_ola::core::{OnlineConfig, OnlineSession};
+use g_ola::storage::Catalog;
+use g_ola::workloads::{tpch, TpchGenerator};
+
+fn main() -> g_ola::common::Result<()> {
+    let rows = 100_000;
+    println!("generating ~{rows} denormalized TPC-H-like lineitems...");
+    let fact = TpchGenerator::default().generate(rows);
+    let mut catalog = Catalog::new();
+    catalog.register("lineitem_denorm", Arc::new(fact))?;
+    let session = OnlineSession::new(catalog, OnlineConfig::default().with_batches(25));
+
+    for (name, sql) in tpch::queries() {
+        println!("\n=== {name} ===\n{sql}\n");
+        // Time the exact engine for the comparison line.
+        let t0 = std::time::Instant::now();
+        let exact = session.execute_exact(sql)?;
+        let batch_exact_time = t0.elapsed();
+
+        let mut final_report = None;
+        for report in session.execute_online(sql)? {
+            let report = report?;
+            let every = (report.num_batches / 5).max(1);
+            if report.batch_index % every == 0 || report.is_final() {
+                println!("  {report}");
+            }
+            final_report = Some(report);
+        }
+        let report = final_report.expect("at least one batch");
+        println!(
+            "  exact engine: {batch_exact_time:?}; online total: {:?} \
+             ({} rows in final answer)",
+            report.cumulative_time,
+            report.table.num_rows()
+        );
+
+        // Verify the final online answer exactly matches batch execution.
+        let mut sorted_online = report.table.rows().to_vec();
+        let mut sorted_exact = exact.rows().to_vec();
+        let cmp = |a: &g_ola::common::Row, b: &g_ola::common::Row| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        sorted_online.sort_by(cmp);
+        sorted_exact.sort_by(cmp);
+        assert_eq!(sorted_online.len(), sorted_exact.len(), "{name}: row count");
+        for (a, b) in sorted_online.iter().zip(&sorted_exact) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                if let (Some(fx), Some(fy)) = (x.as_f64(), y.as_f64()) {
+                    assert!(
+                        (fx - fy).abs() / fy.abs().max(1.0) < 1e-6,
+                        "{name}: {fx} vs {fy}"
+                    );
+                }
+            }
+        }
+        println!("  ✓ final online answer matches the exact engine");
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Randomized end-to-end differential: for random tables, random batch
+//! counts, seeds and a suite of query shapes (monotonic, nested, grouped,
+//! correlated, membership), the online executor's final answer must equal
+//! the exact batch engine's.
+
+use std::sync::Arc;
+
+use g_ola::common::{DataType, Row, Schema, Value};
+use g_ola::core::{OnlineConfig, OnlineSession};
+use g_ola::storage::{Catalog, Table};
+use proptest::prelude::*;
+
+fn random_table(rows: &[(i64, f64, f64, bool)]) -> Table {
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("flag", DataType::Bool),
+    ]));
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|(k, x, y, b)| {
+            Row::new(vec![
+                Value::Int(*k),
+                Value::Float(*x),
+                Value::Float(*y),
+                Value::Bool(*b),
+            ])
+        })
+        .collect();
+    Table::new_unchecked(schema, rows)
+}
+
+const QUERIES: &[&str] = &[
+    // Monotonic.
+    "SELECT COUNT(*), SUM(x), AVG(y), MIN(x), MAX(y) FROM t",
+    "SELECT k, AVG(x) FROM t GROUP BY k ORDER BY k",
+    // Nested uncorrelated.
+    "SELECT AVG(y) FROM t WHERE x > (SELECT AVG(x) FROM t)",
+    "SELECT COUNT(*) FROM t WHERE x < 0.5 * (SELECT AVG(x) FROM t) + 1.0",
+    // Correlated (decorrelated into a grouped block).
+    "SELECT SUM(y) FROM t a WHERE x > (SELECT AVG(x) FROM t b WHERE b.k = a.k)",
+    // Grouped with HAVING against a global scalar.
+    "SELECT k, SUM(x) AS s FROM t GROUP BY k \
+     HAVING SUM(x) > 0.2 * (SELECT SUM(x) FROM t) ORDER BY s DESC",
+    // Membership semi-join.
+    "SELECT COUNT(*), AVG(y) FROM t WHERE k IN \
+     (SELECT k FROM t GROUP BY k HAVING SUM(x) > 5.0)",
+];
+
+fn tables_equal(a: &Table, b: &Table) -> Result<(), String> {
+    if a.num_rows() != b.num_rows() {
+        return Err(format!("row count {} vs {}", a.num_rows(), b.num_rows()));
+    }
+    let sort = |t: &Table| {
+        let mut rows = t.rows().to_vec();
+        rows.sort_by(|x, y| {
+            for (u, v) in x.iter().zip(y.iter()) {
+                let ord = u.total_cmp(v);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    };
+    for (ra, rb) in sort(a).iter().zip(sort(b).iter()) {
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            match (x.as_f64(), y.as_f64()) {
+                (Some(fx), Some(fy)) => {
+                    if (fx - fy).abs() > 1e-6 * (1.0 + fy.abs()) {
+                        return Err(format!("{fx} vs {fy}"));
+                    }
+                }
+                _ => {
+                    if x != y {
+                        return Err(format!("{x} vs {y}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // End-to-end runs are relatively slow; a modest case count still covers
+    // a lot of ground across 7 query shapes per case.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn online_final_answer_equals_exact(
+        rows in prop::collection::vec(
+            (0i64..6, -10.0f64..10.0, -5.0f64..5.0, any::<bool>()),
+            20..120,
+        ),
+        batches in 2usize..8,
+        seed in any::<u64>(),
+        trials in 0u32..24,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.register("t", Arc::new(random_table(&rows))).unwrap();
+        let config = OnlineConfig::for_tests(batches)
+            .with_seed(seed)
+            .with_trials(trials);
+        let session = OnlineSession::new(catalog, config);
+        for sql in QUERIES {
+            let exact = session.execute_exact(sql).unwrap();
+            let last = session
+                .execute_online(sql)
+                .unwrap()
+                .run_to_completion()
+                .unwrap();
+            if let Err(msg) = tables_equal(&last.table, &exact) {
+                prop_assert!(false, "query {sql}: {msg}");
+            }
+        }
+    }
+}
