@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn from_name_builtins() {
-        assert!(matches!(AggKind::from_name("SUM", None).unwrap(), Some(AggKind::Sum)));
-        assert!(matches!(AggKind::from_name("stdev", None).unwrap(), Some(AggKind::StdDev)));
+        assert!(matches!(
+            AggKind::from_name("SUM", None).unwrap(),
+            Some(AggKind::Sum)
+        ));
+        assert!(matches!(
+            AggKind::from_name("stdev", None).unwrap(),
+            Some(AggKind::StdDev)
+        ));
         assert!(matches!(
             AggKind::from_name("median", None).unwrap(),
             Some(AggKind::Quantile(q)) if q == 0.5
@@ -135,9 +141,18 @@ mod tests {
 
     #[test]
     fn return_types() {
-        assert_eq!(AggKind::Count.return_type(DataType::Str).unwrap(), DataType::Float);
-        assert_eq!(AggKind::Min.return_type(DataType::Str).unwrap(), DataType::Str);
-        assert_eq!(AggKind::Avg.return_type(DataType::Int).unwrap(), DataType::Float);
+        assert_eq!(
+            AggKind::Count.return_type(DataType::Str).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            AggKind::Min.return_type(DataType::Str).unwrap(),
+            DataType::Str
+        );
+        assert_eq!(
+            AggKind::Avg.return_type(DataType::Int).unwrap(),
+            DataType::Float
+        );
         assert!(AggKind::Sum.return_type(DataType::Str).is_err());
     }
 

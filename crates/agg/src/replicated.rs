@@ -34,7 +34,10 @@ impl ReplicatedStates {
         for _ in 0..rows {
             states.extend(kinds.iter().map(AggKind::new_state));
         }
-        ReplicatedStates { states, num_aggs: kinds.len() }
+        ReplicatedStates {
+            states,
+            num_aggs: kinds.len(),
+        }
     }
 
     #[inline]
@@ -50,10 +53,9 @@ impl ReplicatedStates {
 
     /// Number of bootstrap replicas.
     pub fn trials(&self) -> u32 {
-        if self.num_aggs == 0 {
-            0
-        } else {
-            (self.states.len() / self.num_aggs - 1) as u32
+        match self.states.len().checked_div(self.num_aggs) {
+            Some(rows) => (rows - 1) as u32,
+            None => 0,
         }
     }
 
@@ -81,6 +83,37 @@ impl ReplicatedStates {
         }
     }
 
+    /// Fold one tuple in with precomputed replica weights (`weights[b]` is
+    /// the tuple's `Poisson(1)` weight in replica `b`, e.g. one row of
+    /// [`BootstrapSpec::weights_batch`]). Bit-identical to
+    /// [`ReplicatedStates::update`]: each accumulator sees the same update
+    /// sequence, but the loop runs aggregate-major so the argument's null
+    /// check and numeric conversion are hoisted out of the replica loop.
+    pub fn update_with_weights(&mut self, values: &[Value], weights: &[u32]) {
+        debug_assert_eq!(values.len(), self.num_aggs());
+        debug_assert_eq!(weights.len(), self.trials() as usize);
+        let stride = self.num_aggs;
+        for (j, v) in values.iter().enumerate() {
+            self.states[j].update(v, 1.0);
+            if v.is_null() {
+                continue;
+            }
+            if let Some(x) = v.as_f64() {
+                for (b, &w) in weights.iter().enumerate() {
+                    if w != 0 {
+                        self.states[(1 + b) * stride + j].update_numeric(v, x, w as f64);
+                    }
+                }
+            } else {
+                for (b, &w) in weights.iter().enumerate() {
+                    if w != 0 {
+                        self.states[(1 + b) * stride + j].update(v, w as f64);
+                    }
+                }
+            }
+        }
+    }
+
     /// Merge another group's states (same kinds/trials; used when combining
     /// partial aggregations).
     pub fn merge(&mut self, other: &ReplicatedStates) {
@@ -94,7 +127,10 @@ impl ReplicatedStates {
     /// inclusion of the other partition is decided separately).
     pub fn merge_main(&mut self, other: &ReplicatedStates) {
         let stride = self.num_aggs;
-        for (a, b) in self.states[..stride].iter_mut().zip(&other.states[..stride]) {
+        for (a, b) in self.states[..stride]
+            .iter_mut()
+            .zip(&other.states[..stride])
+        {
             a.merge(b);
         }
     }
@@ -213,7 +249,11 @@ mod tests {
         }
         let est = rs.estimate(0, 1.0).unwrap();
         let m = mean(&est.replicas).unwrap();
-        assert!((m - est.value).abs() < 1.0, "replica mean {m} vs {}", est.value);
+        assert!(
+            (m - est.value).abs() < 1.0,
+            "replica mean {m} vs {}",
+            est.value
+        );
         assert!(est.std_error().unwrap() > 0.0);
         assert_eq!(est.replicas.len(), 100);
     }
@@ -233,6 +273,32 @@ mod tests {
             b.update(&[Value::Float(t as f64)], t, &s);
         }
         assert_eq!(a.replica_values(0, 1.0), b.replica_values(0, 1.0));
+    }
+
+    #[test]
+    fn update_with_weights_matches_update() {
+        let kinds = [AggKind::Sum, AggKind::Count, AggKind::Avg, AggKind::Min];
+        let s = spec();
+        let mut a = ReplicatedStates::new(&kinds, 64);
+        let mut b = ReplicatedStates::new(&kinds, 64);
+        let mut wbuf = Vec::new();
+        for t in 0..200u64 {
+            let v = [
+                Value::Float(t as f64 - 50.0),
+                Value::Int(1),
+                Value::Float((t % 13) as f64),
+                Value::str(if t % 2 == 0 { "even" } else { "odd" }),
+            ];
+            a.update(&v, t, &s);
+            s.weights_into(t, &mut wbuf);
+            b.update_with_weights(&v, &wbuf);
+        }
+        for j in 0..kinds.len() {
+            assert_eq!(a.value(j, 1.5), b.value(j, 1.5), "agg {j}");
+            for tr in 0..64u32 {
+                assert_eq!(a.trial_value(j, tr, 1.5), b.trial_value(j, tr, 1.5));
+            }
+        }
     }
 
     #[test]

@@ -11,12 +11,28 @@ use crate::udaf::UdafState;
 /// weights); multiset multiplicity is applied at [`AggState::finalize`].
 #[derive(Debug, Clone)]
 pub enum AggState {
-    Count { weight_sum: f64 },
-    Sum { sum: f64, weight_sum: f64, saw_negative: bool },
-    Avg { sum: f64, weight_sum: f64 },
-    Min { best: Option<Value> },
-    Max { best: Option<Value> },
-    Var { acc: Welford, stddev: bool },
+    Count {
+        weight_sum: f64,
+    },
+    Sum {
+        sum: f64,
+        weight_sum: f64,
+        saw_negative: bool,
+    },
+    Avg {
+        sum: f64,
+        weight_sum: f64,
+    },
+    Min {
+        best: Option<Value>,
+    },
+    Max {
+        best: Option<Value>,
+    },
+    Var {
+        acc: Welford,
+        stddev: bool,
+    },
     Quantile(P2Quantile),
     Udaf(Box<dyn UdafState>),
 }
@@ -25,12 +41,25 @@ impl AggState {
     pub fn new(kind: &AggKind) -> AggState {
         match kind {
             AggKind::Count => AggState::Count { weight_sum: 0.0 },
-            AggKind::Sum => AggState::Sum { sum: 0.0, weight_sum: 0.0, saw_negative: false },
-            AggKind::Avg => AggState::Avg { sum: 0.0, weight_sum: 0.0 },
+            AggKind::Sum => AggState::Sum {
+                sum: 0.0,
+                weight_sum: 0.0,
+                saw_negative: false,
+            },
+            AggKind::Avg => AggState::Avg {
+                sum: 0.0,
+                weight_sum: 0.0,
+            },
             AggKind::Min => AggState::Min { best: None },
             AggKind::Max => AggState::Max { best: None },
-            AggKind::VarPop => AggState::Var { acc: Welford::new(), stddev: false },
-            AggKind::StdDev => AggState::Var { acc: Welford::new(), stddev: true },
+            AggKind::VarPop => AggState::Var {
+                acc: Welford::new(),
+                stddev: false,
+            },
+            AggKind::StdDev => AggState::Var {
+                acc: Welford::new(),
+                stddev: true,
+            },
             AggKind::Quantile(q) => AggState::Quantile(P2Quantile::new(*q)),
             AggKind::Udaf(u) => AggState::Udaf(u.new_state()),
         }
@@ -44,7 +73,11 @@ impl AggState {
         }
         match self {
             AggState::Count { weight_sum } => *weight_sum += weight,
-            AggState::Sum { sum, weight_sum, saw_negative } => {
+            AggState::Sum {
+                sum,
+                weight_sum,
+                saw_negative,
+            } => {
                 if let Some(x) = value.as_f64() {
                     *sum += x * weight;
                     *weight_sum += weight;
@@ -91,6 +124,57 @@ impl AggState {
         }
     }
 
+    /// [`AggState::update`] with the value's numeric conversion hoisted out:
+    /// `x` must be `value.as_f64().unwrap()` and `value` must be non-null.
+    /// Bit-identical to `update` — callers fold the *same* tuple into many
+    /// bootstrap replicas and must not pay the `Value` match per replica.
+    #[inline]
+    pub fn update_numeric(&mut self, value: &Value, x: f64, weight: f64) {
+        debug_assert!(!value.is_null() && value.as_f64() == Some(x));
+        if weight <= 0.0 {
+            return;
+        }
+        match self {
+            AggState::Count { weight_sum } => *weight_sum += weight,
+            AggState::Sum {
+                sum,
+                weight_sum,
+                saw_negative,
+            } => {
+                *sum += x * weight;
+                *weight_sum += weight;
+                if x < 0.0 {
+                    *saw_negative = true;
+                }
+            }
+            AggState::Avg { sum, weight_sum } => {
+                *sum += x * weight;
+                *weight_sum += weight;
+            }
+            AggState::Min { best } => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => value.total_cmp(b) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    *best = Some(value.clone());
+                }
+            }
+            AggState::Max { best } => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => value.total_cmp(b) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    *best = Some(value.clone());
+                }
+            }
+            AggState::Var { acc, .. } => acc.add_weighted(x, weight),
+            AggState::Quantile(p2) => p2.add_weighted(x, weight),
+            AggState::Udaf(state) => state.update(value, weight),
+        }
+    }
+
     /// Merge another state of the same kind (parallel partial aggregation;
     /// panics on kind mismatch — states are paired by construction).
     /// Quantile and UDAF states do not support merging and must be
@@ -99,16 +183,30 @@ impl AggState {
         match (self, other) {
             (AggState::Count { weight_sum: a }, AggState::Count { weight_sum: b }) => *a += b,
             (
-                AggState::Sum { sum: s1, weight_sum: w1, saw_negative: n1 },
-                AggState::Sum { sum: s2, weight_sum: w2, saw_negative: n2 },
+                AggState::Sum {
+                    sum: s1,
+                    weight_sum: w1,
+                    saw_negative: n1,
+                },
+                AggState::Sum {
+                    sum: s2,
+                    weight_sum: w2,
+                    saw_negative: n2,
+                },
             ) => {
                 *s1 += s2;
                 *w1 += w2;
                 *n1 |= n2;
             }
             (
-                AggState::Avg { sum: s1, weight_sum: w1 },
-                AggState::Avg { sum: s2, weight_sum: w2 },
+                AggState::Avg {
+                    sum: s1,
+                    weight_sum: w1,
+                },
+                AggState::Avg {
+                    sum: s2,
+                    weight_sum: w2,
+                },
             ) => {
                 *s1 += s2;
                 *w1 += w2;
@@ -146,7 +244,9 @@ impl AggState {
     pub fn finalize(&self, scale: f64) -> Value {
         match self {
             AggState::Count { weight_sum } => Value::Float(weight_sum * scale),
-            AggState::Sum { sum, weight_sum, .. } => {
+            AggState::Sum {
+                sum, weight_sum, ..
+            } => {
                 if *weight_sum == 0.0 {
                     Value::Null
                 } else {
@@ -160,9 +260,7 @@ impl AggState {
                     Value::Float(sum / weight_sum)
                 }
             }
-            AggState::Min { best } | AggState::Max { best } => {
-                best.clone().unwrap_or(Value::Null)
-            }
+            AggState::Min { best } | AggState::Max { best } => best.clone().unwrap_or(Value::Null),
             AggState::Var { acc, stddev } => match acc.variance_pop() {
                 Some(v) => Value::Float(if *stddev { v.sqrt() } else { v }),
                 None => Value::Null,
@@ -181,7 +279,9 @@ impl AggState {
     pub fn finalize_f64(&self, scale: f64) -> Option<f64> {
         match self {
             AggState::Count { weight_sum } => Some(weight_sum * scale),
-            AggState::Sum { sum, weight_sum, .. } => {
+            AggState::Sum {
+                sum, weight_sum, ..
+            } => {
                 if *weight_sum == 0.0 {
                     None
                 } else {
@@ -195,9 +295,10 @@ impl AggState {
                     Some(sum / weight_sum)
                 }
             }
-            AggState::Var { acc, stddev } => acc
-                .variance_pop()
-                .map(|v| if *stddev { v.sqrt() } else { v }),
+            AggState::Var { acc, stddev } => {
+                acc.variance_pop()
+                    .map(|v| if *stddev { v.sqrt() } else { v })
+            }
             AggState::Quantile(p2) => p2.estimate(),
             AggState::Min { best } | AggState::Max { best } => {
                 best.as_ref().and_then(Value::as_f64)
@@ -213,7 +314,11 @@ impl AggState {
     pub fn monotone_lower_bound(&self) -> Option<f64> {
         match self {
             AggState::Count { weight_sum } => Some(*weight_sum),
-            AggState::Sum { sum, weight_sum, saw_negative } => {
+            AggState::Sum {
+                sum,
+                weight_sum,
+                saw_negative,
+            } => {
                 if *saw_negative || *weight_sum == 0.0 {
                     None
                 } else {
@@ -325,7 +430,14 @@ mod tests {
         let weighted = feed(&AggKind::Avg, &[(3.0, 4.0), (9.0, 2.0)]);
         let repeated = feed(
             &AggKind::Avg,
-            &[(3.0, 1.0), (3.0, 1.0), (3.0, 1.0), (3.0, 1.0), (9.0, 1.0), (9.0, 1.0)],
+            &[
+                (3.0, 1.0),
+                (3.0, 1.0),
+                (3.0, 1.0),
+                (3.0, 1.0),
+                (9.0, 1.0),
+                (9.0, 1.0),
+            ],
         );
         assert_eq!(weighted.finalize(1.0), repeated.finalize(1.0));
     }
@@ -348,7 +460,10 @@ mod tests {
         let mut v1 = feed(&AggKind::VarPop, &[(1.0, 1.0), (2.0, 1.0)]);
         let v2 = feed(&AggKind::VarPop, &[(3.0, 1.0), (4.0, 1.0)]);
         v1.merge(&v2);
-        let direct = feed(&AggKind::VarPop, &[(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)]);
+        let direct = feed(
+            &AggKind::VarPop,
+            &[(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)],
+        );
         assert!(
             (v1.finalize(1.0).as_f64().unwrap() - direct.finalize(1.0).as_f64().unwrap()).abs()
                 < 1e-12

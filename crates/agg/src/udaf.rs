@@ -117,7 +117,9 @@ impl Udaf for GeometricMean {
         if arg.is_numeric() || arg == DataType::Null {
             Ok(DataType::Float)
         } else {
-            Err(Error::bind(format!("geo_mean expects a numeric argument, got {arg}")))
+            Err(Error::bind(format!(
+                "geo_mean expects a numeric argument, got {arg}"
+            )))
         }
     }
 
@@ -204,7 +206,10 @@ mod tests {
 
     #[test]
     fn return_type_validation() {
-        assert_eq!(GeometricMean.return_type(DataType::Int).unwrap(), DataType::Float);
+        assert_eq!(
+            GeometricMean.return_type(DataType::Int).unwrap(),
+            DataType::Float
+        );
         assert!(GeometricMean.return_type(DataType::Str).is_err());
     }
 }

@@ -21,7 +21,9 @@ use gola_common::{Error, FxHashMap, Result, Row, Value};
 use gola_core::compiled::CompiledBlock;
 use gola_core::executor::join_one;
 use gola_core::report::{BatchReport, CellEstimate};
-use gola_core::runtime::{CtxMode, GroupCtx, Published, PublishedMember, PublishedScalar, TupleCtx};
+use gola_core::runtime::{
+    CtxMode, GroupCtx, Published, PublishedMember, PublishedScalar, TupleCtx,
+};
 use gola_core::OnlineConfig;
 use gola_expr::eval::{eval, eval_predicate, ExactContext};
 use gola_expr::{Expr, RangeVal, Tri};
@@ -56,8 +58,12 @@ impl CdmExecutor {
         config: OnlineConfig,
     ) -> Result<CdmExecutor> {
         config.validate()?;
-        let compiled: Vec<CompiledBlock> =
-            meta.blocks.iter().cloned().map(CompiledBlock::new).collect();
+        let compiled: Vec<CompiledBlock> = meta
+            .blocks
+            .iter()
+            .cloned()
+            .map(CompiledBlock::new)
+            .collect();
         let mut dims = Vec::with_capacity(compiled.len());
         for cb in &compiled {
             let mut block_dims = Vec::with_capacity(cb.block.dims.len());
@@ -121,8 +127,13 @@ impl CdmExecutor {
         let m = self.partitioner.multiplicity_after(i);
         let last = i + 1 == self.partitioner.num_batches();
         let prev_seen = self.seen.len();
-        self.seen
-            .extend(batch.tuple_ids.iter().copied().zip(batch.rows.iter().cloned()));
+        self.seen.extend(
+            batch
+                .tuple_ids
+                .iter()
+                .copied()
+                .zip(batch.rows.iter().cloned()),
+        );
 
         let order = self.meta.order.clone();
         for &b in &order {
@@ -162,17 +173,28 @@ impl CdmExecutor {
             joined_buf.clear();
             join_one(fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
             'rows: for joined in &joined_buf {
-                let point_ctx =
-                    TupleCtx { row: joined, pubs: &self.published, mode: CtxMode::Point };
+                let point_ctx = TupleCtx {
+                    row: joined,
+                    pubs: &self.published,
+                    mode: CtxMode::Point,
+                };
                 for f in &cb.certain_filters {
                     if !eval_predicate(f, &point_ctx)? {
                         continue 'rows;
                     }
                 }
-                let key: Result<Vec<Value>> =
-                    cb.block.group_by.iter().map(|g| eval(g, &point_ctx)).collect();
-                let args: Result<Vec<Value>> =
-                    cb.block.aggs.iter().map(|a| eval(&a.arg, &point_ctx)).collect();
+                let key: Result<Vec<Value>> = cb
+                    .block
+                    .group_by
+                    .iter()
+                    .map(|g| eval(g, &point_ctx))
+                    .collect();
+                let args: Result<Vec<Value>> = cb
+                    .block
+                    .aggs
+                    .iter()
+                    .map(|a| eval(&a.arg, &point_ctx))
+                    .collect();
                 let args = args?;
                 let states = groups
                     .entry(key?)
@@ -194,8 +216,11 @@ impl CdmExecutor {
                     if w == 0 {
                         continue;
                     }
-                    let trial_ctx =
-                        TupleCtx { row: joined, pubs: &self.published, mode: CtxMode::Trial(t) };
+                    let trial_ctx = TupleCtx {
+                        row: joined,
+                        pubs: &self.published,
+                        mode: CtxMode::Trial(t),
+                    };
                     let mut pass = true;
                     for f in &cb.uncertain_filters {
                         if !eval_predicate(f, &trial_ctx)? {
@@ -300,7 +325,13 @@ impl CdmExecutor {
         aggs: &[Value],
         mode: CtxMode,
     ) -> Result<bool> {
-        let ctx = GroupCtx { keys, aggs, agg_ranges: None, pubs: &self.published, mode };
+        let ctx = GroupCtx {
+            keys,
+            aggs,
+            agg_ranges: None,
+            pubs: &self.published,
+            mode,
+        };
         for h in &cb.block.having {
             if !eval_predicate(h, &ctx)? {
                 return Ok(false);
@@ -354,8 +385,7 @@ impl CdmExecutor {
             let out_vals: Result<Vec<Value>> = post.iter().map(|e| eval(e, &ctx)).collect();
             let mut col_reps: Vec<Vec<f64>> = vec![Vec::new(); post.len()];
             for t in 0..trials {
-                let agg_t: Vec<Value> =
-                    (0..n_aggs).map(|j| states.trial_value(j, t, m)).collect();
+                let agg_t: Vec<Value> = (0..n_aggs).map(|j| states.trial_value(j, t, m)).collect();
                 let ctx = GroupCtx {
                     keys: key,
                     aggs: &agg_t,
@@ -420,10 +450,8 @@ impl CdmExecutor {
             }
         }
         let row_certain = vec![false; table_rows.len()];
-        let table = gola_storage::Table::new_unchecked(
-            Arc::clone(&cb.block.output_schema),
-            table_rows,
-        );
+        let table =
+            gola_storage::Table::new_unchecked(Arc::clone(&cb.block.output_schema), table_rows);
         Ok(BatchReport {
             batch_index,
             num_batches: self.partitioner.num_batches(),
@@ -438,6 +466,7 @@ impl CdmExecutor {
             recomputations: 0,
             batch_time: Duration::ZERO,
             cumulative_time: Duration::ZERO,
+            timing: Default::default(),
         })
     }
 }

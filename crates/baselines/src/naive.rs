@@ -42,7 +42,9 @@ impl NaiveExecutor {
         partitioner: Arc<MiniBatchPartitioner>,
     ) -> Result<NaiveExecutor> {
         if !catalog.contains(stream_table) {
-            return Err(Error::catalog(format!("unknown stream table '{stream_table}'")));
+            return Err(Error::catalog(format!(
+                "unknown stream table '{stream_table}'"
+            )));
         }
         Ok(NaiveExecutor {
             catalog: catalog.clone(),

@@ -16,6 +16,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gola_agg::AggKind;
 use gola_bootstrap::ci::z_for_level;
 use gola_bootstrap::ConfidenceInterval;
 use gola_common::stats::Welford;
@@ -25,7 +26,6 @@ use gola_core::executor::join_one;
 use gola_core::runtime::{CtxMode, GroupCtx, TupleCtx};
 use gola_expr::eval::{eval, eval_predicate, ExactContext};
 use gola_expr::Expr;
-use gola_agg::AggKind;
 use gola_plan::{AggCall, BlockRole, MetaPlan};
 use gola_storage::{Catalog, MiniBatchPartitioner};
 
@@ -145,7 +145,11 @@ impl ClassicOlaExecutor {
             joined_buf.clear();
             join_one(fact_row, &self.dims, &cb.block.dims, &mut joined_buf)?;
             'rows: for joined in &joined_buf {
-                let ctx = TupleCtx { row: joined, pubs: &no_pubs, mode: CtxMode::Point };
+                let ctx = TupleCtx {
+                    row: joined,
+                    pubs: &no_pubs,
+                    mode: CtxMode::Point,
+                };
                 for f in &cb.block.filters {
                     if !eval_predicate(f, &ctx)? {
                         continue 'rows;
@@ -199,7 +203,9 @@ impl ClassicOlaExecutor {
             std::cmp::Ordering::Equal
         });
         let empty_key: Vec<Value> = Vec::new();
-        let empty_state = GroupState { accs: vec![Welford::new(); cb.block.aggs.len()] };
+        let empty_state = GroupState {
+            accs: vec![Welford::new(); cb.block.aggs.len()],
+        };
         if entries.is_empty() && n_keys == 0 {
             entries.push((&empty_key, &empty_state));
         }
@@ -273,10 +279,7 @@ impl ClassicOlaExecutor {
             }
             rows.push(Row::new(out_vals));
         }
-        let table = gola_storage::Table::new_unchecked(
-            Arc::clone(&cb.block.output_schema),
-            rows,
-        );
+        let table = gola_storage::Table::new_unchecked(Arc::clone(&cb.block.output_schema), rows);
         Ok(OlaReport {
             batch_index,
             num_batches: self.partitioner.num_batches(),

@@ -36,7 +36,8 @@ fn sessions_table(n: usize, seed: u64) -> Table {
 
 fn catalog(n: usize) -> Catalog {
     let mut c = Catalog::new();
-    c.register("sessions", Arc::new(sessions_table(n, 7))).unwrap();
+    c.register("sessions", Arc::new(sessions_table(n, 7)))
+        .unwrap();
     c
 }
 
@@ -62,14 +63,18 @@ fn setup(
     sql: &str,
     n: usize,
     k: usize,
-) -> (Catalog, gola_core::PreparedQuery, Arc<MiniBatchPartitioner>, OnlineConfig) {
+) -> (
+    Catalog,
+    gola_core::PreparedQuery,
+    Arc<MiniBatchPartitioner>,
+    OnlineConfig,
+) {
     let cat = catalog(n);
     let config = OnlineConfig::for_tests(k);
     let session = OnlineSession::new(cat.clone(), config.clone());
     let prepared = session.prepare(sql).unwrap();
     let table = cat.get("sessions").unwrap();
-    let partitioner =
-        Arc::new(MiniBatchPartitioner::new(table, k, config.partition_seed).unwrap());
+    let partitioner = Arc::new(MiniBatchPartitioner::new(table, k, config.partition_seed).unwrap());
     (cat, prepared, partitioner, config)
 }
 
@@ -87,8 +92,7 @@ fn cdm_final_matches_exact() {
         let exact = gola_engine::BatchEngine::new(&cat)
             .execute(&prepared.graph)
             .unwrap();
-        let mut cdm =
-            CdmExecutor::new(&cat, prepared.meta.clone(), partitioner, config).unwrap();
+        let mut cdm = CdmExecutor::new(&cat, prepared.meta.clone(), partitioner, config).unwrap();
         let mut last = None;
         while !cdm.is_finished() {
             last = Some(cdm.step().unwrap());
@@ -109,8 +113,7 @@ fn cdm_and_gola_agree_every_batch() {
         config.clone(),
     )
     .unwrap();
-    let mut gola =
-        OnlineExecutor::new(&cat, prepared.meta.clone(), partitioner, config).unwrap();
+    let mut gola = OnlineExecutor::new(&cat, prepared.meta.clone(), partitioner, config).unwrap();
     for _ in 0..6 {
         let a = cdm.step().unwrap();
         let b = gola.step().unwrap();
@@ -182,16 +185,18 @@ fn classic_ola_simple_avg() {
     // partition seeds — a single seed can legitimately miss.
     let mut covered = 0;
     for seed in 0..10u64 {
-        let part = Arc::new(
-            MiniBatchPartitioner::new(cat.get("sessions").unwrap(), 10, seed).unwrap(),
-        );
+        let part =
+            Arc::new(MiniBatchPartitioner::new(cat.get("sessions").unwrap(), 10, seed).unwrap());
         let mut early = ClassicOlaExecutor::new(&cat, &prepared.meta, part, 0.95).unwrap();
         let r = early.step().unwrap();
         if r.cells[0].ci.contains(truth) {
             covered += 1;
         }
     }
-    assert!(covered >= 7, "early CI covered truth only {covered}/10 times");
+    assert!(
+        covered >= 7,
+        "early CI covered truth only {covered}/10 times"
+    );
 }
 
 #[test]

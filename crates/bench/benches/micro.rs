@@ -78,7 +78,10 @@ fn bench_classification(c: &mut Criterion) {
         Expr::binary(
             BinOp::Mul,
             Expr::lit(1.1),
-            Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![],
+            },
         ),
     );
     let mut g = c.benchmark_group("classify");
@@ -146,7 +149,9 @@ fn bench_partitioner(c: &mut Criterion) {
     });
     let p = MiniBatchPartitioner::new(Arc::clone(&table), 100, 7).unwrap();
     g.throughput(Throughput::Elements(1000));
-    g.bench_function("materialize_one_batch", |b| b.iter(|| p.batch(black_box(50))));
+    g.bench_function("materialize_one_batch", |b| {
+        b.iter(|| p.batch(black_box(50)))
+    });
     g.finish();
 }
 

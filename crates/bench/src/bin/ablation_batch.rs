@@ -28,11 +28,10 @@ fn main() {
     ]);
     let mut table_rows = Vec::new();
     for k in [10usize, 25, 50, 100, 200] {
-        let config = OnlineConfig::default().with_batches(k).with_trials(100);
+        let config = with_bench_threads(OnlineConfig::default().with_batches(k).with_trials(100));
         let reports = run_online(&catalog, conviva::SBI, &config);
         let total = reports.last().unwrap().cumulative_time;
-        let mean_batch_ms =
-            total.as_secs_f64() * 1000.0 / reports.len() as f64;
+        let mean_batch_ms = total.as_secs_f64() * 1000.0 / reports.len() as f64;
         let t_2pct = reports
             .iter()
             .find(|r| r.primary_rel_stddev().is_some_and(|x| x <= 0.02))

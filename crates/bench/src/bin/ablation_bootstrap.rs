@@ -11,7 +11,10 @@ use gola_core::OnlineConfig;
 
 const QUERIES: [(&str, &str); 3] = [
     ("AVG", "SELECT AVG(play_time) FROM sessions"),
-    ("SUM", "SELECT SUM(play_time) FROM sessions WHERE join_failed = 0"),
+    (
+        "SUM",
+        "SELECT SUM(play_time) FROM sessions WHERE join_failed = 0",
+    ),
     (
         "nested AVG",
         "SELECT AVG(play_time) FROM sessions \
@@ -39,12 +42,13 @@ fn main() {
         for (stop_batches, stop_pct) in [(2usize, 10.0), (6usize, 30.0)] {
             let mut covered = 0u32;
             for seed in 0..seeds {
-                let config = OnlineConfig::default()
-                    .with_batches(20)
-                    .with_trials(100)
-                    .with_seed(seed);
-                let session =
-                    gola_core::OnlineSession::new(catalog.clone(), config);
+                let config = with_bench_threads(
+                    OnlineConfig::default()
+                        .with_batches(20)
+                        .with_trials(100)
+                        .with_seed(seed),
+                );
+                let session = gola_core::OnlineSession::new(catalog.clone(), config);
                 let mut exec = session.execute_online(sql).expect("compile");
                 let mut report = None;
                 for _ in 0..stop_batches {
@@ -80,10 +84,12 @@ fn main() {
     for trials in [20u32, 50, 100, 200] {
         let mut widths = Vec::new();
         for seed in 0..10u64 {
-            let config = OnlineConfig::default()
-                .with_batches(10)
-                .with_trials(trials)
-                .with_seed(seed);
+            let config = with_bench_threads(
+                OnlineConfig::default()
+                    .with_batches(10)
+                    .with_trials(trials)
+                    .with_seed(seed),
+            );
             let session = gola_core::OnlineSession::new(catalog.clone(), config);
             let mut exec = session.execute_online(QUERIES[2].1).expect("compile");
             let mut report = None;
@@ -103,7 +109,10 @@ fn main() {
         ]);
         csv_line(&["trials".into(), format!("{trials}"), format!("{mean:.4}")]);
     }
-    print_table(&["trials B", "mean ± half-width", "across-seed sd"], &rows_b);
+    print_table(
+        &["trials B", "mean ± half-width", "across-seed sd"],
+        &rows_b,
+    );
     println!("\nexpected: half-widths agree across B; larger B mainly reduces the");
     println!("seed-to-seed wobble of the interval endpoints.");
 }

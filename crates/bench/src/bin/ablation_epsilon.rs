@@ -39,10 +39,12 @@ fn main() {
         println!("{name}:");
         let mut table_rows = Vec::new();
         for (label, policy) in &policies {
-            let config = OnlineConfig::default()
-                .with_batches(40)
-                .with_trials(50)
-                .with_epsilon(*policy);
+            let config = with_bench_threads(
+                OnlineConfig::default()
+                    .with_batches(40)
+                    .with_trials(50)
+                    .with_epsilon(*policy),
+            );
             let reports = run_online(catalog, sql, &config);
             let recomputes = reports.last().unwrap().recomputations;
             let mean_u = reports.iter().map(|r| r.uncertain_tuples).sum::<usize>() as f64

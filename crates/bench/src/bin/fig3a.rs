@@ -20,13 +20,21 @@ fn main() {
     let catalog = tpch_catalog(n);
 
     let (batch_time, _) = time_exact(&catalog, tpch::Q17);
-    println!("traditional batch engine latency (vertical bar): {}s\n", secs(batch_time));
+    println!(
+        "traditional batch engine latency (vertical bar): {}s\n",
+        secs(batch_time)
+    );
 
-    let config = OnlineConfig::default().with_batches(100).with_trials(100);
+    let config = with_bench_threads(OnlineConfig::default().with_batches(100).with_trials(100));
     let reports = run_online(&catalog, tpch::Q17, &config);
 
     let mut table_rows = Vec::new();
-    csv_line(&["figure".into(), "batch".into(), "time_s".into(), "rel_stddev_pct".into()]);
+    csv_line(&[
+        "figure".into(),
+        "batch".into(),
+        "time_s".into(),
+        "rel_stddev_pct".into(),
+    ]);
     let mut first_answer = None;
     let mut time_at_2pct = None;
     for r in &reports {
@@ -43,7 +51,8 @@ fn main() {
             table_rows.push(vec![
                 format!("{}", r.batch_index + 1),
                 secs(t),
-                rsd.map(|x| format!("{:.3}", x * 100.0)).unwrap_or_else(|| "-".into()),
+                rsd.map(|x| format!("{:.3}", x * 100.0))
+                    .unwrap_or_else(|| "-".into()),
                 format!("{}", r.uncertain_tuples),
             ]);
         }

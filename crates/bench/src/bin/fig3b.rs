@@ -28,14 +28,22 @@ fn main() {
     let tpch_cat = tpch_catalog(tpch_rows);
 
     let mut suites: Vec<(&str, &str, &gola_storage::Catalog)> = Vec::new();
-    for (name, sql) in [("C1", conviva::C1), ("C2", conviva::C2), ("C3", conviva::C3)] {
+    for (name, sql) in [
+        ("C1", conviva::C1),
+        ("C2", conviva::C2),
+        ("C3", conviva::C3),
+    ] {
         suites.push((name, sql, &conviva_cat));
     }
     for (name, sql) in tpch::queries() {
         suites.push((name, sql, &tpch_cat));
     }
 
-    let config = OnlineConfig::default().with_batches(BATCHES).with_trials(50);
+    let config = with_bench_threads(
+        OnlineConfig::default()
+            .with_batches(BATCHES)
+            .with_trials(50),
+    );
     let mut ratios: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, sql, catalog) in suites {
         let (prepared, partitioner) = prepare(catalog, sql, &config);
@@ -95,7 +103,11 @@ fn main() {
             "  {name:>4}: {:.2}x → {:.2}x ({})",
             series[1],
             series[BATCHES - 1],
-            if series[BATCHES - 1] > series[1] { "grows ✓" } else { "FLAT ✗" }
+            if series[BATCHES - 1] > series[1] {
+                "grows ✓"
+            } else {
+                "FLAT ✗"
+            }
         );
     }
 }

@@ -31,7 +31,8 @@ fn main() {
         println!("{name}: batch engine {}s", secs(batch_time));
         let mut table_rows = Vec::new();
         for trials in [0u32, 10, 50, 100] {
-            let config = OnlineConfig::default().with_batches(50).with_trials(trials);
+            let config =
+                with_bench_threads(OnlineConfig::default().with_batches(50).with_trials(trials));
             let reports = run_online(catalog, sql, &config);
             let total = reports.last().unwrap().cumulative_time;
             let overhead = (total.as_secs_f64() / batch_time.as_secs_f64() - 1.0) * 100.0;
@@ -49,7 +50,10 @@ fn main() {
                 format!("{overhead:.1}"),
             ]);
         }
-        print_table(&["trials B", "online_total_s", "overhead_vs_batch"], &table_rows);
+        print_table(
+            &["trials B", "online_total_s", "overhead_vs_batch"],
+            &table_rows,
+        );
         println!("  (paper reports ~60% at B=100 with error estimation on)\n");
     }
 }

@@ -1,0 +1,210 @@
+//! Thread-scaling experiment for the persistent parallel runtime.
+//!
+//! Runs the same TPC-H query (100 bootstrap trials) at several worker-thread
+//! counts, verifies the reports are **bit-identical** across thread counts
+//! (the determinism contract of the chunked classify/fold pipeline), and
+//! reports per-batch wall-clock throughput plus per-stage totals.
+//!
+//! Output: a human table, `csv,` lines, and one `json,` line suitable for
+//! `results/BENCH_scaling.json`.
+//!
+//! ```text
+//! cargo run --release -p gola-bench --bin scaling [-- --threads-list 1,2,4]
+//! ```
+
+use std::time::Duration;
+
+use gola_bench::*;
+use gola_core::{BatchReport, BatchTiming, OnlineConfig};
+
+const TRIALS: u32 = 100;
+const BATCHES: usize = 20;
+
+/// Exact fingerprint of a run: every float is rendered via `to_bits`, so two
+/// runs fingerprint equal iff their reports are bit-identical.
+fn fingerprint(reports: &[BatchReport]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in reports {
+        let _ = write!(
+            s,
+            "b{} u{} rc{} rows{};",
+            r.batch_index,
+            r.uncertain_tuples,
+            r.recomputations,
+            r.table.num_rows()
+        );
+        let _ = write!(s, "{}", r.table.display_limit(usize::MAX));
+        for c in &r.estimates {
+            let _ = write!(
+                s,
+                "e{},{}:{:016x}[",
+                c.row,
+                c.col,
+                c.estimate.value.to_bits()
+            );
+            for rep in &c.estimate.replicas {
+                let _ = write!(s, "{:016x},", rep.to_bits());
+            }
+            let _ = write!(s, "]");
+            if let Some(ci) = c.estimate.ci_percentile(0.95) {
+                let _ = write!(s, "ci{:016x},{:016x}", ci.lo.to_bits(), ci.hi.to_bits());
+            }
+        }
+        let _ = write!(s, "|cert{:?}", r.row_certain);
+    }
+    s
+}
+
+struct RunStats {
+    threads: usize,
+    wall: Duration,
+    per_batch_ms: f64,
+    tuples_per_sec: f64,
+    stages: BatchTiming,
+    identical: bool,
+}
+
+fn run_at(
+    catalog: &gola_storage::Catalog,
+    sql: &str,
+    threads: usize,
+) -> (Vec<BatchReport>, Duration) {
+    let config = OnlineConfig::default()
+        .with_batches(BATCHES)
+        .with_trials(TRIALS)
+        .with_threads(threads);
+    let t0 = std::time::Instant::now();
+    let reports = run_online(catalog, sql, &config);
+    (reports, t0.elapsed())
+}
+
+fn main() {
+    let thread_list: Vec<usize> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut list = None;
+        for (i, a) in args.iter().enumerate() {
+            let v = if a == "--threads-list" {
+                args.get(i + 1).cloned()
+            } else {
+                a.strip_prefix("--threads-list=").map(str::to_string)
+            };
+            if let Some(v) = v {
+                list = Some(
+                    v.split(',')
+                        .filter_map(|t| t.parse().ok())
+                        .filter(|&t| t >= 1)
+                        .collect::<Vec<usize>>(),
+                );
+            }
+        }
+        list.filter(|l| !l.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4])
+    };
+    let n = rows(200_000);
+    let catalog = tpch_catalog(n);
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (name, sql) = ("tpch_q17", gola_workloads::tpch::Q17);
+    println!(
+        "thread scaling: {name}, {n} rows, {BATCHES} batches, {TRIALS} trials \
+         (host has {cpus} cpu(s))"
+    );
+
+    let (baseline, base_wall) = run_at(&catalog, sql, 1);
+    let base_fp = fingerprint(&baseline);
+    let mut stats: Vec<RunStats> = Vec::new();
+    for &t in &thread_list {
+        let (reports, wall) = if t == 1 {
+            (baseline.clone(), base_wall)
+        } else {
+            run_at(&catalog, sql, t)
+        };
+        let identical = fingerprint(&reports) == base_fp;
+        let mut stages = BatchTiming::default();
+        for r in &reports {
+            stages.accumulate(&r.timing);
+        }
+        stats.push(RunStats {
+            threads: t,
+            wall,
+            per_batch_ms: wall.as_secs_f64() * 1000.0 / reports.len() as f64,
+            tuples_per_sec: n as f64 / wall.as_secs_f64(),
+            stages,
+            identical,
+        });
+    }
+
+    let base = stats[0].wall.as_secs_f64();
+    let mut table = Vec::new();
+    for s in &stats {
+        table.push(vec![
+            s.threads.to_string(),
+            secs(s.wall),
+            format!("{:.2}", s.per_batch_ms),
+            format!("{:.0}", s.tuples_per_sec),
+            format!("{:.2}x", base / s.wall.as_secs_f64()),
+            s.identical.to_string(),
+        ]);
+        csv_line(&[
+            "scaling".into(),
+            name.into(),
+            s.threads.to_string(),
+            secs(s.wall),
+            format!("{:.6}", s.tuples_per_sec),
+            s.identical.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "threads",
+            "wall_s",
+            "batch_ms",
+            "tuples/s",
+            "speedup",
+            "bit_identical",
+        ],
+        &table,
+    );
+
+    let results: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"threads\":{},\"wall_s\":{:.6},\"per_batch_ms\":{:.4},\
+                 \"tuples_per_sec\":{:.1},\"speedup_vs_1\":{:.4},\
+                 \"bit_identical_to_t1\":{},\"stage_totals_s\":{{\
+                 \"join\":{:.6},\"classify\":{:.6},\"fold\":{:.6},\
+                 \"publish\":{:.6},\"recover\":{:.6}}}}}",
+                s.threads,
+                s.wall.as_secs_f64(),
+                s.per_batch_ms,
+                s.tuples_per_sec,
+                base / s.wall.as_secs_f64(),
+                s.identical,
+                s.stages.join.as_secs_f64(),
+                s.stages.classify.as_secs_f64(),
+                s.stages.fold.as_secs_f64(),
+                s.stages.publish.as_secs_f64(),
+                s.stages.recover.as_secs_f64(),
+            )
+        })
+        .collect();
+    println!(
+        "json,{{\"experiment\":\"thread_scaling\",\"workload\":\"{name}\",\
+         \"rows\":{n},\"batches\":{BATCHES},\"trials\":{TRIALS},\
+         \"host_cpus\":{cpus},\"results\":[{}]}}",
+        results.join(",")
+    );
+    if cpus == 1 {
+        println!(
+            "note: host exposes a single CPU — speedups are bounded at ~1x \
+             here; the bit-identical column is the meaningful check."
+        );
+    }
+    if stats.iter().any(|s| !s.identical) {
+        eprintln!("ERROR: reports differ across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -28,11 +28,40 @@ pub fn rows(base: usize) -> usize {
     ((base as f64 * scale()) as usize).max(1000)
 }
 
+/// Worker-thread count shared by all bench binaries: `--threads N` (or
+/// `--threads=N`) on the command line, else `GOLA_THREADS`, else 1.
+pub fn threads_arg() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--threads" {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+        if let Some(v) = a.strip_prefix("--threads=").and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("GOLA_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Apply the bench-wide worker-thread count to a config.
+pub fn with_bench_threads(config: OnlineConfig) -> OnlineConfig {
+    config.with_threads(threads_arg())
+}
+
 /// Catalog with the Conviva-like sessions fact table.
 pub fn conviva_catalog(n: usize) -> Catalog {
     let mut c = Catalog::new();
-    c.register("sessions", Arc::new(ConvivaGenerator::default().generate(n)))
-        .expect("fresh catalog");
+    c.register(
+        "sessions",
+        Arc::new(ConvivaGenerator::default().generate(n)),
+    )
+    .expect("fresh catalog");
     c
 }
 
@@ -65,9 +94,8 @@ pub fn prepare(
     let prepared = session.prepare(sql).expect("query must compile");
     let table = catalog.get(&prepared.stream_table).expect("stream table");
     let k = config.num_batches.min(table.num_rows()).max(1);
-    let partitioner = Arc::new(
-        MiniBatchPartitioner::new(table, k, config.partition_seed).expect("partitioner"),
-    );
+    let partitioner =
+        Arc::new(MiniBatchPartitioner::new(table, k, config.partition_seed).expect("partitioner"));
     (prepared, partitioner)
 }
 
@@ -107,7 +135,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{s}");
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         line(row);
     }
@@ -138,11 +169,7 @@ mod tests {
     fn harness_round_trip_smoke() {
         let catalog = conviva_catalog(2000);
         let config = OnlineConfig::for_tests(4);
-        let reports = run_online(
-            &catalog,
-            "SELECT AVG(play_time) FROM sessions",
-            &config,
-        );
+        let reports = run_online(&catalog, "SELECT AVG(play_time) FROM sessions", &config);
         assert_eq!(reports.len(), 4);
         let (elapsed, table) = time_exact(&catalog, "SELECT AVG(play_time) FROM sessions");
         assert!(elapsed.as_nanos() > 0);
@@ -153,8 +180,7 @@ mod tests {
     fn prepare_and_manual_executor() {
         let catalog = tpch_catalog(2000);
         let config = OnlineConfig::for_tests(4);
-        let (prepared, partitioner) =
-            prepare(&catalog, gola_workloads::tpch::Q17, &config);
+        let (prepared, partitioner) = prepare(&catalog, gola_workloads::tpch::Q17, &config);
         let mut exec = gola_executor(&catalog, &prepared, partitioner, &config);
         let r = exec.step().unwrap();
         assert_eq!(r.batch_index, 0);

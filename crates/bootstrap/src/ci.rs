@@ -30,7 +30,13 @@ impl ConfidenceInterval {
 
 impl fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.4}, {:.4}] @{:.0}%", self.lo, self.hi, self.level * 100.0)
+        write!(
+            f,
+            "[{:.4}, {:.4}] @{:.0}%",
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
     }
 }
 
@@ -51,7 +57,10 @@ impl Estimate {
 
     /// An estimate with no error information.
     pub fn exact(value: f64) -> Self {
-        Estimate { value, replicas: Vec::new() }
+        Estimate {
+            value,
+            replicas: Vec::new(),
+        }
     }
 
     /// Bootstrap standard error: the standard deviation of the replica
@@ -126,6 +135,7 @@ pub fn z_for_level(level: f64) -> f64 {
 }
 
 /// Acklam's inverse-normal-CDF approximation (relative error < 1.15e-9).
+#[allow(clippy::excessive_precision)] // published constants, kept verbatim
 fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
     const A: [f64; 6] = [

@@ -33,9 +33,7 @@ impl EpsilonPolicy {
     /// Compute `ε` given the replica values and the current estimate.
     pub fn epsilon(&self, replicas: &[f64], current: f64) -> f64 {
         match *self {
-            EpsilonPolicy::StdDevScaled(scale) => {
-                scale * stddev_pop(replicas).unwrap_or(0.0)
-            }
+            EpsilonPolicy::StdDevScaled(scale) => scale * stddev_pop(replicas).unwrap_or(0.0),
             EpsilonPolicy::Fixed(eps) => eps,
             EpsilonPolicy::Relative(scale) => scale * current.abs(),
         }
@@ -61,7 +59,10 @@ impl VariationRange {
             lo = lo.min(r);
             hi = hi.max(r);
         }
-        VariationRange { lo: lo - eps, hi: hi + eps }
+        VariationRange {
+            lo: lo - eps,
+            hi: hi + eps,
+        }
     }
 
     pub fn contains(&self, x: f64) -> bool {

@@ -1,6 +1,11 @@
 //! Bootstrap trial configuration and weight streams.
 
-use gola_common::rng::poisson_weight;
+use gola_common::rng::{mix, poisson_from_stream, poisson_weight};
+
+/// `hash_combine`'s multiplier (the SplitMix64 increment), reproduced here
+/// so the batched kernel can hoist the per-replica term out of the tuple
+/// loop while staying bit-identical to [`poisson_weight`].
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration of the poissonized bootstrap: how many replicas to
 /// maintain and the seed of the weight streams.
@@ -35,12 +40,41 @@ impl BootstrapSpec {
             buf.push(self.weight(tuple_id, b));
         }
     }
+
+    /// Batched weight kernel: the full `tuples × trials` weight matrix as a
+    /// flat structure-of-arrays buffer, `out[i * trials + b]` = weight of
+    /// `tuple_ids[i]` in replica `b`.
+    ///
+    /// Bit-identical to calling [`BootstrapSpec::weight`] per cell, but the
+    /// per-replica and per-seed `hash_combine` terms are hoisted out of the
+    /// inner loop: each cell costs two SplitMix64 finalizers plus the Knuth
+    /// product loop, instead of re-deriving both hash_combine multiplies.
+    pub fn weights_batch(&self, tuple_ids: &[u64], out: &mut Vec<u32>) {
+        let trials = self.trials as usize;
+        out.clear();
+        out.reserve(tuple_ids.len() * trials);
+        // hash_combine(a, b) = mix(a ^ b * PHI); both inner multiplies are
+        // invariant across tuples, so precompute them.
+        let xb: Vec<u64> = (0..self.trials)
+            .map(|b| (b as u64 ^ 0xB0_07).wrapping_mul(PHI))
+            .collect();
+        let seed_m = self.seed.wrapping_mul(PHI);
+        for &t in tuple_ids {
+            for &x in &xb {
+                let stream = mix(mix(t ^ x) ^ seed_m);
+                out.push(poisson_from_stream(stream));
+            }
+        }
+    }
 }
 
 impl Default for BootstrapSpec {
     /// 100 trials — the BlinkDB/FluoDB default.
     fn default() -> Self {
-        BootstrapSpec { trials: 100, seed: 0x60_1A }
+        BootstrapSpec {
+            trials: 100,
+            seed: 0x60_1A,
+        }
     }
 }
 
@@ -75,6 +109,28 @@ mod tests {
         let mut buf = vec![99];
         spec.weights_into(1, &mut buf);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_scalar_kernel() {
+        let spec = BootstrapSpec::new(33, 0x60_1A);
+        let ids: Vec<u64> = (0..257).map(|i| i * 7919 + 13).collect();
+        let mut batch = Vec::new();
+        spec.weights_batch(&ids, &mut batch);
+        assert_eq!(batch.len(), ids.len() * 33);
+        for (i, &t) in ids.iter().enumerate() {
+            for b in 0..33u32 {
+                assert_eq!(batch[i * 33 + b as usize], spec.weight(t, b), "t={t} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_zero_trials_is_empty() {
+        let spec = BootstrapSpec::new(0, 7);
+        let mut batch = vec![4u32];
+        spec.weights_batch(&[1, 2, 3], &mut batch);
+        assert!(batch.is_empty());
     }
 
     #[test]

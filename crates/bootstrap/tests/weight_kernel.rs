@@ -1,0 +1,38 @@
+//! Property test: the batched Poisson-weight kernel is bit-identical to the
+//! scalar `BootstrapSpec::weight` for arbitrary tuple ids, trial counts and
+//! seeds. The executor's determinism contract (threads = 1 ≡ threads = N)
+//! rests on this equivalence.
+
+use gola_bootstrap::BootstrapSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn batch_kernel_matches_scalar(
+        tuple_ids in prop::collection::vec(any::<u64>(), 0..200),
+        trials in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let spec = BootstrapSpec { trials, seed };
+        let mut out = Vec::new();
+        spec.weights_batch(&tuple_ids, &mut out);
+        prop_assert_eq!(out.len(), tuple_ids.len() * trials as usize);
+        for (i, &t) in tuple_ids.iter().enumerate() {
+            for b in 0..trials {
+                prop_assert_eq!(
+                    out[i * trials as usize + b as usize],
+                    spec.weight(t, b),
+                    "tuple {} trial {} seed {}", t, b, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_matches(t in any::<u64>(), b in 0u32..1024, seed in any::<u64>()) {
+        let spec = BootstrapSpec { trials: b + 1, seed };
+        let mut out = Vec::new();
+        spec.weights_batch(&[t], &mut out);
+        prop_assert_eq!(out[b as usize], spec.weight(t, b));
+    }
+}

@@ -30,6 +30,9 @@ fn main() {
         config: OnlineConfig::default().with_batches(40),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = flag_value(&args, "--threads") {
+        console.config = console.config.clone().with_threads(threads);
+    }
     if args.iter().any(|a| a == "--demo") {
         console.load("mytube", 100_000);
         console.demo();
@@ -65,8 +68,7 @@ fn main() {
         buffer.push_str(line);
         buffer.push(' ');
         // Execute once the statement ends with `;` or on a blank line.
-        if line.trim_end().ends_with(';') || (line.trim().is_empty() && !buffer.trim().is_empty())
-        {
+        if line.trim_end().ends_with(';') || (line.trim().is_empty() && !buffer.trim().is_empty()) {
             let sql = buffer.trim().trim_end_matches(';').to_string();
             buffer.clear();
             if !sql.is_empty() {
@@ -74,6 +76,19 @@ fn main() {
             }
         }
     }
+}
+
+/// Parse `--flag N` or `--flag=N` from the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 impl Console {
@@ -89,6 +104,7 @@ impl Console {
                 println!("  \\exact <sql>                         run on the batch engine");
                 println!("  \\batches <k>                         set mini-batch count");
                 println!("  \\trials <B>                          set bootstrap replicas");
+                println!("  \\threads <n>                         set worker threads");
                 println!("  \\demo                                scripted dashboard demo");
                 println!("  \\q                                   quit");
                 println!("  <sql>;                               run online (finish with ;)");
@@ -101,10 +117,7 @@ impl Console {
             }
             "\\load" => {
                 let kind = parts.get(1).copied().unwrap_or("conviva");
-                let rows: usize = parts
-                    .get(2)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(50_000);
+                let rows: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
                 self.load(kind, rows);
             }
             "\\batches" => {
@@ -117,6 +130,12 @@ impl Console {
                 if let Some(b) = parts.get(1).and_then(|s| s.parse().ok()) {
                     self.config.bootstrap.trials = b;
                     println!("  bootstrap trials = {b}");
+                }
+            }
+            "\\threads" => {
+                if let Some(t) = parts.get(1).and_then(|s| s.parse::<usize>().ok()) {
+                    self.config = self.config.clone().with_threads(t);
+                    println!("  worker threads = {}", self.config.threads);
                 }
             }
             "\\explain" => {

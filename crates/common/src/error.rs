@@ -92,7 +92,10 @@ mod tests {
     fn display_includes_kind_and_message() {
         let e = Error::bind("unknown column x");
         assert_eq!(e.to_string(), "bind error: unknown column x");
-        let e = Error::Lex { pos: 3, message: "bad char".into() };
+        let e = Error::Lex {
+            pos: 3,
+            message: "bad char".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
     }
 

@@ -77,6 +77,16 @@ fn unit_from_hash(h: u64) -> f64 {
 #[inline]
 pub fn poisson_weight(tuple_id: u64, replica: u32, seed: u64) -> u32 {
     let stream = hash_combine(hash_combine(tuple_id, replica as u64 ^ 0xB0_07), seed);
+    poisson_from_stream(stream)
+}
+
+/// The Knuth loop shared by [`poisson_weight`] and the batched weight
+/// kernel: a `Poisson(1)` draw from a fully mixed 64-bit stream id. Callers
+/// that derive `stream` differently (e.g. with hoisted per-replica terms)
+/// must produce bit-identical streams to `hash_combine(hash_combine(t, b ^
+/// 0xB007), seed)` or weights will diverge.
+#[inline]
+pub fn poisson_from_stream(stream: u64) -> u32 {
     let limit = (-1.0f64).exp();
     let mut k = 0u32;
     let mut p = 1.0f64;
@@ -172,7 +182,8 @@ mod tests {
         }
         let nf = n as f64;
         let cov = sxy / nf - (sx / nf) * (sy / nf);
-        let corr = cov / ((sxx / nf - (sx / nf).powi(2)).sqrt() * (syy / nf - (sy / nf).powi(2)).sqrt());
+        let corr =
+            cov / ((sxx / nf - (sx / nf).powi(2)).sqrt() * (syy / nf - (sy / nf).powi(2)).sqrt());
         assert!(corr.abs() < 0.02, "corr {corr}");
     }
 }

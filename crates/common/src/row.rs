@@ -18,7 +18,9 @@ pub struct Row {
 impl Row {
     /// Build a row from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values: Arc::from(values) }
+        Row {
+            values: Arc::from(values),
+        }
     }
 
     pub fn values(&self) -> &[Value] {

@@ -15,7 +15,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 

@@ -153,9 +153,7 @@ mod tests {
             w.add(x);
         }
         assert!((w.mean - mean(&xs).unwrap()).abs() < 1e-12);
-        assert!(
-            (w.variance_pop().unwrap().sqrt() - stddev_pop(&xs).unwrap()).abs() < 1e-12
-        );
+        assert!((w.variance_pop().unwrap().sqrt() - stddev_pop(&xs).unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -327,13 +327,22 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(Value::str("42").cast(DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::str("42").cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             Value::str("4.5").cast(DataType::Float).unwrap(),
             Value::Float(4.5)
         );
-        assert_eq!(Value::Int(7).cast(DataType::Float).unwrap(), Value::Float(7.0));
-        assert_eq!(Value::Float(7.9).cast(DataType::Int).unwrap(), Value::Int(7));
+        assert_eq!(
+            Value::Int(7).cast(DataType::Float).unwrap(),
+            Value::Float(7.0)
+        );
+        assert_eq!(
+            Value::Float(7.9).cast(DataType::Int).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(Value::Null.cast(DataType::Int).unwrap(), Value::Null);
         assert!(Value::str("abc").cast(DataType::Int).is_err());
         assert_eq!(

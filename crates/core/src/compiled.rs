@@ -94,7 +94,9 @@ fn cacheable_rhs(e: &Expr) -> Option<Vec<Expr>> {
 }
 
 fn compile_fast_scalar_cmp(lin_filters: &[Expr]) -> Option<FastScalarCmp> {
-    let [Expr::Binary { op, left, right }] = lin_filters else { return None };
+    let [Expr::Binary { op, left, right }] = lin_filters else {
+        return None;
+    };
     if !op.is_comparison() {
         return None;
     }
@@ -216,7 +218,9 @@ fn compile_fast_having(
     let empty_row = gola_common::Row::new(vec![]);
     let mut out = Vec::with_capacity(having.len());
     for h in having {
-        let Expr::Binary { op, left, right } = h else { return None };
+        let Expr::Binary { op, left, right } = h else {
+            return None;
+        };
         if !op.is_comparison() {
             return None;
         }
@@ -278,7 +282,10 @@ mod tests {
                 // uncertain: c > $sq0
                 Expr::gt(
                     Expr::col(2),
-                    Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                    Expr::ScalarRef {
+                        id: SubqueryId(0),
+                        key: vec![],
+                    },
                 ),
             ],
             group_by: vec![Expr::col(3)],
@@ -350,7 +357,11 @@ mod fast_path_tests {
         let aggs: Vec<AggCall> = kinds
             .into_iter()
             .enumerate()
-            .map(|(i, kind)| AggCall { kind, arg: Expr::col(1), name: format!("a{i}") })
+            .map(|(i, kind)| AggCall {
+                kind,
+                arg: Expr::col(1),
+                name: format!("a{i}"),
+            })
             .collect();
         Block {
             id: 0,
@@ -380,7 +391,11 @@ mod fast_path_tests {
     }
 
     fn member_filter() -> Expr {
-        Expr::InSubquery { id: SubqueryId(0), key: vec![Expr::col(0)], negated: false }
+        Expr::InSubquery {
+            id: SubqueryId(0),
+            key: vec![Expr::col(0)],
+            negated: false,
+        }
     }
 
     #[test]
@@ -401,7 +416,10 @@ mod fast_path_tests {
         // A second uncertain filter disables it too.
         let scalar = Expr::gt(
             Expr::col(1),
-            Expr::ScalarRef { id: SubqueryId(1), key: vec![] },
+            Expr::ScalarRef {
+                id: SubqueryId(1),
+                key: vec![],
+            },
         );
         let cb = CompiledBlock::new(base_block(
             vec![member_filter(), scalar],
@@ -414,7 +432,10 @@ mod fast_path_tests {
     #[test]
     fn fast_having_detected_for_constant_thresholds() {
         // agg column > constant (also flipped), constant side pre-evaluated.
-        let h1 = Expr::gt(Expr::col(1), Expr::binary(BinOp::Mul, Expr::lit(3.0), Expr::lit(100.0)));
+        let h1 = Expr::gt(
+            Expr::col(1),
+            Expr::binary(BinOp::Mul, Expr::lit(3.0), Expr::lit(100.0)),
+        );
         let cb = CompiledBlock::new(base_block(vec![], vec![h1], vec![AggKind::Sum]));
         let fh = cb.fast_having.as_ref().unwrap();
         assert_eq!(fh.len(), 1);
@@ -428,7 +449,10 @@ mod fast_path_tests {
         // A scalar-ref threshold disables the fast path.
         let h3 = Expr::gt(
             Expr::col(1),
-            Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![],
+            },
         );
         let cb = CompiledBlock::new(base_block(vec![], vec![h3], vec![AggKind::Sum]));
         assert!(cb.fast_having.is_none());
@@ -442,7 +466,10 @@ mod fast_path_tests {
             Expr::binary(
                 BinOp::Mul,
                 Expr::lit(0.5),
-                Expr::ScalarRef { id: SubqueryId(0), key: vec![Expr::col(0)] },
+                Expr::ScalarRef {
+                    id: SubqueryId(0),
+                    key: vec![Expr::col(0)],
+                },
             ),
         );
         let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
@@ -451,7 +478,10 @@ mod fast_path_tests {
         assert_eq!(fsc.key.len(), 1);
         // Flipped orientation normalizes the operator.
         let pred = Expr::gt(
-            Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+            Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![],
+            },
             Expr::col(1),
         );
         let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
@@ -462,7 +492,10 @@ mod fast_path_tests {
             Expr::binary(
                 BinOp::Add,
                 Expr::col(1),
-                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                Expr::ScalarRef {
+                    id: SubqueryId(0),
+                    key: vec![],
+                },
             ),
         );
         let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));
@@ -472,8 +505,14 @@ mod fast_path_tests {
             Expr::col(1),
             Expr::binary(
                 BinOp::Add,
-                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
-                Expr::ScalarRef { id: SubqueryId(1), key: vec![] },
+                Expr::ScalarRef {
+                    id: SubqueryId(0),
+                    key: vec![],
+                },
+                Expr::ScalarRef {
+                    id: SubqueryId(1),
+                    key: vec![],
+                },
             ),
         );
         let cb = CompiledBlock::new(base_block(vec![pred], vec![], vec![AggKind::Sum]));

@@ -165,8 +165,10 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(OnlineConfig::default().with_batches(0).validate().is_err());
-        let mut c = OnlineConfig::default();
-        c.ci_level = 1.0;
+        let mut c = OnlineConfig {
+            ci_level: 1.0,
+            ..OnlineConfig::default()
+        };
         assert!(c.validate().is_err());
         c.ci_level = 0.95;
         c.threads = 0;

@@ -29,11 +29,48 @@ use gola_storage::{Catalog, MiniBatch, MiniBatchPartitioner};
 
 use crate::compiled::CompiledBlock;
 use crate::config::OnlineConfig;
-use crate::report::{BatchReport, CellEstimate};
+use crate::pool::WorkerPool;
+use crate::report::{BatchReport, BatchTiming, CellEstimate};
 use crate::runtime::{
     BlockRuntime, CachedTuple, CtxMode, GroupCtx, Published, PublishedMember, PublishedScalar,
     TupleCtx,
 };
+
+/// Fixed candidate-chunk size for the two-stage (classify → fold) ingest
+/// pipeline. Chunk boundaries depend only on candidate order — never on the
+/// thread count — so chunk-order merging yields bit-identical runtimes (and
+/// therefore bit-identical reports) for `threads = 1` and `threads = N`.
+const CHUNK: usize = 1024;
+
+/// Group-entry chunk size for parallel publication.
+const PUB_CHUNK: usize = 64;
+
+/// A candidate tuple classified deterministic-true, carrying the fold
+/// inputs already evaluated during the classify stage.
+struct FoldItem {
+    tuple_id: u64,
+    /// Membership key (semi-join aggregation blocks only).
+    mkey: Option<Vec<Value>>,
+    key: Vec<Value>,
+    args: Vec<Value>,
+}
+
+/// Classify-stage output for one fixed-size candidate chunk.
+#[derive(Default)]
+struct ChunkClass {
+    folds: Vec<FoldItem>,
+    /// Chunk-relative indices of tuples that stay uncertain.
+    uncertain_idx: Vec<u32>,
+}
+
+/// One group's publication result (scalar or membership block).
+enum PubEntry {
+    Scalar(PublishedScalar),
+    Member(PublishedMember),
+}
+
+/// Publication output of one group chunk: `(key, entry, violated)` each.
+type PubChunk = Vec<(Vec<Value>, PubEntry, bool)>;
 
 /// Aggregate states for one group during answer/publish computation:
 /// borrowed when the group has no uncertain contributions, owned (a merged
@@ -64,6 +101,9 @@ pub struct OnlineExecutor {
     published: Vec<Published>,
     /// Direct consumers of each block.
     consumers: Vec<Vec<usize>>,
+    /// Persistent worker pool, alive for the whole query session (workers
+    /// park between batches instead of respawning per ingest).
+    pool: WorkerPool,
     batches_done: usize,
     recomputations: usize,
     cumulative: Duration,
@@ -79,8 +119,12 @@ impl OnlineExecutor {
         config: OnlineConfig,
     ) -> Result<OnlineExecutor> {
         config.validate()?;
-        let compiled: Vec<CompiledBlock> =
-            meta.blocks.iter().cloned().map(CompiledBlock::new).collect();
+        let compiled: Vec<CompiledBlock> = meta
+            .blocks
+            .iter()
+            .cloned()
+            .map(CompiledBlock::new)
+            .collect();
         let mut dims = Vec::with_capacity(compiled.len());
         for cb in &compiled {
             let mut block_dims = Vec::with_capacity(cb.block.dims.len());
@@ -107,8 +151,11 @@ impl OnlineExecutor {
                 consumers[d.0].push(cb.block.id);
             }
         }
-        let runtimes = (0..compiled.len()).map(|_| BlockRuntime::default()).collect();
+        let runtimes = (0..compiled.len())
+            .map(|_| BlockRuntime::default())
+            .collect();
         let published = (0..compiled.len()).map(|_| Published::default()).collect();
+        let pool = WorkerPool::new(config.threads);
         let mut exec = OnlineExecutor {
             config,
             meta,
@@ -118,6 +165,7 @@ impl OnlineExecutor {
             runtimes,
             published,
             consumers,
+            pool,
             batches_done: 0,
             recomputations: 0,
             cumulative: Duration::ZERO,
@@ -176,22 +224,37 @@ impl OnlineExecutor {
         let m = self.partitioner.multiplicity_after(i);
         let last = i + 1 == self.num_batches();
 
-        let order = self.meta.order.clone();
+        let mut timing = BatchTiming {
+            batch_rows: batch.len(),
+            ..Default::default()
+        };
         let mut violated = Vec::new();
         let trace = std::env::var("GOLA_TRACE").is_ok();
-        for &b in &order {
-            if !self.compiled[b].block.is_streaming {
+        // Blocks in the same wavefront are mutually independent, so their
+        // ingests run concurrently; publication follows per wave (in block
+        // order) so later waves classify against fresh envelopes.
+        let waves = self.meta.wavefronts();
+        for wave in &waves {
+            let streaming: Vec<usize> = wave
+                .iter()
+                .copied()
+                .filter(|&b| self.compiled[b].block.is_streaming)
+                .collect();
+            if streaming.is_empty() {
                 continue;
             }
             let t_in = Instant::now();
-            self.ingest_block(b, &batch)?;
+            self.ingest_wave(&streaming, &batch, &mut timing)?;
             let t_pub = Instant::now();
-            if self.publish_block(b, m, last)? {
-                violated.push(b);
+            for &b in &streaming {
+                if self.publish_block(b, m, last)? {
+                    violated.push(b);
+                }
             }
+            timing.publish += t_pub.elapsed();
             if trace {
                 eprintln!(
-                    "    block {b}: ingest {:?} publish {:?}",
+                    "    wave {streaming:?}: ingest {:?} publish {:?}",
                     t_pub - t_in,
                     t_pub.elapsed()
                 );
@@ -199,11 +262,15 @@ impl OnlineExecutor {
         }
 
         if !violated.is_empty() {
+            let t_rec = Instant::now();
             self.recover(&violated, i, m, last)?;
+            timing.recover = t_rec.elapsed();
         }
 
         let t_rep = Instant::now();
         let mut report = self.build_report(i, m, last)?;
+        // The report is the root block's publication — same bucket.
+        timing.publish += t_rep.elapsed();
         if trace {
             eprintln!("    report: {:?}", t_rep.elapsed());
         }
@@ -212,6 +279,7 @@ impl OnlineExecutor {
         self.cumulative += elapsed;
         report.batch_time = elapsed;
         report.cumulative_time = self.cumulative;
+        report.timing = timing;
         Ok(report)
     }
 
@@ -219,16 +287,82 @@ impl OnlineExecutor {
     // Ingest
     // -----------------------------------------------------------------
 
-    fn ingest_block(&mut self, b: usize, batch: &MiniBatch) -> Result<()> {
+    /// Ingest every block of one wavefront. The blocks are mutually
+    /// independent, so with pool workers available each block's ingest runs
+    /// as its own job (block-level parallelism composes with the chunk-level
+    /// parallelism inside `ingest_into` via the pool's nested-run support).
+    fn ingest_wave(
+        &mut self,
+        blocks: &[usize],
+        batch: &MiniBatch,
+        timing: &mut BatchTiming,
+    ) -> Result<()> {
+        if blocks.len() == 1 || self.pool.threads() == 1 {
+            for &b in blocks {
+                self.ingest_block(b, batch, timing)?;
+            }
+            return Ok(());
+        }
+        // Take the wave's runtimes out so each job holds exclusive `&mut`
+        // access to its own block state while sharing `&self`.
+        let mut taken: Vec<(usize, BlockRuntime)> = blocks
+            .iter()
+            .map(|&b| (b, std::mem::take(&mut self.runtimes[b])))
+            .collect();
+        let mut slots: Vec<Option<(Result<()>, BatchTiming)>> = Vec::new();
+        slots.resize_with(taken.len(), || None);
+        {
+            let this = &*self;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = taken
+                .iter_mut()
+                .zip(slots.iter_mut())
+                .map(|((b, rt), slot)| {
+                    let b = *b;
+                    Box::new(move || {
+                        let mut t = BatchTiming::default();
+                        let r = this.ingest_into(b, rt, batch, &mut t);
+                        *slot = Some((r, t));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            this.pool.run(jobs);
+        }
+        let mut result = Ok(());
+        for ((b, rt), slot) in taken.into_iter().zip(slots) {
+            self.runtimes[b] = rt;
+            let (r, t) = slot.expect("ingest job ran");
+            timing.join += t.join;
+            timing.classify += t.classify;
+            timing.fold += t.fold;
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    fn ingest_block(
+        &mut self,
+        b: usize,
+        batch: &MiniBatch,
+        timing: &mut BatchTiming,
+    ) -> Result<()> {
         let mut rt = std::mem::take(&mut self.runtimes[b]);
-        let result = self.ingest_into(b, &mut rt, batch);
+        let result = self.ingest_into(b, &mut rt, batch, timing);
         self.runtimes[b] = rt;
         result
     }
 
-    fn ingest_into(&self, b: usize, rt: &mut BlockRuntime, batch: &MiniBatch) -> Result<()> {
+    fn ingest_into(
+        &self,
+        b: usize,
+        rt: &mut BlockRuntime,
+        batch: &MiniBatch,
+        timing: &mut BatchTiming,
+    ) -> Result<()> {
         let cb = &self.compiled[b];
         let pubs = &self.published;
+        let t_join = Instant::now();
         let mut candidates = std::mem::take(&mut rt.uncertain);
 
         // Join + certain filters for the new tuples, then lineage-project.
@@ -237,7 +371,11 @@ impl OnlineExecutor {
             joined_buf.clear();
             join_one(fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
             'rows: for joined in &joined_buf {
-                let ctx = TupleCtx { row: joined, pubs, mode: CtxMode::Point };
+                let ctx = TupleCtx {
+                    row: joined,
+                    pubs,
+                    mode: CtxMode::Point,
+                };
                 for f in &cb.certain_filters {
                     if !eval_predicate(f, &ctx)? {
                         continue 'rows;
@@ -249,37 +387,71 @@ impl OnlineExecutor {
                 });
             }
         }
+        timing.join += t_join.elapsed();
 
-        // Parallel path: shard the candidates across worker threads, each
-        // folding into a private BlockRuntime with the same per-tuple code,
-        // then merge shard results in shard order (deterministic for a
-        // fixed thread count). Gated on mergeable aggregate kinds.
-        let threads = self
-            .config
-            .threads
-            .min(candidates.len() / 1024 + 1)
-            .max(1);
-        if threads > 1 && cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable) {
-            let chunk_size = candidates.len().div_ceil(threads);
-            let chunks: Vec<&[CachedTuple]> = candidates.chunks(chunk_size).collect();
-            let shards: Result<Vec<BlockRuntime>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move |_| -> Result<BlockRuntime> {
-                            let mut local = BlockRuntime::default();
-                            self.process_candidates(b, &mut local, chunk.to_vec())?;
-                            Ok(local)
-                        })
+        // Stage 1 — classify fixed-size chunks. Classification is per-tuple
+        // independent (reliance marking is atomic and idempotent), so this
+        // runs in parallel for *every* block, including ones whose
+        // aggregates cannot merge. Workers borrow slices of `candidates` —
+        // no cloning.
+        let t_classify = Instant::now();
+        let chunks: Vec<&[CachedTuple]> = candidates.chunks(CHUNK).collect();
+        let mut slots: Vec<Option<Result<ChunkClass>>> = Vec::new();
+        slots.resize_with(chunks.len(), || None);
+        if chunks.len() > 1 && self.pool.threads() > 1 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(chunk, slot)| {
+                    let chunk: &[CachedTuple] = chunk;
+                    Box::new(move || {
+                        *slot = Some(self.classify_chunk(cb, chunk));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool.run(jobs);
+        } else {
+            for (chunk, slot) in chunks.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.classify_chunk(cb, chunk));
+            }
+        }
+        let mut classes = Vec::with_capacity(slots.len());
+        for s in slots {
+            classes.push(s.expect("classify job ran")?);
+        }
+        timing.classify += t_classify.elapsed();
+
+        // Stage 2 — fold. Mergeable aggregates fold each chunk into a
+        // private shard, then merge shards in chunk index order; the
+        // one-thread path uses the *same* chunk structure and merge order,
+        // so every float operation sequence is identical for any thread
+        // count. Quantile/UDAF states cannot merge — their fold stays
+        // sequential (classification above was still parallel).
+        let t_fold = Instant::now();
+        let mergeable = cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable);
+        if mergeable {
+            let mut shard_slots: Vec<Option<BlockRuntime>> = Vec::new();
+            shard_slots.resize_with(classes.len(), || None);
+            if classes.len() > 1 && self.pool.threads() > 1 {
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = classes
+                    .iter_mut()
+                    .zip(shard_slots.iter_mut())
+                    .map(|(class, slot)| {
+                        let folds = std::mem::take(&mut class.folds);
+                        Box::new(move || {
+                            *slot = Some(self.fold_chunk(cb, folds));
+                        }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
-            .expect("thread scope");
-            for shard in shards? {
+                self.pool.run(jobs);
+            } else {
+                for (class, slot) in classes.iter_mut().zip(shard_slots.iter_mut()) {
+                    let folds = std::mem::take(&mut class.folds);
+                    *slot = Some(self.fold_chunk(cb, folds));
+                }
+            }
+            for shard in shard_slots {
+                let shard = shard.expect("fold job ran");
                 for (key, states) in shard.groups {
                     match rt.groups.entry(key) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -303,34 +475,56 @@ impl OnlineExecutor {
                         }
                     }
                 }
-                rt.uncertain.extend(shard.uncertain);
             }
-            return Ok(());
+        } else {
+            // Non-mergeable states (P² quantile, UDAFs) cannot merge
+            // shards — fold chunk by chunk, in chunk order, directly into
+            // the block runtime. The batched weight kernel still applies.
+            let mut wbuf: Vec<u32> = Vec::new();
+            for class in classes.iter_mut() {
+                let folds = std::mem::take(&mut class.folds);
+                self.fold_into(cb, rt, folds, &mut wbuf);
+            }
         }
-        self.process_candidates(b, rt, candidates)
+
+        // Reclaim the still-uncertain tuples in candidate order (chunk
+        // order × chunk-relative index order) — identical to the order the
+        // sequential classifier would have pushed them.
+        let mut keep = vec![false; candidates.len()];
+        for (ci, class) in classes.iter().enumerate() {
+            for &idx in &class.uncertain_idx {
+                keep[ci * CHUNK + idx as usize] = true;
+            }
+        }
+        rt.uncertain = candidates
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(t, k)| k.then_some(t))
+            .collect();
+        timing.fold += t_fold.elapsed();
+        Ok(())
     }
 
-    /// Classify and fold a set of candidate tuples into `rt` (the shared
-    /// per-tuple logic behind both the sequential and sharded paths).
-    fn process_candidates(
-        &self,
-        b: usize,
-        rt: &mut BlockRuntime,
-        candidates: Vec<CachedTuple>,
-    ) -> Result<()> {
-        let cb = &self.compiled[b];
+    /// Classify one chunk of candidates against the current envelopes,
+    /// evaluating fold inputs (group key, aggregate args) for the tuples
+    /// that pass deterministically. Runs on pool workers: touches `self`
+    /// read-only and records reliance via idempotent atomic stores.
+    fn classify_chunk(&self, cb: &CompiledBlock, chunk: &[CachedTuple]) -> Result<ChunkClass> {
         let pubs = &self.published;
+        let mut out = ChunkClass::default();
         // Semi-join aggregation strategy: fold every candidate into
         // partial aggregates keyed by its membership key — no
         // classification, no caching, no reliance on the producer. The
         // answer re-selects member partitions each batch, so membership
         // flips cost nothing.
         if let Some((_, key_exprs, _)) = &cb.semi_join {
-            for t in candidates {
-                let ctx =
-                    TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Point };
-                let mkey: Result<Vec<Value>> =
-                    key_exprs.iter().map(|k| eval(k, &ctx)).collect();
+            for t in chunk {
+                let ctx = TupleCtx {
+                    row: &t.lineage,
+                    pubs,
+                    mode: CtxMode::Point,
+                };
+                let mkey: Result<Vec<Value>> = key_exprs.iter().map(|k| eval(k, &ctx)).collect();
                 let mkey = mkey?;
                 if mkey.iter().any(Value::is_null) {
                     continue; // NULL IN (...) never passes a filter
@@ -339,20 +533,14 @@ impl OnlineExecutor {
                     cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
                 let args: Result<Vec<Value>> =
                     cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
-                let states = rt
-                    .semi_groups
-                    .entry(mkey)
-                    .or_default()
-                    .entry(gkey?)
-                    .or_insert_with(|| {
-                        gola_agg::ReplicatedStates::new(
-                            &cb.agg_kinds,
-                            self.config.bootstrap.trials,
-                        )
-                    });
-                states.update(&args?, t.tuple_id, &self.config.bootstrap);
+                out.folds.push(FoldItem {
+                    tuple_id: t.tuple_id,
+                    mkey: Some(mkey),
+                    key: gkey?,
+                    args: args?,
+                });
             }
-            return Ok(());
+            return Ok(out);
         }
 
         // Scalar-comparison fast classification: cache the RHS variation
@@ -360,10 +548,13 @@ impl OnlineExecutor {
         // float comparisons instead of a generic interval evaluation.
         if let Some(fsc) = &cb.fast_scalar_cmp {
             let mut range_cache: FxHashMap<Vec<Value>, RangeVal> = FxHashMap::default();
-            for t in candidates {
-                let ctx = TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Classify };
-                let skey: Result<Vec<Value>> =
-                    fsc.key.iter().map(|k| eval(k, &ctx)).collect();
+            for (i, t) in chunk.iter().enumerate() {
+                let ctx = TupleCtx {
+                    row: &t.lineage,
+                    pubs,
+                    mode: CtxMode::Classify,
+                };
+                let skey: Result<Vec<Value>> = fsc.key.iter().map(|k| eval(k, &ctx)).collect();
                 let skey = skey?;
                 let rhs = match range_cache.entry(skey.clone()) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -380,18 +571,22 @@ impl OnlineExecutor {
                             ps.used.store(true, std::sync::atomic::Ordering::Relaxed);
                         }
                         if tri == Tri::True {
-                            self.fold_tuple(cb, rt, &t)?;
+                            out.folds.push(self.fold_item(cb, t)?);
                         }
                     }
-                    Tri::Maybe => rt.uncertain.push(t),
+                    Tri::Maybe => out.uncertain_idx.push(i as u32),
                 }
             }
-            return Ok(());
+            return Ok(out);
         }
 
-        // Classify every candidate against the current envelopes.
-        for t in candidates {
-            let ctx = TupleCtx { row: &t.lineage, pubs, mode: CtxMode::Classify };
+        // Generic path: classify against the producers' envelopes.
+        for (i, t) in chunk.iter().enumerate() {
+            let ctx = TupleCtx {
+                row: &t.lineage,
+                pubs,
+                mode: CtxMode::Classify,
+            };
             let mut tri = Tri::True;
             for f in &cb.lin_filters {
                 tri = tri.and(eval_tri(f, &ctx)?);
@@ -402,33 +597,83 @@ impl OnlineExecutor {
             match tri {
                 Tri::True => {
                     self.mark_reliance(&cb.lin_filters, &t.lineage)?;
-                    self.fold_tuple(cb, rt, &t)?;
+                    out.folds.push(self.fold_item(cb, t)?);
                 }
                 Tri::False => {
                     self.mark_reliance(&cb.lin_filters, &t.lineage)?;
                 }
-                Tri::Maybe => rt.uncertain.push(t),
+                Tri::Maybe => out.uncertain_idx.push(i as u32),
             }
         }
-        Ok(())
+        Ok(out)
     }
 
-    /// Fold a deterministically-passing tuple into the group states.
-    fn fold_tuple(&self, cb: &CompiledBlock, rt: &mut BlockRuntime, t: &CachedTuple) -> Result<()> {
-        let ctx = TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Point };
+    /// Evaluate one deterministic-true tuple's fold inputs.
+    fn fold_item(&self, cb: &CompiledBlock, t: &CachedTuple) -> Result<FoldItem> {
+        let ctx = TupleCtx {
+            row: &t.lineage,
+            pubs: &self.published,
+            mode: CtxMode::Point,
+        };
         let key: Result<Vec<Value>> = cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
         let args: Result<Vec<Value>> = cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
-        let states = rt.groups.entry(key?).or_insert_with(|| {
-            gola_agg::ReplicatedStates::new(&cb.agg_kinds, self.config.bootstrap.trials)
-        });
-        states.update(&args?, t.tuple_id, &self.config.bootstrap);
-        Ok(())
+        Ok(FoldItem {
+            tuple_id: t.tuple_id,
+            mkey: None,
+            key: key?,
+            args: args?,
+        })
+    }
+
+    /// Fold one chunk's deterministic-true tuples into a private shard,
+    /// computing the chunk's bootstrap weights with the batched kernel (one
+    /// flat `tuples × trials` SoA buffer instead of a hash chain per cell).
+    fn fold_chunk(&self, cb: &CompiledBlock, folds: Vec<FoldItem>) -> BlockRuntime {
+        let mut shard = BlockRuntime::default();
+        let mut wbuf: Vec<u32> = Vec::new();
+        self.fold_into(cb, &mut shard, folds, &mut wbuf);
+        shard
+    }
+
+    /// Fold deterministic-true tuples into `rt`'s group states with batched
+    /// bootstrap weights.
+    fn fold_into(
+        &self,
+        cb: &CompiledBlock,
+        rt: &mut BlockRuntime,
+        folds: Vec<FoldItem>,
+        wbuf: &mut Vec<u32>,
+    ) {
+        let trials = self.config.bootstrap.trials;
+        let ids: Vec<u64> = folds.iter().map(|f| f.tuple_id).collect();
+        self.config.bootstrap.weights_batch(&ids, wbuf);
+        let stride = trials as usize;
+        for (i, f) in folds.into_iter().enumerate() {
+            let weights = &wbuf[i * stride..(i + 1) * stride];
+            let states = match f.mkey {
+                Some(mkey) => rt
+                    .semi_groups
+                    .entry(mkey)
+                    .or_default()
+                    .entry(f.key)
+                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+                None => rt
+                    .groups
+                    .entry(f.key)
+                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+            };
+            states.update_with_weights(&f.args, weights);
+        }
     }
 
     /// Record that a deterministic decision was made against the referenced
     /// producers' envelopes/membership.
     fn mark_reliance(&self, filters: &[Expr], lineage: &Row) -> Result<()> {
-        let ctx = TupleCtx { row: lineage, pubs: &self.published, mode: CtxMode::Point };
+        let ctx = TupleCtx {
+            row: lineage,
+            pubs: &self.published,
+            mode: CtxMode::Point,
+        };
         fn walk(e: &Expr, ctx: &TupleCtx<'_>, pubs: &[Published]) -> Result<()> {
             match e {
                 Expr::ScalarRef { id, key } => {
@@ -470,7 +715,7 @@ impl OnlineExecutor {
             return Ok(false);
         }
         let old = std::mem::take(&mut self.published[b]);
-        let (new_pub, violated) = self.compute_published(b, m, last, old)?;
+        let (new_pub, violated) = self.compute_published(b, m, last, &old)?;
         self.published[b] = new_pub;
         Ok(violated)
     }
@@ -480,245 +725,314 @@ impl OnlineExecutor {
         b: usize,
         m: f64,
         last: bool,
-        mut old: Published,
+        old: &Published,
     ) -> Result<(Published, bool)> {
         let cb = &self.compiled[b];
         let rt = &self.runtimes[b];
-        let pubs = &self.published;
-        let trials = self.config.bootstrap.trials;
         let eff = self.effective_states(cb, rt)?;
-        let n_aggs = cb.agg_kinds.len();
         let mut violated = false;
         let live = cb.block.is_streaming && !last;
-        let mut out = Published { live, ..Default::default() };
+        let mut out = Published {
+            live,
+            ..Default::default()
+        };
 
-        for (key, states) in &eff {
-            let states = states.get();
-            let point_aggs: Vec<Value> =
-                (0..n_aggs).map(|j| states.value(j, m)).collect();
-            match cb.block.role {
-                BlockRole::Scalar => {
-                    let post = &cb.block.post_project.as_ref().expect("scalar has projection")[0];
-                    let ctx = GroupCtx {
-                        keys: key,
-                        aggs: &point_aggs,
-                        agg_ranges: None,
-                        pubs,
-                        mode: CtxMode::Point,
-                    };
-                    let value = eval(post, &ctx)?;
-                    let mut trial_vals = Vec::with_capacity(trials as usize);
-                    let mut numeric_trials = Vec::with_capacity(trials as usize);
-                    let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
-                    for t in 0..trials {
-                        agg_buf.clear();
-                        for j in 0..n_aggs {
-                            agg_buf.push(states.trial_value(j, t, m));
-                        }
-                        let ctx = GroupCtx {
-                            keys: key,
-                            aggs: &agg_buf,
-                            agg_ranges: None,
-                            pubs,
-                            mode: CtxMode::Trial(t),
-                        };
-                        let v = eval(post, &ctx)?;
-                        if let Some(x) = v.as_f64() {
-                            numeric_trials.push(x);
-                        }
-                        trial_vals.push(v);
+        // Finalize groups in parallel chunks: per-group bootstrap CI /
+        // percentile / HAVING-replica evaluation only reads frozen state
+        // (`old`, upstream `published`, the effective states), so chunks are
+        // independent. Assembled in chunk order — the output maps don't
+        // depend on insertion order, but the `violated` OR and the entries
+        // themselves are identical to the sequential path's.
+        let chunks: Vec<&[(Vec<Value>, EffStates<'_>)]> = eff.chunks(PUB_CHUNK).collect();
+        let mut slots: Vec<Option<Result<PubChunk>>> = Vec::new();
+        slots.resize_with(chunks.len(), || None);
+        if chunks.len() > 1 && self.pool.threads() > 1 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(chunk, slot)| {
+                    let chunk: &[(Vec<Value>, EffStates<'_>)] = chunk;
+                    Box::new(move || {
+                        *slot = Some(self.publish_chunk(cb, chunk, m, last, live, old));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool.run(jobs);
+        } else {
+            for (chunk, slot) in chunks.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.publish_chunk(cb, chunk, m, last, live, old));
+            }
+        }
+        for slot in slots {
+            for (key, entry, v) in slot.expect("publish job ran")? {
+                violated |= v;
+                match entry {
+                    PubEntry::Scalar(s) => {
+                        out.scalars.insert(key, s);
                     }
-                    // Small-sample guard: do not trust the bootstrap range
-                    // of a scalar derived from a handful of observations.
-                    // With no replicas at all (trials = 0) there is no error
-                    // model — nothing can be classified deterministically.
-                    let tiny = live
-                        && (trials == 0
-                            || (0..n_aggs).any(|j| {
-                                states
-                                    .observations(j)
-                                    .is_some_and(|o| o < self.config.min_group_obs)
-                            }));
-                    let fresh = if tiny {
-                        RangeVal::Unknown
-                    } else {
-                        match value.as_f64() {
-                            Some(v) => {
-                                let vr = VariationRange::from_replicas(
-                                    v,
-                                    &numeric_trials,
-                                    self.config.envelope_epsilon(),
-                                );
-                                RangeVal::num(vr.lo, vr.hi)
-                            }
-                            None if value.is_null() && !live => RangeVal::Exact(Value::Null),
-                            None if !value.is_null() => RangeVal::Exact(value.clone()),
-                            None => RangeVal::Unknown,
-                        }
-                    };
-                    let (env, used) = match old.scalars.remove(key) {
-                        Some(prev) if prev.is_used() => {
-                            let in_env = value
-                                .as_f64()
-                                .map(|v| prev.env.contains(v))
-                                .unwrap_or(false)
-                                && numeric_trials.iter().all(|&v| prev.env.contains(v));
-                            if in_env {
-                                (prev.env.intersect(&fresh).unwrap_or(fresh), true)
-                            } else {
-                                violated = true;
-                                (fresh, false)
-                            }
-                        }
-                        _ => (fresh, false),
-                    };
-                    out.scalars.insert(
-                        key.clone(),
-                        PublishedScalar {
-                            value,
-                            trials: trial_vals,
-                            env,
-                            used: AtomicBool::new(used),
-                        },
-                    );
+                    PubEntry::Member(mem) => {
+                        out.members.insert(key, mem);
+                    }
                 }
-                BlockRole::Membership => {
-                    let n_keys = cb.num_keys();
-                    // Numeric-only fast HAVING: every conjunct compares an
-                    // aggregate column against a numeric constant.
-                    let numeric_fh: Option<Vec<(usize, gola_expr::BinOp, f64)>> =
-                        cb.fast_having.as_ref().and_then(|fh| {
-                            fh.iter()
-                                .map(|(c, op, k)| {
-                                    if *c >= n_keys {
-                                        k.as_f64().map(|v| (*c - n_keys, *op, v))
-                                    } else {
-                                        None
-                                    }
-                                })
-                                .collect()
-                        });
-                    let (point, trial_pass) = if let Some(fh) = &numeric_fh {
-                        let cmp = |x: f64, op: gola_expr::BinOp, k: f64| match op {
-                            gola_expr::BinOp::Lt => x < k,
-                            gola_expr::BinOp::LtEq => x <= k,
-                            gola_expr::BinOp::Gt => x > k,
-                            gola_expr::BinOp::GtEq => x >= k,
-                            gola_expr::BinOp::Eq => x == k,
-                            gola_expr::BinOp::NotEq => x != k,
-                            _ => false,
-                        };
-                        let point = fh.iter().all(|(j, op, k)| {
-                            point_aggs[*j].as_f64().is_some_and(|x| cmp(x, *op, *k))
-                        });
-                        let mut trial_pass = Vec::with_capacity(trials as usize);
-                        for b in 0..trials {
-                            trial_pass.push(fh.iter().all(|(j, op, k)| {
-                                states
-                                    .trial_value_f64(*j, b, m)
-                                    .is_some_and(|x| cmp(x, *op, *k))
-                            }));
-                        }
-                        (point, trial_pass)
-                    } else if let Some(fh) = &cb.fast_having {
-                        // General constant comparisons (string keys etc.).
-                        let test = |col: &Value, op: gola_expr::BinOp, c: &Value| {
-                            gola_expr::eval::eval_binary_values(op, col, c)
-                                .ok()
-                                .and_then(|v| v.as_bool())
-                                .unwrap_or(false)
-                        };
-                        let cell = |c: usize, t: Option<u32>| -> Value {
-                            if c < n_keys {
-                                key[c].clone()
-                            } else {
-                                match t {
-                                    Some(b) => states.trial_value(c - n_keys, b, m),
-                                    None => point_aggs[c - n_keys].clone(),
-                                }
-                            }
-                        };
-                        let point = fh
-                            .iter()
-                            .all(|(c, op, k)| test(&cell(*c, None), *op, k));
-                        let mut trial_pass = Vec::with_capacity(trials as usize);
-                        for b in 0..trials {
-                            trial_pass.push(
-                                fh.iter()
-                                    .all(|(c, op, k)| test(&cell(*c, Some(b)), *op, k)),
-                            );
-                        }
-                        (point, trial_pass)
-                    } else {
-                        let point = self.having_pass(cb, key, &point_aggs, CtxMode::Point)?;
-                        let mut trial_pass = Vec::with_capacity(trials as usize);
-                        let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
-                        for t in 0..trials {
-                            agg_buf.clear();
-                            for j in 0..n_aggs {
-                                agg_buf.push(states.trial_value(j, t, m));
-                            }
-                            trial_pass
-                                .push(self.having_pass(cb, key, &agg_buf, CtxMode::Trial(t))?);
-                        }
-                        (point, trial_pass)
-                    };
-                    // Classification ranges per aggregate (bootstrap range
-                    // + monotone bound + small-sample guard).
-                    let ranges: Vec<RangeVal> = (0..n_aggs)
-                        .map(|j| self.agg_range(states, j, m, live))
-                        .collect();
-                    let tri = if live {
-                        self.having_tri(cb, key, &point_aggs, &ranges)?
-                    } else {
-                        Tri::from(point)
-                    };
-                    let relied = match old.members.remove(key) {
-                        Some(prev) => match prev.relied_on() {
-                            Some(r) if point != r || trial_pass.iter().any(|&t| t != r) => {
-                                violated = true;
-                                0
-                            }
-                            Some(r) => {
-                                if r {
-                                    2
-                                } else {
-                                    1
-                                }
-                            }
-                            None => 0,
-                        },
-                        None => 0,
-                    };
-                    out.members.insert(
-                        key.clone(),
-                        PublishedMember {
-                            point,
-                            trials: trial_pass,
-                            tri,
-                            relied: std::sync::atomic::AtomicU8::new(relied),
-                        },
-                    );
-                }
-                BlockRole::Root => unreachable!(),
             }
         }
 
         // Groups that vanished (their only contributions were uncertain
         // tuples that resolved to false): if something relied on them, the
         // decisions are void.
-        for (_, prev) in old.scalars.iter() {
-            if prev.is_used() {
+        for (key, prev) in old.scalars.iter() {
+            if prev.is_used() && !out.scalars.contains_key(key) {
                 violated = true;
             }
         }
-        for (_, prev) in old.members.iter() {
-            if prev.relied_on() == Some(true) {
+        for (key, prev) in old.members.iter() {
+            if prev.relied_on() == Some(true) && !out.members.contains_key(key) {
                 // Relying on `false` for a vanished group stays correct.
                 violated = true;
             }
         }
         Ok((out, violated))
+    }
+
+    /// Finalize one chunk of effective groups into publishable entries.
+    fn publish_chunk(
+        &self,
+        cb: &CompiledBlock,
+        chunk: &[(Vec<Value>, EffStates<'_>)],
+        m: f64,
+        last: bool,
+        live: bool,
+        old: &Published,
+    ) -> Result<PubChunk> {
+        chunk
+            .iter()
+            .map(|(key, states)| {
+                let (entry, v) = self.publish_entry(cb, key, states.get(), m, last, live, old)?;
+                Ok((key.clone(), entry, v))
+            })
+            .collect()
+    }
+
+    /// Finalize one group: point value, bootstrap replicas, envelope carry
+    /// and violation check against `old`. Pure with respect to `self` —
+    /// safe to call from pool workers.
+    #[allow(clippy::too_many_arguments)]
+    fn publish_entry(
+        &self,
+        cb: &CompiledBlock,
+        key: &[Value],
+        states: &gola_agg::ReplicatedStates,
+        m: f64,
+        last: bool,
+        live: bool,
+        old: &Published,
+    ) -> Result<(PubEntry, bool)> {
+        let _ = last;
+        let pubs = &self.published;
+        let trials = self.config.bootstrap.trials;
+        let n_aggs = cb.agg_kinds.len();
+        let mut violated = false;
+        let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, m)).collect();
+        let entry = match cb.block.role {
+            BlockRole::Scalar => {
+                let post = &cb
+                    .block
+                    .post_project
+                    .as_ref()
+                    .expect("scalar has projection")[0];
+                let ctx = GroupCtx {
+                    keys: key,
+                    aggs: &point_aggs,
+                    agg_ranges: None,
+                    pubs,
+                    mode: CtxMode::Point,
+                };
+                let value = eval(post, &ctx)?;
+                let mut trial_vals = Vec::with_capacity(trials as usize);
+                let mut numeric_trials = Vec::with_capacity(trials as usize);
+                let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+                for t in 0..trials {
+                    agg_buf.clear();
+                    for j in 0..n_aggs {
+                        agg_buf.push(states.trial_value(j, t, m));
+                    }
+                    let ctx = GroupCtx {
+                        keys: key,
+                        aggs: &agg_buf,
+                        agg_ranges: None,
+                        pubs,
+                        mode: CtxMode::Trial(t),
+                    };
+                    let v = eval(post, &ctx)?;
+                    if let Some(x) = v.as_f64() {
+                        numeric_trials.push(x);
+                    }
+                    trial_vals.push(v);
+                }
+                // Small-sample guard: do not trust the bootstrap range
+                // of a scalar derived from a handful of observations.
+                // With no replicas at all (trials = 0) there is no error
+                // model — nothing can be classified deterministically.
+                let tiny = live
+                    && (trials == 0
+                        || (0..n_aggs).any(|j| {
+                            states
+                                .observations(j)
+                                .is_some_and(|o| o < self.config.min_group_obs)
+                        }));
+                let fresh = if tiny {
+                    RangeVal::Unknown
+                } else {
+                    match value.as_f64() {
+                        Some(v) => {
+                            let vr = VariationRange::from_replicas(
+                                v,
+                                &numeric_trials,
+                                self.config.envelope_epsilon(),
+                            );
+                            RangeVal::num(vr.lo, vr.hi)
+                        }
+                        None if value.is_null() && !live => RangeVal::Exact(Value::Null),
+                        None if !value.is_null() => RangeVal::Exact(value.clone()),
+                        None => RangeVal::Unknown,
+                    }
+                };
+                let (env, used) = match old.scalars.get(key) {
+                    Some(prev) if prev.is_used() => {
+                        let in_env = value
+                            .as_f64()
+                            .map(|v| prev.env.contains(v))
+                            .unwrap_or(false)
+                            && numeric_trials.iter().all(|&v| prev.env.contains(v));
+                        if in_env {
+                            (prev.env.intersect(&fresh).unwrap_or(fresh), true)
+                        } else {
+                            violated = true;
+                            (fresh, false)
+                        }
+                    }
+                    _ => (fresh, false),
+                };
+                PubEntry::Scalar(PublishedScalar {
+                    value,
+                    trials: trial_vals,
+                    env,
+                    used: AtomicBool::new(used),
+                })
+            }
+            BlockRole::Membership => {
+                let n_keys = cb.num_keys();
+                // Numeric-only fast HAVING: every conjunct compares an
+                // aggregate column against a numeric constant.
+                let numeric_fh: Option<Vec<(usize, gola_expr::BinOp, f64)>> =
+                    cb.fast_having.as_ref().and_then(|fh| {
+                        fh.iter()
+                            .map(|(c, op, k)| {
+                                if *c >= n_keys {
+                                    k.as_f64().map(|v| (*c - n_keys, *op, v))
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect()
+                    });
+                let (point, trial_pass) = if let Some(fh) = &numeric_fh {
+                    let cmp = |x: f64, op: gola_expr::BinOp, k: f64| match op {
+                        gola_expr::BinOp::Lt => x < k,
+                        gola_expr::BinOp::LtEq => x <= k,
+                        gola_expr::BinOp::Gt => x > k,
+                        gola_expr::BinOp::GtEq => x >= k,
+                        gola_expr::BinOp::Eq => x == k,
+                        gola_expr::BinOp::NotEq => x != k,
+                        _ => false,
+                    };
+                    let point = fh
+                        .iter()
+                        .all(|(j, op, k)| point_aggs[*j].as_f64().is_some_and(|x| cmp(x, *op, *k)));
+                    let mut trial_pass = Vec::with_capacity(trials as usize);
+                    for b in 0..trials {
+                        trial_pass.push(fh.iter().all(|(j, op, k)| {
+                            states
+                                .trial_value_f64(*j, b, m)
+                                .is_some_and(|x| cmp(x, *op, *k))
+                        }));
+                    }
+                    (point, trial_pass)
+                } else if let Some(fh) = &cb.fast_having {
+                    // General constant comparisons (string keys etc.).
+                    let test = |col: &Value, op: gola_expr::BinOp, c: &Value| {
+                        gola_expr::eval::eval_binary_values(op, col, c)
+                            .ok()
+                            .and_then(|v| v.as_bool())
+                            .unwrap_or(false)
+                    };
+                    let cell = |c: usize, t: Option<u32>| -> Value {
+                        if c < n_keys {
+                            key[c].clone()
+                        } else {
+                            match t {
+                                Some(b) => states.trial_value(c - n_keys, b, m),
+                                None => point_aggs[c - n_keys].clone(),
+                            }
+                        }
+                    };
+                    let point = fh.iter().all(|(c, op, k)| test(&cell(*c, None), *op, k));
+                    let mut trial_pass = Vec::with_capacity(trials as usize);
+                    for b in 0..trials {
+                        trial_pass
+                            .push(fh.iter().all(|(c, op, k)| test(&cell(*c, Some(b)), *op, k)));
+                    }
+                    (point, trial_pass)
+                } else {
+                    let point = self.having_pass(cb, key, &point_aggs, CtxMode::Point)?;
+                    let mut trial_pass = Vec::with_capacity(trials as usize);
+                    let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+                    for t in 0..trials {
+                        agg_buf.clear();
+                        for j in 0..n_aggs {
+                            agg_buf.push(states.trial_value(j, t, m));
+                        }
+                        trial_pass.push(self.having_pass(cb, key, &agg_buf, CtxMode::Trial(t))?);
+                    }
+                    (point, trial_pass)
+                };
+                // Classification ranges per aggregate (bootstrap range
+                // + monotone bound + small-sample guard).
+                let ranges: Vec<RangeVal> = (0..n_aggs)
+                    .map(|j| self.agg_range(states, j, m, live))
+                    .collect();
+                let tri = if live {
+                    self.having_tri(cb, key, &point_aggs, &ranges)?
+                } else {
+                    Tri::from(point)
+                };
+                let relied = match old.members.get(key) {
+                    Some(prev) => match prev.relied_on() {
+                        Some(r) if point != r || trial_pass.iter().any(|&t| t != r) => {
+                            violated = true;
+                            0
+                        }
+                        Some(r) => {
+                            if r {
+                                2
+                            } else {
+                                1
+                            }
+                        }
+                        None => 0,
+                    },
+                    None => 0,
+                };
+                PubEntry::Member(PublishedMember {
+                    point,
+                    trials: trial_pass,
+                    tri,
+                    relied: std::sync::atomic::AtomicU8::new(relied),
+                })
+            }
+            BlockRole::Root => unreachable!(),
+        };
+        Ok((entry, violated))
     }
 
     fn having_pass(
@@ -728,7 +1042,13 @@ impl OnlineExecutor {
         aggs: &[Value],
         mode: CtxMode,
     ) -> Result<bool> {
-        let ctx = GroupCtx { keys, aggs, agg_ranges: None, pubs: &self.published, mode };
+        let ctx = GroupCtx {
+            keys,
+            aggs,
+            agg_ranges: None,
+            pubs: &self.published,
+            mode,
+        };
         for h in &cb.block.having {
             if !eval_predicate(h, &ctx)? {
                 return Ok(false);
@@ -794,20 +1114,25 @@ impl OnlineExecutor {
                 .is_some_and(|o| o < self.config.min_group_obs);
         if tiny {
             return match lb {
-                Some(l) => RangeVal::Num { lo: l, hi: f64::INFINITY },
+                Some(l) => RangeVal::Num {
+                    lo: l,
+                    hi: f64::INFINITY,
+                },
                 None => RangeVal::Unknown,
             };
         }
         match value.as_f64() {
             Some(v) => {
                 let reps = states.replica_values(j, m);
-                let vr =
-                    VariationRange::from_replicas(v, &reps, self.config.envelope_epsilon());
+                let vr = VariationRange::from_replicas(v, &reps, self.config.envelope_epsilon());
                 let lo = lb.map_or(vr.lo, |l| vr.lo.max(l));
                 RangeVal::num(lo, vr.hi.max(lo))
             }
             None => match lb {
-                Some(l) => RangeVal::Num { lo: l, hi: f64::INFINITY },
+                Some(l) => RangeVal::Num {
+                    lo: l,
+                    hi: f64::INFINITY,
+                },
                 None => RangeVal::Unknown,
             },
         }
@@ -830,9 +1155,9 @@ impl OnlineExecutor {
             let entry = members.get(mkey);
             let point_in = entry.map(|m| m.point).unwrap_or(false) != negated;
             for (gkey, states) in groups {
-                let acc = out.entry(gkey.clone()).or_insert_with(|| {
-                    gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
-                });
+                let acc = out
+                    .entry(gkey.clone())
+                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials));
                 if point_in {
                     acc.merge_main(states);
                 }
@@ -883,136 +1208,157 @@ impl OnlineExecutor {
         // RHS value at point (index 0) and per trial (1 + b).
         let mut rhs_cache: FxHashMap<Vec<Value>, Vec<Option<f64>>> = FxHashMap::default();
         let mut touched: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
-        for t in &rt.uncertain {
-            let point_ctx =
-                TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Point };
-            let key: Result<Vec<Value>> =
-                cb.lin_group_by.iter().map(|g| eval(g, &point_ctx)).collect();
-            let key = key?;
-            let args: Result<Vec<Value>> =
-                cb.lin_agg_args.iter().map(|a| eval(a, &point_ctx)).collect();
-            let args = args?;
-            let entry = match touched.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    let base = rt
-                        .groups
-                        .get(v.key())
-                        .cloned()
-                        .unwrap_or_else(|| {
-                            gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
-                        });
-                    v.insert(base)
-                }
-            };
-            if let Some((id, key_exprs, negated)) = fast_member {
-                let member_key: Result<Vec<Value>> =
-                    key_exprs.iter().map(|k| eval(k, &point_ctx)).collect();
-                let member_key = member_key?;
-                let null_key = member_key.iter().any(Value::is_null);
-                let entry_pub = self.published[id.0].members.get(&member_key);
-                let point_pass = !null_key
-                    && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
-                if point_pass {
-                    entry.update_main(&args);
-                }
-                for b in 0..trials {
-                    let w = self.config.bootstrap.weight(t.tuple_id, b);
-                    if w == 0 {
-                        continue;
-                    }
-                    let in_set = entry_pub
-                        .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
-                        .unwrap_or(false);
-                    if !null_key && in_set != negated {
-                        entry.update_replica(b, &args, w as f64);
-                    }
-                }
-                continue;
-            }
-            // Scalar-comparison fast path: evaluate the LHS once per tuple
-            // and the RHS once per (correlation key, trial).
-            if let Some(fsc) = &cb.fast_scalar_cmp {
-                let lhs = eval(&fsc.lhs, &point_ctx)?.as_f64();
-                let skey: Result<Vec<Value>> =
-                    fsc.key.iter().map(|k| eval(k, &point_ctx)).collect();
-                let skey = skey?;
-                let rhs = match rhs_cache.entry(skey) {
+        // Bootstrap weights for the whole uncertain set come from the
+        // batched kernel, one chunk-sized SoA buffer at a time, instead of a
+        // fresh hash chain per (tuple, trial) lookup.
+        let trials_us = trials as usize;
+        let mut idbuf: Vec<u64> = Vec::new();
+        let mut wbuf: Vec<u32> = Vec::new();
+        for tchunk in rt.uncertain.chunks(CHUNK) {
+            idbuf.clear();
+            idbuf.extend(tchunk.iter().map(|t| t.tuple_id));
+            self.config.bootstrap.weights_batch(&idbuf, &mut wbuf);
+            for (ti, t) in tchunk.iter().enumerate() {
+                let tweights = &wbuf[ti * trials_us..(ti + 1) * trials_us];
+                let point_ctx = TupleCtx {
+                    row: &t.lineage,
+                    pubs: &self.published,
+                    mode: CtxMode::Point,
+                };
+                let key: Result<Vec<Value>> = cb
+                    .lin_group_by
+                    .iter()
+                    .map(|g| eval(g, &point_ctx))
+                    .collect();
+                let key = key?;
+                let args: Result<Vec<Value>> = cb
+                    .lin_agg_args
+                    .iter()
+                    .map(|a| eval(a, &point_ctx))
+                    .collect();
+                let args = args?;
+                let entry = match touched.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(v) => {
-                        let mut vals = Vec::with_capacity(1 + trials as usize);
-                        vals.push(eval(&fsc.rhs, &point_ctx)?.as_f64());
-                        for b in 0..trials {
-                            let trial_ctx = TupleCtx {
-                                row: &t.lineage,
-                                pubs: &self.published,
-                                mode: CtxMode::Trial(b),
-                            };
-                            vals.push(eval(&fsc.rhs, &trial_ctx)?.as_f64());
+                        let base = rt.groups.get(v.key()).cloned().unwrap_or_else(|| {
+                            gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
+                        });
+                        v.insert(base)
+                    }
+                };
+                if let Some((id, key_exprs, negated)) = fast_member {
+                    let member_key: Result<Vec<Value>> =
+                        key_exprs.iter().map(|k| eval(k, &point_ctx)).collect();
+                    let member_key = member_key?;
+                    let null_key = member_key.iter().any(Value::is_null);
+                    let entry_pub = self.published[id.0].members.get(&member_key);
+                    let point_pass =
+                        !null_key && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
+                    if point_pass {
+                        entry.update_main(&args);
+                    }
+                    for b in 0..trials {
+                        let w = tweights[b as usize];
+                        if w == 0 {
+                            continue;
                         }
-                        v.insert(vals)
+                        let in_set = entry_pub
+                            .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
+                            .unwrap_or(false);
+                        if !null_key && in_set != negated {
+                            entry.update_replica(b, &args, w as f64);
+                        }
                     }
-                };
-                let cmp = |x: Option<f64>, y: Option<f64>| -> bool {
-                    let (Some(x), Some(y)) = (x, y) else { return false };
-                    match fsc.op {
-                        gola_expr::BinOp::Lt => x < y,
-                        gola_expr::BinOp::LtEq => x <= y,
-                        gola_expr::BinOp::Gt => x > y,
-                        gola_expr::BinOp::GtEq => x >= y,
-                        gola_expr::BinOp::Eq => x == y,
-                        gola_expr::BinOp::NotEq => x != y,
-                        _ => false,
-                    }
-                };
-                if cmp(lhs, rhs[0]) {
-                    entry.update_main(&args);
-                }
-                for b in 0..trials {
-                    let w = self.config.bootstrap.weight(t.tuple_id, b);
-                    if w == 0 {
-                        continue;
-                    }
-                    if cmp(lhs, rhs[1 + b as usize]) {
-                        entry.update_replica(b, &args, w as f64);
-                    }
-                }
-                continue;
-            }
-            // Point inclusion.
-            let mut pass = true;
-            for f in &cb.lin_filters {
-                if !eval_predicate(f, &point_ctx)? {
-                    pass = false;
-                    break;
-                }
-            }
-            if pass {
-                entry.update_main(&args);
-            }
-            // Per-trial inclusion with the trial's own upstream values.
-            for b in 0..trials {
-                let w = self.config.bootstrap.weight(t.tuple_id, b);
-                if w == 0 {
                     continue;
                 }
-                let trial_ctx =
-                    TupleCtx { row: &t.lineage, pubs: &self.published, mode: CtxMode::Trial(b) };
+                // Scalar-comparison fast path: evaluate the LHS once per tuple
+                // and the RHS once per (correlation key, trial).
+                if let Some(fsc) = &cb.fast_scalar_cmp {
+                    let lhs = eval(&fsc.lhs, &point_ctx)?.as_f64();
+                    let skey: Result<Vec<Value>> =
+                        fsc.key.iter().map(|k| eval(k, &point_ctx)).collect();
+                    let skey = skey?;
+                    let rhs = match rhs_cache.entry(skey) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let mut vals = Vec::with_capacity(1 + trials as usize);
+                            vals.push(eval(&fsc.rhs, &point_ctx)?.as_f64());
+                            for b in 0..trials {
+                                let trial_ctx = TupleCtx {
+                                    row: &t.lineage,
+                                    pubs: &self.published,
+                                    mode: CtxMode::Trial(b),
+                                };
+                                vals.push(eval(&fsc.rhs, &trial_ctx)?.as_f64());
+                            }
+                            v.insert(vals)
+                        }
+                    };
+                    let cmp = |x: Option<f64>, y: Option<f64>| -> bool {
+                        let (Some(x), Some(y)) = (x, y) else {
+                            return false;
+                        };
+                        match fsc.op {
+                            gola_expr::BinOp::Lt => x < y,
+                            gola_expr::BinOp::LtEq => x <= y,
+                            gola_expr::BinOp::Gt => x > y,
+                            gola_expr::BinOp::GtEq => x >= y,
+                            gola_expr::BinOp::Eq => x == y,
+                            gola_expr::BinOp::NotEq => x != y,
+                            _ => false,
+                        }
+                    };
+                    if cmp(lhs, rhs[0]) {
+                        entry.update_main(&args);
+                    }
+                    for b in 0..trials {
+                        let w = tweights[b as usize];
+                        if w == 0 {
+                            continue;
+                        }
+                        if cmp(lhs, rhs[1 + b as usize]) {
+                            entry.update_replica(b, &args, w as f64);
+                        }
+                    }
+                    continue;
+                }
+                // Point inclusion.
                 let mut pass = true;
                 for f in &cb.lin_filters {
-                    if !eval_predicate(f, &trial_ctx)? {
+                    if !eval_predicate(f, &point_ctx)? {
                         pass = false;
                         break;
                     }
                 }
                 if pass {
-                    entry.update_replica(b, &args, w as f64);
+                    entry.update_main(&args);
+                }
+                // Per-trial inclusion with the trial's own upstream values.
+                for b in 0..trials {
+                    let w = tweights[b as usize];
+                    if w == 0 {
+                        continue;
+                    }
+                    let trial_ctx = TupleCtx {
+                        row: &t.lineage,
+                        pubs: &self.published,
+                        mode: CtxMode::Trial(b),
+                    };
+                    let mut pass = true;
+                    for f in &cb.lin_filters {
+                        if !eval_predicate(f, &trial_ctx)? {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        entry.update_replica(b, &args, w as f64);
+                    }
                 }
             }
         }
-        let mut out: Vec<(Vec<Value>, EffStates<'a>)> = Vec::with_capacity(
-            rt.groups.len() + touched.len(),
-        );
+        let mut out: Vec<(Vec<Value>, EffStates<'a>)> =
+            Vec::with_capacity(rt.groups.len() + touched.len());
         for (key, states) in &rt.groups {
             if !touched.contains_key(key) {
                 out.push((key.clone(), EffStates::Borrowed(states)));
@@ -1047,21 +1393,34 @@ impl OnlineExecutor {
             }
         }
         self.recomputations += affected.len();
-        let order: Vec<usize> = self
-            .meta
-            .order
-            .clone()
-            .into_iter()
-            .filter(|b| affected.contains(b))
-            .collect();
-        for b in order {
-            self.runtimes[b].reset();
+        // Replay wavefront by wavefront: blocks within a wave are mutually
+        // independent, so each batch can be re-ingested across the whole
+        // wave in parallel. Interleaving batches across a wave's blocks is
+        // semantically identical to replaying each block to completion —
+        // same per-block ingest sequence, and no block of a wave reads
+        // another's output.
+        let waves = self.meta.wavefronts();
+        for wave in &waves {
+            let replay: Vec<usize> = wave
+                .iter()
+                .copied()
+                .filter(|b| affected.contains(b))
+                .collect();
+            if replay.is_empty() {
+                continue;
+            }
+            for &b in &replay {
+                self.runtimes[b].reset();
+            }
+            let mut scratch = BatchTiming::default();
             for j in 0..=upto {
                 let batch = self.partitioner.batch(j);
-                self.ingest_block(b, &batch)?;
+                self.ingest_wave(&replay, &batch, &mut scratch)?;
             }
-            // Publish once, from fresh (post-replay) state.
-            self.publish_block(b, m, last)?;
+            // Publish once per block, from fresh (post-replay) state.
+            for &b in &replay {
+                self.publish_block(b, m, last)?;
+            }
         }
         Ok(())
     }
@@ -1199,10 +1558,8 @@ impl OnlineExecutor {
                 }
             }
         }
-        let table = gola_storage::Table::new_unchecked(
-            Arc::clone(&cb.block.output_schema),
-            table_rows,
-        );
+        let table =
+            gola_storage::Table::new_unchecked(Arc::clone(&cb.block.output_schema), table_rows);
         Ok(BatchReport {
             batch_index,
             num_batches: self.num_batches(),
@@ -1217,6 +1574,7 @@ impl OnlineExecutor {
             recomputations: self.recomputations,
             batch_time: Duration::ZERO,
             cumulative_time: Duration::ZERO,
+            timing: BatchTiming::default(),
         })
     }
 
@@ -1227,8 +1585,7 @@ impl OnlineExecutor {
     fn compute_static_blocks(&mut self, catalog: &Catalog) -> Result<()> {
         let order = self.meta.order.clone();
         for &b in &order {
-            if self.compiled[b].block.is_streaming
-                || self.compiled[b].block.role == BlockRole::Root
+            if self.compiled[b].block.is_streaming || self.compiled[b].block.role == BlockRole::Root
             {
                 continue;
             }
@@ -1236,15 +1593,17 @@ impl OnlineExecutor {
             let table = catalog.get(&cb.block.source_table)?;
             // Exact fold: no bootstrap replicas (a full table has no
             // sampling error).
-            let mut groups: FxHashMap<Vec<Value>, Vec<gola_agg::AggState>> =
-                FxHashMap::default();
+            let mut groups: FxHashMap<Vec<Value>, Vec<gola_agg::AggState>> = FxHashMap::default();
             let mut joined_buf: Vec<Row> = Vec::new();
             for row in table.rows() {
                 joined_buf.clear();
                 join_one(row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
                 'rows: for joined in &joined_buf {
-                    let ctx =
-                        TupleCtx { row: joined, pubs: &self.published, mode: CtxMode::Point };
+                    let ctx = TupleCtx {
+                        row: joined,
+                        pubs: &self.published,
+                        mode: CtxMode::Point,
+                    };
                     for f in &cb.block.filters {
                         if !eval_predicate(f, &ctx)? {
                             continue 'rows;
@@ -1255,9 +1614,9 @@ impl OnlineExecutor {
                     let args: Result<Vec<Value>> =
                         cb.block.aggs.iter().map(|a| eval(&a.arg, &ctx)).collect();
                     let args = args?;
-                    let states = groups.entry(key?).or_insert_with(|| {
-                        cb.agg_kinds.iter().map(|k| k.new_state()).collect()
-                    });
+                    let states = groups
+                        .entry(key?)
+                        .or_insert_with(|| cb.agg_kinds.iter().map(|k| k.new_state()).collect());
                     for (s, v) in states.iter_mut().zip(&args) {
                         s.update(v, 1.0);
                     }
@@ -1270,13 +1629,15 @@ impl OnlineExecutor {
                 );
             }
             let trials = self.config.bootstrap.trials as usize;
-            let mut out = Published { live: false, ..Default::default() };
+            let mut out = Published {
+                live: false,
+                ..Default::default()
+            };
             for (key, states) in groups {
                 let aggs: Vec<Value> = states.iter().map(|s| s.finalize(1.0)).collect();
                 match cb.block.role {
                     BlockRole::Scalar => {
-                        let post =
-                            &cb.block.post_project.as_ref().expect("scalar projection")[0];
+                        let post = &cb.block.post_project.as_ref().expect("scalar projection")[0];
                         let ctx = GroupCtx {
                             keys: &key,
                             aggs: &aggs,
@@ -1394,7 +1755,10 @@ mod tests {
         assert_eq!(classify_cmp(&Value::Float(25.0), BinOp::Lt, &r), Tri::False);
         assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::Lt, &r), Tri::Maybe);
         assert_eq!(classify_cmp(&Value::Float(25.0), BinOp::Gt, &r), Tri::True);
-        assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::GtEq, &r), Tri::Maybe);
+        assert_eq!(
+            classify_cmp(&Value::Float(15.0), BinOp::GtEq, &r),
+            Tri::Maybe
+        );
         // Equality against a non-degenerate range can only be refuted.
         assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::Eq, &r), Tri::False);
         assert_eq!(classify_cmp(&Value::Float(15.0), BinOp::Eq, &r), Tri::Maybe);
@@ -1423,10 +1787,16 @@ mod tests {
         // x = hi: x < u still possible only if u > 20 — impossible → False.
         assert_eq!(classify_cmp(&Value::Float(20.0), BinOp::Lt, &r), Tri::False);
         // x = lo: x <= u always true (u >= 10).
-        assert_eq!(classify_cmp(&Value::Float(10.0), BinOp::LtEq, &r), Tri::True);
+        assert_eq!(
+            classify_cmp(&Value::Float(10.0), BinOp::LtEq, &r),
+            Tri::True
+        );
         // Degenerate (point) range: fully deterministic.
         let p = RangeVal::point(5.0);
         assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::Eq, &p), Tri::True);
-        assert_eq!(classify_cmp(&Value::Float(5.0), BinOp::NotEq, &p), Tri::False);
+        assert_eq!(
+            classify_cmp(&Value::Float(5.0), BinOp::NotEq, &p),
+            Tri::False
+        );
     }
 }

@@ -32,11 +32,13 @@
 pub mod compiled;
 pub mod config;
 pub mod executor;
+pub mod pool;
 pub mod report;
 pub mod runtime;
 pub mod session;
 
 pub use config::OnlineConfig;
 pub use executor::OnlineExecutor;
-pub use report::{BatchReport, CellEstimate};
+pub use pool::WorkerPool;
+pub use report::{BatchReport, BatchTiming, CellEstimate};
 pub use session::{OnlineExecution, OnlineSession, PreparedQuery};

@@ -16,6 +16,54 @@ pub struct CellEstimate {
     pub estimate: Estimate,
 }
 
+/// Wall-clock breakdown of one mini-batch, by executor stage. Stages are
+/// summed across all lineage blocks of the batch; `recover` covers the full
+/// failure-triggered replay (whose internal join/classify/fold work is *not*
+/// double-counted into the other buckets).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchTiming {
+    /// Dimension joins + lineage projection of new tuples.
+    pub join: Duration,
+    /// Uncertain/deterministic classification of candidates.
+    pub classify: Duration,
+    /// Folding deterministic-true tuples into replicated aggregate states.
+    pub fold: Duration,
+    /// Publishing block outputs: effective states, bootstrap CIs,
+    /// envelope checks.
+    pub publish: Duration,
+    /// Failure-triggered recomputation (replay of affected blocks).
+    pub recover: Duration,
+    /// Tuples of the streamed table ingested this batch.
+    pub batch_rows: usize,
+}
+
+impl BatchTiming {
+    /// Streamed-tuple throughput of this batch, from the stage-bucket sum.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total > 0.0 {
+            self.batch_rows as f64 / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of all stage buckets.
+    pub fn total(&self) -> Duration {
+        self.join + self.classify + self.fold + self.publish + self.recover
+    }
+
+    /// Accumulate another batch's buckets (used for run-level summaries).
+    pub fn accumulate(&mut self, other: &BatchTiming) {
+        self.join += other.join;
+        self.classify += other.classify;
+        self.fold += other.fold;
+        self.publish += other.publish;
+        self.recover += other.recover;
+        self.batch_rows += other.batch_rows;
+    }
+}
+
 /// One refinement step: the approximate answer after a mini-batch, with its
 /// error model and execution telemetry.
 #[derive(Debug, Clone)]
@@ -47,6 +95,8 @@ pub struct BatchReport {
     pub batch_time: Duration,
     /// Wall-clock time since the query started.
     pub cumulative_time: Duration,
+    /// Per-stage wall-clock breakdown of this batch.
+    pub timing: BatchTiming,
 }
 
 impl BatchReport {
@@ -144,6 +194,7 @@ mod tests {
             recomputations: 1,
             batch_time: Duration::from_millis(12),
             cumulative_time: Duration::from_millis(60),
+            timing: BatchTiming::default(),
         }
     }
 
@@ -156,6 +207,24 @@ mod tests {
         assert!(ci.contains(42.0));
         assert!(r.estimate_at(0, 0).is_some());
         assert!(r.estimate_at(0, 1).is_none());
+    }
+
+    #[test]
+    fn timing_totals_and_throughput() {
+        let mut t = BatchTiming {
+            join: Duration::from_millis(10),
+            classify: Duration::from_millis(20),
+            fold: Duration::from_millis(30),
+            publish: Duration::from_millis(25),
+            recover: Duration::from_millis(15),
+            batch_rows: 1000,
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        assert!((t.tuples_per_sec() - 10_000.0).abs() < 1e-6);
+        t.accumulate(&t.clone());
+        assert_eq!(t.total(), Duration::from_millis(200));
+        assert_eq!(t.batch_rows, 2000);
+        assert_eq!(BatchTiming::default().tuples_per_sec(), 0.0);
     }
 
     #[test]

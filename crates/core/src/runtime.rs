@@ -210,9 +210,7 @@ fn member_tri_impl(
         Some(m) => match mode {
             CtxMode::Classify => m.tri,
             CtxMode::Point => Tri::from(m.point),
-            CtxMode::Trial(b) => {
-                Tri::from(m.trials.get(b as usize).copied().unwrap_or(m.point))
-            }
+            CtxMode::Trial(b) => Tri::from(m.trials.get(b as usize).copied().unwrap_or(m.point)),
         },
         None => {
             if p.live && mode == CtxMode::Classify {
@@ -307,7 +305,10 @@ mod tests {
     use gola_expr::{eval, eval_tri, Expr};
 
     fn pubs_with_scalar(live: bool) -> Vec<Published> {
-        let mut p = Published { live, ..Default::default() };
+        let mut p = Published {
+            live,
+            ..Default::default()
+        };
         p.scalars.insert(
             vec![],
             PublishedScalar {
@@ -321,7 +322,10 @@ mod tests {
     }
 
     fn sref() -> Expr {
-        Expr::ScalarRef { id: SubqueryId(0), key: vec![] }
+        Expr::ScalarRef {
+            id: SubqueryId(0),
+            key: vec![],
+        }
     }
 
     #[test]
@@ -330,13 +334,25 @@ mod tests {
         let row = row![35.0f64];
         let pred = Expr::gt(Expr::col(0), sref());
         // Point: 35 > 37 → false.
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Point,
+        };
         assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
         // Trial 0: 35 > 36 → false; trial 1: 35 > 38 → false.
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Trial(0) };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Trial(0),
+        };
         assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
         // Classify: 35 ∈ [28.9, 45.1] → Maybe.
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
     }
 
@@ -346,23 +362,41 @@ mod tests {
         let row = row![35.0f64];
         let pred = Expr::gt(
             Expr::col(0),
-            Expr::ScalarRef { id: SubqueryId(0), key: vec![Expr::lit(99i64)] },
+            Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![Expr::lit(99i64)],
+            },
         );
         // Unknown group while live: uncertain.
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
         // Point: NULL comparison → filtered.
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Point,
+        };
         assert_eq!(eval(&pred, &ctx).unwrap(), Value::Null);
         // Once the producer is finished, missing = deterministic NULL.
         let pubs = pubs_with_scalar(false);
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::False);
     }
 
     #[test]
     fn membership_semantics() {
-        let mut p = Published { live: true, ..Default::default() };
+        let mut p = Published {
+            live: true,
+            ..Default::default()
+        };
         p.members.insert(
             vec![Value::Int(7)],
             PublishedMember {
@@ -374,16 +408,36 @@ mod tests {
         );
         let pubs = vec![p];
         let row = row![7i64];
-        let e = Expr::InSubquery { id: SubqueryId(0), key: vec![Expr::col(0)], negated: false };
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Classify };
+        let e = Expr::InSubquery {
+            id: SubqueryId(0),
+            key: vec![Expr::col(0)],
+            negated: false,
+        };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Point };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Point,
+        };
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(true));
-        let ctx = TupleCtx { row: &row, pubs: &pubs, mode: CtxMode::Trial(1) };
+        let ctx = TupleCtx {
+            row: &row,
+            pubs: &pubs,
+            mode: CtxMode::Trial(1),
+        };
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(false));
         // Missing key while live → Maybe; not live → False.
         let row2 = row![8i64];
-        let ctx = TupleCtx { row: &row2, pubs: &pubs, mode: CtxMode::Classify };
+        let ctx = TupleCtx {
+            row: &row2,
+            pubs: &pubs,
+            mode: CtxMode::Classify,
+        };
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
     }
 
@@ -433,7 +487,10 @@ mod tests {
     #[test]
     fn runtime_reset() {
         let mut rt = BlockRuntime::default();
-        rt.uncertain.push(CachedTuple { tuple_id: 1, lineage: row![1i64] });
+        rt.uncertain.push(CachedTuple {
+            tuple_id: 1,
+            lineage: row![1i64],
+        });
         rt.static_done = true;
         rt.reset();
         assert!(rt.uncertain.is_empty());

@@ -70,7 +70,11 @@ impl OnlineSession {
             }
         };
         let meta = MetaPlan::compile(&graph, &stream_table)?;
-        Ok(PreparedQuery { graph, meta, stream_table })
+        Ok(PreparedQuery {
+            graph,
+            meta,
+            stream_table,
+        })
     }
 
     /// Compile and start online execution; iterate the result for one
@@ -136,9 +140,7 @@ impl OnlineExecution {
         let mut last: Option<BatchReport> = None;
         while !self.executor.is_finished() {
             let report = self.executor.step()?;
-            let done = report
-                .primary_rel_stddev()
-                .is_some_and(|rsd| rsd <= target);
+            let done = report.primary_rel_stddev().is_some_and(|rsd| rsd <= target);
             last = Some(report);
             if done {
                 break;

@@ -61,7 +61,9 @@ fn ads_table() -> Table {
 
 fn session(n: usize, config: OnlineConfig) -> OnlineSession {
     let mut catalog = Catalog::new();
-    catalog.register("sessions", Arc::new(sessions_table(n, 42))).unwrap();
+    catalog
+        .register("sessions", Arc::new(sessions_table(n, 42)))
+        .unwrap();
     catalog.register("ads", Arc::new(ads_table())).unwrap();
     OnlineSession::new(catalog, config)
 }
@@ -251,7 +253,10 @@ fn error_decreases_over_batches() {
     let truth = reports.last().unwrap().primary().unwrap().value;
     for r in &reports {
         let v = r.primary().unwrap().value;
-        assert!((v - truth).abs() / truth < 0.2, "estimate {v} vs truth {truth}");
+        assert!(
+            (v - truth).abs() / truth < 0.2,
+            "estimate {v} vs truth {truth}"
+        );
     }
 }
 
@@ -270,7 +275,10 @@ fn ci_covers_truth_most_of_the_time() {
             OnlineConfig::for_tests(10).with_trials(80).with_seed(seed),
         );
         let sql = "SELECT AVG(play_time) FROM sessions";
-        let truth = s.execute_exact(sql).unwrap().rows()[0].get(0).as_f64().unwrap();
+        let truth = s.execute_exact(sql).unwrap().rows()[0]
+            .get(0)
+            .as_f64()
+            .unwrap();
         let mut exec = s.execute_online(sql).unwrap();
         let mut report = None;
         for _ in 0..3 {
@@ -281,20 +289,23 @@ fn ci_covers_truth_most_of_the_time() {
             covered += 1;
         }
     }
-    assert!(covered >= 16, "95% CI covered truth only {covered}/{total} times");
+    assert!(
+        covered >= 16,
+        "95% CI covered truth only {covered}/{total} times"
+    );
 }
 
 #[test]
 fn uncertain_set_shrinks_for_sbi() {
     let s = session(6000, OnlineConfig::for_tests(12));
-    let mut exec = s
+    let exec = s
         .execute_online(
             "SELECT AVG(play_time) FROM sessions \
              WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
         )
         .unwrap();
     let mut sizes = Vec::new();
-    while let Some(r) = exec.next() {
+    for r in exec {
         let r = r.unwrap();
         sizes.push(r.uncertain_tuples);
     }
@@ -376,7 +387,10 @@ fn stream_table_selection_auto_and_explicit() {
     let s = session(2000, OnlineConfig::for_tests(5));
     let p = s.prepare("SELECT COUNT(*) FROM sessions").unwrap();
     assert_eq!(p.stream_table, "sessions");
-    let s = session(2000, OnlineConfig::for_tests(5).with_stream_table("sessions"));
+    let s = session(
+        2000,
+        OnlineConfig::for_tests(5).with_stream_table("sessions"),
+    );
     assert!(s.prepare("SELECT COUNT(*) FROM sessions").is_ok());
     let s = session(2000, OnlineConfig::for_tests(5).with_stream_table("nope"));
     assert!(s.prepare("SELECT COUNT(*) FROM sessions").is_err());
@@ -438,7 +452,10 @@ fn threaded_execution_matches_sequential() {
         for (a, b) in seq.estimates.iter().zip(&par.estimates) {
             assert_eq!(a.estimate.replicas.len(), b.estimate.replicas.len());
             for (x, y) in a.estimate.replicas.iter().zip(&b.estimate.replicas) {
-                assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()), "{x} vs {y} ({sql})");
+                assert!(
+                    (x - y).abs() <= 1e-6 * (1.0 + y.abs()),
+                    "{x} vs {y} ({sql})"
+                );
             }
         }
     }

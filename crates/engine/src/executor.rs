@@ -91,9 +91,8 @@ impl<'a> BatchEngine<'a> {
                 )))
             }
         };
-        let n_group = aggregate_group_arity(input).ok_or_else(|| {
-            Error::exec("scalar subquery plan has no aggregate node".to_string())
-        })?;
+        let n_group = aggregate_group_arity(input)
+            .ok_or_else(|| Error::exec("scalar subquery plan has no aggregate node".to_string()))?;
         let rows = self.execute_plan(input, resolved)?;
         let mut map = FxHashMap::default();
         for row in rows {
@@ -107,9 +106,7 @@ impl<'a> BatchEngine<'a> {
     /// Generic plan interpreter.
     fn execute_plan(&self, plan: &LogicalPlan, resolved: &Resolved) -> Result<Vec<Row>> {
         match plan {
-            LogicalPlan::Scan { table, .. } => {
-                Ok(self.catalog.get(table)?.rows().to_vec())
-            }
+            LogicalPlan::Scan { table, .. } => Ok(self.catalog.get(table)?.rows().to_vec()),
             LogicalPlan::Filter { input, predicate } => {
                 let rows = self.execute_plan(input, resolved)?;
                 let mut out = Vec::new();
@@ -126,18 +123,24 @@ impl<'a> BatchEngine<'a> {
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
                     let ctx = ExactContext::with_resolver(&row, resolved);
-                    let values: Result<Vec<Value>> =
-                        exprs.iter().map(|e| eval(e, &ctx)).collect();
+                    let values: Result<Vec<Value>> = exprs.iter().map(|e| eval(e, &ctx)).collect();
                     out.push(Row::new(values?));
                 }
                 Ok(out)
             }
-            LogicalPlan::Join { left, right, on, .. } => {
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
                 let left_rows = self.execute_plan(left, resolved)?;
                 let right_rows = self.execute_plan(right, resolved)?;
                 hash_join(&left_rows, &right_rows, on, resolved)
             }
-            LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
                 let rows = self.execute_plan(input, resolved)?;
                 hash_aggregate(&rows, group_by, aggs, resolved)
             }
@@ -315,16 +318,15 @@ mod tests {
             row![5i64, 3i64, 19.0f64, 308.0f64],
             row![6i64, 3i64, 26.0f64, 319.0f64],
         ];
-        c.register("sessions", Arc::new(Table::try_new(schema, rows).unwrap())).unwrap();
+        c.register("sessions", Arc::new(Table::try_new(schema, rows).unwrap()))
+            .unwrap();
         let ads = Arc::new(Schema::from_pairs(&[
             ("ad_id", DataType::Int),
             ("ad_name", DataType::Str),
         ]));
         c.register(
             "ads",
-            Arc::new(
-                Table::try_new(ads, vec![row![1i64, "alpha"], row![2i64, "beta"]]).unwrap(),
-            ),
+            Arc::new(Table::try_new(ads, vec![row![1i64, "alpha"], row![2i64, "beta"]]).unwrap()),
         )
         .unwrap();
         c
@@ -349,10 +351,8 @@ mod tests {
     fn sbi_query_exact() {
         // AVG(buffer_time) = 35.333…; sessions above it: 36, 58, 56 →
         // AVG(play_time) over {238, 135, 194}.
-        let t = run(
-            "SELECT AVG(play_time) FROM sessions \
-             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
-        );
+        let t = run("SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)");
         let expected = (238.0 + 135.0 + 194.0) / 3.0;
         assert!((t.rows()[0].get(0).as_f64().unwrap() - expected).abs() < 1e-9);
     }
@@ -362,21 +362,17 @@ mod tests {
         // Per-ad average buffer_time: ad1 = 47, ad2 = 36.5, ad3 = 22.5.
         // Rows above their own ad average: s2 (58>47), s4 (56>36.5),
         // s6 (26>22.5) → AVG(play_time) over {135, 194, 319}.
-        let t = run(
-            "SELECT AVG(play_time) FROM sessions s \
+        let t = run("SELECT AVG(play_time) FROM sessions s \
              WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions t \
-                                  WHERE t.ad_id = s.ad_id)",
-        );
+                                  WHERE t.ad_id = s.ad_id)");
         let expected = (135.0 + 194.0 + 319.0) / 3.0;
         assert!((t.rows()[0].get(0).as_f64().unwrap() - expected).abs() < 1e-9);
     }
 
     #[test]
     fn group_by_with_having_and_order() {
-        let t = run(
-            "SELECT ad_id, SUM(play_time) AS total FROM sessions \
-             GROUP BY ad_id HAVING SUM(play_time) > 400 ORDER BY total DESC",
-        );
+        let t = run("SELECT ad_id, SUM(play_time) AS total FROM sessions \
+             GROUP BY ad_id HAVING SUM(play_time) > 400 ORDER BY total DESC");
         // ad1: 373, ad2: 811, ad3: 627 → having > 400 keeps ad2, ad3.
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.rows()[0].get(0), &Value::Int(2));
@@ -386,10 +382,8 @@ mod tests {
 
     #[test]
     fn membership_subquery() {
-        let t = run(
-            "SELECT AVG(play_time) FROM sessions WHERE ad_id IN \
-             (SELECT ad_id FROM sessions GROUP BY ad_id HAVING SUM(play_time) > 400)",
-        );
+        let t = run("SELECT AVG(play_time) FROM sessions WHERE ad_id IN \
+             (SELECT ad_id FROM sessions GROUP BY ad_id HAVING SUM(play_time) > 400)");
         // ads 2 and 3 qualify → rows 3..6 → AVG(617, 194, 308, 319).
         let expected = (617.0 + 194.0 + 308.0 + 319.0) / 4.0;
         assert!((t.rows()[0].get(0).as_f64().unwrap() - expected).abs() < 1e-9);
@@ -397,10 +391,8 @@ mod tests {
 
     #[test]
     fn join_with_dimension() {
-        let t = run(
-            "SELECT a.ad_name, COUNT(*) AS n FROM sessions s \
-             JOIN ads a ON s.ad_id = a.ad_id GROUP BY a.ad_name ORDER BY a.ad_name",
-        );
+        let t = run("SELECT a.ad_name, COUNT(*) AS n FROM sessions s \
+             JOIN ads a ON s.ad_id = a.ad_id GROUP BY a.ad_name ORDER BY a.ad_name");
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.rows()[0].get(0), &Value::str("alpha"));
         assert_eq!(t.rows()[0].get(1), &Value::Float(2.0));
@@ -409,10 +401,8 @@ mod tests {
 
     #[test]
     fn plain_select_with_limit() {
-        let t = run(
-            "SELECT session_id FROM sessions WHERE play_time > 200 \
-             ORDER BY session_id DESC LIMIT 2",
-        );
+        let t = run("SELECT session_id FROM sessions WHERE play_time > 200 \
+             ORDER BY session_id DESC LIMIT 2");
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.rows()[0].get(0), &Value::Int(6));
         assert_eq!(t.rows()[1].get(0), &Value::Int(5));
@@ -427,11 +417,9 @@ mod tests {
 
     #[test]
     fn two_level_nesting_executes() {
-        let t = run(
-            "SELECT COUNT(*) FROM sessions WHERE buffer_time > \
+        let t = run("SELECT COUNT(*) FROM sessions WHERE buffer_time > \
              (SELECT AVG(buffer_time) FROM sessions WHERE play_time < \
-              (SELECT AVG(play_time) FROM sessions))",
-        );
+              (SELECT AVG(play_time) FROM sessions))");
         // Inner: AVG(play_time) = 301.83; middle: AVG(buffer) over rows with
         // play < 301.83 → {36, 58, 56} avg = 50; outer: buffer > 50 → 2 rows.
         assert_eq!(t.rows()[0].get(0), &Value::Float(2.0));

@@ -63,12 +63,18 @@ pub trait ExactResolver {
 impl<'a> ExactContext<'a> {
     /// Context over a bare row; any subquery reference is an error.
     pub fn new(row: &'a Row) -> Self {
-        ExactContext { row, resolver: None }
+        ExactContext {
+            row,
+            resolver: None,
+        }
     }
 
     /// Context with exact subquery resolution.
     pub fn with_resolver(row: &'a Row, resolver: &'a dyn ExactResolver) -> Self {
-        ExactContext { row, resolver: Some(resolver) }
+        ExactContext {
+            row,
+            resolver: Some(resolver),
+        }
     }
 }
 
@@ -121,7 +127,10 @@ pub fn eval(expr: &Expr, ctx: &dyn EvalContext) -> Result<Value> {
                 UnaryOp::Not => match v {
                     Value::Null => Ok(Value::Null),
                     Value::Bool(b) => Ok(Value::Bool(!b)),
-                    other => Err(Error::exec(format!("NOT expects BOOL, got {}", other.data_type()))),
+                    other => Err(Error::exec(format!(
+                        "NOT expects BOOL, got {}",
+                        other.data_type()
+                    ))),
                 },
             }
         }
@@ -144,7 +153,10 @@ pub fn eval(expr: &Expr, ctx: &dyn EvalContext) -> Result<Value> {
             func.call(&vals)
                 .map_err(|e| Error::exec(format!("in {name}(): {e}")))
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (cond, result) in branches {
                 if eval(cond, ctx)?.as_bool() == Some(true) {
                     return eval(result, ctx);
@@ -172,7 +184,11 @@ pub fn eval(expr: &Expr, ctx: &dyn EvalContext) -> Result<Value> {
             let m = ctx.member_current(*id, &keys)?;
             Ok(Value::Bool(m != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, ctx)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -381,11 +397,15 @@ pub fn eval_range(expr: &Expr, ctx: &dyn EvalContext) -> Result<RangeVal> {
             if func.null_strict() && vals.iter().any(Value::is_null) {
                 return Ok(RangeVal::Exact(Value::Null));
             }
-            Ok(RangeVal::Exact(func.call(&vals).map_err(|e| {
-                Error::exec(format!("in {name}(): {e}"))
-            })?))
+            Ok(RangeVal::Exact(
+                func.call(&vals)
+                    .map_err(|e| Error::exec(format!("in {name}(): {e}")))?,
+            ))
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             // Follow the branch chain while conditions classify
             // deterministically; otherwise give up.
             for (cond, result) in branches {
@@ -406,7 +426,10 @@ pub fn eval_range(expr: &Expr, ctx: &dyn EvalContext) -> Result<RangeVal> {
                 if to.is_numeric() {
                     // Int truncation can only shrink magnitude; the float
                     // interval stays a sound over-approximation.
-                    Ok(RangeVal::Num { lo: lo.floor(), hi: hi.ceil() })
+                    Ok(RangeVal::Num {
+                        lo: lo.floor(),
+                        hi: hi.ceil(),
+                    })
                 } else {
                     Ok(RangeVal::Unknown)
                 }
@@ -480,7 +503,11 @@ impl TriSet {
         v.into_iter()
     }
 
-    fn lift2(a: TriSet, b: TriSet, f: impl Fn(Option<bool>, Option<bool>) -> Option<bool>) -> TriSet {
+    fn lift2(
+        a: TriSet,
+        b: TriSet,
+        f: impl Fn(Option<bool>, Option<bool>) -> Option<bool>,
+    ) -> TriSet {
         let mut out = TriSet(0);
         for x in a.members() {
             for y in b.members() {
@@ -567,7 +594,10 @@ pub fn eval_tri_set(expr: &Expr, ctx: &dyn EvalContext) -> Result<TriSet> {
                 _ => Ok(TriSet::ANY),
             }
         }
-        Expr::Unary { op: UnaryOp::Not, expr } => Ok(eval_tri_set(expr, ctx)?.not()),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Ok(eval_tri_set(expr, ctx)?.not()),
         Expr::Unary { .. } => Err(Error::exec("numeric expression used as predicate")),
         Expr::Binary { op, left, right } if op.is_logical() => {
             let l = eval_tri_set(left, ctx)?;
@@ -626,7 +656,11 @@ pub fn eval_tri_set(expr: &Expr, ctx: &dyn EvalContext) -> Result<TriSet> {
             let s = TriSet::from_tri_nonnull(t);
             Ok(if *negated { s.not() } else { s })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_range(expr, ctx)?;
             if matches!(&v, RangeVal::Exact(x) if x.is_null()) {
                 return Ok(TriSet::NULL);
@@ -704,7 +738,10 @@ mod tests {
     }
 
     fn sref() -> Expr {
-        Expr::ScalarRef { id: SubqueryId(0), key: vec![] }
+        Expr::ScalarRef {
+            id: SubqueryId(0),
+            key: vec![],
+        }
     }
 
     #[test]
@@ -728,13 +765,20 @@ mod tests {
         let e = Expr::gt(Expr::col(0), Expr::col(1));
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Null);
         assert!(!eval_predicate(&e, &ctx).unwrap());
-        let e = Expr::IsNull { expr: Box::new(Expr::col(0)), negated: false };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col(0)),
+            negated: false,
+        };
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(true));
     }
 
     #[test]
     fn sql_three_valued_and_or() {
-        let ctx = TestCtx::new(Row::new(vec![Value::Null, Value::Bool(false), Value::Bool(true)]));
+        let ctx = TestCtx::new(Row::new(vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+        ]));
         // NULL AND FALSE = FALSE
         let e = Expr::and(Expr::col(0), Expr::col(1));
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(false));
@@ -757,10 +801,16 @@ mod tests {
         // Range says 35 ∈ [28.9, 45.1] → uncertain (the paper's t1).
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
         // t2 with buffer_time 58 is deterministically selected...
-        let ctx2 = TestCtx { row: row![58.0f64], ..ctx };
+        let ctx2 = TestCtx {
+            row: row![58.0f64],
+            ..ctx
+        };
         assert_eq!(eval_tri(&pred, &ctx2).unwrap(), Tri::True);
         // ...and tn with 17 deterministically dropped.
-        let ctx3 = TestCtx { row: row![17.0f64], ..ctx2 };
+        let ctx3 = TestCtx {
+            row: row![17.0f64],
+            ..ctx2
+        };
         assert_eq!(eval_tri(&pred, &ctx3).unwrap(), Tri::False);
     }
 
@@ -775,10 +825,16 @@ mod tests {
         );
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::True);
         // 2 * $sq ∈ [20, 40]; 10 > that → deterministic false.
-        let pred = Expr::gt(Expr::col(0), Expr::binary(BinOp::Mul, Expr::lit(2.0), sref()));
+        let pred = Expr::gt(
+            Expr::col(0),
+            Expr::binary(BinOp::Mul, Expr::lit(2.0), sref()),
+        );
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::False);
         // $sq - 5 ∈ [5, 15]; 10 > that → uncertain.
-        let pred = Expr::gt(Expr::col(0), Expr::binary(BinOp::Sub, sref(), Expr::lit(5.0)));
+        let pred = Expr::gt(
+            Expr::col(0),
+            Expr::binary(BinOp::Sub, sref(), Expr::lit(5.0)),
+        );
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
     }
 
@@ -792,7 +848,10 @@ mod tests {
         let e = Expr::and(uncertain.clone(), certain_false.clone());
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::False);
         // NOT uncertain = uncertain.
-        let e = Expr::Unary { op: UnaryOp::Not, expr: Box::new(uncertain.clone()) };
+        let e = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(uncertain.clone()),
+        };
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
         // uncertain OR true = deterministic true.
         let e = Expr::binary(BinOp::Or, uncertain, Expr::lit(true));
@@ -805,7 +864,10 @@ mod tests {
         let ctx = TestCtx::new(Row::new(vec![Value::Null]));
         let inner = Expr::gt(Expr::col(0), Expr::lit(1i64));
         assert_eq!(eval_tri(&inner, &ctx).unwrap(), Tri::False);
-        let outer = Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) };
+        let outer = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(inner),
+        };
         // Deterministically fails despite the NOT — the 4-valued domain
         // keeps NULL distinct from FALSE.
         assert_eq!(eval_tri(&outer, &ctx).unwrap(), Tri::False);
@@ -815,12 +877,20 @@ mod tests {
     fn membership_tri() {
         let mut ctx = TestCtx::new(row![7i64]);
         ctx.member = Tri::Maybe;
-        let e = Expr::InSubquery { id: SubqueryId(1), key: vec![Expr::col(0)], negated: false };
+        let e = Expr::InSubquery {
+            id: SubqueryId(1),
+            key: vec![Expr::col(0)],
+            negated: false,
+        };
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
         ctx.member = Tri::True;
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::True);
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(true));
-        let neg = Expr::InSubquery { id: SubqueryId(1), key: vec![Expr::col(0)], negated: true };
+        let neg = Expr::InSubquery {
+            id: SubqueryId(1),
+            key: vec![Expr::col(0)],
+            negated: true,
+        };
         assert_eq!(eval_tri(&neg, &ctx).unwrap(), Tri::False);
     }
 
@@ -856,7 +926,10 @@ mod tests {
         };
         assert_eq!(eval(&e, &ctx).unwrap(), Value::str("mid"));
         // Range evaluation follows deterministic branches.
-        assert_eq!(eval_range(&e, &ctx).unwrap(), RangeVal::Exact(Value::str("mid")));
+        assert_eq!(
+            eval_range(&e, &ctx).unwrap(),
+            RangeVal::Exact(Value::str("mid"))
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl BinOp {
 
     /// `true` for arithmetic operators.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
 
     pub fn symbol(self) -> &'static str {
@@ -154,7 +157,11 @@ impl Expr {
     }
 
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn and(left: Expr, right: Expr) -> Expr {
@@ -175,7 +182,11 @@ impl Expr {
 
     /// Conjunction of a list of predicates; `None` for an empty list.
     pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
-        let first = if preds.is_empty() { return None } else { preds.remove(0) };
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
         Some(preds.into_iter().fold(first, Expr::and))
     }
 
@@ -186,7 +197,10 @@ impl Expr {
             Expr::Unary { expr, .. } => vec![expr],
             Expr::Binary { left, right, .. } => vec![left, right],
             Expr::Func { args, .. } => args.iter().collect(),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 let mut v: Vec<&Expr> = Vec::new();
                 for (c, r) in branches {
                     v.push(c);
@@ -226,10 +240,8 @@ impl Expr {
     /// Collect every subquery reference (scalar or membership) in the tree.
     pub fn collect_subquery_refs(&self, out: &mut Vec<SubqueryId>) {
         match self {
-            Expr::ScalarRef { id, .. } | Expr::InSubquery { id, .. } => {
-                if !out.contains(id) {
-                    out.push(*id);
-                }
+            Expr::ScalarRef { id, .. } | Expr::InSubquery { id, .. } if !out.contains(id) => {
+                out.push(*id);
             }
             _ => {}
         }
@@ -274,7 +286,10 @@ impl Expr {
                 func: Arc::clone(func),
                 args: args.iter().map(|a| a.transform(f)).collect(),
             },
-            Expr::Case { branches, else_expr } => Expr::Case {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, r)| (c.transform(f), r.transform(f)))
@@ -298,7 +313,11 @@ impl Expr {
                 key: key.iter().map(|k| k.transform(f)).collect(),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(expr.transform(f)),
                 list: list.iter().map(|e| e.transform(f)).collect(),
                 negated: *negated,
@@ -333,7 +352,10 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 for (c, r) in branches {
                     write!(f, " WHEN {c} THEN {r}")?;
@@ -371,7 +393,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, " {}IN ${id})", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -396,7 +422,10 @@ mod tests {
             Expr::binary(
                 BinOp::Mul,
                 Expr::lit(0.2),
-                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                Expr::ScalarRef {
+                    id: SubqueryId(0),
+                    key: vec![],
+                },
             ),
         );
         assert_eq!(e.to_string(), "(#1 > (0.2 * $sq0))");
@@ -419,9 +448,16 @@ mod tests {
         let e = Expr::and(
             Expr::gt(
                 Expr::col(0),
-                Expr::ScalarRef { id: SubqueryId(3), key: vec![Expr::col(1)] },
+                Expr::ScalarRef {
+                    id: SubqueryId(3),
+                    key: vec![Expr::col(1)],
+                },
             ),
-            Expr::InSubquery { id: SubqueryId(5), key: vec![Expr::col(2)], negated: false },
+            Expr::InSubquery {
+                id: SubqueryId(5),
+                key: vec![Expr::col(2)],
+                negated: false,
+            },
         );
         let mut refs = Vec::new();
         e.collect_subquery_refs(&mut refs);
@@ -434,7 +470,10 @@ mod tests {
     fn remap_columns() {
         let e = Expr::gt(Expr::col(0), Expr::col(3));
         let remapped = e.remap_columns(&|i| i + 10);
-        assert_eq!(remapped.to_string(), "(#10 > (#13))".replace("(#13)", "#13"));
+        assert_eq!(
+            remapped.to_string(),
+            "(#10 > (#13))".replace("(#13)", "#13")
+        );
     }
 
     #[test]

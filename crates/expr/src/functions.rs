@@ -39,7 +39,9 @@ pub struct FunctionRegistry {
 impl FunctionRegistry {
     /// Registry pre-populated with the SQL built-ins.
     pub fn with_builtins() -> Self {
-        let mut r = FunctionRegistry { fns: BTreeMap::new() };
+        let mut r = FunctionRegistry {
+            fns: BTreeMap::new(),
+        };
         macro_rules! num1 {
             ($name:expr, $f:expr) => {
                 r.register($name, Arc::new(NumericUnary { name: $name, f: $f }))
@@ -64,14 +66,18 @@ impl FunctionRegistry {
         num1!("trunc", |x| x.trunc());
         r.register("round", Arc::new(RoundFn)).unwrap();
         r.register("pow", Arc::new(PowFn)).unwrap();
-        r.register("least", Arc::new(LeastGreatest { greatest: false })).unwrap();
-        r.register("greatest", Arc::new(LeastGreatest { greatest: true })).unwrap();
+        r.register("least", Arc::new(LeastGreatest { greatest: false }))
+            .unwrap();
+        r.register("greatest", Arc::new(LeastGreatest { greatest: true }))
+            .unwrap();
         r.register("coalesce", Arc::new(CoalesceFn)).unwrap();
         r.register("if", Arc::new(IfFn)).unwrap();
         r.register("nullif", Arc::new(NullIfFn)).unwrap();
         r.register("length", Arc::new(LengthFn)).unwrap();
-        r.register("upper", Arc::new(CaseFn { upper: true })).unwrap();
-        r.register("lower", Arc::new(CaseFn { upper: false })).unwrap();
+        r.register("upper", Arc::new(CaseFn { upper: true }))
+            .unwrap();
+        r.register("lower", Arc::new(CaseFn { upper: false }))
+            .unwrap();
         r.register("substr", Arc::new(SubstrFn)).unwrap();
         r.register("concat", Arc::new(ConcatFn)).unwrap();
         r.register("trim", Arc::new(TrimFn)).unwrap();
@@ -82,7 +88,9 @@ impl FunctionRegistry {
 
     /// Empty registry (tests, restricted environments).
     pub fn empty() -> Self {
-        FunctionRegistry { fns: BTreeMap::new() }
+        FunctionRegistry {
+            fns: BTreeMap::new(),
+        }
     }
 
     /// Register a function; errors on duplicate names.
@@ -223,7 +231,11 @@ struct CoalesceFn;
 
 impl ScalarFn for CoalesceFn {
     fn call(&self, args: &[Value]) -> Result<Value> {
-        Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+        Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null))
     }
 
     fn return_type(&self, arg_types: &[DataType]) -> Result<DataType> {
@@ -446,7 +458,9 @@ fn expect_arity(name: &str, arg_types: &[DataType], n: usize) -> Result<()> {
 
 fn expect_numeric(name: &str, t: DataType) -> Result<()> {
     if !t.is_numeric() && t != DataType::Null {
-        return Err(Error::bind(format!("{name} expects a numeric argument, got {t}")));
+        return Err(Error::bind(format!(
+            "{name} expects a numeric argument, got {t}"
+        )));
     }
     Ok(())
 }
@@ -469,15 +483,30 @@ mod tests {
     #[test]
     fn numeric_builtins() {
         let r = reg();
-        assert_eq!(r.get("abs").unwrap().call(&[Value::Float(-2.0)]).unwrap(), Value::Float(2.0));
-        assert_eq!(r.get("sqrt").unwrap().call(&[Value::Int(9)]).unwrap(), Value::Float(3.0));
-        assert_eq!(r.get("sign").unwrap().call(&[Value::Float(-7.0)]).unwrap(), Value::Float(-1.0));
         assert_eq!(
-            r.get("round").unwrap().call(&[Value::Float(2.345), Value::Int(2)]).unwrap(),
+            r.get("abs").unwrap().call(&[Value::Float(-2.0)]).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            r.get("sqrt").unwrap().call(&[Value::Int(9)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            r.get("sign").unwrap().call(&[Value::Float(-7.0)]).unwrap(),
+            Value::Float(-1.0)
+        );
+        assert_eq!(
+            r.get("round")
+                .unwrap()
+                .call(&[Value::Float(2.345), Value::Int(2)])
+                .unwrap(),
             Value::Float(2.35)
         );
         assert_eq!(
-            r.get("pow").unwrap().call(&[Value::Int(2), Value::Int(10)]).unwrap(),
+            r.get("pow")
+                .unwrap()
+                .call(&[Value::Int(2), Value::Int(10)])
+                .unwrap(),
             Value::Float(1024.0)
         );
     }
@@ -486,23 +515,38 @@ mod tests {
     fn conditional_builtins() {
         let r = reg();
         assert_eq!(
-            r.get("coalesce").unwrap().call(&[Value::Null, Value::Int(5)]).unwrap(),
+            r.get("coalesce")
+                .unwrap()
+                .call(&[Value::Null, Value::Int(5)])
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            r.get("if").unwrap().call(&[Value::Bool(false), Value::Int(1), Value::Int(2)]).unwrap(),
+            r.get("if")
+                .unwrap()
+                .call(&[Value::Bool(false), Value::Int(1), Value::Int(2)])
+                .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
-            r.get("nullif").unwrap().call(&[Value::Int(3), Value::Int(3)]).unwrap(),
+            r.get("nullif")
+                .unwrap()
+                .call(&[Value::Int(3), Value::Int(3)])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            r.get("least").unwrap().call(&[Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap(),
+            r.get("least")
+                .unwrap()
+                .call(&[Value::Int(3), Value::Int(1), Value::Int(2)])
+                .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            r.get("greatest").unwrap().call(&[Value::Float(1.5), Value::Int(2)]).unwrap(),
+            r.get("greatest")
+                .unwrap()
+                .call(&[Value::Float(1.5), Value::Int(2)])
+                .unwrap(),
             Value::Int(2)
         );
     }
@@ -510,14 +554,29 @@ mod tests {
     #[test]
     fn string_builtins() {
         let r = reg();
-        assert_eq!(r.get("length").unwrap().call(&[Value::str("héllo")]).unwrap(), Value::Int(5));
-        assert_eq!(r.get("upper").unwrap().call(&[Value::str("ab")]).unwrap(), Value::str("AB"));
         assert_eq!(
-            r.get("substr").unwrap().call(&[Value::str("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
+            r.get("length")
+                .unwrap()
+                .call(&[Value::str("héllo")])
+                .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            r.get("upper").unwrap().call(&[Value::str("ab")]).unwrap(),
+            Value::str("AB")
+        );
+        assert_eq!(
+            r.get("substr")
+                .unwrap()
+                .call(&[Value::str("hello"), Value::Int(2), Value::Int(3)])
+                .unwrap(),
             Value::str("ell")
         );
         assert_eq!(
-            r.get("concat").unwrap().call(&[Value::str("a"), Value::Null, Value::Int(3)]).unwrap(),
+            r.get("concat")
+                .unwrap()
+                .call(&[Value::str("a"), Value::Null, Value::Int(3)])
+                .unwrap(),
             Value::str("a3")
         );
     }
@@ -529,7 +588,10 @@ mod tests {
         assert!(r.get("abs").unwrap().return_type(&[]).is_err());
         assert!(r.get("abs").unwrap().return_type(&[DataType::Str]).is_err());
         assert_eq!(
-            r.get("if").unwrap().return_type(&[DataType::Bool, DataType::Int, DataType::Float]).unwrap(),
+            r.get("if")
+                .unwrap()
+                .return_type(&[DataType::Bool, DataType::Int, DataType::Float])
+                .unwrap(),
             DataType::Float
         );
     }
@@ -537,21 +599,39 @@ mod tests {
     #[test]
     fn more_string_and_math_builtins() {
         let r = reg();
-        assert_eq!(r.get("trim").unwrap().call(&[Value::str("  hi ")]).unwrap(), Value::str("hi"));
         assert_eq!(
-            r.get("replace").unwrap().call(&[Value::str("a-b-c"), Value::str("-"), Value::str("+")]).unwrap(),
+            r.get("trim").unwrap().call(&[Value::str("  hi ")]).unwrap(),
+            Value::str("hi")
+        );
+        assert_eq!(
+            r.get("replace")
+                .unwrap()
+                .call(&[Value::str("a-b-c"), Value::str("-"), Value::str("+")])
+                .unwrap(),
             Value::str("a+b+c")
         );
         assert_eq!(
-            r.get("replace").unwrap().call(&[Value::str("abc"), Value::str(""), Value::str("x")]).unwrap(),
+            r.get("replace")
+                .unwrap()
+                .call(&[Value::str("abc"), Value::str(""), Value::str("x")])
+                .unwrap(),
             Value::str("abc")
         );
         assert_eq!(
-            r.get("starts_with").unwrap().call(&[Value::str("Brand#11"), Value::str("Brand")]).unwrap(),
+            r.get("starts_with")
+                .unwrap()
+                .call(&[Value::str("Brand#11"), Value::str("Brand")])
+                .unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(r.get("log10").unwrap().call(&[Value::Int(1000)]).unwrap(), Value::Float(3.0));
-        assert_eq!(r.get("trunc").unwrap().call(&[Value::Float(-2.7)]).unwrap(), Value::Float(-2.0));
+        assert_eq!(
+            r.get("log10").unwrap().call(&[Value::Int(1000)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            r.get("trunc").unwrap().call(&[Value::Float(-2.7)]).unwrap(),
+            Value::Float(-2.0)
+        );
     }
 
     #[test]
@@ -568,7 +648,10 @@ mod tests {
         }
         let mut r = reg();
         r.register("double", Arc::new(Double)).unwrap();
-        assert_eq!(r.get("DOUBLE").unwrap().call(&[Value::Int(4)]).unwrap(), Value::Float(8.0));
+        assert_eq!(
+            r.get("DOUBLE").unwrap().call(&[Value::Int(4)]).unwrap(),
+            Value::Float(8.0)
+        );
         assert!(r.register("double", Arc::new(Double)).is_err());
     }
 }

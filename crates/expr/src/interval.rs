@@ -139,11 +139,7 @@ impl RangeVal {
         }
     }
 
-    fn combine(
-        &self,
-        other: &RangeVal,
-        f: impl Fn(f64, f64, f64, f64) -> (f64, f64),
-    ) -> RangeVal {
+    fn combine(&self, other: &RangeVal, f: impl Fn(f64, f64, f64, f64) -> (f64, f64)) -> RangeVal {
         match (self.bounds(), other.bounds()) {
             (Some((a, b)), Some((c, d))) => {
                 let (lo, hi) = f(a, b, c, d);
@@ -252,7 +248,10 @@ mod tests {
         let a = RangeVal::num(1.0, 2.0);
         assert_eq!(a.div(&RangeVal::num(-1.0, 1.0)), RangeVal::Unknown);
         assert_eq!(a.div(&RangeVal::num(2.0, 4.0)), RangeVal::num(0.25, 1.0));
-        assert_eq!(a.div(&RangeVal::num(-4.0, -2.0)), RangeVal::num(-1.0, -0.25));
+        assert_eq!(
+            a.div(&RangeVal::num(-4.0, -2.0)),
+            RangeVal::num(-1.0, -0.25)
+        );
     }
 
     #[test]

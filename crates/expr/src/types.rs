@@ -17,7 +17,10 @@ pub struct TypeEnv {
 
 impl TypeEnv {
     pub fn new(columns: Vec<DataType>) -> Self {
-        TypeEnv { columns, scalars: FxHashMap::default() }
+        TypeEnv {
+            columns,
+            scalars: FxHashMap::default(),
+        }
     }
 
     pub fn with_scalar(mut self, id: SubqueryId, ty: DataType) -> Self {
@@ -55,7 +58,11 @@ pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<DataType> {
             match op {
                 UnaryOp::Neg => {
                     if t.is_numeric() || t == DataType::Null {
-                        Ok(if t == DataType::Null { DataType::Float } else { t })
+                        Ok(if t == DataType::Null {
+                            DataType::Float
+                        } else {
+                            t
+                        })
                     } else {
                         Err(Error::bind(format!("cannot negate {t}")))
                     }
@@ -75,7 +82,10 @@ pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<DataType> {
             if op.is_logical() {
                 for t in [lt, rt] {
                     if t != DataType::Bool && t != DataType::Null {
-                        return Err(Error::bind(format!("{} expects BOOL, got {t}", op.symbol())));
+                        return Err(Error::bind(format!(
+                            "{} expects BOOL, got {t}",
+                            op.symbol()
+                        )));
                     }
                 }
                 return Ok(DataType::Bool);
@@ -112,12 +122,17 @@ pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<DataType> {
             func.return_type(&arg_types?)
                 .map_err(|e| Error::bind(format!("in {name}(): {e}")))
         }
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             let mut out = DataType::Null;
             for (cond, result) in branches {
                 let ct = infer_type(cond, env)?;
                 if ct != DataType::Bool && ct != DataType::Null {
-                    return Err(Error::bind(format!("CASE condition must be BOOL, got {ct}")));
+                    return Err(Error::bind(format!(
+                        "CASE condition must be BOOL, got {ct}"
+                    )));
                 }
                 let rt = infer_type(result, env)?;
                 out = out
@@ -171,8 +186,13 @@ mod tests {
     use crate::functions::FunctionRegistry;
 
     fn env() -> TypeEnv {
-        TypeEnv::new(vec![DataType::Int, DataType::Float, DataType::Str, DataType::Bool])
-            .with_scalar(SubqueryId(0), DataType::Float)
+        TypeEnv::new(vec![
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bool,
+        ])
+        .with_scalar(SubqueryId(0), DataType::Float)
     }
 
     #[test]
@@ -201,9 +221,18 @@ mod tests {
 
     #[test]
     fn scalar_ref_typing() {
-        let e = Expr::gt(Expr::col(1), Expr::ScalarRef { id: SubqueryId(0), key: vec![] });
+        let e = Expr::gt(
+            Expr::col(1),
+            Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![],
+            },
+        );
         assert_eq!(infer_type(&e, &env()).unwrap(), DataType::Bool);
-        let e = Expr::ScalarRef { id: SubqueryId(9), key: vec![] };
+        let e = Expr::ScalarRef {
+            id: SubqueryId(9),
+            key: vec![],
+        };
         assert!(infer_type(&e, &env()).is_err());
     }
 
@@ -211,9 +240,17 @@ mod tests {
     fn function_typing() {
         let reg = FunctionRegistry::with_builtins();
         let sqrt = reg.get("sqrt").unwrap();
-        let e = Expr::Func { name: "sqrt".into(), func: sqrt.clone(), args: vec![Expr::col(1)] };
+        let e = Expr::Func {
+            name: "sqrt".into(),
+            func: sqrt.clone(),
+            args: vec![Expr::col(1)],
+        };
         assert_eq!(infer_type(&e, &env()).unwrap(), DataType::Float);
-        let e = Expr::Func { name: "sqrt".into(), func: sqrt, args: vec![Expr::col(2)] };
+        let e = Expr::Func {
+            name: "sqrt".into(),
+            func: sqrt,
+            args: vec![Expr::col(2)],
+        };
         assert!(infer_type(&e, &env()).is_err());
     }
 

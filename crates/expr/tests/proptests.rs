@@ -40,7 +40,10 @@ impl EvalContext for Ctx {
 }
 
 fn sref() -> Expr {
-    Expr::ScalarRef { id: SubqueryId(0), key: vec![] }
+    Expr::ScalarRef {
+        id: SubqueryId(0),
+        key: vec![],
+    }
 }
 
 fn cmp_ops() -> impl Strategy<Value = BinOp> {
@@ -135,15 +138,15 @@ proptest! {
         };
         let r = eval_range(&expr, &ctx).unwrap();
         let point = eval(&expr, &ctx).unwrap().as_f64().unwrap();
-        match r.bounds() {
-            Some((rlo, rhi)) => {
-                prop_assert!(
-                    rlo - 1e-9 <= point && point <= rhi + 1e-9,
-                    "point {} outside range [{}, {}]",
-                    point, rlo, rhi
-                );
-            }
-            None => {} // Unknown is trivially sound
+        // An Unknown range (no bounds) is trivially sound.
+        if let Some((rlo, rhi)) = r.bounds() {
+            prop_assert!(
+                rlo - 1e-9 <= point && point <= rhi + 1e-9,
+                "point {} outside range [{}, {}]",
+                point,
+                rlo,
+                rhi
+            );
         }
     }
 

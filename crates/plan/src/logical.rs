@@ -29,9 +29,15 @@ impl fmt::Display for AggCall {
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
     /// Base-table scan.
-    Scan { table: String, schema: Arc<Schema> },
+    Scan {
+        table: String,
+        schema: Arc<Schema>,
+    },
     /// `WHERE`/`HAVING` filter. Predicates may reference subqueries.
-    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
     /// Projection: compute `exprs` over the input row.
     Project {
         input: Box<LogicalPlan>,
@@ -59,7 +65,10 @@ pub enum LogicalPlan {
         input: Box<LogicalPlan>,
         keys: Vec<(usize, bool)>,
     },
-    Limit { input: Box<LogicalPlan>, n: usize },
+    Limit {
+        input: Box<LogicalPlan>,
+        n: usize,
+    },
 }
 
 impl LogicalPlan {
@@ -119,7 +128,9 @@ impl LogicalPlan {
                 }
                 input.subquery_refs(out);
             }
-            LogicalPlan::Join { left, right, on, .. } => {
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
                 for (l, r) in on {
                     visit_expr(l, out);
                     visit_expr(r, out);
@@ -127,7 +138,12 @@ impl LogicalPlan {
                 left.subquery_refs(out);
                 right.subquery_refs(out);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
                 for e in group_by {
                     visit_expr(e, out);
                 }
@@ -159,7 +175,11 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Filter {predicate}\n"));
                 input.explain_into(out, depth + 1);
             }
-            LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let items: Vec<String> = exprs
                     .iter()
                     .zip(schema.fields())
@@ -168,14 +188,20 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Project {}\n", items.join(", ")));
                 input.explain_into(out, depth + 1);
             }
-            LogicalPlan::Join { left, right, on, .. } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 out.push_str(&format!("{pad}Join on {}\n", conds.join(" AND ")));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
                 let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
                 let a: Vec<String> = aggs.iter().map(|c| c.to_string()).collect();
                 out.push_str(&format!(
@@ -229,7 +255,10 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// A graph with no subqueries.
     pub fn simple(root: LogicalPlan) -> Self {
-        QueryGraph { subqueries: Vec::new(), root }
+        QueryGraph {
+            subqueries: Vec::new(),
+            root,
+        }
     }
 
     /// Explain the whole graph: subqueries first, then the root.
@@ -278,7 +307,10 @@ mod tests {
             input: Box::new(scan()),
             predicate: Expr::gt(
                 Expr::col(1),
-                Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                Expr::ScalarRef {
+                    id: SubqueryId(0),
+                    key: vec![],
+                },
             ),
         };
         let root = LogicalPlan::Aggregate {
@@ -292,7 +324,10 @@ mod tests {
             schema: Arc::new(Schema::from_pairs(&[("avg_play", DataType::Float)])),
         };
         QueryGraph {
-            subqueries: vec![SubqueryPlan { plan: inner, kind: SubqueryKind::Scalar }],
+            subqueries: vec![SubqueryPlan {
+                plan: inner,
+                kind: SubqueryKind::Scalar,
+            }],
             root,
         }
     }

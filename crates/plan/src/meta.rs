@@ -115,7 +115,12 @@ impl MetaPlan {
             blocks.push(blockify(&sq.plan, i, role, stream_table)?);
         }
         let root_id = blocks.len();
-        blocks.push(blockify(&graph.root, root_id, BlockRole::Root, stream_table)?);
+        blocks.push(blockify(
+            &graph.root,
+            root_id,
+            BlockRole::Root,
+            stream_table,
+        )?);
 
         // Static blocks must not depend on streaming blocks: their output is
         // computed once, before any mini-batch.
@@ -146,6 +151,30 @@ impl MetaPlan {
         &self.blocks[self.root]
     }
 
+    /// Group blocks into dependency-ordered **wavefronts**: wave `w` holds
+    /// every block whose longest dependency chain has length `w`. All blocks
+    /// in one wave are mutually independent, so the executor may ingest them
+    /// in parallel; waves execute in order. Block ids ascend within a wave,
+    /// so the flattened wavefront order is deterministic and is itself a
+    /// valid topological order.
+    pub fn wavefronts(&self) -> Vec<Vec<usize>> {
+        let n = self.blocks.len();
+        let mut depth = vec![0usize; n];
+        // `self.order` is topological, so every dependency's depth is final
+        // by the time its consumer is visited.
+        for &i in &self.order {
+            for d in &self.blocks[i].deps {
+                depth[i] = depth[i].max(depth[d.0] + 1);
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut waves = vec![Vec::new(); max_depth + 1];
+        for (i, &w) in depth.iter().enumerate() {
+            waves[w].push(i);
+        }
+        waves
+    }
+
     /// Human-readable rendering of the block structure.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -155,7 +184,11 @@ impl MetaPlan {
                 "block {} [{:?}{}] scan={} dims={:?}\n",
                 b.id,
                 b.role,
-                if b.is_streaming { ", streaming" } else { ", static" },
+                if b.is_streaming {
+                    ", streaming"
+                } else {
+                    ", static"
+                },
                 b.source_table,
                 b.dims.iter().map(|d| d.table.as_str()).collect::<Vec<_>>(),
             ));
@@ -199,7 +232,11 @@ fn blockify(plan: &LogicalPlan, id: usize, role: BlockRole, stream_table: &str) 
         node = input;
     }
     let (post_project, output_schema_from_project) = match node {
-        LogicalPlan::Project { input, exprs, schema } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             node = input;
             (Some(exprs.clone()), Some(Arc::clone(schema)))
         }
@@ -215,9 +252,17 @@ fn blockify(plan: &LogicalPlan, id: usize, role: BlockRole, stream_table: &str) 
         }
     }
     let (group_by, aggs, agg_row_schema, mut node) = match node {
-        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
-            (group_by.clone(), aggs.clone(), Arc::clone(schema), input.as_ref())
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => (
+            group_by.clone(),
+            aggs.clone(),
+            Arc::clone(schema),
+            input.as_ref(),
+        ),
         _ => {
             return Err(Error::plan(
                 "online execution requires an aggregate query (SPJA block)".to_string(),
@@ -234,7 +279,9 @@ fn blockify(plan: &LogicalPlan, id: usize, role: BlockRole, stream_table: &str) 
     let (source_table, fact_schema) = loop {
         match node {
             LogicalPlan::Scan { table, schema } => break (table.clone(), Arc::clone(schema)),
-            LogicalPlan::Join { left, right, on, .. } => {
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
                 let (dim_table, dim_schema) = match right.as_ref() {
                     LogicalPlan::Scan { table, schema } => (table.clone(), Arc::clone(schema)),
                     _ => {
@@ -380,7 +427,11 @@ fn peel_filters(mut plan: &LogicalPlan) -> &LogicalPlan {
 /// Split a predicate into top-level AND conjuncts.
 fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
     match e {
-        Expr::Binary { op: gola_expr::BinOp::And, left, right } => {
+        Expr::Binary {
+            op: gola_expr::BinOp::And,
+            left,
+            right,
+        } => {
             split_conjuncts(left, out);
             split_conjuncts(right, out);
         }
@@ -396,7 +447,10 @@ fn topo_order(blocks: &[Block]) -> Result<Vec<usize>> {
     for b in blocks {
         for d in &b.deps {
             if d.0 >= n {
-                return Err(Error::plan(format!("block {} references unknown {d}", b.id)));
+                return Err(Error::plan(format!(
+                    "block {} references unknown {d}",
+                    b.id
+                )));
             }
             indegree[b.id] += 1;
             consumers[d.0].push(b.id);
@@ -436,14 +490,21 @@ mod tests {
     }
 
     fn scan() -> LogicalPlan {
-        LogicalPlan::Scan { table: "sessions".into(), schema: sessions_schema() }
+        LogicalPlan::Scan {
+            table: "sessions".into(),
+            schema: sessions_schema(),
+        }
     }
 
     fn agg(input: LogicalPlan, col: usize, name: &str) -> LogicalPlan {
         LogicalPlan::Aggregate {
             input: Box::new(input),
             group_by: vec![],
-            aggs: vec![AggCall { kind: AggKind::Avg, arg: Expr::col(col), name: name.into() }],
+            aggs: vec![AggCall {
+                kind: AggKind::Avg,
+                arg: Expr::col(col),
+                name: name.into(),
+            }],
             schema: Arc::new(Schema::from_pairs(&[(name, DataType::Float)])),
         }
     }
@@ -455,14 +516,20 @@ mod tests {
                 input: Box::new(scan()),
                 predicate: Expr::gt(
                     Expr::col(1),
-                    Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                    Expr::ScalarRef {
+                        id: SubqueryId(0),
+                        key: vec![],
+                    },
                 ),
             },
             2,
             "avg_play",
         );
         QueryGraph {
-            subqueries: vec![SubqueryPlan { plan: inner, kind: SubqueryKind::Scalar }],
+            subqueries: vec![SubqueryPlan {
+                plan: inner,
+                kind: SubqueryKind::Scalar,
+            }],
             root: outer,
         }
     }
@@ -486,6 +553,26 @@ mod tests {
     }
 
     #[test]
+    fn wavefronts_respect_dependency_depth() {
+        let mp = MetaPlan::compile(&sbi(), "sessions").unwrap();
+        // Inner block (no deps) in wave 0; root (depends on it) in wave 1.
+        assert_eq!(mp.wavefronts(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn wavefront_flattening_is_topological() {
+        let mp = MetaPlan::compile(&sbi(), "sessions").unwrap();
+        let flat: Vec<usize> = mp.wavefronts().into_iter().flatten().collect();
+        let pos = |b: usize| flat.iter().position(|&x| x == b).unwrap();
+        for blk in &mp.blocks {
+            for d in &blk.deps {
+                assert!(pos(d.0) < pos(blk.id));
+            }
+        }
+        assert_eq!(flat.len(), mp.blocks.len());
+    }
+
+    #[test]
     fn non_aggregate_root_rejected() {
         let g = QueryGraph::simple(scan());
         let err = MetaPlan::compile(&g, "sessions").unwrap_err();
@@ -496,8 +583,15 @@ mod tests {
     fn group_by_with_subquery_rejected() {
         let plan = LogicalPlan::Aggregate {
             input: Box::new(scan()),
-            group_by: vec![Expr::ScalarRef { id: SubqueryId(0), key: vec![] }],
-            aggs: vec![AggCall { kind: AggKind::Count, arg: Expr::lit(1i64), name: "c".into() }],
+            group_by: vec![Expr::ScalarRef {
+                id: SubqueryId(0),
+                key: vec![],
+            }],
+            aggs: vec![AggCall {
+                kind: AggKind::Count,
+                arg: Expr::lit(1i64),
+                name: "c".into(),
+            }],
             schema: Arc::new(Schema::from_pairs(&[
                 ("g", DataType::Float),
                 ("c", DataType::Float),
@@ -518,7 +612,11 @@ mod tests {
         let aggregate = LogicalPlan::Aggregate {
             input: Box::new(scan()),
             group_by: vec![Expr::col(0)],
-            aggs: vec![AggCall { kind: AggKind::Sum, arg: Expr::col(2), name: "s".into() }],
+            aggs: vec![AggCall {
+                kind: AggKind::Sum,
+                arg: Expr::col(2),
+                name: "s".into(),
+            }],
             schema: Arc::new(Schema::from_pairs(&[
                 ("session_id", DataType::Int),
                 ("s", DataType::Float),
@@ -547,7 +645,10 @@ mod tests {
         ]));
         let join = LogicalPlan::Join {
             left: Box::new(scan()),
-            right: Box::new(LogicalPlan::Scan { table: "ads".into(), schema: Arc::clone(&dim_schema) }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "ads".into(),
+                schema: Arc::clone(&dim_schema),
+            }),
             on: vec![(Expr::col(0), Expr::col(0))],
             schema: Arc::new(sessions_schema().join(&dim_schema)),
         };
@@ -590,14 +691,20 @@ mod tests {
                 input: Box::new(other),
                 predicate: Expr::gt(
                     Expr::col(0),
-                    Expr::ScalarRef { id: SubqueryId(0), key: vec![] },
+                    Expr::ScalarRef {
+                        id: SubqueryId(0),
+                        key: vec![],
+                    },
                 ),
             },
             0,
             "a",
         );
         let g = QueryGraph {
-            subqueries: vec![SubqueryPlan { plan: inner, kind: SubqueryKind::Scalar }],
+            subqueries: vec![SubqueryPlan {
+                plan: inner,
+                kind: SubqueryKind::Scalar,
+            }],
             root: outer,
         };
         let err = MetaPlan::compile(&g, "sessions").unwrap_err();
@@ -620,7 +727,10 @@ mod tests {
             "avg_play",
         );
         let g = QueryGraph {
-            subqueries: vec![SubqueryPlan { plan: inner, kind: SubqueryKind::Membership }],
+            subqueries: vec![SubqueryPlan {
+                plan: inner,
+                kind: SubqueryKind::Membership,
+            }],
             root: outer,
         };
         assert!(MetaPlan::compile(&g, "sessions").is_err());

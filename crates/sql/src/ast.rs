@@ -119,7 +119,11 @@ pub struct SelectStmt {
 impl AstExpr {
     /// Convenience: build `left op right`.
     pub fn binary(op: AstBinOp, left: AstExpr, right: AstExpr) -> AstExpr {
-        AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        AstExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Split a predicate into top-level AND conjuncts.
@@ -127,7 +131,11 @@ impl AstExpr {
         let mut out = Vec::new();
         fn walk<'a>(e: &'a AstExpr, out: &mut Vec<&'a AstExpr>) {
             match e {
-                AstExpr::Binary { op: AstBinOp::And, left, right } => {
+                AstExpr::Binary {
+                    op: AstBinOp::And,
+                    left,
+                    right,
+                } => {
                     walk(left, out);
                     walk(right, out);
                 }
@@ -171,7 +179,11 @@ mod tests {
 
     #[test]
     fn or_is_not_split() {
-        let e = AstExpr::binary(AstBinOp::Or, AstExpr::BoolLit(true), AstExpr::BoolLit(false));
+        let e = AstExpr::binary(
+            AstBinOp::Or,
+            AstExpr::BoolLit(true),
+            AstExpr::BoolLit(false),
+        );
         assert_eq!(e.conjuncts().len(), 1);
     }
 }

@@ -47,14 +47,21 @@ impl<'a> Binder<'a> {
         functions: FunctionRegistry,
         udafs: UdafRegistry,
     ) -> Self {
-        Binder { catalog, functions, udafs }
+        Binder {
+            catalog,
+            functions,
+            udafs,
+        }
     }
 
     /// Bind a parsed statement into a resolved query graph.
     pub fn bind(&self, stmt: &SelectStmt) -> Result<QueryGraph> {
         let mut ctx = BindCtx::default();
         let root = self.bind_select(stmt, None, &mut ctx, &[])?;
-        Ok(QueryGraph { subqueries: ctx.subqueries, root })
+        Ok(QueryGraph {
+            subqueries: ctx.subqueries,
+            root,
+        })
     }
 
     // -----------------------------------------------------------------
@@ -87,11 +94,16 @@ impl<'a> Binder<'a> {
         for p in &where_parts {
             let t = infer_type(p, &source_env)?;
             if t != DataType::Bool && t != DataType::Null {
-                return Err(Error::bind(format!("WHERE predicate must be BOOL, got {t}")));
+                return Err(Error::bind(format!(
+                    "WHERE predicate must be BOOL, got {t}"
+                )));
             }
         }
         if let Some(pred) = Expr::conjunction(where_parts) {
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: pred,
+            };
         }
 
         // GROUP BY (with select-alias resolution).
@@ -101,7 +113,10 @@ impl<'a> Binder<'a> {
             groups.push((expr, name));
         }
 
-        let has_agg_items = stmt.items.iter().any(|i| contains_agg(&i.expr, &self.udafs))
+        let has_agg_items = stmt
+            .items
+            .iter()
+            .any(|i| contains_agg(&i.expr, &self.udafs))
             || stmt
                 .having
                 .as_ref()
@@ -122,7 +137,13 @@ impl<'a> Binder<'a> {
         let mut select_names = Vec::with_capacity(stmt.items.len());
         for item in &stmt.items {
             let e = self.bind_projection_expr(
-                &item.expr, &scope, outer, ctx, &groups, &mut aggs, &mut agg_keys,
+                &item.expr,
+                &scope,
+                outer,
+                ctx,
+                &groups,
+                &mut aggs,
+                &mut agg_keys,
             )?;
             select_exprs.push(e);
             select_names.push(
@@ -162,9 +183,14 @@ impl<'a> Binder<'a> {
         if let Some(h) = having_expr {
             let t = infer_type(&h, &agg_env)?;
             if t != DataType::Bool && t != DataType::Null {
-                return Err(Error::bind(format!("HAVING predicate must be BOOL, got {t}")));
+                return Err(Error::bind(format!(
+                    "HAVING predicate must be BOOL, got {t}"
+                )));
             }
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: h,
+            };
         }
 
         // Final projection over the aggregate row.
@@ -187,13 +213,25 @@ impl<'a> Binder<'a> {
                 let mut tmp_aggs = Vec::new();
                 let mut tmp_keys = agg_keys.clone();
                 self.bind_projection_expr(
-                    ast, &scope, outer, ctx, &groups, &mut tmp_aggs, &mut tmp_keys,
+                    ast,
+                    &scope,
+                    outer,
+                    ctx,
+                    &groups,
+                    &mut tmp_aggs,
+                    &mut tmp_keys,
                 )
             })?;
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
         if let Some(n) = stmt.limit {
-            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
         }
         Ok(plan)
     }
@@ -224,9 +262,13 @@ impl<'a> Binder<'a> {
             for c in join.on.conjuncts() {
                 let bound = self.bind_scalar_expr(c, &scope, None, &mut BindCtx::default())?;
                 match &bound {
-                    Expr::Binary { op: BinOp::Eq, left, right } => {
-                        let (l_side, r_side) =
-                            split_join_sides(left, right, left_width).ok_or_else(|| {
+                    Expr::Binary {
+                        op: BinOp::Eq,
+                        left,
+                        right,
+                    } => {
+                        let (l_side, r_side) = split_join_sides(left, right, left_width)
+                            .ok_or_else(|| {
                                 Error::bind(format!(
                                     "join condition {bound} must compare left-side and \
                                      right-side columns"
@@ -291,10 +333,16 @@ impl<'a> Binder<'a> {
             let keys = self.resolve_order_keys(stmt, &exprs, &out_schema, |ast| {
                 self.bind_scalar_expr(ast, scope, outer, ctx)
             })?;
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
         if let Some(n) = stmt.limit {
-            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
         }
         Ok(plan)
     }
@@ -321,12 +369,10 @@ impl<'a> Binder<'a> {
                     }
                     (n - 1) as usize
                 }
-                AstExpr::Ident(parts) if parts.len() == 1 => {
-                    match out_schema.index_of(&parts[0]) {
-                        Some(i) => i,
-                        None => self.match_order_expr(&k.expr, select_exprs, &mut bind_key)?,
-                    }
-                }
+                AstExpr::Ident(parts) if parts.len() == 1 => match out_schema.index_of(&parts[0]) {
+                    Some(i) => i,
+                    None => self.match_order_expr(&k.expr, select_exprs, &mut bind_key)?,
+                },
                 other => self.match_order_expr(other, select_exprs, &mut bind_key)?,
             };
             keys.push((idx, k.desc));
@@ -365,11 +411,11 @@ impl<'a> Binder<'a> {
         if let AstExpr::Ident(parts) = g {
             if parts.len() == 1 && scope.resolve(parts).is_err() {
                 // Not a source column: try a select alias.
-                if let Some(item) = stmt
-                    .items
-                    .iter()
-                    .find(|i| i.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(&parts[0])))
-                {
+                if let Some(item) = stmt.items.iter().find(|i| {
+                    i.alias
+                        .as_deref()
+                        .is_some_and(|a| a.eq_ignore_ascii_case(&parts[0]))
+                }) {
                     if contains_agg(&item.expr, &self.udafs) {
                         return Err(Error::bind(format!(
                             "GROUP BY alias '{}' refers to an aggregate expression",
@@ -382,7 +428,9 @@ impl<'a> Binder<'a> {
             }
         }
         if contains_agg(g, &self.udafs) {
-            return Err(Error::bind("GROUP BY expressions may not contain aggregates"));
+            return Err(Error::bind(
+                "GROUP BY expressions may not contain aggregates",
+            ));
         }
         let e = self.bind_scalar_expr(g, scope, outer, ctx)?;
         Ok((e, ast_display(g)))
@@ -448,16 +496,22 @@ impl<'a> Binder<'a> {
                     .iter()
                     .map(|a| self.bind_scalar_expr(a, scope, outer, ctx))
                     .collect();
-                Ok(Expr::Func { name: name.to_ascii_lowercase(), func, args: bound? })
+                Ok(Expr::Func {
+                    name: name.to_ascii_lowercase(),
+                    func,
+                    args: bound?,
+                })
             }
-            AstExpr::Case { operand, branches, else_expr } => {
+            AstExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 let mut bound_branches = Vec::with_capacity(branches.len());
                 for (cond, result) in branches {
                     let cond_ast = match operand {
                         // Simple form: CASE x WHEN v THEN r → x = v.
-                        Some(op) => {
-                            AstExpr::binary(AstBinOp::Eq, (**op).clone(), cond.clone())
-                        }
+                        Some(op) => AstExpr::binary(AstBinOp::Eq, (**op).clone(), cond.clone()),
                         None => cond.clone(),
                     };
                     bound_branches.push((
@@ -482,7 +536,12 @@ impl<'a> Binder<'a> {
                 expr: Box::new(self.bind_scalar_expr(expr, scope, outer, ctx)?),
                 negated: *negated,
             }),
-            AstExpr::Between { expr, low, high, negated } => {
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let e = self.bind_scalar_expr(expr, scope, outer, ctx)?;
                 let lo = self.bind_scalar_expr(low, scope, outer, ctx)?;
                 let hi = self.bind_scalar_expr(high, scope, outer, ctx)?;
@@ -491,23 +550,42 @@ impl<'a> Binder<'a> {
                     Expr::binary(BinOp::LtEq, e, hi),
                 );
                 Ok(if *negated {
-                    Expr::Unary { op: UnaryOp::Not, expr: Box::new(between) }
+                    Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(between),
+                    }
                 } else {
                     between
                 })
             }
-            AstExpr::InList { expr, list, negated } => {
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let e = self.bind_scalar_expr(expr, scope, outer, ctx)?;
                 let items: Result<Vec<Expr>> = list
                     .iter()
                     .map(|i| self.bind_scalar_expr(i, scope, outer, ctx))
                     .collect();
-                Ok(Expr::InList { expr: Box::new(e), list: items?, negated: *negated })
+                Ok(Expr::InList {
+                    expr: Box::new(e),
+                    list: items?,
+                    negated: *negated,
+                })
             }
-            AstExpr::InSubquery { expr, subquery, negated } => {
+            AstExpr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let key = self.bind_scalar_expr(expr, scope, outer, ctx)?;
                 let id = self.bind_membership_subquery(subquery, ctx)?;
-                Ok(Expr::InSubquery { id, key: vec![key], negated: *negated })
+                Ok(Expr::InSubquery {
+                    id,
+                    key: vec![key],
+                    negated: *negated,
+                })
             }
             AstExpr::ScalarSubquery(sub) => self.bind_scalar_subquery(sub, scope, ctx),
         }
@@ -586,15 +664,15 @@ impl<'a> Binder<'a> {
             )),
             AstExpr::Neg(inner) => Ok(Expr::Unary {
                 op: UnaryOp::Neg,
-                expr: Box::new(self.bind_projection_expr(
-                    inner, scope, outer, ctx, groups, aggs, agg_keys,
-                )?),
+                expr: Box::new(
+                    self.bind_projection_expr(inner, scope, outer, ctx, groups, aggs, agg_keys)?,
+                ),
             }),
             AstExpr::Not(inner) => Ok(Expr::Unary {
                 op: UnaryOp::Not,
-                expr: Box::new(self.bind_projection_expr(
-                    inner, scope, outer, ctx, groups, aggs, agg_keys,
-                )?),
+                expr: Box::new(
+                    self.bind_projection_expr(inner, scope, outer, ctx, groups, aggs, agg_keys)?,
+                ),
             }),
             AstExpr::Call { name, args, .. } => {
                 let func = self.functions.get(name)?;
@@ -604,9 +682,17 @@ impl<'a> Binder<'a> {
                         self.bind_projection_expr(a, scope, outer, ctx, groups, aggs, agg_keys)
                     })
                     .collect();
-                Ok(Expr::Func { name: name.to_ascii_lowercase(), func, args: bound? })
+                Ok(Expr::Func {
+                    name: name.to_ascii_lowercase(),
+                    func,
+                    args: bound?,
+                })
             }
-            AstExpr::Case { operand, branches, else_expr } => {
+            AstExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 let mut bound_branches = Vec::with_capacity(branches.len());
                 for (cond, result) in branches {
                     let cond_ast = match operand {
@@ -628,18 +714,21 @@ impl<'a> Binder<'a> {
                         self.bind_projection_expr(x, scope, outer, ctx, groups, aggs, agg_keys)
                     })
                     .transpose()?;
-                Ok(Expr::Case { branches: bound_branches, else_expr: else_bound.map(Box::new) })
+                Ok(Expr::Case {
+                    branches: bound_branches,
+                    else_expr: else_bound.map(Box::new),
+                })
             }
             AstExpr::Cast { expr, ty } => Ok(Expr::Cast {
-                expr: Box::new(self.bind_projection_expr(
-                    expr, scope, outer, ctx, groups, aggs, agg_keys,
-                )?),
+                expr: Box::new(
+                    self.bind_projection_expr(expr, scope, outer, ctx, groups, aggs, agg_keys)?,
+                ),
                 to: parse_type_name(ty)?,
             }),
             AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
-                expr: Box::new(self.bind_projection_expr(
-                    expr, scope, outer, ctx, groups, aggs, agg_keys,
-                )?),
+                expr: Box::new(
+                    self.bind_projection_expr(expr, scope, outer, ctx, groups, aggs, agg_keys)?,
+                ),
                 negated: *negated,
             }),
             AstExpr::ScalarSubquery(sub) => {
@@ -648,36 +737,57 @@ impl<'a> Binder<'a> {
                 let bound = self.bind_scalar_subquery(sub, scope, ctx)?;
                 remap_subquery_keys_to_groups(bound, groups)
             }
-            AstExpr::InSubquery { expr, subquery, negated } => {
-                let key = self.bind_projection_expr(
-                    expr, scope, outer, ctx, groups, aggs, agg_keys,
-                )?;
+            AstExpr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let key =
+                    self.bind_projection_expr(expr, scope, outer, ctx, groups, aggs, agg_keys)?;
                 let id = self.bind_membership_subquery(subquery, ctx)?;
-                Ok(Expr::InSubquery { id, key: vec![key], negated: *negated })
+                Ok(Expr::InSubquery {
+                    id,
+                    key: vec![key],
+                    negated: *negated,
+                })
             }
-            AstExpr::InList { expr, list, negated } => {
-                let e2 = self.bind_projection_expr(
-                    expr, scope, outer, ctx, groups, aggs, agg_keys,
-                )?;
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e2 =
+                    self.bind_projection_expr(expr, scope, outer, ctx, groups, aggs, agg_keys)?;
                 let items: Result<Vec<Expr>> = list
                     .iter()
                     .map(|i| {
                         self.bind_projection_expr(i, scope, outer, ctx, groups, aggs, agg_keys)
                     })
                     .collect();
-                Ok(Expr::InList { expr: Box::new(e2), list: items?, negated: *negated })
+                Ok(Expr::InList {
+                    expr: Box::new(e2),
+                    list: items?,
+                    negated: *negated,
+                })
             }
-            AstExpr::Between { expr, low, high, negated } => {
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let rewritten = AstExpr::binary(
                     AstBinOp::And,
                     AstExpr::binary(AstBinOp::GtEq, (**expr).clone(), (**low).clone()),
                     AstExpr::binary(AstBinOp::LtEq, (**expr).clone(), (**high).clone()),
                 );
-                let bound = self.bind_projection_expr(
-                    &rewritten, scope, outer, ctx, groups, aggs, agg_keys,
-                )?;
+                let bound = self
+                    .bind_projection_expr(&rewritten, scope, outer, ctx, groups, aggs, agg_keys)?;
                 Ok(if *negated {
-                    Expr::Unary { op: UnaryOp::Not, expr: Box::new(bound) }
+                    Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(bound),
+                    }
                 } else {
                     bound
                 })
@@ -710,9 +820,15 @@ impl<'a> Binder<'a> {
         };
         if star {
             if !name.eq_ignore_ascii_case("count") {
-                return Err(Error::bind(format!("{name}(*) is not supported; only COUNT(*)")));
+                return Err(Error::bind(format!(
+                    "{name}(*) is not supported; only COUNT(*)"
+                )));
             }
-            return Ok(AggCall { kind: AggKind::Count, arg: Expr::lit(1i64), name: display });
+            return Ok(AggCall {
+                kind: AggKind::Count,
+                arg: Expr::lit(1i64),
+                name: display,
+            });
         }
         // QUANTILE's second argument must be a numeric literal.
         let quantile_arg = if args.len() == 2 {
@@ -753,7 +869,11 @@ impl<'a> Binder<'a> {
                 ast_display(&args[0])
             )));
         }
-        Ok(AggCall { kind, arg, name: display })
+        Ok(AggCall {
+            kind,
+            arg,
+            name: display,
+        })
     }
 
     // -----------------------------------------------------------------
@@ -769,7 +889,9 @@ impl<'a> Binder<'a> {
         ctx: &mut BindCtx,
     ) -> Result<Expr> {
         if sub.items.len() != 1 {
-            return Err(Error::bind("scalar subquery must select exactly one expression"));
+            return Err(Error::bind(
+                "scalar subquery must select exactly one expression",
+            ));
         }
         if !contains_agg(&sub.items[0].expr, &self.udafs) {
             return Err(Error::bind(
@@ -803,8 +925,17 @@ impl<'a> Binder<'a> {
         decorrelated.where_clause = AstExpr::conjunction(kept_conjuncts);
         let plan = self.bind_select(&decorrelated, Some(outer_scope), ctx, &corr_inner)?;
         let out_ty = plan.schema().field(plan.schema().len() - 1).data_type;
-        let id = ctx.push(SubqueryPlan { plan, kind: SubqueryKind::Scalar }, out_ty);
-        Ok(Expr::ScalarRef { id, key: corr_outer })
+        let id = ctx.push(
+            SubqueryPlan {
+                plan,
+                kind: SubqueryKind::Scalar,
+            },
+            out_ty,
+        );
+        Ok(Expr::ScalarRef {
+            id,
+            key: corr_outer,
+        })
     }
 
     /// If `c` is an equality between one inner and one outer column, return
@@ -815,7 +946,12 @@ impl<'a> Binder<'a> {
         inner: &Scope,
         outer: &Scope,
     ) -> Result<Option<((Expr, String), Expr)>> {
-        let AstExpr::Binary { op: AstBinOp::Eq, left, right } = c else {
+        let AstExpr::Binary {
+            op: AstBinOp::Eq,
+            left,
+            right,
+        } = c
+        else {
             return Ok(None);
         };
         let (AstExpr::Ident(lp), AstExpr::Ident(rp)) = (left.as_ref(), right.as_ref()) else {
@@ -827,11 +963,17 @@ impl<'a> Binder<'a> {
             (Some(_), Some(_)) => Ok(None), // plain inner predicate
             (Some((li, _)), None) => {
                 let (ro, _) = outer.resolve(rp).map_err(|_| correlation_err(rp))?;
-                Ok(Some(((Expr::Column(li), lp.last().unwrap().clone()), Expr::Column(ro))))
+                Ok(Some((
+                    (Expr::Column(li), lp.last().unwrap().clone()),
+                    Expr::Column(ro),
+                )))
             }
             (None, Some((ri, _))) => {
                 let (lo, _) = outer.resolve(lp).map_err(|_| correlation_err(lp))?;
-                Ok(Some(((Expr::Column(ri), rp.last().unwrap().clone()), Expr::Column(lo))))
+                Ok(Some((
+                    (Expr::Column(ri), rp.last().unwrap().clone()),
+                    Expr::Column(lo),
+                )))
             }
             (None, None) => Err(Error::bind(format!(
                 "cannot resolve columns in subquery predicate {}",
@@ -841,11 +983,7 @@ impl<'a> Binder<'a> {
     }
 
     /// Bind `expr IN (SELECT …)` as a membership subquery.
-    fn bind_membership_subquery(
-        &self,
-        sub: &SelectStmt,
-        ctx: &mut BindCtx,
-    ) -> Result<SubqueryId> {
+    fn bind_membership_subquery(&self, sub: &SelectStmt, ctx: &mut BindCtx) -> Result<SubqueryId> {
         if sub.items.len() != 1 {
             return Err(Error::bind("IN subquery must select exactly one column"));
         }
@@ -868,7 +1006,13 @@ impl<'a> Binder<'a> {
             }
         }
         let plan = self.bind_select(&rewritten, None, ctx, &[])?;
-        let id = ctx.push(SubqueryPlan { plan, kind: SubqueryKind::Membership }, DataType::Bool);
+        let id = ctx.push(
+            SubqueryPlan {
+                plan,
+                kind: SubqueryKind::Membership,
+            },
+            DataType::Bool,
+        );
         Ok(id)
     }
 }
@@ -884,10 +1028,7 @@ fn correlation_err(parts: &[String]) -> Error {
 /// When a scalar subquery is referenced from HAVING/SELECT of an aggregate
 /// query, its correlation keys (bound over the source) must be rewritten to
 /// group-row columns.
-fn remap_subquery_keys_to_groups(
-    expr: Expr,
-    groups: &[(Expr, String)],
-) -> Result<Expr> {
+fn remap_subquery_keys_to_groups(expr: Expr, groups: &[(Expr, String)]) -> Result<Expr> {
     match expr {
         Expr::ScalarRef { id, key } => {
             let mut remapped = Vec::with_capacity(key.len());
@@ -1056,7 +1197,11 @@ fn contains_agg(e: &AstExpr, udafs: &UdafRegistry) -> bool {
             contains_agg(left, udafs) || contains_agg(right, udafs)
         }
         AstExpr::Neg(x) | AstExpr::Not(x) => contains_agg(x, udafs),
-        AstExpr::Case { operand, branches, else_expr } => {
+        AstExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             operand.as_ref().is_some_and(|o| contains_agg(o, udafs))
                 || branches
                     .iter()
@@ -1064,9 +1209,9 @@ fn contains_agg(e: &AstExpr, udafs: &UdafRegistry) -> bool {
                 || else_expr.as_ref().is_some_and(|x| contains_agg(x, udafs))
         }
         AstExpr::Cast { expr, .. } | AstExpr::IsNull { expr, .. } => contains_agg(expr, udafs),
-        AstExpr::Between { expr, low, high, .. } => {
-            contains_agg(expr, udafs) || contains_agg(low, udafs) || contains_agg(high, udafs)
-        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => contains_agg(expr, udafs) || contains_agg(low, udafs) || contains_agg(high, udafs),
         AstExpr::InList { expr, list, .. } => {
             contains_agg(expr, udafs) || list.iter().any(|i| contains_agg(i, udafs))
         }
@@ -1098,12 +1243,8 @@ fn split_join_sides(l: &Expr, r: &Expr, left_width: usize) -> Option<(Expr, Expr
         }
     };
     match (side(l), side(r)) {
-        (Some(true), Some(false)) => {
-            Some((l.clone(), r.remap_columns(&|c| c - left_width)))
-        }
-        (Some(false), Some(true)) => {
-            Some((r.clone(), l.remap_columns(&|c| c - left_width)))
-        }
+        (Some(true), Some(false)) => Some((l.clone(), r.remap_columns(&|c| c - left_width))),
+        (Some(false), Some(true)) => Some((r.clone(), l.remap_columns(&|c| c - left_width))),
         _ => None,
     }
 }
@@ -1189,8 +1330,11 @@ mod tests {
             ("ad_id", DataType::Int),
             ("ad_name", DataType::Str),
         ]));
-        c.register("ads", Arc::new(Table::try_new(ads, vec![row![10i64, "promo"]]).unwrap()))
-            .unwrap();
+        c.register(
+            "ads",
+            Arc::new(Table::try_new(ads, vec![row![10i64, "promo"]]).unwrap()),
+        )
+        .unwrap();
         c
     }
 
@@ -1290,34 +1434,25 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("GROUP BY"), "{err}");
         // Valid: select the group key and aggregates.
-        let g = bind_sql(
-            "SELECT ad_id, AVG(buffer_time) AS ab FROM sessions GROUP BY ad_id",
-        )
-        .unwrap();
+        let g =
+            bind_sql("SELECT ad_id, AVG(buffer_time) AS ab FROM sessions GROUP BY ad_id").unwrap();
         assert_eq!(g.root.schema().field(0).name, "ad_id");
         assert_eq!(g.root.schema().field(1).name, "ab");
     }
 
     #[test]
     fn group_by_alias_and_expression() {
-        let g = bind_sql(
-            "SELECT play_time * 2 AS dbl, COUNT(*) FROM sessions GROUP BY dbl",
-        )
-        .unwrap();
+        let g =
+            bind_sql("SELECT play_time * 2 AS dbl, COUNT(*) FROM sessions GROUP BY dbl").unwrap();
         assert_eq!(g.root.schema().field(0).name, "dbl");
-        let g2 = bind_sql(
-            "SELECT play_time * 2, COUNT(*) FROM sessions GROUP BY play_time * 2",
-        )
-        .unwrap();
+        let g2 = bind_sql("SELECT play_time * 2, COUNT(*) FROM sessions GROUP BY play_time * 2")
+            .unwrap();
         assert_eq!(g2.root.schema().len(), 2);
     }
 
     #[test]
     fn aggregates_deduplicated() {
-        let g = bind_sql(
-            "SELECT SUM(play_time), SUM(play_time) / COUNT(*) FROM sessions",
-        )
-        .unwrap();
+        let g = bind_sql("SELECT SUM(play_time), SUM(play_time) / COUNT(*) FROM sessions").unwrap();
         match &g.root {
             LogicalPlan::Project { input, exprs, .. } => {
                 match input.as_ref() {
@@ -1355,10 +1490,8 @@ mod tests {
 
     #[test]
     fn join_swapped_equality_normalized() {
-        let g = bind_sql(
-            "SELECT COUNT(*) FROM sessions s JOIN ads a ON a.ad_id = s.ad_id",
-        )
-        .unwrap();
+        let g =
+            bind_sql("SELECT COUNT(*) FROM sessions s JOIN ads a ON a.ad_id = s.ad_id").unwrap();
         let s = g.root.explain();
         assert!(s.contains("Join on #1 = #0"), "{s}");
     }
@@ -1377,10 +1510,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(bind_sql(
-            "SELECT ad_id FROM sessions GROUP BY ad_id ORDER BY 5"
-        )
-        .is_err());
+        assert!(bind_sql("SELECT ad_id FROM sessions GROUP BY ad_id ORDER BY 5").is_err());
     }
 
     #[test]

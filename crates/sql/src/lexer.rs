@@ -65,9 +65,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             '(' => push_simple(&mut tokens, TokenKind::LParen, &mut i),
             ')' => push_simple(&mut tokens, TokenKind::RParen, &mut i),
             ',' => push_simple(&mut tokens, TokenKind::Comma, &mut i),
-            '.' if !next_is_digit(bytes, i + 1) => {
-                push_simple(&mut tokens, TokenKind::Dot, &mut i)
-            }
+            '.' if !next_is_digit(bytes, i + 1) => push_simple(&mut tokens, TokenKind::Dot, &mut i),
             ';' => push_simple(&mut tokens, TokenKind::Semicolon, &mut i),
             '+' => push_simple(&mut tokens, TokenKind::Plus, &mut i),
             '-' => push_simple(&mut tokens, TokenKind::Minus, &mut i),
@@ -77,10 +75,16 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             '=' => push_simple(&mut tokens, TokenKind::Eq, &mut i),
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(Error::Lex { pos: i, message: "expected '=' after '!'".into() });
+                    return Err(Error::Lex {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '<' => {
@@ -102,12 +106,18 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             '\'' => {
                 let (s, end) = lex_quoted(sql, i, '\'')?;
-                tokens.push(Token { kind: TokenKind::Str(s), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: i,
+                });
                 i = end;
             }
             '"' => {
                 let (s, end) = lex_quoted(sql, i, '"')?;
-                tokens.push(Token { kind: TokenKind::QuotedIdent(s), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    pos: i,
+                });
                 i = end;
             }
             c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i + 1)) => {
@@ -205,7 +215,10 @@ fn lex_quoted(sql: &str, start: usize, quote: char) -> Result<(String, usize)> {
             i += ch.len_utf8();
         }
     }
-    Err(Error::Lex { pos: start, message: format!("unterminated {quote}-quoted literal") })
+    Err(Error::Lex {
+        pos: start,
+        message: format!("unterminated {quote}-quoted literal"),
+    })
 }
 
 #[cfg(test)]

@@ -54,7 +54,9 @@ impl Parser {
     }
 
     fn keyword_at(&self, offset: usize) -> Option<String> {
-        self.tokens.get(self.pos + offset).and_then(|t| t.kind.keyword())
+        self.tokens
+            .get(self.pos + offset)
+            .and_then(|t| t.kind.keyword())
     }
 
     fn advance(&mut self) -> Option<&Token> {
@@ -64,7 +66,10 @@ impl Parser {
     }
 
     fn error(&self, msg: impl Into<String>) -> Error {
-        Error::Parse { pos: self.pos, message: msg.into() }
+        Error::Parse {
+            pos: self.pos,
+            message: msg.into(),
+        }
     }
 
     /// Consume `kw` (case-insensitive) or error.
@@ -178,7 +183,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, from, joins, where_clause, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -211,9 +225,7 @@ impl Parser {
                 self.advance();
                 Some(self.parse_ident_string()?)
             }
-            Some(
-                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON",
-            )
+            Some("WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON")
             | None => None,
             Some(_) => match self.peek_kind() {
                 Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
@@ -270,7 +282,10 @@ impl Parser {
             self.advance();
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] BETWEEN / IN
         let negated = if self.peek_keyword().as_deref() == Some("NOT")
@@ -308,7 +323,11 @@ impl Parser {
                 list.push(self.parse_expr()?);
             }
             self.expect_token(TokenKind::RParen)?;
-            return Ok(AstExpr::InList { expr: Box::new(left), list, negated });
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.error("expected BETWEEN or IN after NOT"));
@@ -421,7 +440,11 @@ impl Parser {
                     self.advance();
                     if self.eat_token(TokenKind::Star) {
                         self.expect_token(TokenKind::RParen)?;
-                        return Ok(AstExpr::Call { name, args: vec![], star: true });
+                        return Ok(AstExpr::Call {
+                            name,
+                            args: vec![],
+                            star: true,
+                        });
                     }
                     let mut args = Vec::new();
                     if self.peek_kind() != Some(&TokenKind::RParen) {
@@ -431,7 +454,11 @@ impl Parser {
                         }
                     }
                     self.expect_token(TokenKind::RParen)?;
-                    return Ok(AstExpr::Call { name, args, star: false });
+                    return Ok(AstExpr::Call {
+                        name,
+                        args,
+                        star: false,
+                    });
                 }
                 // Qualified reference a.b (at most two parts).
                 if self.eat_token(TokenKind::Dot) {
@@ -467,7 +494,11 @@ impl Parser {
             None
         };
         self.expect_keyword("END")?;
-        Ok(AstExpr::Case { operand, branches, else_expr })
+        Ok(AstExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 
     fn parse_cast(&mut self) -> Result<AstExpr> {
@@ -477,7 +508,10 @@ impl Parser {
         self.expect_keyword("AS")?;
         let ty = self.parse_ident_string()?;
         self.expect_token(TokenKind::RParen)?;
-        Ok(AstExpr::Cast { expr: Box::new(expr), ty })
+        Ok(AstExpr::Cast {
+            expr: Box::new(expr),
+            ty,
+        })
     }
 }
 
@@ -493,7 +527,11 @@ mod tests {
         assert_eq!(stmt.items.len(), 1);
         assert_eq!(stmt.from.table, "Sessions");
         match stmt.where_clause.unwrap() {
-            AstExpr::Binary { op: AstBinOp::Gt, right, .. } => {
+            AstExpr::Binary {
+                op: AstBinOp::Gt,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, AstExpr::ScalarSubquery(_)));
             }
             other => panic!("unexpected {other:?}"),
@@ -539,9 +577,23 @@ mod tests {
             .clone();
         // ((1 + (2*3)) - 4)
         match e {
-            AstExpr::Binary { op: AstBinOp::Sub, left, .. } => match *left {
-                AstExpr::Binary { op: AstBinOp::Add, right, .. } => {
-                    assert!(matches!(*right, AstExpr::Binary { op: AstBinOp::Mul, .. }));
+            AstExpr::Binary {
+                op: AstBinOp::Sub,
+                left,
+                ..
+            } => match *left {
+                AstExpr::Binary {
+                    op: AstBinOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        *right,
+                        AstExpr::Binary {
+                            op: AstBinOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -554,8 +606,16 @@ mod tests {
         let stmt = parse_select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
         // OR(a=1, AND(b=2, NOT(c=3)))
         match stmt.where_clause.unwrap() {
-            AstExpr::Binary { op: AstBinOp::Or, right, .. } => match *right {
-                AstExpr::Binary { op: AstBinOp::And, right, .. } => {
+            AstExpr::Binary {
+                op: AstBinOp::Or,
+                right,
+                ..
+            } => match *right {
+                AstExpr::Binary {
+                    op: AstBinOp::And,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(*right, AstExpr::Not(_)));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -597,16 +657,27 @@ mod tests {
             "SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM t GROUP BY k HAVING SUM(q) > 300)",
         )
         .unwrap();
-        assert!(matches!(stmt.where_clause.unwrap(), AstExpr::InSubquery { .. }));
+        assert!(matches!(
+            stmt.where_clause.unwrap(),
+            AstExpr::InSubquery { .. }
+        ));
     }
 
     #[test]
     fn case_expressions() {
-        let stmt =
-            parse_select("SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t").unwrap();
-        assert!(matches!(&stmt.items[0].expr, AstExpr::Case { operand: None, .. }));
+        let stmt = parse_select("SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t").unwrap();
+        assert!(matches!(
+            &stmt.items[0].expr,
+            AstExpr::Case { operand: None, .. }
+        ));
         let stmt = parse_select("SELECT CASE x WHEN 1 THEN 'a' END FROM t").unwrap();
-        assert!(matches!(&stmt.items[0].expr, AstExpr::Case { operand: Some(_), .. }));
+        assert!(matches!(
+            &stmt.items[0].expr,
+            AstExpr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

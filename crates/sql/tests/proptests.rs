@@ -44,7 +44,11 @@ fn arb_num_expr() -> impl Strategy<Value = String> {
         (0i32..100).prop_map(|i| format!("{}.5", i)),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("/")], inner)
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*"), Just("/")],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }

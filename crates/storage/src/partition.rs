@@ -83,7 +83,11 @@ impl MiniBatchPartitioner {
             bounds.push(end);
         }
         debug_assert_eq!(end, n);
-        Ok(MiniBatchPartitioner { table, perm, bounds })
+        Ok(MiniBatchPartitioner {
+            table,
+            perm,
+            bounds,
+        })
     }
 
     /// Number of batches `k`.

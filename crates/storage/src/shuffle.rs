@@ -60,8 +60,16 @@ mod tests {
         let rows: Vec<_> = (0..50).map(|i| row![i as i64]).collect();
         let t = Table::new_unchecked(schema, rows);
         let s = shuffle_table(&t, 11);
-        let mut orig: Vec<i64> = t.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect();
-        let mut shuf: Vec<i64> = s.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let mut orig: Vec<i64> = t
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let mut shuf: Vec<i64> = s
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
         assert_ne!(orig, shuf, "seed 11 should actually move rows");
         orig.sort_unstable();
         shuf.sort_unstable();

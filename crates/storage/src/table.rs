@@ -47,7 +47,10 @@ impl Table {
 
     /// Empty table with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Table {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn schema(&self) -> &Arc<Schema> {
@@ -79,7 +82,12 @@ impl Table {
 
     /// Pretty-print at most `limit` rows as an aligned text table.
     pub fn display_limit(&self, limit: usize) -> String {
-        let header: Vec<String> = self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let header: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
         let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
         let shown: Vec<Vec<String>> = self
             .rows
@@ -134,11 +142,17 @@ pub struct TableBuilder {
 
 impl TableBuilder {
     pub fn new(schema: Arc<Schema>) -> Self {
-        TableBuilder { schema, rows: Vec::new() }
+        TableBuilder {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
-        TableBuilder { schema, rows: Vec::with_capacity(capacity) }
+        TableBuilder {
+            schema,
+            rows: Vec::with_capacity(capacity),
+        }
     }
 
     /// Append a row, checking arity (type checks are deferred to
@@ -205,7 +219,10 @@ mod tests {
     #[test]
     fn column_extraction() {
         let t = Table::try_new(schema(), vec![row![1i64, 2.0f64], row![2i64, 4.0f64]]).unwrap();
-        assert_eq!(t.column("score").unwrap(), vec![Value::Float(2.0), Value::Float(4.0)]);
+        assert_eq!(
+            t.column("score").unwrap(),
+            vec![Value::Float(2.0), Value::Float(4.0)]
+        );
         assert!(t.column("missing").is_err());
     }
 

@@ -36,8 +36,18 @@ impl Default for ConvivaGenerator {
 }
 
 const GEOS: [&str; 12] = [
-    "us-east", "us-west", "eu-west", "eu-north", "ap-south", "ap-east", "sa-east", "af-south",
-    "oc-east", "me-central", "ca-central", "in-west",
+    "us-east",
+    "us-west",
+    "eu-west",
+    "eu-north",
+    "ap-south",
+    "ap-east",
+    "sa-east",
+    "af-south",
+    "oc-east",
+    "me-central",
+    "ca-central",
+    "in-west",
 ];
 const DEVICES: [&str; 5] = ["tv", "desktop", "mobile", "tablet", "console"];
 
@@ -73,12 +83,15 @@ impl ConvivaGenerator {
             let abnormal = rng.next_f64() < self.abnormal_fraction;
             // Right-skewed buffering; abnormal sessions buffer far longer.
             let base_buffer = -(1.0 - rng.next_f64()).ln() * 8.0;
-            let buffer = if abnormal { 35.0 + base_buffer * 4.0 } else { base_buffer };
+            let buffer = if abnormal {
+                35.0 + base_buffer * 4.0
+            } else {
+                base_buffer
+            };
             // Long buffering depresses play time (the SBI effect).
             let engagement = (600.0 * rng.next_f64() + 60.0) * (1.0 - (buffer / 200.0).min(0.7));
             let join_time = 0.5 + rng.next_f64() * 3.0 + if abnormal { 4.0 } else { 0.0 };
-            let join_failed =
-                (rng.next_f64() < if abnormal { 0.22 } else { 0.03 }) as i64;
+            let join_failed = (rng.next_f64() < if abnormal { 0.22 } else { 0.03 }) as i64;
             let play = if join_failed == 1 { 0.0 } else { engagement };
             let revenue = if join_failed == 1 {
                 0.0
@@ -142,8 +155,11 @@ mod tests {
 
     fn catalog(n: usize) -> Catalog {
         let mut c = Catalog::new();
-        c.register("sessions", Arc::new(ConvivaGenerator::default().generate(n)))
-            .unwrap();
+        c.register(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(n)),
+        )
+        .unwrap();
         c
     }
 
@@ -152,7 +168,11 @@ mod tests {
         let a = ConvivaGenerator::default().generate(500);
         let b = ConvivaGenerator::default().generate(500);
         assert_eq!(a.rows(), b.rows());
-        let c = ConvivaGenerator { seed: 1, ..Default::default() }.generate(500);
+        let c = ConvivaGenerator {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate(500);
         assert_ne!(a.rows(), c.rows());
     }
 

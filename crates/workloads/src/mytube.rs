@@ -28,7 +28,11 @@ pub struct MyTubeGenerator {
 
 impl Default for MyTubeGenerator {
     fn default() -> Self {
-        MyTubeGenerator { seed: 0x3417_0BE, num_ads: 20, variant_b_lift: 18.0 }
+        MyTubeGenerator {
+            seed: 0x0341_70BE,
+            num_ads: 20,
+            variant_b_lift: 18.0,
+        }
     }
 }
 
@@ -86,7 +90,9 @@ impl MyTubeGenerator {
             let buffer = -(1.0 - rng.next_f64()).ln() * 6.0 * load;
             let lift = if variant_b { self.variant_b_lift } else { 0.0 };
             let affinity = 1.0 + ((ad + hour) % 5) as f64 * 0.15;
-            let play = ((200.0 + lift) * affinity * (0.3 + rng.next_f64())
+            let play = ((200.0 + lift)
+                * affinity
+                * (0.3 + rng.next_f64())
                 * (1.0 - (buffer / 150.0).min(0.6)))
             .max(0.0);
             let ads_shown = 1 + (play / 180.0) as i64;
@@ -111,7 +117,8 @@ impl MyTubeGenerator {
         let mut c = gola_storage::Catalog::new();
         c.register("mytube_sessions", Arc::new(self.sessions(n_sessions)))
             .expect("fresh catalog");
-        c.register("ads", Arc::new(self.ads())).expect("fresh catalog");
+        c.register("ads", Arc::new(self.ads()))
+            .expect("fresh catalog");
         c
     }
 }

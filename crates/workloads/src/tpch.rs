@@ -175,7 +175,10 @@ mod tests {
             .map(|v| v.as_i64().unwrap())
             .collect();
         let avg_size = t.num_rows() as f64 / orders.len() as f64;
-        assert!(avg_size > 2.0 && avg_size < 8.0, "avg order size {avg_size}");
+        assert!(
+            avg_size > 2.0 && avg_size < 8.0,
+            "avg order size {avg_size}"
+        );
     }
 
     #[test]

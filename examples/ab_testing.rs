@@ -46,7 +46,11 @@ fn main() -> g_ola::common::Result<()> {
             b.value,
             ci_b.lo,
             ci_b.hi,
-            if separated { "SIGNIFICANT" } else { "keep watching" }
+            if separated {
+                "SIGNIFICANT"
+            } else {
+                "keep watching"
+            }
         );
         if separated {
             let winner = if b.value > a.value { "B" } else { "A" };

@@ -25,7 +25,10 @@ fn main() -> g_ola::common::Result<()> {
     let config = OnlineConfig::default().with_batches(50);
     let session = OnlineSession::new(catalog, config);
 
-    println!("\nquery (paper Example 1 — Slow Buffering Impact):\n  {}\n", conviva::SBI);
+    println!(
+        "\nquery (paper Example 1 — Slow Buffering Impact):\n  {}\n",
+        conviva::SBI
+    );
     let prepared = session.prepare(conviva::SBI)?;
     println!("lineage blocks:\n{}", prepared.meta.explain());
 
@@ -53,7 +56,11 @@ fn main() -> g_ola::common::Result<()> {
     let ci = report.ci().expect("confidence interval");
     println!(
         "95% CI {ci} — {} the exact answer",
-        if ci.contains(truth) { "contains" } else { "MISSES" }
+        if ci.contains(truth) {
+            "contains"
+        } else {
+            "MISSES"
+        }
     );
     Ok(())
 }

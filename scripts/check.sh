@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: build, tests, formatting, lints.
+# Components that are not installed (fmt/clippy on minimal toolchains) are
+# skipped with a warning rather than failing the gate.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+step() {
+    echo "==> $*"
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $*"
+        failures=$((failures + 1))
+    fi
+}
+
+step cargo build --release --workspace
+step cargo test --workspace -q
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step cargo fmt --check
+else
+    echo "==> cargo fmt not installed — skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed — skipping"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) failed"
+    exit 1
+fi
+echo "check.sh: all checks passed"

@@ -11,7 +11,10 @@ use g_ola::workloads::{conviva, tpch, ConvivaGenerator, TpchGenerator};
 fn conviva_session(n: usize, k: usize) -> OnlineSession {
     let mut catalog = Catalog::new();
     catalog
-        .register("sessions", Arc::new(ConvivaGenerator::default().generate(n)))
+        .register(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(n)),
+        )
         .unwrap();
     OnlineSession::new(catalog, OnlineConfig::for_tests(k))
 }
@@ -19,7 +22,10 @@ fn conviva_session(n: usize, k: usize) -> OnlineSession {
 fn tpch_session(n: usize, k: usize) -> OnlineSession {
     let mut catalog = Catalog::new();
     catalog
-        .register("lineitem_denorm", Arc::new(TpchGenerator::default().generate(n)))
+        .register(
+            "lineitem_denorm",
+            Arc::new(TpchGenerator::default().generate(n)),
+        )
         .unwrap();
     OnlineSession::new(catalog, OnlineConfig::for_tests(k))
 }
@@ -95,7 +101,11 @@ fn sbi_progressive_refinement_behaves() {
         if let Some(rsd) = r.primary_rel_stddev() {
             rsds.push(rsd);
         }
-        assert!(r.uncertain_tuples < 12_000 / 4, "|U| = {}", r.uncertain_tuples);
+        assert!(
+            r.uncertain_tuples < 12_000 / 4,
+            "|U| = {}",
+            r.uncertain_tuples
+        );
     }
     let early: f64 = rsds[..4].iter().sum::<f64>() / 4.0;
     let late: f64 = rsds[rsds.len() - 4..].iter().sum::<f64>() / 4.0;

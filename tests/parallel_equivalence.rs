@@ -1,0 +1,133 @@
+//! Determinism contract of the parallel runtime: for every workload query,
+//! a `threads = 1` run and a `threads = 4` run must produce **identical**
+//! per-batch reports — same estimates (bit-for-bit), same confidence
+//! intervals, same uncertain-set sizes, same recompute counts.
+//!
+//! This holds because ingest uses fixed-size candidate chunks whose
+//! boundaries are independent of the thread count, folds each chunk into a
+//! private shard, and merges shards in chunk index order — so the float
+//! operation sequence per accumulator never changes.
+
+use std::sync::Arc;
+
+use g_ola::core::{BatchReport, OnlineConfig, OnlineSession};
+use g_ola::storage::Catalog;
+use g_ola::workloads::{conviva, tpch, ConvivaGenerator, TpchGenerator};
+
+fn run(catalog: &Catalog, sql: &str, threads: usize) -> Vec<BatchReport> {
+    let config = OnlineConfig::for_tests(8)
+        .with_trials(32)
+        .with_threads(threads);
+    let session = OnlineSession::new(catalog.clone(), config);
+    let exec = session.execute_online(sql).expect("query compiles");
+    exec.map(|r| r.expect("batch succeeds")).collect()
+}
+
+/// Compare two runs batch by batch, bit-for-bit on every float.
+fn assert_identical(name: &str, a: &[BatchReport], b: &[BatchReport]) {
+    assert_eq!(a.len(), b.len(), "{name}: batch count");
+    for (ra, rb) in a.iter().zip(b) {
+        let i = ra.batch_index;
+        assert_eq!(
+            ra.uncertain_tuples, rb.uncertain_tuples,
+            "{name} batch {i}: uncertain-set size"
+        );
+        assert_eq!(
+            ra.recomputations, rb.recomputations,
+            "{name} batch {i}: recompute count"
+        );
+        assert_eq!(
+            ra.row_certain, rb.row_certain,
+            "{name} batch {i}: row certainty"
+        );
+        assert_eq!(
+            ra.table.num_rows(),
+            rb.table.num_rows(),
+            "{name} batch {i}: result rows"
+        );
+        for (x, y) in ra.table.rows().iter().zip(rb.table.rows()) {
+            for (u, v) in x.iter().zip(y.iter()) {
+                match (u.as_f64(), v.as_f64()) {
+                    (Some(fu), Some(fv)) => assert_eq!(
+                        fu.to_bits(),
+                        fv.to_bits(),
+                        "{name} batch {i}: cell {fu} vs {fv}"
+                    ),
+                    _ => assert_eq!(u, v, "{name} batch {i}: cell"),
+                }
+            }
+        }
+        assert_eq!(
+            ra.estimates.len(),
+            rb.estimates.len(),
+            "{name} batch {i}: estimates"
+        );
+        for (ea, eb) in ra.estimates.iter().zip(&rb.estimates) {
+            assert_eq!(
+                (ea.row, ea.col),
+                (eb.row, eb.col),
+                "{name} batch {i}: cell id"
+            );
+            assert_eq!(
+                ea.estimate.value.to_bits(),
+                eb.estimate.value.to_bits(),
+                "{name} batch {i}: estimate value"
+            );
+            assert_eq!(
+                ea.estimate.replicas.len(),
+                eb.estimate.replicas.len(),
+                "{name} batch {i}: replica count"
+            );
+            for (x, y) in ea.estimate.replicas.iter().zip(&eb.estimate.replicas) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name} batch {i}: replica");
+            }
+            match (
+                ea.estimate.ci_percentile(0.95),
+                eb.estimate.ci_percentile(0.95),
+            ) {
+                (Some(ca), Some(cb)) => {
+                    assert_eq!(ca.lo.to_bits(), cb.lo.to_bits(), "{name} batch {i}: CI lo");
+                    assert_eq!(ca.hi.to_bits(), cb.hi.to_bits(), "{name} batch {i}: CI hi");
+                }
+                (None, None) => {}
+                other => panic!("{name} batch {i}: CI presence differs: {other:?}"),
+            }
+        }
+    }
+}
+
+fn check(catalog: &Catalog, name: &str, sql: &str) {
+    let seq = run(catalog, sql, 1);
+    let par = run(catalog, sql, 4);
+    assert_identical(name, &seq, &par);
+}
+
+#[test]
+fn conviva_queries_thread_invariant() {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(6000)),
+        )
+        .unwrap();
+    check(&catalog, "SBI", conviva::SBI);
+    check(&catalog, "C1", conviva::C1);
+    check(&catalog, "C2", conviva::C2);
+    check(&catalog, "C3", conviva::C3);
+}
+
+#[test]
+fn tpch_queries_thread_invariant() {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            "lineitem_denorm",
+            Arc::new(TpchGenerator::default().generate(6000)),
+        )
+        .unwrap();
+    check(&catalog, "Q11", tpch::Q11);
+    check(&catalog, "Q17", tpch::Q17);
+    check(&catalog, "Q18", tpch::Q18);
+    check(&catalog, "Q20", tpch::Q20);
+}

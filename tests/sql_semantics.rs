@@ -23,14 +23,40 @@ fn catalog() -> Catalog {
         ("s", DataType::Str),
     ]));
     let rows = vec![
-        Row::new(vec![Value::Int(1), Value::Float(1.0), Value::Int(10), Value::str("a")]),
-        Row::new(vec![Value::Int(1), Value::Null, Value::Int(20), Value::str("b")]),
-        Row::new(vec![Value::Int(2), Value::Float(3.0), Value::Null, Value::str("a")]),
-        Row::new(vec![Value::Int(2), Value::Float(4.0), Value::Int(40), Value::Null]),
-        Row::new(vec![Value::Int(3), Value::Float(-5.0), Value::Int(50), Value::str("c")]),
+        Row::new(vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Int(10),
+            Value::str("a"),
+        ]),
+        Row::new(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Int(20),
+            Value::str("b"),
+        ]),
+        Row::new(vec![
+            Value::Int(2),
+            Value::Float(3.0),
+            Value::Null,
+            Value::str("a"),
+        ]),
+        Row::new(vec![
+            Value::Int(2),
+            Value::Float(4.0),
+            Value::Int(40),
+            Value::Null,
+        ]),
+        Row::new(vec![
+            Value::Int(3),
+            Value::Float(-5.0),
+            Value::Int(50),
+            Value::str("c"),
+        ]),
     ];
     let mut c = Catalog::new();
-    c.register("t", Arc::new(Table::try_new(schema, rows).unwrap())).unwrap();
+    c.register("t", Arc::new(Table::try_new(schema, rows).unwrap()))
+        .unwrap();
     c
 }
 
@@ -59,7 +85,10 @@ fn check(sql: &str, expected: &[Value]) {
         let got = online.table.rows()[0].get(i);
         match (got.as_f64(), want.as_f64()) {
             (Some(g), Some(w)) => {
-                assert!((g - w).abs() < 1e-9, "{sql} online col {i}: {got} vs {want}")
+                assert!(
+                    (g - w).abs() < 1e-9,
+                    "{sql} online col {i}: {got} vs {want}"
+                )
             }
             _ => assert_eq!(got, want, "{sql} online col {i}"),
         }
@@ -69,17 +98,15 @@ fn check(sql: &str, expected: &[Value]) {
 #[test]
 fn aggregates_skip_nulls() {
     // AVG(x) over {1, 3, 4, -5} (one NULL skipped).
-    check("SELECT AVG(x), COUNT(x), COUNT(*) FROM t", &[
-        Value::Float(0.75),
-        Value::Float(4.0),
-        Value::Float(5.0),
-    ]);
+    check(
+        "SELECT AVG(x), COUNT(x), COUNT(*) FROM t",
+        &[Value::Float(0.75), Value::Float(4.0), Value::Float(5.0)],
+    );
     // SUM(y) over {10, 20, 40, 50}.
-    check("SELECT SUM(y), MIN(y), MAX(y) FROM t", &[
-        Value::Float(120.0),
-        Value::Int(10),
-        Value::Int(50),
-    ]);
+    check(
+        "SELECT SUM(y), MIN(y), MAX(y) FROM t",
+        &[Value::Float(120.0), Value::Int(10), Value::Int(50)],
+    );
 }
 
 #[test]
@@ -87,10 +114,19 @@ fn null_comparisons_filter() {
     // x > 0: NULL x fails the filter.
     check("SELECT COUNT(*) FROM t WHERE x > 0", &[Value::Float(3.0)]);
     // NOT (x > 0): NULL still fails (NOT NULL = NULL).
-    check("SELECT COUNT(*) FROM t WHERE NOT x > 0", &[Value::Float(1.0)]);
+    check(
+        "SELECT COUNT(*) FROM t WHERE NOT x > 0",
+        &[Value::Float(1.0)],
+    );
     // IS NULL / IS NOT NULL.
-    check("SELECT COUNT(*) FROM t WHERE x IS NULL", &[Value::Float(1.0)]);
-    check("SELECT COUNT(*) FROM t WHERE s IS NOT NULL", &[Value::Float(4.0)]);
+    check(
+        "SELECT COUNT(*) FROM t WHERE x IS NULL",
+        &[Value::Float(1.0)],
+    );
+    check(
+        "SELECT COUNT(*) FROM t WHERE s IS NOT NULL",
+        &[Value::Float(4.0)],
+    );
 }
 
 #[test]
@@ -110,13 +146,19 @@ fn three_valued_and_or() {
 
 #[test]
 fn in_list_null_semantics() {
-    check("SELECT COUNT(*) FROM t WHERE s IN ('a', 'c')", &[Value::Float(3.0)]);
+    check(
+        "SELECT COUNT(*) FROM t WHERE s IN ('a', 'c')",
+        &[Value::Float(3.0)],
+    );
     // NOT IN with a NULL in a row's s: NULL never passes.
     check(
         "SELECT COUNT(*) FROM t WHERE s NOT IN ('a')",
         &[Value::Float(2.0)],
     );
-    check("SELECT COUNT(*) FROM t WHERE k IN (1, 3)", &[Value::Float(3.0)]);
+    check(
+        "SELECT COUNT(*) FROM t WHERE k IN (1, 3)",
+        &[Value::Float(3.0)],
+    );
 }
 
 #[test]
@@ -167,7 +209,10 @@ fn cast_semantics() {
         "SELECT SUM(CAST(s = 'a' AS INT)) FROM t WHERE s IS NOT NULL",
         &[Value::Float(2.0)],
     );
-    check("SELECT MAX(CAST(y AS FLOAT) / 2) FROM t", &[Value::Float(25.0)]);
+    check(
+        "SELECT MAX(CAST(y AS FLOAT) / 2) FROM t",
+        &[Value::Float(25.0)],
+    );
 }
 
 #[test]
@@ -216,9 +261,7 @@ fn empty_groups_and_empty_tables() {
 #[test]
 fn order_by_with_nulls_first() {
     let session = OnlineSession::new(catalog(), OnlineConfig::for_tests(2));
-    let exact = session
-        .execute_exact("SELECT x FROM t ORDER BY x")
-        .unwrap();
+    let exact = session.execute_exact("SELECT x FROM t ORDER BY x").unwrap();
     assert!(exact.rows()[0].get(0).is_null());
     assert_eq!(exact.rows()[1].get(0), &Value::Float(-5.0));
     assert_eq!(exact.rows()[4].get(0), &Value::Float(4.0));
