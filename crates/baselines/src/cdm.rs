@@ -13,7 +13,9 @@
 //! difference (O(|Dᵢ|) vs O(|ΔDᵢ| + |Uᵢ|) per batch).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use gola_common::timing::Stopwatch;
 
 use gola_agg::ReplicatedStates;
 use gola_bootstrap::Estimate;
@@ -121,7 +123,7 @@ impl CdmExecutor {
         if self.is_finished() {
             return Err(Error::exec("all mini-batches already processed"));
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
         let m = self.partitioner.multiplicity_after(i);

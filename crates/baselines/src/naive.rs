@@ -5,7 +5,9 @@
 //! incremental state, no error estimation — a pure latency baseline.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use gola_common::timing::Stopwatch;
 
 use gola_common::{Error, Result, Row};
 use gola_engine::BatchEngine;
@@ -65,7 +67,7 @@ impl NaiveExecutor {
         if self.is_finished() {
             return Err(Error::exec("all mini-batches already processed"));
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
         self.seen.extend(batch.rows.iter().cloned());

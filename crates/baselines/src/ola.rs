@@ -14,7 +14,9 @@
 //! * `COUNT`: m·n ± z·m·√(n·(1 − n/n_seen)) · fpc
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use gola_common::timing::Stopwatch;
 
 use gola_agg::AggKind;
 use gola_bootstrap::ci::z_for_level;
@@ -135,7 +137,7 @@ impl ClassicOlaExecutor {
         if self.is_finished() {
             return Err(Error::exec("all mini-batches already processed"));
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
         let cb = &self.compiled;

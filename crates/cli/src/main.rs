@@ -152,7 +152,7 @@ impl Console {
             "\\exact" => {
                 let sql = line.trim_start_matches("\\exact").trim();
                 let session = OnlineSession::new(self.catalog.clone(), self.config.clone());
-                let t0 = std::time::Instant::now();
+                let t0 = gola_common::timing::Stopwatch::start();
                 match session.execute_exact(sql) {
                     Ok(table) => {
                         print!("{}", table.display_limit(20));

@@ -15,10 +15,12 @@ pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod stats;
+pub mod timing;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use row::Row;
 pub use schema::{Field, Schema};
-pub use value::{DataType, Value};
+pub use timing::Stopwatch;
+pub use value::{cmp_values, DataType, Value};

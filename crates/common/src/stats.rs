@@ -5,12 +5,15 @@ pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
+    // golint: allow(float-fold-ordering) -- left-to-right over the caller's
+    // slice; every caller passes deterministically-ordered trial vectors
     Some(xs.iter().sum::<f64>() / xs.len() as f64)
 }
 
 /// Population standard deviation. Returns `None` for an empty slice.
 pub fn stddev_pop(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
+    // golint: allow(float-fold-ordering) -- same slice-order contract as mean
     let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
     Some(var.sqrt())
 }
@@ -21,6 +24,7 @@ pub fn stddev_sample(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let m = mean(xs)?;
+    // golint: allow(float-fold-ordering) -- same slice-order contract as mean
     let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
     Some(var.sqrt())
 }

@@ -210,6 +210,20 @@ impl Value {
     }
 }
 
+/// Lexicographic [`Value::total_cmp`] over value slices, shorter prefix
+/// first. This is the canonical key order for sorting grouped state before
+/// it can reach a `BatchReport` — hash-map iteration order must never be
+/// observable downstream (see the `hash-order-leak` lint).
+pub fn cmp_values(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.total_cmp(y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 /// Equality matches [`Value::total_cmp`] so `Value` can key hash maps for
 /// grouping (`Null == Null`, `Int(1) == Float(1.0)`).
 impl PartialEq for Value {

@@ -39,6 +39,12 @@ pub struct OnlineConfig {
     /// Classification ranges therefore use `ε × envelope_inflation`.
     /// Reported confidence intervals are unaffected.
     pub envelope_inflation: f64,
+    /// Stress knob: when set, the worker pool shuffles each run's job queue
+    /// with this seed before dispatch, forcing adversarial completion
+    /// orders. Reports must stay bit-identical — a failure under
+    /// perturbation is a schedule-dependence bug. Test-only; leave `None`
+    /// in production.
+    pub schedule_perturbation: Option<u64>,
 }
 
 impl Default for OnlineConfig {
@@ -53,6 +59,7 @@ impl Default for OnlineConfig {
             threads: 1,
             min_group_obs: 5.0,
             envelope_inflation: 3.0,
+            schedule_perturbation: None,
         }
     }
 }
@@ -94,6 +101,11 @@ impl OnlineConfig {
 
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_perturbation(mut self, seed: u64) -> Self {
+        self.schedule_perturbation = Some(seed);
         self
     }
 

@@ -18,10 +18,11 @@
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use gola_bootstrap::{Estimate, VariationRange};
-use gola_common::{Error, FxHashMap, FxHashSet, Result, Row, Value};
+use gola_common::timing::Stopwatch;
+use gola_common::{cmp_values, Error, FxHashMap, FxHashSet, Result, Row, Value};
 use gola_expr::eval::{eval, eval_predicate, eval_tri, ExactContext};
 use gola_expr::{Expr, RangeVal, Tri};
 use gola_plan::{BlockRole, MetaPlan};
@@ -32,8 +33,8 @@ use crate::config::OnlineConfig;
 use crate::pool::WorkerPool;
 use crate::report::{BatchReport, BatchTiming, CellEstimate};
 use crate::runtime::{
-    BlockRuntime, CachedTuple, CtxMode, GroupCtx, Published, PublishedMember, PublishedScalar,
-    TupleCtx,
+    sorted_entries, sorted_into_entries, BlockRuntime, CachedTuple, CtxMode, GroupCtx, Published,
+    PublishedMember, PublishedScalar, TupleCtx,
 };
 
 /// Fixed candidate-chunk size for the two-stage (classify → fold) ingest
@@ -128,6 +129,8 @@ impl OnlineExecutor {
         let mut dims = Vec::with_capacity(compiled.len());
         for cb in &compiled {
             let mut block_dims = Vec::with_capacity(cb.block.dims.len());
+            // golint: allow(hash-order-leak) -- `block.dims` is a Vec of join
+            // specs; the name collides with the hash-typed `dims` field
             for d in &cb.block.dims {
                 let table = catalog.get(&d.table)?;
                 let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
@@ -155,7 +158,10 @@ impl OnlineExecutor {
             .map(|_| BlockRuntime::default())
             .collect();
         let published = (0..compiled.len()).map(|_| Published::default()).collect();
-        let pool = WorkerPool::new(config.threads);
+        let pool = match config.schedule_perturbation {
+            Some(seed) => WorkerPool::with_perturbation(config.threads, seed),
+            None => WorkerPool::new(config.threads),
+        };
         let mut exec = OnlineExecutor {
             config,
             meta,
@@ -198,6 +204,8 @@ impl OnlineExecutor {
             .published
             .iter()
             .filter(|p| p.live)
+            // golint: allow(hash-order-leak) -- counting only; the count is
+            // independent of iteration order
             .map(|p| p.members.values().filter(|m| m.tri == Tri::Maybe).count())
             .sum();
         cached + maybe_members
@@ -218,7 +226,7 @@ impl OnlineExecutor {
         if self.is_finished() {
             return Err(Error::exec("all mini-batches already processed"));
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
         let m = self.partitioner.multiplicity_after(i);
@@ -243,9 +251,9 @@ impl OnlineExecutor {
             if streaming.is_empty() {
                 continue;
             }
-            let t_in = Instant::now();
+            let t_in = Stopwatch::start();
             self.ingest_wave(&streaming, &batch, &mut timing)?;
-            let t_pub = Instant::now();
+            let t_pub = Stopwatch::start();
             for &b in &streaming {
                 if self.publish_block(b, m, last)? {
                     violated.push(b);
@@ -255,19 +263,19 @@ impl OnlineExecutor {
             if trace {
                 eprintln!(
                     "    wave {streaming:?}: ingest {:?} publish {:?}",
-                    t_pub - t_in,
+                    t_pub.since(&t_in),
                     t_pub.elapsed()
                 );
             }
         }
 
         if !violated.is_empty() {
-            let t_rec = Instant::now();
+            let t_rec = Stopwatch::start();
             self.recover(&violated, i, m, last)?;
             timing.recover = t_rec.elapsed();
         }
 
-        let t_rep = Instant::now();
+        let t_rep = Stopwatch::start();
         let mut report = self.build_report(i, m, last)?;
         // The report is the root block's publication — same bucket.
         timing.publish += t_rep.elapsed();
@@ -330,6 +338,8 @@ impl OnlineExecutor {
         let mut result = Ok(());
         for ((b, rt), slot) in taken.into_iter().zip(slots) {
             self.runtimes[b] = rt;
+            // golint: allow(panic-surface) -- the pool run above blocks until
+            // every job stored its slot; an empty slot is a pool bug
             let (r, t) = slot.expect("ingest job ran");
             timing.join += t.join;
             timing.classify += t.classify;
@@ -362,7 +372,7 @@ impl OnlineExecutor {
     ) -> Result<()> {
         let cb = &self.compiled[b];
         let pubs = &self.published;
-        let t_join = Instant::now();
+        let t_join = Stopwatch::start();
         let mut candidates = std::mem::take(&mut rt.uncertain);
 
         // Join + certain filters for the new tuples, then lineage-project.
@@ -394,7 +404,7 @@ impl OnlineExecutor {
         // runs in parallel for *every* block, including ones whose
         // aggregates cannot merge. Workers borrow slices of `candidates` —
         // no cloning.
-        let t_classify = Instant::now();
+        let t_classify = Stopwatch::start();
         let chunks: Vec<&[CachedTuple]> = candidates.chunks(CHUNK).collect();
         let mut slots: Vec<Option<Result<ChunkClass>>> = Vec::new();
         slots.resize_with(chunks.len(), || None);
@@ -417,6 +427,8 @@ impl OnlineExecutor {
         }
         let mut classes = Vec::with_capacity(slots.len());
         for s in slots {
+            // golint: allow(panic-surface) -- the pool run above blocks until
+            // every job stored its slot; an empty slot is a pool bug
             classes.push(s.expect("classify job ran")?);
         }
         timing.classify += t_classify.elapsed();
@@ -427,7 +439,7 @@ impl OnlineExecutor {
         // so every float operation sequence is identical for any thread
         // count. Quantile/UDAF states cannot merge — their fold stays
         // sequential (classification above was still parallel).
-        let t_fold = Instant::now();
+        let t_fold = Stopwatch::start();
         let mergeable = cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable);
         if mergeable {
             let mut shard_slots: Vec<Option<BlockRuntime>> = Vec::new();
@@ -451,7 +463,12 @@ impl OnlineExecutor {
                 }
             }
             for shard in shard_slots {
+                // golint: allow(panic-surface) -- the pool run above blocks
+                // until every job stored its slot; an empty slot is a pool bug
                 let shard = shard.expect("fold job ran");
+                // golint: allow(hash-order-leak) -- per-key merge into disjoint
+                // entries; key visit order only affects rt.groups insertion
+                // order, which is sorted before anything observable reads it
                 for (key, states) in shard.groups {
                     match rt.groups.entry(key) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -462,8 +479,11 @@ impl OnlineExecutor {
                         }
                     }
                 }
+                // golint: allow(hash-order-leak) -- same per-key argument as the
+                // groups merge above, for both nesting levels
                 for (mkey, groups) in shard.semi_groups {
                     let slot = rt.semi_groups.entry(mkey).or_default();
+                    // golint: allow(hash-order-leak) -- per-key merge, see above
                     for (gkey, states) in groups {
                         match slot.entry(gkey) {
                             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -764,6 +784,8 @@ impl OnlineExecutor {
             }
         }
         for slot in slots {
+            // golint: allow(panic-surface) -- the pool run above blocks until
+            // every job stored its slot; an empty slot is a pool bug
             for (key, entry, v) in slot.expect("publish job ran")? {
                 violated |= v;
                 match entry {
@@ -780,11 +802,15 @@ impl OnlineExecutor {
         // Groups that vanished (their only contributions were uncertain
         // tuples that resolved to false): if something relied on them, the
         // decisions are void.
+        // golint: allow(hash-order-leak) -- order-insensitive boolean OR over
+        // vanished groups; no value escapes
         for (key, prev) in old.scalars.iter() {
             if prev.is_used() && !out.scalars.contains_key(key) {
                 violated = true;
             }
         }
+        // golint: allow(hash-order-leak) -- order-insensitive boolean OR over
+        // vanished groups; no value escapes
         for (key, prev) in old.members.iter() {
             if prev.relied_on() == Some(true) && !out.members.contains_key(key) {
                 // Relying on `false` for a vanished group stays correct.
@@ -839,6 +865,8 @@ impl OnlineExecutor {
                     .block
                     .post_project
                     .as_ref()
+                    // golint: allow(panic-surface) -- Scalar blocks are built with
+                    // a post projection; MetaPlan construction guarantees it
                     .expect("scalar has projection")[0];
                 let ctx = GroupCtx {
                     keys: key,
@@ -1030,6 +1058,8 @@ impl OnlineExecutor {
                     relied: std::sync::atomic::AtomicU8::new(relied),
                 })
             }
+            // golint: allow(panic-surface) -- the root block publishes through
+            // build_report, never through publish_entry
             BlockRole::Root => unreachable!(),
         };
         Ok((entry, violated))
@@ -1150,12 +1180,15 @@ impl OnlineExecutor {
     ) -> Result<Vec<(Vec<Value>, EffStates<'a>)>> {
         let trials = self.config.bootstrap.trials;
         let members = &self.published[id.0].members;
-        let mut out: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
-        for (mkey, groups) in &rt.semi_groups {
+        let mut merged: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
+        // Merge in sorted (mkey, gkey) order: float merge order across
+        // membership partitions is part of the published value, so it must
+        // be a function of the keys alone — never of hash layout.
+        for (mkey, groups) in sorted_entries(&rt.semi_groups) {
             let entry = members.get(mkey);
             let point_in = entry.map(|m| m.point).unwrap_or(false) != negated;
-            for (gkey, states) in groups {
-                let acc = out
+            for (gkey, states) in sorted_entries(groups) {
+                let acc = merged
                     .entry(gkey.clone())
                     .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials));
                 if point_in {
@@ -1171,7 +1204,7 @@ impl OnlineExecutor {
                 }
             }
         }
-        let mut result: Vec<(Vec<Value>, EffStates<'a>)> = out
+        let mut result: Vec<(Vec<Value>, EffStates<'a>)> = sorted_into_entries(merged)
             .into_iter()
             .map(|(k, v)| (k, EffStates::Owned(v)))
             .collect();
@@ -1357,16 +1390,19 @@ impl OnlineExecutor {
                 }
             }
         }
+        // Assemble in sorted key order: `out` feeds PUB_CHUNK chunking and
+        // the report's row order, so its order must not leak hash layout.
         let mut out: Vec<(Vec<Value>, EffStates<'a>)> =
             Vec::with_capacity(rt.groups.len() + touched.len());
-        for (key, states) in &rt.groups {
+        for (key, states) in sorted_entries(&rt.groups) {
             if !touched.contains_key(key) {
                 out.push((key.clone(), EffStates::Borrowed(states)));
             }
         }
-        for (key, states) in touched {
+        for (key, states) in sorted_into_entries(touched) {
             out.push((key, EffStates::Owned(states)));
         }
+        out.sort_by(|a, b| cmp_values(&a.0, &b.0));
         // A global aggregate over no data still has one (empty) group.
         if out.is_empty() && cb.num_keys() == 0 {
             out.push((
@@ -1633,10 +1669,12 @@ impl OnlineExecutor {
                 live: false,
                 ..Default::default()
             };
-            for (key, states) in groups {
+            for (key, states) in sorted_into_entries(groups) {
                 let aggs: Vec<Value> = states.iter().map(|s| s.finalize(1.0)).collect();
                 match cb.block.role {
                     BlockRole::Scalar => {
+                        // golint: allow(panic-surface) -- Scalar blocks are
+                        // built with a post projection by MetaPlan construction
                         let post = &cb.block.post_project.as_ref().expect("scalar projection")[0];
                         let ctx = GroupCtx {
                             keys: &key,
@@ -1669,6 +1707,8 @@ impl OnlineExecutor {
                             },
                         );
                     }
+                    // golint: allow(panic-surface) -- the loop above skips the
+                    // root block; only Scalar/Membership reach here
                     BlockRole::Root => unreachable!(),
                 }
             }
@@ -1685,6 +1725,8 @@ fn fsc_subquery(cb: &CompiledBlock) -> usize {
     let mut refs = Vec::new();
     cb.fast_scalar_cmp
         .as_ref()
+        // golint: allow(panic-surface) -- callers test fast_scalar_cmp.is_some()
+        // before dispatching here
         .expect("caller checked")
         .rhs
         .collect_subquery_refs(&mut refs);
@@ -1722,8 +1764,12 @@ pub fn join_one(
     out: &mut Vec<Row>,
 ) -> Result<()> {
     out.push(fact_row.clone());
+    // golint: allow(hash-order-leak) -- both are slices walked in slice
+    // order; the names collide with hash-typed symbols elsewhere
     for (d, map) in dims.iter().zip(dim_maps) {
         let mut next = Vec::with_capacity(out.len());
+        // golint: allow(hash-order-leak) -- `out` here is a Vec of rows; the
+        // name collides with a hash-typed symbol elsewhere
         for acc in out.iter() {
             let ctx = ExactContext::new(acc);
             let key: Result<Vec<Value>> = d.fact_keys.iter().map(|k| eval(k, &ctx)).collect();

@@ -31,6 +31,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use gola_common::rng::{hash_combine, SplitMix64};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A panic payload tagged with its job's submission index.
@@ -115,12 +117,27 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     next_run: Mutex<u64>,
+    /// Schedule-perturbation seed: when set, each run's queue is shuffled
+    /// (seeded per run) before dispatch to stress schedule independence.
+    perturb: Option<u64>,
 }
 
 impl WorkerPool {
     /// Build a pool that executes runs on `threads` threads total (the
     /// caller counts as one; `threads <= 1` spawns nothing).
     pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool::build(threads, None)
+    }
+
+    /// As [`WorkerPool::new`], but every `run`'s job queue is shuffled with
+    /// a per-run RNG derived from `seed` before workers see it. Completion
+    /// order becomes adversarial while results must stay bit-identical —
+    /// the dynamic complement to the static `schedule-leak` lint.
+    pub fn with_perturbation(threads: usize, seed: u64) -> WorkerPool {
+        WorkerPool::build(threads, Some(seed))
+    }
+
+    fn build(threads: usize, perturb: Option<u64>) -> WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -135,6 +152,8 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("gola-worker-{i}"))
                     .spawn(move || shared.worker_loop())
+                    // golint: allow(panic-surface) -- session setup: failing to
+                    // spawn a worker leaves no meaningful way to continue
                     .expect("spawn worker thread")
             })
             .collect();
@@ -143,6 +162,7 @@ impl WorkerPool {
             workers,
             threads,
             next_run: Mutex::new(0),
+            perturb,
         }
     }
 
@@ -173,9 +193,10 @@ impl WorkerPool {
         };
         let latch = Latch::new(n);
         let panics: Arc<Mutex<Vec<IndexedPanic>>> = Arc::new(Mutex::new(Vec::new()));
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            for (i, job) in jobs.into_iter().enumerate() {
+        let mut wrapped_jobs: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
                 let latch = Arc::clone(&latch);
                 let panics = Arc::clone(&panics);
                 let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
@@ -188,8 +209,23 @@ impl WorkerPool {
                 // has executed (panics included — the latch counts down in
                 // all cases), so the `'a` borrows inside `job` are live for
                 // as long as any thread can touch them.
-                let wrapped: Job =
-                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(wrapped) };
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(wrapped) }
+            })
+            .collect();
+        // Schedule-perturbation stress: shuffle the dispatch order with a
+        // per-run RNG. Panic indices were captured above, at submission
+        // order, so observable behaviour (which panic propagates first) is
+        // shuffle-invariant; only the physical completion order moves.
+        if let Some(seed) = self.perturb {
+            let mut rng = SplitMix64::new(hash_combine(seed, run_id));
+            for i in (1..wrapped_jobs.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                wrapped_jobs.swap(i, j);
+            }
+        }
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for wrapped in wrapped_jobs {
                 q.jobs.push_back((run_id, wrapped));
             }
             self.shared.work_ready.notify_all();

@@ -3,8 +3,32 @@
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 use gola_agg::ReplicatedStates;
-use gola_common::{Error, FxHashMap, Result, Row, Value};
+use gola_common::{cmp_values, Error, FxHashMap, Result, Row, Value};
 use gola_expr::{EvalContext, RangeVal, SubqueryId, Tri};
+
+/// Borrow a hash map's entries in canonical key order ([`cmp_values`]).
+///
+/// The runtime keeps grouped state in `FxHashMap`s (lookup-heavy hot path),
+/// but hash iteration order must never be observable downstream — any walk
+/// whose effects can reach a `BatchReport` (float merge order, row order,
+/// chunk boundaries) goes through this helper instead. This is the single
+/// blessed crossing from hash-ordered storage to published order.
+pub fn sorted_entries<V>(map: &FxHashMap<Vec<Value>, V>) -> Vec<(&Vec<Value>, &V)> {
+    // golint: allow(hash-order-leak) -- entries are sorted by total key
+    // order before they can be observed
+    let mut entries: Vec<(&Vec<Value>, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| cmp_values(a.0, b.0));
+    entries
+}
+
+/// Consuming variant of [`sorted_entries`].
+pub fn sorted_into_entries<V>(map: FxHashMap<Vec<Value>, V>) -> Vec<(Vec<Value>, V)> {
+    // golint: allow(hash-order-leak) -- entries are sorted by total key
+    // order before they can be observed
+    let mut entries: Vec<(Vec<Value>, V)> = map.into_iter().collect();
+    entries.sort_by(|a, b| cmp_values(&a.0, &b.0));
+    entries
+}
 
 /// A tuple cached in the uncertain set `Uᵢ`: its stable id (for bootstrap
 /// weight replay) and its lineage projection.

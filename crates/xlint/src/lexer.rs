@@ -1,0 +1,425 @@
+//! A minimal Rust tokenizer for static analysis.
+//!
+//! Adapts the byte-wise scanning techniques of `gola_sql::lexer` to Rust
+//! source: line-tracked tokens, comments preserved as first-class tokens
+//! (the lint rules read `// SAFETY:` and `// golint: allow(...)` comments),
+//! raw/byte string literals, and the lifetime-vs-char-literal ambiguity.
+//!
+//! The lexer is deliberately lossy where lints don't care: multi-character
+//! operators arrive as sequences of single-character [`TokKind::Punct`]
+//! tokens (`::` is two `:`), and literal payloads beyond numbers are
+//! dropped. It must however never mis-bracket — all rule scanning relies on
+//! depth counting over `() [] {} <>` being trustworthy outside strings and
+//! comments.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers arrive without the `r#`).
+    Ident(String),
+    /// `'a` — distinguished from char literals so `<'a>` depth-scans work.
+    Lifetime(String),
+    /// Number literal, verbatim (suffixes included: `0.5f64`, `1_000u32`).
+    Num(String),
+    /// Any string/char/byte literal (payload dropped).
+    Literal,
+    /// A `//` or `/* */` comment: full text plus the line it ends on.
+    Comment { text: String, end_line: u32 },
+    /// Any other single character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, TokKind::Ident(i) if i == s)
+    }
+}
+
+/// Tokenize Rust source. Unlike the SQL lexer this never fails: static
+/// analysis must degrade gracefully on source it half-understands, so any
+/// unexpected byte becomes a `Punct` and scanning continues.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.bytes.len() {
+            let line = self.line;
+            let c = self.bytes[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'r' | b'b' if self.raw_or_byte_literal(line) => {}
+                b'"' => self.string_literal(line),
+                b'\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(line),
+                c if c.is_ascii() => {
+                    self.push(TokKind::Punct(c as char), line);
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 outside literals (e.g. in doc text
+                    // that slipped through): skip the full char.
+                    let ch = self.src[self.i..].chars().next().unwrap_or('\u{fffd}');
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.out.push(Tok { kind, line });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(
+            TokKind::Comment {
+                text: self.src[start..self.i].to_string(),
+                end_line: line,
+            },
+            line,
+        );
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1u32;
+        while self.i < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(
+            TokKind::Comment {
+                text: self.src[start..self.i].to_string(),
+                end_line: self.line,
+            },
+            line,
+        );
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns `false` when the `r`/`b` is just the
+    /// start of a plain identifier (caller falls through to `ident`).
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut j = self.i + 1;
+        if self.bytes[self.i] == b'b' && self.peek(1) == Some(b'r') {
+            j += 1;
+        }
+        // Count `#`s of a raw string opener.
+        let mut hashes = 0usize;
+        while self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.bytes.get(j) {
+            Some(b'"') => {
+                self.i = j + 1;
+                self.raw_string_tail(hashes, line);
+                true
+            }
+            Some(b'\'') if self.bytes[self.i] == b'b' && hashes == 0 => {
+                self.i = j; // byte char literal b'x'
+                self.quote(line);
+                true
+            }
+            _ if hashes == 1 && self.bytes[self.i] == b'r' => {
+                // Raw identifier r#type — lex the ident without the prefix.
+                self.i += 2;
+                self.ident(line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string_tail(&mut self, hashes: usize, line: u32) {
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.bytes[self.i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.bytes.get(self.i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.i += 1 + hashes;
+                    self.push(TokKind::Literal, line);
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+        self.push(TokKind::Literal, line);
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.i += 1;
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Literal, line);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`). Lifetime iff the next char starts an identifier and
+    /// the char after that identifier char is not a closing `'`.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime = matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_')
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.i += 1;
+            let start = self.i;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokKind::Lifetime(self.src[start..self.i].to_string()), line);
+            return;
+        }
+        // Char literal: skip the (possibly escaped, possibly multi-byte)
+        // payload up to the closing quote.
+        self.i += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.i += 2;
+        } else if self.i < self.bytes.len() {
+            let ch = self.src[self.i..].chars().next().unwrap_or('x');
+            self.i += ch.len_utf8();
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+        self.push(TokKind::Literal, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.i;
+        // Hex/octal/binary prefix.
+        if self.bytes[self.i] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokKind::Num(self.src[start..self.i].to_string()), line);
+            return;
+        }
+        let mut saw_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == b'_' {
+                self.i += 1;
+            } else if c == b'.' && !saw_dot {
+                // `1..n` is a range, `1.f()` a method call — only consume
+                // the dot when a digit follows (or nothing ident-like,
+                // e.g. `1.` at expression end).
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        saw_dot = true;
+                        self.i += 1;
+                    }
+                    _ => break,
+                }
+            } else if c == b'e' || c == b'E' {
+                // Exponent only if followed by digit or sign+digit;
+                // otherwise it's a suffix-ish ident boundary.
+                let (a, b) = (self.peek(1), self.peek(2));
+                let exp = matches!(a, Some(d) if d.is_ascii_digit())
+                    || (matches!(a, Some(b'+' | b'-'))
+                        && matches!(b, Some(d) if d.is_ascii_digit()));
+                if !exp {
+                    break;
+                }
+                self.i += 2;
+                saw_dot = true; // exponent implies float-ish; fine for lints
+            } else if c.is_ascii_alphabetic() {
+                // Type suffix (f64, u32, usize…): consume as part of the
+                // literal so `0.5f64` is one token.
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.i += 1;
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num(self.src[start..self.i].to_string()), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident(self.src[start..self.i].to_string()), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let k = kinds("let m: FxHashMap<K, V> = FxHashMap::default();");
+        assert!(k.contains(&TokKind::Ident("FxHashMap".into())));
+        assert!(k.contains(&TokKind::Punct('<')));
+        // `::` arrives as two colons (plus the type-ascription colon).
+        let colons = k.iter().filter(|t| t.is_punct(':')).count();
+        assert_eq!(colons, 3);
+    }
+
+    #[test]
+    fn comments_preserved_with_lines() {
+        let toks = tokenize("a\n// SAFETY: fine\nb /* multi\nline */ c");
+        let comments: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        match &comments[1].kind {
+            TokKind::Comment { end_line, .. } => assert_eq!(*end_line, 4),
+            _ => unreachable!(),
+        }
+        // Line tracking survives the block comment.
+        let c = toks.last().unwrap();
+        assert_eq!((c.line, &c.kind), (4, &TokKind::Ident("c".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokKind::Lifetime(l) if l == "a"))
+                .count(),
+            2
+        );
+        assert_eq!(
+            k.iter().filter(|t| **t == TokKind::Literal).count(),
+            2,
+            "{k:?}"
+        );
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let k = kinds(r##"let s = "has // no comment"; let r = r#"raw "x" end"#;"##);
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Literal).count(), 2);
+        assert!(!k.iter().any(|t| matches!(t, TokKind::Comment { .. })));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("0..trials; 0.5f64; 1_000; 0x1F; 2.5e-3");
+        assert!(k.contains(&TokKind::Num("0".into())));
+        assert!(k.contains(&TokKind::Num("0.5f64".into())));
+        assert!(k.contains(&TokKind::Num("1_000".into())));
+        assert!(k.contains(&TokKind::Num("0x1F".into())));
+        assert!(k.contains(&TokKind::Num("2.5e-3".into())));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#type = 1;");
+        assert!(k.contains(&TokKind::Ident("type".into())));
+    }
+
+    #[test]
+    fn unexpected_bytes_do_not_abort() {
+        // A stray `@` or unicode char must not stop the scan.
+        let k = kinds("a @ b £ c");
+        assert!(k.contains(&TokKind::Ident("c".into())));
+    }
+}

@@ -1,0 +1,990 @@
+//! `golint` — a determinism & concurrency auditor for the G-OLA workspace.
+//!
+//! G-OLA's correctness contract is that every mini-batch publishes the same
+//! `BatchReport` regardless of physical schedule (threads=1 ≡ threads=N,
+//! bit-identical). Nothing in the type system stops a future change from
+//! breaking that with a stray `HashMap` iteration or wall-clock read in a
+//! publish path, so this crate enforces the contract as code: a token-level
+//! static-analysis pass over every workspace `.rs` file with five
+//! deny-by-default rules.
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `hash-order-leak` | iteration over `HashMap`/`HashSet`-typed values in result-producing crates |
+//! | `schedule-leak` | `Instant`/`SystemTime`/thread-identity/thread-count reads outside blessed timing & bench modules |
+//! | `unsafe-audit` | `unsafe` without a `// SAFETY:` comment within 5 lines above |
+//! | `float-fold-ordering` | unchunked `f64`/`f32` sum/product/fold outside the blessed chunk kernels |
+//! | `panic-surface` | `unwrap`/`expect`/`panic!`-family in library hot paths, minus a poisoning-lock allowlist |
+//!
+//! Every rule has a scoped escape hatch:
+//!
+//! ```text
+//! // golint: allow(hash-order-leak) -- merge is commutative per key
+//! ```
+//!
+//! The allow comment covers its own line(s) plus the statement that follows
+//! (to the next `;` or `{` at depth 0, capped at 12 lines), and the
+//! `-- reason` is mandatory — a reasonless allow is itself a
+//! diagnostic (`allow-syntax`), as is an unknown rule name.
+//!
+//! The analysis is name-based and heuristic by design (no type inference):
+//! pass 1 collects every identifier bound or declared with a hash-map/set
+//! type anywhere in the workspace; pass 2 flags order-sensitive uses of
+//! those names inside scoped crates. False positives are expected to be
+//! rare and are silenced with a reasoned allow comment — that reason is the
+//! documentation reviewers actually want.
+
+pub mod lexer;
+
+use lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules. `AllowSyntax` is internal: it fires on malformed
+/// `golint: allow` comments and cannot itself be allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashOrderLeak,
+    ScheduleLeak,
+    UnsafeAudit,
+    FloatFoldOrdering,
+    PanicSurface,
+    AllowSyntax,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::HashOrderLeak,
+        Rule::ScheduleLeak,
+        Rule::UnsafeAudit,
+        Rule::FloatFoldOrdering,
+        Rule::PanicSurface,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashOrderLeak => "hash-order-leak",
+            Rule::ScheduleLeak => "schedule-leak",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::FloatFoldOrdering => "float-fold-ordering",
+            Rule::PanicSurface => "panic-surface",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `unsafe` occurrence, for the `--unsafe-inventory` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block`, `fn`, `impl`, `trait`, or `other`.
+    pub kind: &'static str,
+    pub has_safety_comment: bool,
+}
+
+/// Per-rule path policy. All paths are workspace-relative with `/`
+/// separators; a scope entry matches any file whose path starts with it.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `hash-order-leak` fires only under these prefixes (result-producing
+    /// crates whose iteration order can reach a `BatchReport`).
+    pub hash_order_scope: Vec<String>,
+    /// `schedule-leak` fires everywhere EXCEPT these prefixes (blessed
+    /// timing and benchmark code, where wall-clock reads are the point).
+    pub schedule_blessed: Vec<String>,
+    /// `float-fold-ordering` fires only under these prefixes.
+    pub float_fold_scope: Vec<String>,
+    /// `panic-surface` fires only under these prefixes (library hot paths).
+    pub panic_scope: Vec<String>,
+    /// Receiver methods whose `unwrap`/`expect` is allowed without an
+    /// annotation: lock poisoning and thread joins, where propagating the
+    /// panic is the correct and conventional response.
+    pub panic_allowed_receivers: Vec<String>,
+    /// Functions that consume a hash map and erase its iteration order
+    /// (sorting sinks). A `for`-loop whose iterated expression routes
+    /// through one of these is not an order leak.
+    pub hash_order_sinks: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        Config {
+            hash_order_scope: s(&[
+                "crates/core/src",
+                "crates/engine/src",
+                "crates/agg/src",
+                "crates/bootstrap/src",
+            ]),
+            schedule_blessed: s(&["crates/bench/", "crates/common/src/timing.rs"]),
+            float_fold_scope: s(&[
+                "crates/core/src",
+                "crates/engine/src",
+                "crates/agg/src",
+                "crates/bootstrap/src",
+                "crates/common/src",
+            ]),
+            panic_scope: s(&[
+                "crates/core/src/executor.rs",
+                "crates/core/src/pool.rs",
+                "crates/engine/src",
+            ]),
+            panic_allowed_receivers: s(&["lock", "read", "write", "wait", "join", "recv"]),
+            hash_order_sinks: s(&["sorted_entries", "sorted_into_entries"]),
+        }
+    }
+}
+
+fn in_scope(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Integration-test and fixture sources: exempt from everything except the
+/// unsafe audit (tests may iterate hash maps and unwrap freely; they may
+/// not skip safety comments).
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
+}
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+const ORDER_SENSITIVE_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+// ---------------------------------------------------------------------------
+// Per-file token view
+// ---------------------------------------------------------------------------
+
+struct FileView<'a> {
+    path: &'a str,
+    /// Non-comment tokens only — all pattern scanning happens here.
+    code: Vec<Tok>,
+    /// `(start_line, end_line, text)` of every comment.
+    comments: Vec<(u32, u32, String)>,
+    /// Inclusive line ranges of `#[cfg(test)]`-guarded items.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> FileView<'a> {
+    fn new(path: &'a str, src: &str) -> FileView<'a> {
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        for t in lexer::tokenize(src) {
+            match t.kind {
+                TokKind::Comment { text, end_line } => comments.push((t.line, end_line, text)),
+                _ => code.push(t),
+            }
+        }
+        let test_regions = find_test_regions(&code);
+        FileView {
+            path,
+            code,
+            comments,
+            test_regions,
+        }
+    }
+
+    fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Last line of the statement (or item header) that starts on the first
+    /// code line after `after`: scans to the first `;` or `{` at depth 0,
+    /// capped at 12 lines. This is the span an allow comment covers — the
+    /// next statement, not the block it may open.
+    fn next_statement_end(&self, after: u32) -> Option<u32> {
+        let start = self.code.iter().position(|t| t.line > after)?;
+        let first_line = self.code[start].line;
+        let mut depth = 0i32;
+        let mut last_line = first_line;
+        for t in &self.code[start..] {
+            if t.line > first_line + 12 {
+                break;
+            }
+            last_line = t.line;
+            match &t.kind {
+                k if k.is_punct('(') || k.is_punct('[') => depth += 1,
+                k if k.is_punct(')') || k.is_punct(']') => depth -= 1,
+                k if depth <= 0 && (k.is_punct(';') || k.is_punct('{') || k.is_punct('}')) => {
+                    break;
+                }
+                _ => {}
+            }
+        }
+        Some(last_line)
+    }
+}
+
+/// Find `#[cfg(test)] <item> { … }` regions by matching the brace that
+/// follows the attribute. Good enough for the workspace convention of
+/// `#[cfg(test)] mod tests { … }`.
+fn find_test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].kind.is_punct('#') && code[i + 1].kind.is_punct('[') {
+            // Collect the attribute body up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            while j < code.len() && depth > 0 {
+                match &code[j].kind {
+                    k if k.is_punct('[') => depth += 1,
+                    k if k.is_punct(']') => depth -= 1,
+                    k if k.is_ident("cfg") => saw_cfg = true,
+                    k if k.is_ident("test") => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                // Find the item's opening brace and match it.
+                let mut k = j;
+                while k < code.len() && !code[k].kind.is_punct('{') {
+                    // A `;` first means `#[cfg(test)] mod foo;` — no body.
+                    if code[k].kind.is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < code.len() && code[k].kind.is_punct('{') {
+                    let start_line = code[i].line;
+                    let mut b = 1i32;
+                    let mut m = k + 1;
+                    while m < code.len() && b > 0 {
+                        if code[m].kind.is_punct('{') {
+                            b += 1;
+                        } else if code[m].kind.is_punct('}') {
+                            b -= 1;
+                        }
+                        m += 1;
+                    }
+                    let end_line = code.get(m.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+                    regions.push((start_line, end_line));
+                    i = m;
+                    continue;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// Allow comments
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    rules: Vec<Rule>,
+    /// Lines this allow covers (its own lines + first following code line).
+    lines: (u32, u32),
+}
+
+/// Parse `// golint: allow(rule, …) -- reason` comments. Malformed allows
+/// (missing reason, unknown rule) become `allow-syntax` diagnostics and
+/// suppress nothing.
+fn collect_allows(view: &FileView<'_>, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (start, end, text) in &view.comments {
+        // Only comments that LEAD with the marker are directives; prose
+        // that mentions `golint: allow(...)` mid-sentence is not.
+        let stripped = text.trim_start_matches(['/', '*', '!', ' ', '\t']);
+        let Some(rest) = stripped.strip_prefix("golint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            diags.push(Diagnostic {
+                file: view.path.to_string(),
+                line: *start,
+                rule: Rule::AllowSyntax,
+                message: "golint comment is not of the form `golint: allow(rule, …) -- reason`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (list, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some(x) => x,
+            None => {
+                diags.push(Diagnostic {
+                    file: view.path.to_string(),
+                    line: *start,
+                    rule: Rule::AllowSyntax,
+                    message: "allow comment missing `(rule, …)` list".to_string(),
+                });
+                continue;
+            }
+        };
+        let reason = tail.split_once("--").map(|(_, r)| r.trim()).unwrap_or("");
+        if reason.is_empty() {
+            diags.push(Diagnostic {
+                file: view.path.to_string(),
+                line: *start,
+                rule: Rule::AllowSyntax,
+                message: "allow comment missing a `-- reason`; say why the pattern is sound"
+                    .to_string(),
+            });
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Rule::from_name(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(Diagnostic {
+                        file: view.path.to_string(),
+                        line: *start,
+                        rule: Rule::AllowSyntax,
+                        message: format!("unknown rule `{name}` in allow comment"),
+                    });
+                    bad = true;
+                }
+            }
+        }
+        if bad || rules.is_empty() {
+            continue;
+        }
+        let covered_end = view.next_statement_end(*end).unwrap_or(*end);
+        allows.push(Allow {
+            rules,
+            lines: (*start, covered_end),
+        });
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1 — global hash-typed symbol table
+// ---------------------------------------------------------------------------
+
+/// Collect every identifier bound or declared with a hash-map/set type in
+/// `code`. Name-based and workspace-global: a field declared
+/// `groups: FxHashMap<…>` in one file marks `groups` hash-typed everywhere.
+fn collect_hash_symbols(code: &[Tok], out: &mut BTreeSet<String>) {
+    let is_hash = |t: &Tok| matches!(t.kind.ident(), Some(s) if HASH_TYPES.contains(&s));
+    let mut i = 0;
+    while i < code.len() {
+        // Pattern A/C: `name : TYPE…` where TYPE mentions a hash type.
+        // Skip `::` path segments on either side of the colon.
+        if let TokKind::Ident(name) = &code[i].kind {
+            let single_colon = code.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && !code.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+                && !(i > 0 && code[i - 1].kind.is_punct(':'));
+            if single_colon {
+                if let Some(region) = type_region(code, i + 2) {
+                    if code[i + 2..region].iter().any(is_hash) {
+                        out.insert(name.clone());
+                    }
+                }
+            }
+            // Pattern B: `let [mut] name = <init>` where the initializer
+            // constructs a hash type (`FxHashMap::default()` etc.).
+            if name == "let" {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|t| t.kind.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(TokKind::Ident(bound)) = code.get(j).map(|t| &t.kind) {
+                    let mut k = j + 1;
+                    // Skip over an explicit `: TYPE` to the `=`.
+                    if code.get(k).is_some_and(|t| t.kind.is_punct(':')) {
+                        if let Some(end) = type_region(code, k + 1) {
+                            k = end;
+                        }
+                    }
+                    if code.get(k).is_some_and(|t| t.kind.is_punct('=')) {
+                        let mut depth = 0i32;
+                        let mut m = k + 1;
+                        while let Some(t) = code.get(m) {
+                            match &t.kind {
+                                k if k.is_punct('(') || k.is_punct('[') || k.is_punct('{') => {
+                                    depth += 1
+                                }
+                                k if k.is_punct(')') || k.is_punct(']') || k.is_punct('}') => {
+                                    depth -= 1
+                                }
+                                k if k.is_punct(';') && depth <= 0 => break,
+                                _ if is_hash(t)
+                                    && code.get(m + 1).is_some_and(|t| t.kind.is_punct(':'))
+                                    && code.get(m + 2).is_some_and(|t| t.kind.is_punct(':')) =>
+                                {
+                                    out.insert(bound.clone());
+                                }
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Scan a type region starting at `start`, returning the index of the
+/// delimiter that ends it (`,` `;` `)` `}` `=` `{` at depth 0). Tracks
+/// `() [] <>` depth; `->` and `=>` arrows do not close a generic.
+fn type_region(code: &[Tok], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = start;
+    while let Some(t) = code.get(i) {
+        match &t.kind {
+            k if k.is_punct('<') || k.is_punct('(') || k.is_punct('[') => depth += 1,
+            k if (k.is_punct('-') || k.is_punct('='))
+                && code.get(i + 1).is_some_and(|t| t.kind.is_punct('>')) =>
+            {
+                if depth == 0 && k.is_punct('=') {
+                    return Some(i); // `=>` at depth 0: match arm, not a type
+                }
+                i += 2; // skip `->` / nested `=>` as a unit
+                continue;
+            }
+            k if k.is_punct('>') || k.is_punct(')') || k.is_punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return Some(i);
+                }
+            }
+            k if depth == 0
+                && (k.is_punct(',')
+                    || k.is_punct(';')
+                    || k.is_punct('=')
+                    || k.is_punct('{')
+                    || k.is_punct('}')) =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+        // Types don't run forever; bail out of pathological regions.
+        if i - start > 256 {
+            return None;
+        }
+    }
+    Some(code.len())
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2 — rule scanners
+// ---------------------------------------------------------------------------
+
+fn scan_hash_order(
+    view: &FileView<'_>,
+    symbols: &BTreeSet<String>,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &view.code;
+    let push = |out: &mut Vec<Diagnostic>, line: u32, name: &str| {
+        out.push(Diagnostic {
+            file: view.path.to_string(),
+            line,
+            rule: Rule::HashOrderLeak,
+            message: format!(
+                "iteration over hash-ordered `{name}` in a result-producing crate; \
+                 sort entries (or use a BTreeMap) before results can reach a BatchReport"
+            ),
+        });
+    };
+    let mut i = 0;
+    while i < code.len() {
+        if let TokKind::Ident(name) = &code[i].kind {
+            // `m.iter()` / `m.values()` / … on a hash-typed name, or a hash
+            // type constructor used inline (`FxHashMap::default().iter()`).
+            let hash_named = symbols.contains(name) || HASH_TYPES.contains(&name.as_str());
+            if hash_named
+                && code.get(i + 1).is_some_and(|t| t.kind.is_punct('.'))
+                && code.get(i + 2).is_some_and(
+                    |t| matches!(t.kind.ident(), Some(m) if ORDER_SENSITIVE_METHODS.contains(&m)),
+                )
+                && code.get(i + 3).is_some_and(|t| t.kind.is_punct('('))
+            {
+                push(out, code[i + 2].line, name);
+                i += 3;
+                continue;
+            }
+            // `for pat in <expr> {` — a hash-typed name consumed whole
+            // (`for (k, v) in shard.groups {`), i.e. implicit into_iter.
+            if name == "for" {
+                // Find the `in` at depth 0, then scan to the `{` at depth 0.
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                let mut in_at = None;
+                while let Some(t) = code.get(j) {
+                    match &t.kind {
+                        k if k.is_punct('(') || k.is_punct('[') => depth += 1,
+                        k if k.is_punct(')') || k.is_punct(']') => depth -= 1,
+                        k if depth == 0 && k.is_ident("in") => {
+                            in_at = Some(j);
+                            break;
+                        }
+                        k if k.is_punct('{') || k.is_punct(';') => break,
+                        _ => {}
+                    }
+                    j += 1;
+                    if j - i > 64 {
+                        break;
+                    }
+                }
+                if let Some(start) = in_at {
+                    let mut depth = 0i32;
+                    let mut j = start + 1;
+                    while let Some(t) = code.get(j) {
+                        match &t.kind {
+                            k if k.is_punct('(') || k.is_punct('[') => depth += 1,
+                            k if k.is_punct(')') || k.is_punct(']') => depth -= 1,
+                            k if depth == 0 && k.is_punct('{') => break,
+                            TokKind::Ident(n)
+                                if cfg.hash_order_sinks.iter().any(|s| s == n)
+                                    && code.get(j + 1).is_some_and(|t| t.kind.is_punct('(')) =>
+                            {
+                                // Routed through a sorting sink: iteration
+                                // order is erased before the loop sees it.
+                                break;
+                            }
+                            TokKind::Ident(n)
+                                if symbols.contains(n)
+                                    && !code.get(j + 1).is_some_and(|t| {
+                                        t.kind.is_punct('.') || t.kind.is_punct('(')
+                                    }) =>
+                            {
+                                push(out, t.line, n);
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                        if j - start > 96 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn scan_schedule(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    for (i, t) in code.iter().enumerate() {
+        let Some(name) = t.kind.ident() else { continue };
+        let msg = match name {
+            "Instant" => {
+                "wall-clock `Instant` outside blessed timing modules; \
+                          use `gola_common::timing::Stopwatch`"
+            }
+            "SystemTime" => "`SystemTime` read leaks wall-clock state into the schedule",
+            "available_parallelism" | "num_cpus" => {
+                "thread-count read outside bench code makes behaviour host-dependent"
+            }
+            "thread" => {
+                let is_current = code.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|t| t.kind.is_ident("current"));
+                if !is_current {
+                    continue;
+                }
+                "`thread::current()` identity read leaks the physical schedule"
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic {
+            file: view.path.to_string(),
+            line: t.line,
+            rule: Rule::ScheduleLeak,
+            message: msg.to_string(),
+        });
+    }
+}
+
+/// Scan for `unsafe` tokens; returns the inventory and appends diagnostics
+/// for sites lacking a `// SAFETY:` comment within 5 lines above.
+fn scan_unsafe(view: &FileView<'_>, out: &mut Vec<Diagnostic>) -> Vec<UnsafeSite> {
+    let code = &view.code;
+    let mut sites = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !t.kind.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match code.get(i + 1).map(|t| &t.kind) {
+            Some(k) if k.is_punct('{') => "block",
+            Some(k) if k.is_ident("fn") => "fn",
+            Some(k) if k.is_ident("impl") => "impl",
+            Some(k) if k.is_ident("trait") => "trait",
+            _ => "other",
+        };
+        let has_safety = view
+            .comments
+            .iter()
+            .any(|(_, end, text)| text.contains("SAFETY:") && *end <= t.line && t.line - *end <= 5);
+        if !has_safety {
+            out.push(Diagnostic {
+                file: view.path.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeAudit,
+                message: format!(
+                    "`unsafe` {kind} without a `// SAFETY:` comment within 5 lines above"
+                ),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: view.path.to_string(),
+            line: t.line,
+            kind,
+            has_safety_comment: has_safety,
+        });
+    }
+    sites
+}
+
+fn scan_float_fold(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    let push = |out: &mut Vec<Diagnostic>, line: u32, what: &str| {
+        out.push(Diagnostic {
+            file: view.path.to_string(),
+            line,
+            rule: Rule::FloatFoldOrdering,
+            message: format!(
+                "unchunked float {what}: accumulation order must be fixed \
+                 (1024-tuple chunk kernel) or proven order-insensitive"
+            ),
+        });
+    };
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].kind.is_punct('.') {
+            if let Some(m) = code[i + 1].kind.ident() {
+                // `.sum::<f64>()` / `.product::<f32>()`
+                if (m == "sum" || m == "product")
+                    && code.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|t| t.kind.is_punct(':'))
+                    && code.get(i + 4).is_some_and(|t| t.kind.is_punct('<'))
+                    && code
+                        .get(i + 5)
+                        .is_some_and(|t| t.kind.is_ident("f64") || t.kind.is_ident("f32"))
+                {
+                    push(out, code[i + 1].line, m);
+                    i += 5;
+                    continue;
+                }
+                // `.fold(0.0, …)` / `.fold(-1.0f64, …)` — float seed.
+                if m == "fold" && code.get(i + 2).is_some_and(|t| t.kind.is_punct('(')) {
+                    let mut j = i + 3;
+                    if code.get(j).is_some_and(|t| t.kind.is_punct('-')) {
+                        j += 1;
+                    }
+                    let float_seed = match code.get(j).map(|t| &t.kind) {
+                        Some(TokKind::Num(n)) => {
+                            n.contains('.') || n.ends_with("f64") || n.ends_with("f32")
+                        }
+                        Some(TokKind::Ident(id)) => id == "f64" || id == "f32",
+                        _ => false,
+                    };
+                    if float_seed {
+                        push(out, code[i + 1].line, "fold");
+                        i = j;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn scan_panic(view: &FileView<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if let Some(name) = t.kind.ident() {
+            match name {
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if code.get(i + 1).is_some_and(|t| t.kind.is_punct('!')) =>
+                {
+                    out.push(Diagnostic {
+                        file: view.path.to_string(),
+                        line: t.line,
+                        rule: Rule::PanicSurface,
+                        message: format!(
+                            "`{name}!` in a library hot path; return an error or \
+                             annotate why this is unreachable"
+                        ),
+                    });
+                }
+                "unwrap" | "expect"
+                    if i > 0
+                        && code[i - 1].kind.is_punct('.')
+                        && code.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+                        && !receiver_is_allowed(code, i - 1, &cfg.panic_allowed_receivers) =>
+                {
+                    out.push(Diagnostic {
+                        file: view.path.to_string(),
+                        line: t.line,
+                        rule: Rule::PanicSurface,
+                        message: format!(
+                            "`.{name}()` in a library hot path; propagate the error \
+                             or annotate the invariant that makes this infallible"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// For `recv().unwrap()`-style chains: walk left from the `.` before
+/// `unwrap`/`expect`; if the receiver is a call whose callee is an allowed
+/// method (`lock`, `wait`, `join`, …), the unwrap is conventional panic
+/// propagation (lock poisoning) and not flagged.
+fn receiver_is_allowed(code: &[Tok], dot: usize, allowed: &[String]) -> bool {
+    if dot == 0 || !code[dot - 1].kind.is_punct(')') {
+        return false;
+    }
+    // Match the `)` back to its `(`.
+    let mut depth = 1i32;
+    let mut i = dot - 1;
+    while i > 0 && depth > 0 {
+        i -= 1;
+        if code[i].kind.is_punct(')') {
+            depth += 1;
+        } else if code[i].kind.is_punct('(') {
+            depth -= 1;
+        }
+    }
+    i > 0 && matches!(code[i - 1].kind.ident(), Some(m) if allowed.iter().any(|a| a == m))
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Lint a set of `(workspace-relative path, source)` pairs. Pure — this is
+/// the entry point fixture tests use to lint virtual files under arbitrary
+/// paths.
+pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    lint_sources_full(sources, cfg).0
+}
+
+/// As [`lint_sources`], also returning the workspace unsafe inventory.
+pub fn lint_sources_full(
+    sources: &[(String, String)],
+    cfg: &Config,
+) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+    // Pass 1: global hash-typed symbol table.
+    let mut symbols = BTreeSet::new();
+    let views: Vec<FileView<'_>> = sources
+        .iter()
+        .map(|(path, src)| FileView::new(path, src))
+        .collect();
+    for v in &views {
+        collect_hash_symbols(&v.code, &mut symbols);
+    }
+
+    // Pass 2: per-file rule scans, then allow/test-region filtering.
+    let mut diags = Vec::new();
+    let mut inventory = Vec::new();
+    for v in &views {
+        let mut raw = Vec::new();
+        let allows = collect_allows(v, &mut raw);
+        let test_file = is_test_path(v.path);
+
+        inventory.extend(scan_unsafe(v, &mut raw));
+        if !test_file {
+            if in_scope(v.path, &cfg.hash_order_scope) {
+                scan_hash_order(v, &symbols, cfg, &mut raw);
+            }
+            if !in_scope(v.path, &cfg.schedule_blessed) {
+                scan_schedule(v, &mut raw);
+            }
+            if in_scope(v.path, &cfg.float_fold_scope) {
+                scan_float_fold(v, &mut raw);
+            }
+            if in_scope(v.path, &cfg.panic_scope) {
+                scan_panic(v, cfg, &mut raw);
+            }
+        }
+
+        let allowed = |d: &Diagnostic| {
+            allows
+                .iter()
+                .any(|a| a.rules.contains(&d.rule) && a.lines.0 <= d.line && d.line <= a.lines.1)
+        };
+        for d in raw {
+            if d.rule != Rule::UnsafeAudit
+                && d.rule != Rule::AllowSyntax
+                && v.in_test_region(d.line)
+            {
+                continue;
+            }
+            if d.rule != Rule::AllowSyntax && allowed(&d) {
+                continue;
+            }
+            diags.push(d);
+        }
+    }
+    diags.sort();
+    diags.dedup();
+    (diags, inventory)
+}
+
+/// Walk `root` for workspace `.rs` files (skipping `target/`, `vendor/`,
+/// `.git/`, and lint fixtures) and lint them.
+pub fn lint_workspace(
+    root: &Path,
+    cfg: &Config,
+) -> std::io::Result<(Vec<Diagnostic>, Vec<UnsafeSite>)> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        sources.push((rel, src));
+    }
+    Ok(lint_sources_full(&sources, cfg))
+}
+
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "results"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (hand-rolled — no serde in the workspace)
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics (and optionally the unsafe inventory) as a stable
+/// machine-readable JSON document.
+pub fn to_json(diags: &[Diagnostic], inventory: Option<&[UnsafeSite]>) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str(&format!("  \"count\": {}", diags.len()));
+    if let Some(sites) = inventory {
+        out.push_str(",\n  \"unsafe_inventory\": [");
+        for (i, s) in sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"has_safety_comment\": {}}}",
+                json_escape(&s.file),
+                s.line,
+                s.kind,
+                s.has_safety_comment
+            ));
+        }
+        out.push_str(if sites.is_empty() { "]" } else { "\n  ]" });
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Group a diagnostic list by rule, for the human summary footer.
+pub fn counts_by_rule(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        *map.entry(d.rule.name()).or_insert(0) += 1;
+    }
+    map
+}

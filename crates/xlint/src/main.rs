@@ -1,0 +1,109 @@
+//! `golint` — workspace determinism & concurrency auditor.
+//!
+//! ```text
+//! golint [--json] [--unsafe-inventory] [--root DIR] [FILE…]
+//! ```
+//!
+//! With no `FILE` arguments, lints every workspace `.rs` file under the
+//! root (default: current directory). Exit codes: `0` clean, `1` one or
+//! more diagnostics, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::{counts_by_rule, lint_sources_full, lint_workspace, to_json, Config};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut inventory = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--unsafe-inventory" => inventory = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: golint [--json] [--unsafe-inventory] [--root DIR] [FILE…]");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let cfg = Config::default();
+    let result = if files.is_empty() {
+        lint_workspace(&root, &cfg)
+    } else {
+        files
+            .iter()
+            .map(|f| std::fs::read_to_string(root.join(f)).map(|src| (f.clone(), src)))
+            .collect::<std::io::Result<Vec<_>>>()
+            .map(|sources| lint_sources_full(&sources, &cfg))
+    };
+    let (diags, sites) = match result {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("golint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!(
+            "{}",
+            to_json(&diags, if inventory { Some(&sites) } else { None })
+        );
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if inventory {
+            println!("unsafe inventory ({} sites):", sites.len());
+            for s in &sites {
+                println!(
+                    "  {}:{}: unsafe {} ({})",
+                    s.file,
+                    s.line,
+                    s.kind,
+                    if s.has_safety_comment {
+                        "SAFETY documented"
+                    } else {
+                        "MISSING SAFETY comment"
+                    }
+                );
+            }
+        }
+        if diags.is_empty() {
+            eprintln!("golint: clean");
+        } else {
+            let by_rule = counts_by_rule(&diags);
+            let summary: Vec<String> = by_rule
+                .iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            eprintln!(
+                "golint: {} diagnostic(s) [{}]",
+                diags.len(),
+                summary.join(", ")
+            );
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("golint: {msg}");
+    eprintln!("usage: golint [--json] [--unsafe-inventory] [--root DIR] [FILE…]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,23 @@
+//! `allow-syntax` fixture. Linted by `tests/golden.rs` under
+//! `crates/engine/src/fixture.rs`. Malformed allow comments are themselves
+//! diagnostics and suppress nothing — the underlying finding still fires.
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    // golint: allow(panic-surface) //~ allow-syntax
+    v.unwrap() //~ panic-surface
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // golint: allow(not-a-rule) -- no such rule //~ allow-syntax
+    v.unwrap() //~ panic-surface
+}
+
+pub fn not_an_allow(v: Option<u32>) -> u32 {
+    // golint: deny(panic-surface) //~ allow-syntax
+    v.unwrap() //~ panic-surface
+}
+
+pub fn well_formed(v: Option<u32>) -> u32 {
+    // golint: allow(panic-surface) -- a reasoned allow still suppresses
+    v.unwrap()
+}

@@ -1,0 +1,37 @@
+//! `float-fold-ordering` fixture. Linted by `tests/golden.rs` under
+//! `crates/agg/src/fixture.rs` (in scope) and `crates/cli/src/fixture.rs`
+//! (out of scope — nothing fires).
+
+pub fn positive_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() //~ float-fold-ordering
+}
+
+pub fn positive_sum_f32(xs: &[f32]) -> f32 {
+    xs.iter().copied().sum::<f32>() //~ float-fold-ordering
+}
+
+pub fn positive_product(xs: &[f64]) -> f64 {
+    xs.iter().product::<f64>() //~ float-fold-ordering
+}
+
+pub fn positive_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x) //~ float-fold-ordering
+}
+
+pub fn positive_fold_negative_seed(xs: &[f64]) -> f64 {
+    xs.iter().fold(-1.0f64, |acc, x| acc.max(*x)) //~ float-fold-ordering
+}
+
+pub fn negative_int_sum(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn negative_int_fold(xs: &[u64]) -> u64 {
+    xs.iter().fold(0, |acc, x| acc + x)
+}
+
+pub fn allowed_sum(xs: &[f64]) -> f64 {
+    // golint: allow(float-fold-ordering) -- fixture: the slice order IS the
+    // accumulation contract here
+    xs.iter().sum::<f64>()
+}

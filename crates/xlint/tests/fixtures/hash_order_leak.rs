@@ -1,0 +1,52 @@
+//! `hash-order-leak` fixture. Linted by `tests/golden.rs` under the virtual
+//! path `crates/core/src/fixture.rs` (in scope — markers fire) and under
+//! `crates/cli/src/fixture.rs` (out of scope — nothing fires). Trailing
+//! tilde markers name the diagnostics expected on that line.
+
+use rustc_hash::FxHashMap;
+use std::collections::HashMap;
+
+pub struct State {
+    pub groups: FxHashMap<u64, f64>,
+}
+
+pub fn positive_method(groups: &FxHashMap<u64, f64>) -> Vec<u64> {
+    groups.keys().copied().collect() //~ hash-order-leak
+}
+
+pub fn positive_values(counts: &HashMap<String, usize>) -> usize {
+    counts.values().sum() //~ hash-order-leak
+}
+
+pub fn positive_for(groups: FxHashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in groups { //~ hash-order-leak
+        total += v;
+    }
+    total
+}
+
+pub fn negative_sorted_sink(groups: &FxHashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in sorted_entries(groups) {
+        total += v;
+    }
+    total
+}
+
+pub fn negative_point_lookup(groups: &FxHashMap<u64, f64>, key: u64) -> Option<f64> {
+    groups.get(&key).copied()
+}
+
+pub fn allowed_count(groups: &FxHashMap<u64, f64>) -> usize {
+    // golint: allow(hash-order-leak) -- a count is order-insensitive
+    groups.values().count()
+}
+
+fn sorted_entries(groups: &FxHashMap<u64, f64>) -> Vec<(&u64, &f64)> {
+    // golint: allow(hash-order-leak) -- entries are sorted by key before
+    // anything can observe the order
+    let mut entries: Vec<(&u64, &f64)> = groups.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    entries
+}

@@ -1,0 +1,42 @@
+//! `panic-surface` fixture. Linted by `tests/golden.rs` under
+//! `crates/engine/src/fixture.rs` (in scope) and
+//! `crates/storage/src/fixture.rs` (out of scope — nothing fires).
+
+pub fn positive_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-surface
+}
+
+pub fn positive_expect(v: Option<u32>) -> u32 {
+    v.expect("present") //~ panic-surface
+}
+
+pub fn positive_panic(x: u32) -> u32 {
+    if x > 10 {
+        panic!("x out of range: {x}"); //~ panic-surface
+    }
+    x
+}
+
+pub fn positive_unreachable(x: bool) -> u32 {
+    match x {
+        true => 1,
+        false => unreachable!(), //~ panic-surface
+    }
+}
+
+pub fn negative_lock(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn negative_join(h: std::thread::JoinHandle<u32>) -> u32 {
+    h.join().unwrap()
+}
+
+pub fn negative_propagate(v: Option<u32>) -> Option<u32> {
+    Some(v? + 1)
+}
+
+pub fn allowed_expect(v: Option<u32>) -> u32 {
+    // golint: allow(panic-surface) -- fixture: caller established Some
+    v.expect("caller checked")
+}

@@ -1,0 +1,43 @@
+//! `schedule-leak` fixture. Linted by `tests/golden.rs` under the virtual
+//! path `crates/core/src/fixture.rs` (markers fire) and again under
+//! `crates/bench/src/fixture.rs` (blessed — nothing fires).
+
+pub fn positive_instant() -> std::time::Duration {
+    let t0 = std::time::Instant::now(); //~ schedule-leak
+    t0.elapsed()
+}
+
+pub fn positive_system_time() -> u64 {
+    let now = std::time::SystemTime::now(); //~ schedule-leak
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn positive_thread_count() -> usize {
+    std::thread::available_parallelism() //~ schedule-leak
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub fn positive_identity() -> std::thread::ThreadId {
+    std::thread::current().id() //~ schedule-leak
+}
+
+pub fn negative_duration(d: std::time::Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+pub fn negative_spawn() -> std::thread::Builder {
+    std::thread::Builder::new().name("gola-worker".to_string())
+}
+
+pub fn allowed_clock() -> u64 {
+    // golint: allow(schedule-leak) -- display-only timestamp; the value is
+    // never folded into estimator state
+    let stamp = std::time::SystemTime::now();
+    stamp
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

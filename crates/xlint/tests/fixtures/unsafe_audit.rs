@@ -1,0 +1,30 @@
+//! `unsafe-audit` fixture. Linted by `tests/golden.rs` under
+//! `crates/common/src/fixture.rs` and — because the audit is the one rule
+//! that also applies to test code — under `tests/fixture.rs`, with the same
+//! expectations. Every site lands in the unsafe inventory; only sites with
+//! a safety comment within 5 lines above escape the diagnostic.
+
+pub fn positive_block(bytes: &[u8]) -> u32 {
+    let mut out = 0u32;
+    unsafe { //~ unsafe-audit
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), &mut out as *mut u32 as *mut u8, 4);
+    }
+    out
+}
+
+pub unsafe fn positive_fn(p: *const u8) -> u8 { //~ unsafe-audit
+    *p
+}
+
+pub fn negative_commented(v: &[f64], i: usize) -> f64 {
+    debug_assert!(i < v.len());
+    // SAFETY: bounds are checked by the debug_assert above and callers are
+    // internal, always passing indices < v.len().
+    unsafe { *v.get_unchecked(i) }
+}
+
+pub fn allowed_block(p: *const u8) -> u8 {
+    // golint: allow(unsafe-audit) -- fixture: the allow hatch applies to
+    // the audit rule too (though a SAFETY comment is the better fix)
+    unsafe { *p }
+}

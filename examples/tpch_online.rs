@@ -24,7 +24,7 @@ fn main() -> g_ola::common::Result<()> {
     for (name, sql) in tpch::queries() {
         println!("\n=== {name} ===\n{sql}\n");
         // Time the exact engine for the comparison line.
-        let t0 = std::time::Instant::now();
+        let t0 = gola_common::timing::Stopwatch::start();
         let exact = session.execute_exact(sql)?;
         let batch_exact_time = t0.elapsed();
 

@@ -31,6 +31,11 @@ else
     echo "==> cargo clippy not installed — skipping"
 fi
 
+# Determinism & concurrency audit (crates/xlint). Deny-by-default: any
+# unannotated hash-order / wall-clock / unsafe / float-fold / panic finding
+# fails the gate. See README.md for the allow-comment convention.
+step cargo run --release -q -p xlint --bin golint -- --root .
+
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"
     exit 1
