@@ -1,6 +1,6 @@
 //! Weighted aggregate accumulators.
 
-use gola_common::stats::Welford;
+use gola_common::fsum::{ExactSum, ExactVariance};
 use gola_common::Value;
 
 use crate::kind::AggKind;
@@ -9,18 +9,25 @@ use crate::udaf::UdafState;
 
 /// A single aggregate accumulator. Updates are weighted (bootstrap Poisson
 /// weights); multiset multiplicity is applied at [`AggState::finalize`].
+///
+/// SUM/AVG/VAR accumulate through [`ExactSum`], so every finalized value is
+/// a function of the folded multiset alone — the online executor (which
+/// folds in shuffled mini-batch order) and the batch engine (table order)
+/// produce bit-identical answers. Weight sums stay plain `f64`: engine
+/// weights are small integers, whose sums are exact anyway. QUANTILE (P²)
+/// is inherently order-sensitive and is excluded from that contract.
 #[derive(Debug, Clone)]
 pub enum AggState {
     Count {
         weight_sum: f64,
     },
     Sum {
-        sum: f64,
+        sum: ExactSum,
         weight_sum: f64,
         saw_negative: bool,
     },
     Avg {
-        sum: f64,
+        sum: ExactSum,
         weight_sum: f64,
     },
     Min {
@@ -30,7 +37,7 @@ pub enum AggState {
         best: Option<Value>,
     },
     Var {
-        acc: Welford,
+        acc: ExactVariance,
         stddev: bool,
     },
     Quantile(P2Quantile),
@@ -42,22 +49,22 @@ impl AggState {
         match kind {
             AggKind::Count => AggState::Count { weight_sum: 0.0 },
             AggKind::Sum => AggState::Sum {
-                sum: 0.0,
+                sum: ExactSum::new(),
                 weight_sum: 0.0,
                 saw_negative: false,
             },
             AggKind::Avg => AggState::Avg {
-                sum: 0.0,
+                sum: ExactSum::new(),
                 weight_sum: 0.0,
             },
             AggKind::Min => AggState::Min { best: None },
             AggKind::Max => AggState::Max { best: None },
             AggKind::VarPop => AggState::Var {
-                acc: Welford::new(),
+                acc: ExactVariance::new(),
                 stddev: false,
             },
             AggKind::StdDev => AggState::Var {
-                acc: Welford::new(),
+                acc: ExactVariance::new(),
                 stddev: true,
             },
             AggKind::Quantile(q) => AggState::Quantile(P2Quantile::new(*q)),
@@ -79,7 +86,11 @@ impl AggState {
                 saw_negative,
             } => {
                 if let Some(x) = value.as_f64() {
-                    *sum += x * weight;
+                    if weight == 1.0 {
+                        sum.add(x);
+                    } else {
+                        sum.add_product(x, weight);
+                    }
                     *weight_sum += weight;
                     if x < 0.0 {
                         *saw_negative = true;
@@ -88,7 +99,11 @@ impl AggState {
             }
             AggState::Avg { sum, weight_sum } => {
                 if let Some(x) = value.as_f64() {
-                    *sum += x * weight;
+                    if weight == 1.0 {
+                        sum.add(x);
+                    } else {
+                        sum.add_product(x, weight);
+                    }
                     *weight_sum += weight;
                 }
             }
@@ -141,14 +156,22 @@ impl AggState {
                 weight_sum,
                 saw_negative,
             } => {
-                *sum += x * weight;
+                if weight == 1.0 {
+                    sum.add(x);
+                } else {
+                    sum.add_product(x, weight);
+                }
                 *weight_sum += weight;
                 if x < 0.0 {
                     *saw_negative = true;
                 }
             }
             AggState::Avg { sum, weight_sum } => {
-                *sum += x * weight;
+                if weight == 1.0 {
+                    sum.add(x);
+                } else {
+                    sum.add_product(x, weight);
+                }
                 *weight_sum += weight;
             }
             AggState::Min { best } => {
@@ -194,7 +217,7 @@ impl AggState {
                     saw_negative: n2,
                 },
             ) => {
-                *s1 += s2;
+                s1.merge(s2);
                 *w1 += w2;
                 *n1 |= n2;
             }
@@ -208,7 +231,7 @@ impl AggState {
                     weight_sum: w2,
                 },
             ) => {
-                *s1 += s2;
+                s1.merge(s2);
                 *w1 += w2;
             }
             (AggState::Min { best: a }, AggState::Min { best: b }) => {
@@ -250,14 +273,14 @@ impl AggState {
                 if *weight_sum == 0.0 {
                     Value::Null
                 } else {
-                    Value::Float(sum * scale)
+                    Value::Float(sum.value() * scale)
                 }
             }
             AggState::Avg { sum, weight_sum } => {
                 if *weight_sum == 0.0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / weight_sum)
+                    Value::Float(sum.value() / weight_sum)
                 }
             }
             AggState::Min { best } | AggState::Max { best } => best.clone().unwrap_or(Value::Null),
@@ -285,14 +308,14 @@ impl AggState {
                 if *weight_sum == 0.0 {
                     None
                 } else {
-                    Some(sum * scale)
+                    Some(sum.value() * scale)
                 }
             }
             AggState::Avg { sum, weight_sum } => {
                 if *weight_sum == 0.0 {
                     None
                 } else {
-                    Some(sum / weight_sum)
+                    Some(sum.value() / weight_sum)
                 }
             }
             AggState::Var { acc, stddev } => {
@@ -322,7 +345,7 @@ impl AggState {
                 if *saw_negative || *weight_sum == 0.0 {
                     None
                 } else {
-                    Some(*sum)
+                    Some(sum.value())
                 }
             }
             _ => None,

@@ -16,11 +16,26 @@ pub struct BootstrapSpec {
     pub trials: u32,
     /// Seed of the hash-derived weight streams.
     pub seed: u64,
+    /// Fault-injection offset added to every replica weight. Always `0` in
+    /// production; the conformance harness sets `1` to plant a canonical
+    /// "off-by-one bootstrap weight" estimator bug and prove its
+    /// calibration oracle catches the resulting overconfident CIs.
+    pub weight_bias: u32,
 }
 
 impl BootstrapSpec {
     pub fn new(trials: u32, seed: u64) -> Self {
-        BootstrapSpec { trials, seed }
+        BootstrapSpec {
+            trials,
+            seed,
+            weight_bias: 0,
+        }
+    }
+
+    /// Fault-injection constructor: see [`BootstrapSpec::weight_bias`].
+    pub fn with_weight_bias(mut self, bias: u32) -> Self {
+        self.weight_bias = bias;
+        self
     }
 
     /// The `Poisson(1)` weight of `tuple_id` in replica `trial`.
@@ -28,7 +43,7 @@ impl BootstrapSpec {
     /// weight under a given seed.
     #[inline]
     pub fn weight(&self, tuple_id: u64, trial: u32) -> u32 {
-        poisson_weight(tuple_id, trial, self.seed)
+        poisson_weight(tuple_id, trial, self.seed) + self.weight_bias
     }
 
     /// All replica weights of one tuple, reusing `buf` to avoid per-tuple
@@ -62,7 +77,7 @@ impl BootstrapSpec {
         for &t in tuple_ids {
             for &x in &xb {
                 let stream = mix(mix(t ^ x) ^ seed_m);
-                out.push(poisson_from_stream(stream));
+                out.push(poisson_from_stream(stream) + self.weight_bias);
             }
         }
     }
@@ -74,6 +89,7 @@ impl Default for BootstrapSpec {
         BootstrapSpec {
             trials: 100,
             seed: 0x60_1A,
+            weight_bias: 0,
         }
     }
 }

@@ -13,7 +13,7 @@ proptest! {
         trials in 0u32..40,
         seed in any::<u64>(),
     ) {
-        let spec = BootstrapSpec { trials, seed };
+        let spec = BootstrapSpec::new(trials, seed);
         let mut out = Vec::new();
         spec.weights_batch(&tuple_ids, &mut out);
         prop_assert_eq!(out.len(), tuple_ids.len() * trials as usize);
@@ -30,7 +30,7 @@ proptest! {
 
     #[test]
     fn single_cell_matches(t in any::<u64>(), b in 0u32..1024, seed in any::<u64>()) {
-        let spec = BootstrapSpec { trials: b + 1, seed };
+        let spec = BootstrapSpec::new(b + 1, seed);
         let mut out = Vec::new();
         spec.weights_batch(&[t], &mut out);
         prop_assert_eq!(out[b as usize], spec.weight(t, b));

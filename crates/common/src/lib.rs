@@ -10,6 +10,7 @@
 //! on a stable, minimal base.
 
 pub mod error;
+pub mod fsum;
 pub mod hash;
 pub mod rng;
 pub mod row;
@@ -19,6 +20,7 @@ pub mod timing;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use fsum::{ExactSum, ExactVariance};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use row::Row;
 pub use schema::{Field, Schema};

@@ -1,0 +1,139 @@
+//! `gola-soak` — the release-mode conformance soak runner.
+//!
+//! Runs a much larger generated corpus than the `cargo test` smoke tier,
+//! plus full-size calibration, and prints a replayable artifact for every
+//! failure. Exit status is non-zero iff anything failed.
+//!
+//! ```text
+//! gola-soak [--cases N] [--seed S] [--rows R] [--calib-seeds N] [--quick]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gola_conformance::{
+    calibrate, default_classes, shrink, CalibConfig, Fault, OracleConfig, QueryGen, SchemaClass,
+    ShrinkConfig,
+};
+
+struct Args {
+    cases: usize,
+    seed: u64,
+    rows: usize,
+    calib_seeds: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 400,
+        seed: 0x50AC,
+        rows: 1200,
+        calib_seeds: 300,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| it.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--cases" => args.cases = grab("--cases")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = grab("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--rows" => args.rows = grab("--rows")?.parse().map_err(|e| format!("{e}"))?,
+            "--calib-seeds" => {
+                args.calib_seeds = grab("--calib-seeds")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--quick" => {
+                args.cases = 60;
+                args.rows = 400;
+                args.calib_seeds = 200;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gola-soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let oracle = OracleConfig {
+        num_batches: 8,
+        trials: 32,
+        threads: 4,
+        partition_seed: args.seed ^ 0xF1_00_DB,
+    };
+    let mut failures = 0usize;
+    let mut total = 0usize;
+
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        let data_seed = args.seed ^ 0xDA7A;
+        let data = Arc::new(class.generate(args.rows, data_seed));
+        let rows = data.num_rows();
+        let mut gen = QueryGen::new(class, &data, args.seed);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stats_recomputes = 0usize;
+        while seen.len() < args.cases {
+            let query = gen.next_query();
+            let sql = query.sql(class.table_name());
+            if !seen.insert(sql.clone()) {
+                continue;
+            }
+            total += 1;
+            match gola_conformance::run_case(
+                class,
+                &data,
+                &sql,
+                query.key_cols(),
+                &oracle,
+                Fault::None,
+            ) {
+                Ok(stats) => stats_recomputes += stats.recomputations,
+                Err(failure) => {
+                    failures += 1;
+                    eprintln!("FAIL [{class}] {failure}\n  sql: {sql}");
+                    let artifact = shrink(
+                        class,
+                        data_seed,
+                        rows,
+                        &query,
+                        &oracle,
+                        Fault::None,
+                        &failure,
+                        &ShrinkConfig::default(),
+                    );
+                    eprintln!("{artifact}");
+                }
+            }
+        }
+        println!(
+            "[{class}] {} cases ok ({} recomputations observed)",
+            args.cases, stats_recomputes
+        );
+    }
+
+    let calib_cfg = CalibConfig {
+        seeds: args.calib_seeds,
+        ..CalibConfig::default()
+    };
+    for class in default_classes() {
+        let report = calibrate(&class, &calib_cfg, Fault::None);
+        println!("[calibration] {report}");
+        if !report.pass {
+            failures += 1;
+        }
+    }
+
+    println!(
+        "soak: {total} differential cases + {} calibration classes, {failures} failure(s)",
+        default_classes().len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,175 @@
+//! Conformance smoke tier — the `cargo test` face of the harness.
+//!
+//! Small enough to run in tier-1, large enough to mean something:
+//!
+//! * ≥ 100 distinct generated queries per schema through the differential
+//!   and invariant oracles at threads {1, 4}
+//! * CI calibration of every default class over 200 seeded datasets,
+//!   checked against the exact binomial acceptance band
+//! * two planted estimator bugs demonstrably caught: the off-by-one
+//!   bootstrap weight (calibration oracle, per-aggregate-kind report) and
+//!   an online result skew (differential oracle) — each shrunk to a
+//!   minimal replayable artifact
+//!
+//! The `--release` soak binary (`gola-soak`) runs the same oracles at
+//! fuzzing scale; see `scripts/check.sh --soak`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use gola_conformance::gen::Filter;
+use gola_conformance::{
+    calibrate, default_classes, run_case, shrink_calibration, shrink_case, CalibConfig, Fault,
+    OracleConfig, QueryGen, SchemaClass,
+};
+
+const ROWS: usize = 360;
+const DATA_SEED: u64 = 0x5EED_DA7A;
+const QUERIES_PER_SCHEMA: usize = 100;
+
+fn oracle_cfg() -> OracleConfig {
+    OracleConfig {
+        num_batches: 5,
+        trials: 24,
+        threads: 4,
+        ..OracleConfig::default()
+    }
+}
+
+/// Differential + invariant oracles over a generated corpus: ≥ 100 distinct
+/// queries per schema, each run at threads 1, 1 (rerun), and 4.
+#[test]
+fn generated_corpus_passes_differential_and_invariant_oracles() {
+    let cfg = oracle_cfg();
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        let data = Arc::new(class.generate(ROWS, DATA_SEED));
+        let mut gen = QueryGen::new(class, &data, 0xC0FFEE ^ class.table_name().len() as u64);
+        let mut seen = BTreeSet::new();
+        let mut grouped = 0usize;
+        let mut subquery = 0usize;
+        let mut with_uncertainty = 0usize;
+        let mut failures = Vec::new();
+        while seen.len() < QUERIES_PER_SCHEMA {
+            let q = gen.next_query();
+            let sql = q.sql(class.table_name());
+            if !seen.insert(sql.clone()) {
+                continue;
+            }
+            grouped += usize::from(q.group_by.is_some());
+            subquery += usize::from(q.filters.iter().any(|f| {
+                matches!(
+                    f,
+                    Filter::ScalarSub { .. } | Filter::CorrSub { .. } | Filter::Membership { .. }
+                )
+            }));
+            match run_case(class, &data, &sql, q.key_cols(), &cfg, Fault::None) {
+                Ok(stats) => with_uncertainty += usize::from(stats.uncertain_peak > 0),
+                Err(f) => failures.push(format!("{sql}\n    -> {f}")),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{} oracle failure(s) on {class}:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
+        // The corpus must actually exercise the hard paths, or a green run
+        // proves nothing.
+        assert!(grouped >= 20, "{class}: only {grouped} grouped queries");
+        assert!(subquery >= 5, "{class}: only {subquery} subquery queries");
+        assert!(
+            with_uncertainty >= 1,
+            "{class}: no query ever produced an uncertain set"
+        );
+    }
+}
+
+/// Calibration oracle, clean: every default class's empirical 95% CI
+/// coverage over 200 seeded datasets lands inside the binomial band.
+#[test]
+fn calibration_coverage_within_binomial_band() {
+    let cfg = CalibConfig::default();
+    assert!(cfg.seeds >= 200, "ISSUE floor: ≥ 200 seeds per class");
+    for class in default_classes() {
+        let report = calibrate(&class, &cfg, Fault::None);
+        assert!(report.pass, "calibration failed clean: {report}");
+    }
+}
+
+/// Planted bug #1: the off-by-one bootstrap weight. Point estimates are
+/// untouched, so only the calibration oracle can see it — coverage
+/// collapses for SUM/COUNT-like classes (every replica roughly doubles)
+/// while AVG, a ratio whose skew cancels, degrades less. The failing class
+/// is then shrunk to the cheapest replayable experiment.
+#[test]
+fn injected_weight_bias_is_caught_and_shrunk() {
+    let cfg = CalibConfig::default();
+    let classes = default_classes();
+    let mut caught = Vec::new();
+    for class in &classes {
+        let report = calibrate(class, &cfg, Fault::WeightBias);
+        if !report.pass {
+            caught.push((class, report));
+        }
+    }
+    let kinds: Vec<&str> = caught.iter().map(|(c, _)| c.kind).collect();
+    assert!(
+        kinds.contains(&"count") && kinds.contains(&"sum"),
+        "weight bias must collapse count/sum coverage; caught only {kinds:?}"
+    );
+
+    let (class, _) = &caught[0];
+    let artifact =
+        shrink_calibration(class, &cfg, Fault::WeightBias).expect("failing class must shrink");
+    assert!(
+        artifact.cfg.seeds < cfg.seeds && artifact.cfg.rows < cfg.rows,
+        "artifact not minimized: {artifact}"
+    );
+    let replay = artifact.replay();
+    assert!(!replay.pass, "artifact must replay the failure: {replay}");
+}
+
+/// Planted bug #2: a multiplicative skew on the online executor's final
+/// float cells. The differential oracle catches it (final batch no longer
+/// bit-matches the exact engine), and the shrinker minimizes the first
+/// failing generated query to a small replayable `seed + SQL` artifact.
+#[test]
+fn injected_online_skew_is_caught_and_shrunk() {
+    let class = SchemaClass::Conviva;
+    let fault = Fault::SkewOnline(1.001);
+    let cfg = oracle_cfg();
+    let data = Arc::new(class.generate(ROWS, DATA_SEED));
+    let mut gen = QueryGen::new(class, &data, 0xBAD_5EED);
+    let (query, failure) = std::iter::from_fn(|| Some(gen.next_query()))
+        .take(50)
+        .find_map(|q| {
+            let sql = q.sql(class.table_name());
+            run_case(class, &data, &sql, q.key_cols(), &cfg, fault)
+                .err()
+                .map(|f| (q, f))
+        })
+        .expect("skew fault must trip the differential oracle within 50 queries");
+    assert_eq!(
+        failure.kind(),
+        "differential",
+        "unexpected failure: {failure}"
+    );
+
+    let artifact = shrink_case(class, DATA_SEED, &data, &query, &cfg, fault, &failure);
+    assert_eq!(artifact.failure.kind(), "differential");
+    assert!(
+        artifact.rows < ROWS,
+        "rows not minimized: {} of {ROWS}",
+        artifact.rows
+    );
+    assert!(
+        artifact.sql.len() <= query.sql(class.table_name()).len(),
+        "shrinking must never grow the query"
+    );
+    let replayed = artifact.replay().expect("artifact must replay the failure");
+    assert_eq!(
+        replayed.kind(),
+        "differential",
+        "replay diverged: {replayed}"
+    );
+}

@@ -73,6 +73,9 @@ enum PubEntry {
 /// Publication output of one group chunk: `(key, entry, violated)` each.
 type PubChunk = Vec<(Vec<Value>, PubEntry, bool)>;
 
+/// Per-group certainty claims made by a report: `(key, certain)` each.
+type GroupClaims = Vec<(Vec<Value>, bool)>;
+
 /// Aggregate states for one group during answer/publish computation:
 /// borrowed when the group has no uncertain contributions, owned (a merged
 /// snapshot) otherwise.
@@ -107,6 +110,10 @@ pub struct OnlineExecutor {
     pool: WorkerPool,
     batches_done: usize,
     recomputations: usize,
+    /// Root-block group keys the user has already seen flagged
+    /// `row_certain = true`. A later batch may only break such a claim
+    /// through a counted failure event (see `step`), never silently.
+    claimed_certain: FxHashSet<Vec<Value>>,
     cumulative: Duration,
 }
 
@@ -174,6 +181,7 @@ impl OnlineExecutor {
             pool,
             batches_done: 0,
             recomputations: 0,
+            claimed_certain: FxHashSet::default(),
             cumulative: Duration::ZERO,
         };
         exec.compute_static_blocks(catalog)?;
@@ -276,7 +284,34 @@ impl OnlineExecutor {
         }
 
         let t_rep = Stopwatch::start();
-        let mut report = self.build_report(i, m, last)?;
+        let (mut report, claims) = self.build_report(i, m, last)?;
+        // Honor previously reported certainty: once the user has seen a row
+        // flagged `row_certain`, that row may not silently vanish or revert
+        // — the claim is a reliance exactly like a consumer's envelope, and
+        // breaking it (a classification range widened under new data) is a
+        // failure event. There is no state to replay — the claim went only
+        // to the user — so the recovery action is the corrected report
+        // itself, plus the counted recomputation that makes the correction
+        // auditable.
+        let claim_map: FxHashMap<&Vec<Value>, bool> = claims.iter().map(|(k, c)| (k, *c)).collect();
+        let mut claim_broken = false;
+        self.claimed_certain.retain(|key| {
+            if claim_map.get(key) == Some(&true) {
+                true
+            } else {
+                claim_broken = true;
+                false
+            }
+        });
+        if claim_broken {
+            self.recomputations += 1;
+            report.recomputations = self.recomputations;
+        }
+        for (key, certain) in claims {
+            if certain {
+                self.claimed_certain.insert(key);
+            }
+        }
         // The report is the root block's publication — same bucket.
         timing.publish += t_rep.elapsed();
         if trace {
@@ -750,6 +785,18 @@ impl OnlineExecutor {
         let cb = &self.compiled[b];
         let rt = &self.runtimes[b];
         let eff = self.effective_states(cb, rt)?;
+        // Groups without point support don't exist in the point answer, so
+        // they must not publish — a consumer would see a group the exact
+        // engine never creates (e.g. COUNT = 0 where the true subquery
+        // yields no row at all). The vanished-group reliance check below
+        // still fires if a consumer already relied on such a group. A
+        // global aggregate (no GROUP BY) always has exactly one row, even
+        // over zero qualifying tuples.
+        let eff: Vec<(Vec<Value>, EffStates<'_>)> = eff
+            .into_iter()
+            .filter(|(_, _, supported)| *supported || cb.num_keys() == 0)
+            .map(|(k, s, _)| (k, s))
+            .collect();
         let mut violated = false;
         let live = cb.block.is_streaming && !last;
         let mut out = Published {
@@ -1177,10 +1224,11 @@ impl OnlineExecutor {
         rt: &'a BlockRuntime,
         id: gola_expr::SubqueryId,
         negated: bool,
-    ) -> Result<Vec<(Vec<Value>, EffStates<'a>)>> {
+    ) -> Result<Vec<(Vec<Value>, EffStates<'a>, bool)>> {
         let trials = self.config.bootstrap.trials;
         let members = &self.published[id.0].members;
-        let mut merged: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
+        let mut merged: FxHashMap<Vec<Value>, (gola_agg::ReplicatedStates, bool)> =
+            FxHashMap::default();
         // Merge in sorted (mkey, gkey) order: float merge order across
         // membership partitions is part of the published value, so it must
         // be a function of the keys alone — never of hash layout.
@@ -1188,30 +1236,37 @@ impl OnlineExecutor {
             let entry = members.get(mkey);
             let point_in = entry.map(|m| m.point).unwrap_or(false) != negated;
             for (gkey, states) in sorted_entries(groups) {
-                let acc = merged
-                    .entry(gkey.clone())
-                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials));
+                let acc = merged.entry(gkey.clone()).or_insert_with(|| {
+                    (
+                        gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials),
+                        false,
+                    )
+                });
                 if point_in {
-                    acc.merge_main(states);
+                    acc.0.merge_main(states);
+                    // Point support: at least one partition of this group
+                    // passes the membership test at point values.
+                    acc.1 = true;
                 }
                 for b in 0..trials {
                     let in_set = entry
                         .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
                         .unwrap_or(false);
                     if in_set != negated {
-                        acc.merge_replica(b, states);
+                        acc.0.merge_replica(b, states);
                     }
                 }
             }
         }
-        let mut result: Vec<(Vec<Value>, EffStates<'a>)> = sorted_into_entries(merged)
+        let mut result: Vec<(Vec<Value>, EffStates<'a>, bool)> = sorted_into_entries(merged)
             .into_iter()
-            .map(|(k, v)| (k, EffStates::Owned(v)))
+            .map(|(k, (v, sup))| (k, EffStates::Owned(v), sup))
             .collect();
         if result.is_empty() && cb.num_keys() == 0 {
             result.push((
                 Vec::new(),
                 EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+                true,
             ));
         }
         Ok(result)
@@ -1219,11 +1274,18 @@ impl OnlineExecutor {
 
     /// Merge the uncertain set's current contributions into snapshots of
     /// the affected groups; untouched groups are borrowed.
+    ///
+    /// The third element of each entry is *point support*: whether the
+    /// group has at least one supporting tuple under point evaluation — a
+    /// deterministic fold, or an uncertain tuple whose predicate passes at
+    /// point values. A group fed only by uncertain tuples that all fail at
+    /// point does not exist in the point answer (the exact engine never
+    /// creates it), so callers must not materialize or publish it.
     fn effective_states<'a>(
         &self,
         cb: &CompiledBlock,
         rt: &'a BlockRuntime,
-    ) -> Result<Vec<(Vec<Value>, EffStates<'a>)>> {
+    ) -> Result<Vec<(Vec<Value>, EffStates<'a>, bool)>> {
         let trials = self.config.bootstrap.trials;
         if let Some((id, _, negated)) = &cb.semi_join {
             return self.semi_join_states(cb, rt, *id, *negated);
@@ -1240,7 +1302,11 @@ impl OnlineExecutor {
         // Cache for the scalar-comparison fast path: correlation key →
         // RHS value at point (index 0) and per trial (1 + b).
         let mut rhs_cache: FxHashMap<Vec<Value>, Vec<Option<f64>>> = FxHashMap::default();
-        let mut touched: FxHashMap<Vec<Value>, gola_agg::ReplicatedStates> = FxHashMap::default();
+        // Per touched group: merged states plus point support (true when the
+        // group has a deterministic fold or any point-passing uncertain
+        // tuple).
+        let mut touched: FxHashMap<Vec<Value>, (gola_agg::ReplicatedStates, bool)> =
+            FxHashMap::default();
         // Bootstrap weights for the whole uncertain set come from the
         // batched kernel, one chunk-sized SoA buffer at a time, instead of a
         // fresh hash chain per (tuple, trial) lookup.
@@ -1270,15 +1336,18 @@ impl OnlineExecutor {
                     .map(|a| eval(a, &point_ctx))
                     .collect();
                 let args = args?;
-                let entry = match touched.entry(key) {
+                let slot = match touched.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(v) => {
-                        let base = rt.groups.get(v.key()).cloned().unwrap_or_else(|| {
+                        let det = rt.groups.get(v.key()).cloned();
+                        let supported = det.is_some();
+                        let base = det.unwrap_or_else(|| {
                             gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
                         });
-                        v.insert(base)
+                        v.insert((base, supported))
                     }
                 };
+                let (entry, supported) = (&mut slot.0, &mut slot.1);
                 if let Some((id, key_exprs, negated)) = fast_member {
                     let member_key: Result<Vec<Value>> =
                         key_exprs.iter().map(|k| eval(k, &point_ctx)).collect();
@@ -1289,6 +1358,7 @@ impl OnlineExecutor {
                         !null_key && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
                     if point_pass {
                         entry.update_main(&args);
+                        *supported = true;
                     }
                     for b in 0..trials {
                         let w = tweights[b as usize];
@@ -1343,6 +1413,7 @@ impl OnlineExecutor {
                     };
                     if cmp(lhs, rhs[0]) {
                         entry.update_main(&args);
+                        *supported = true;
                     }
                     for b in 0..trials {
                         let w = tweights[b as usize];
@@ -1365,6 +1436,7 @@ impl OnlineExecutor {
                 }
                 if pass {
                     entry.update_main(&args);
+                    *supported = true;
                 }
                 // Per-trial inclusion with the trial's own upstream values.
                 for b in 0..trials {
@@ -1392,15 +1464,15 @@ impl OnlineExecutor {
         }
         // Assemble in sorted key order: `out` feeds PUB_CHUNK chunking and
         // the report's row order, so its order must not leak hash layout.
-        let mut out: Vec<(Vec<Value>, EffStates<'a>)> =
+        let mut out: Vec<(Vec<Value>, EffStates<'a>, bool)> =
             Vec::with_capacity(rt.groups.len() + touched.len());
         for (key, states) in sorted_entries(&rt.groups) {
             if !touched.contains_key(key) {
-                out.push((key.clone(), EffStates::Borrowed(states)));
+                out.push((key.clone(), EffStates::Borrowed(states), true));
             }
         }
-        for (key, states) in sorted_into_entries(touched) {
-            out.push((key, EffStates::Owned(states)));
+        for (key, (states, supported)) in sorted_into_entries(touched) {
+            out.push((key, EffStates::Owned(states), supported));
         }
         out.sort_by(|a, b| cmp_values(&a.0, &b.0));
         // A global aggregate over no data still has one (empty) group.
@@ -1408,6 +1480,7 @@ impl OnlineExecutor {
             out.push((
                 Vec::new(),
                 EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
+                true,
             ));
         }
         Ok(out)
@@ -1465,7 +1538,15 @@ impl OnlineExecutor {
     // Answer materialization
     // -----------------------------------------------------------------
 
-    fn build_report(&self, batch_index: usize, m: f64, last: bool) -> Result<BatchReport> {
+    /// Materialize the root block's current answer. Also returns, per
+    /// output group (pre-ORDER BY/LIMIT), the certainty claim made about
+    /// it, so `step` can hold the executor to its earlier claims.
+    fn build_report(
+        &self,
+        batch_index: usize,
+        m: f64,
+        last: bool,
+    ) -> Result<(BatchReport, GroupClaims)> {
         let root = self.meta.root;
         let cb = &self.compiled[root];
         let rt = &self.runtimes[root];
@@ -1490,24 +1571,42 @@ impl OnlineExecutor {
 
         let mut rows: Vec<Row> = Vec::new();
         let mut flags: Vec<bool> = Vec::new();
+        let mut claims: Vec<(Vec<Value>, bool)> = Vec::new();
         let mut cell_replicas: Vec<Vec<Vec<f64>>> = Vec::new(); // per row, per col
 
-        for (key, states) in &eff {
+        for (key, states, supported) in &eff {
+            // A group with no point support does not exist in the point
+            // answer (its only would-be members are uncertain tuples that
+            // all fail at point values) — the exact engine never creates
+            // it, so it must not appear as an output row.
+            if !supported && n_keys > 0 {
+                claims.push((key.clone(), false));
+                continue;
+            }
             let states = states.get();
             let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, m)).collect();
             if !self.having_pass(cb, key, &point_aggs, CtxMode::Point)? {
+                claims.push((key.clone(), false));
                 continue;
             }
-            // Row certainty: deterministic HAVING classification. After
-            // the final batch the answer is exact, so every row is certain.
-            let certain = if cb.block.having.is_empty() || last {
-                true
-            } else {
-                let ranges: Vec<RangeVal> = (0..n_aggs)
-                    .map(|j| self.agg_range(states, j, m, !last))
-                    .collect();
-                self.having_tri(cb, key, &point_aggs, &ranges)? == Tri::True
-            };
+            // Row certainty — "membership in the result can no longer
+            // change" — needs both legs. (a) The group has deterministic
+            // support: a group fed only by uncertain tuples vanishes if
+            // they all resolve false, so its presence is not settled.
+            // (b) Any HAVING classifies deterministically true over the
+            // aggregates' variation ranges. After the final batch the
+            // answer is exact, so every row is certain.
+            let member_certain = last || n_keys == 0 || self.group_membership_certain(cb, rt, key);
+            let certain = member_certain
+                && if cb.block.having.is_empty() || last {
+                    true
+                } else {
+                    let ranges: Vec<RangeVal> = (0..n_aggs)
+                        .map(|j| self.agg_range(states, j, m, !last))
+                        .collect();
+                    self.having_tri(cb, key, &point_aggs, &ranges)? == Tri::True
+                };
+            claims.push((key.clone(), certain));
             let ctx = GroupCtx {
                 keys: key,
                 aggs: &point_aggs,
@@ -1596,7 +1695,7 @@ impl OnlineExecutor {
         }
         let table =
             gola_storage::Table::new_unchecked(Arc::clone(&cb.block.output_schema), table_rows);
-        Ok(BatchReport {
+        let report = BatchReport {
             batch_index,
             num_batches: self.num_batches(),
             rows_seen: self.partitioner.rows_seen_through(batch_index),
@@ -1611,7 +1710,38 @@ impl OnlineExecutor {
             batch_time: Duration::ZERO,
             cumulative_time: Duration::ZERO,
             timing: BatchTiming::default(),
-        })
+        };
+        Ok((report, claims))
+    }
+
+    /// Is this group's *presence* in the root output settled? A group
+    /// backed by at least one deterministically-folded tuple can never
+    /// vanish. A group whose only support is cached uncertain tuples — or,
+    /// for semi-join aggregation, partitions whose membership is still
+    /// range-classified `Maybe` — disappears if they all resolve false.
+    fn group_membership_certain(
+        &self,
+        cb: &CompiledBlock,
+        rt: &BlockRuntime,
+        key: &[Value],
+    ) -> bool {
+        if let Some((id, _, negated)) = &cb.semi_join {
+            let members = &self.published[id.0].members;
+            // golint: allow(hash-order-leak) -- order-insensitive boolean OR
+            // over partitions; no value escapes
+            return rt.semi_groups.iter().any(|(mkey, groups)| {
+                if !groups.contains_key(key) {
+                    return false;
+                }
+                // Deterministically *in* the (possibly negated) set.
+                match members.get(mkey) {
+                    Some(m) if *negated => m.tri == Tri::False,
+                    Some(m) => m.tri == Tri::True,
+                    None => false,
+                }
+            });
+        }
+        rt.groups.contains_key(key)
     }
 
     // -----------------------------------------------------------------

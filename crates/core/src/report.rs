@@ -83,7 +83,12 @@ pub struct BatchReport {
     /// Bootstrap estimates for every numeric output cell.
     pub estimates: Vec<CellEstimate>,
     /// Per output row: `true` if the row's membership in the result can no
-    /// longer change (HAVING classified deterministically).
+    /// longer change — its group has deterministic support (it cannot
+    /// vanish when uncertain tuples resolve) and any HAVING classified
+    /// deterministically. The executor is held to this flag: breaking a
+    /// previously reported claim counts as a recomputation, so a certain
+    /// row never retracts between reports with equal
+    /// [`BatchReport::recomputations`].
     pub row_certain: Vec<bool>,
     /// Confidence level of [`BatchReport::ci`]/primary interval.
     pub ci_level: f64,

@@ -2,8 +2,25 @@
 # Full pre-merge gate: build, tests, formatting, lints.
 # Components that are not installed (fmt/clippy on minimal toolchains) are
 # skipped with a warning rather than failing the gate.
+#
+# The conformance smoke tier (crates/conformance/tests/smoke.rs) runs as
+# part of `cargo test --workspace`. Pass --soak to additionally run the
+# release soak binary: the same three oracles (differential, invariant,
+# calibration) at fuzzing volume, printing shrunk replayable artifacts for
+# any failure.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+soak=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) soak=1 ;;
+        *)
+            echo "usage: $0 [--soak]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 failures=0
 step() {
@@ -35,6 +52,10 @@ fi
 # unannotated hash-order / wall-clock / unsafe / float-fold / panic finding
 # fails the gate. See README.md for the allow-comment convention.
 step cargo run --release -q -p xlint --bin golint -- --root .
+
+if [ "$soak" -eq 1 ]; then
+    step cargo run --release -q -p gola-conformance --bin gola-soak
+fi
 
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"

@@ -1,0 +1,155 @@
+//! Crash-replay contract: if an online run dies mid-stream, a fresh
+//! executor that replays the same batch sequence must publish **the same
+//! reports, bit for bit** — including runs whose history contains
+//! failure-triggered recomputations, so the `recover` replay path itself
+//! is covered, not just the happy path.
+//!
+//! The "crash" is simulated by dropping the execution after consuming a
+//! prefix of its reports (all executor state is lost); the "restart" is a
+//! brand-new session over the same catalog and config. Nothing is
+//! checkpointed — determinism of ingest order, bootstrap weights, and
+//! recovery is what makes replay exact.
+
+use std::sync::Arc;
+
+use g_ola::bootstrap::BootstrapSpec;
+use g_ola::core::{BatchReport, OnlineConfig, OnlineSession};
+use g_ola::storage::Catalog;
+use g_ola::workloads::ConvivaGenerator;
+
+const NUM_BATCHES: usize = 5;
+const CRASH_AFTER: usize = 3; // reports consumed before the "crash"
+
+/// A query whose run (under this exact data/config) triggers multiple
+/// failure-triggered recomputations, and a scalar one with a single
+/// recomputation — found by the conformance harness's generator.
+const GROUPED_SQL: &str = "SELECT device, MAX(ad_revenue) AS a0 FROM sessions a \
+     WHERE join_time > 1.5 * (SELECT AVG(join_time) FROM sessions t WHERE t.geo = a.geo) \
+     OR content_id = 189 GROUP BY device ORDER BY a0 DESC";
+const SCALAR_SQL: &str = "SELECT SUM(play_time) AS a0, AVG(buffer_time) AS a1, \
+     AVG(buffer_time * 2.4) AS a2 FROM sessions a \
+     WHERE buffer_time <= 0.8 * (SELECT AVG(play_time) FROM sessions t WHERE t.ad_id = a.ad_id) \
+     ORDER BY a1";
+
+fn catalog() -> Catalog {
+    let gen = ConvivaGenerator {
+        seed: 0x5EED_DA7A,
+        ..ConvivaGenerator::default()
+    };
+    let mut c = Catalog::new();
+    c.register("sessions", Arc::new(gen.generate(360))).unwrap();
+    c
+}
+
+fn config() -> OnlineConfig {
+    OnlineConfig {
+        num_batches: NUM_BATCHES,
+        bootstrap: BootstrapSpec::new(24, 0x60_1A),
+        partition_seed: 0xF1_00_DB,
+        ..OnlineConfig::default()
+    }
+}
+
+/// Run `sql` and collect at most `upto` reports, then drop the execution.
+fn run_prefix(catalog: &Catalog, sql: &str, upto: usize) -> Vec<BatchReport> {
+    let session = OnlineSession::new(catalog.clone(), config());
+    let exec = session.execute_online(sql).expect("query compiles");
+    exec.take(upto)
+        .map(|r| r.expect("batch succeeds"))
+        .collect()
+}
+
+/// Bit-exact comparison of two reports from the same batch index.
+fn assert_report_identical(name: &str, a: &BatchReport, b: &BatchReport) {
+    let i = a.batch_index;
+    assert_eq!(i, b.batch_index, "{name}: batch index");
+    assert_eq!(a.rows_seen, b.rows_seen, "{name} batch {i}: rows seen");
+    assert_eq!(
+        a.uncertain_tuples, b.uncertain_tuples,
+        "{name} batch {i}: uncertain-set size"
+    );
+    assert_eq!(
+        a.recomputations, b.recomputations,
+        "{name} batch {i}: recompute count"
+    );
+    assert_eq!(a.row_certain, b.row_certain, "{name} batch {i}: certainty");
+    assert_eq!(
+        a.table.num_rows(),
+        b.table.num_rows(),
+        "{name} batch {i}: result rows"
+    );
+    for (x, y) in a.table.rows().iter().zip(b.table.rows()) {
+        for (u, v) in x.iter().zip(y.iter()) {
+            match (u.as_f64(), v.as_f64()) {
+                (Some(fu), Some(fv)) => {
+                    assert_eq!(fu.to_bits(), fv.to_bits(), "{name} batch {i}: cell")
+                }
+                _ => assert_eq!(u, v, "{name} batch {i}: cell"),
+            }
+        }
+    }
+    assert_eq!(
+        a.estimates.len(),
+        b.estimates.len(),
+        "{name} batch {i}: estimates"
+    );
+    for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(
+            (ea.row, ea.col),
+            (eb.row, eb.col),
+            "{name} batch {i}: cell id"
+        );
+        assert_eq!(
+            ea.estimate.value.to_bits(),
+            eb.estimate.value.to_bits(),
+            "{name} batch {i}: estimate value"
+        );
+        assert_eq!(
+            ea.estimate.replicas.len(),
+            eb.estimate.replicas.len(),
+            "{name} batch {i}: replica count"
+        );
+        for (x, y) in ea.estimate.replicas.iter().zip(&eb.estimate.replicas) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name} batch {i}: replica");
+        }
+    }
+}
+
+fn check_crash_replay(name: &str, sql: &str, min_recomputes: usize) {
+    let catalog = catalog();
+
+    // The uninterrupted run — the reports the user actually saw.
+    let full = run_prefix(&catalog, sql, NUM_BATCHES);
+    assert_eq!(full.len(), NUM_BATCHES, "{name}: full run length");
+    let recomputes = full.last().unwrap().recomputations;
+    assert!(
+        recomputes >= min_recomputes,
+        "{name}: expected ≥ {min_recomputes} recomputations so replay covers \
+         the recover path, got {recomputes} — query/data drifted, repin it"
+    );
+
+    // Crash: consume a prefix, then lose the executor entirely.
+    let crashed = run_prefix(&catalog, sql, CRASH_AFTER);
+    assert_eq!(crashed.len(), CRASH_AFTER, "{name}: crashed run length");
+
+    // Restart from scratch: the replay must walk through the identical
+    // report sequence — matching the crashed prefix AND the uninterrupted
+    // run's published reports, through to the exact final answer.
+    let replay = run_prefix(&catalog, sql, NUM_BATCHES);
+    for (a, b) in crashed.iter().zip(&replay) {
+        assert_report_identical(name, a, b);
+    }
+    for (a, b) in full.iter().zip(&replay) {
+        assert_report_identical(name, a, b);
+    }
+}
+
+#[test]
+fn crash_replay_reproduces_reports_grouped() {
+    check_crash_replay("grouped", GROUPED_SQL, 2);
+}
+
+#[test]
+fn crash_replay_reproduces_reports_scalar() {
+    check_crash_replay("scalar", SCALAR_SQL, 1);
+}

@@ -30,6 +30,9 @@ fn tpch_session(n: usize, k: usize) -> OnlineSession {
     OnlineSession::new(catalog, OnlineConfig::for_tests(k))
 }
 
+/// `tol == 0.0` demands bit-for-bit equality — since SUM/AVG/VAR fold
+/// through exact expansions, the final-batch online answer is identical to
+/// the batch engine's regardless of mini-batch order.
 fn assert_tables_match(online: &Table, exact: &Table, tol: f64, name: &str) {
     assert_eq!(online.num_rows(), exact.num_rows(), "{name}: row count");
     let sort = |t: &Table| {
@@ -48,6 +51,13 @@ fn assert_tables_match(online: &Table, exact: &Table, tol: f64, name: &str) {
     for (a, b) in sort(online).iter().zip(sort(exact).iter()) {
         for (x, y) in a.iter().zip(b.iter()) {
             match (x.as_f64(), y.as_f64()) {
+                (Some(fx), Some(fy)) if tol == 0.0 => {
+                    assert_eq!(
+                        fx.to_bits(),
+                        fy.to_bits(),
+                        "{name}: {fx} vs {fy} (row {a} vs {b})"
+                    );
+                }
                 (Some(fx), Some(fy)) => {
                     let scale = fy.abs().max(1.0);
                     assert!(
@@ -66,7 +76,7 @@ fn check(session: &OnlineSession, name: &str, sql: &str) {
     let exec = session.execute_online(sql).unwrap();
     let last = exec.run_to_completion().unwrap();
     assert!(last.is_final(), "{name}");
-    assert_tables_match(&last.table, &exact, 1e-6, name);
+    assert_tables_match(&last.table, &exact, 0.0, name);
 }
 
 #[test]
