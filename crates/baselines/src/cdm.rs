@@ -435,6 +435,17 @@ impl CdmExecutor {
             perm.truncate(n);
         }
 
+        // Finite-population correction, same convention as the G-OLA
+        // executor: √(1 − n/N), pinned to exactly 0 at the final batch so
+        // the last CI collapses to a point.
+        let rows_seen = self.partitioner.rows_seen_through(batch_index);
+        let total_rows = self.partitioner.total_rows();
+        let last = batch_index + 1 == self.partitioner.num_batches();
+        let fpc = if last || total_rows == 0 {
+            0.0
+        } else {
+            (1.0 - rows_seen as f64 / total_rows as f64).max(0.0).sqrt()
+        };
         let mut table_rows = Vec::with_capacity(perm.len());
         let mut estimates = Vec::new();
         for (out_idx, &src) in perm.iter().enumerate() {
@@ -445,7 +456,7 @@ impl CdmExecutor {
                         estimates.push(CellEstimate {
                             row: out_idx,
                             col: c,
-                            estimate: Estimate::new(v, reps.clone()),
+                            estimate: Estimate::new(v, reps.clone()).with_fpc(fpc),
                         });
                     }
                 }
@@ -457,8 +468,8 @@ impl CdmExecutor {
         Ok(BatchReport {
             batch_index,
             num_batches: self.partitioner.num_batches(),
-            rows_seen: self.partitioner.rows_seen_through(batch_index),
-            total_rows: self.partitioner.total_rows(),
+            rows_seen,
+            total_rows,
             multiplicity: m,
             table,
             estimates,

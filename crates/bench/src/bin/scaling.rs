@@ -8,6 +8,12 @@
 //! Output: a human table, `csv,` lines, and one `json,` line suitable for
 //! `results/BENCH_scaling.json`.
 //!
+//! After the scaling table, re-runs the largest thread count with the
+//! observability registry enabled to measure its overhead: the reports must
+//! stay bit-identical (the no-perturbation contract) and the wall-clock cost
+//! should stay under 5%. `--metrics-out <path>` additionally writes that
+//! run's registry snapshot (JSON, plus `<path>.prom`).
+//!
 //! ```text
 //! cargo run --release -p gola-bench --bin scaling [-- --threads-list 1,2,4]
 //! ```
@@ -80,8 +86,8 @@ fn run_at(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let thread_list: Vec<usize> = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut list = None;
         for (i, a) in args.iter().enumerate() {
             let v = if a == "--threads-list" {
@@ -101,6 +107,13 @@ fn main() {
         list.filter(|l| !l.is_empty())
             .unwrap_or_else(|| vec![1, 2, 4])
     };
+    let metrics_out: Option<String> = args.iter().enumerate().find_map(|(i, a)| {
+        if a == "--metrics-out" {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix("--metrics-out=").map(str::to_string)
+        }
+    });
     let n = rows(200_000);
     let catalog = tpch_catalog(n);
     let cpus = std::thread::available_parallelism()
@@ -203,8 +216,58 @@ fn main() {
              here; the bit-identical column is the meaningful check."
         );
     }
+
+    // Observability overhead: same workload at the largest thread count with
+    // the metrics registry enabled. The no-perturbation contract says the
+    // reports stay bit-identical; the wall-clock budget is 5%.
+    let t_max = *thread_list.iter().max().expect("non-empty thread list");
+    let off = stats
+        .iter()
+        .find(|s| s.threads == t_max)
+        .expect("t_max came from thread_list");
+    gola_obs::set_enabled(true);
+    let (obs_reports, obs_wall) = run_at(&catalog, sql, t_max);
+    gola_obs::set_enabled(false);
+    let obs_identical = fingerprint(&obs_reports) == base_fp;
+    let overhead = obs_wall.as_secs_f64() / off.wall.as_secs_f64() - 1.0;
+    println!(
+        "obs overhead at {t_max} thread(s): {:+.1}% wall ({} -> {}), bit_identical={obs_identical}",
+        overhead * 100.0,
+        secs(off.wall),
+        secs(obs_wall),
+    );
+    csv_line(&[
+        "scaling_obs_overhead".into(),
+        name.into(),
+        t_max.to_string(),
+        secs(obs_wall),
+        format!("{:.4}", overhead),
+        obs_identical.to_string(),
+    ]);
+    if overhead > 0.05 {
+        println!(
+            "note: obs overhead above the 5% budget — single-run timing is \
+             noisy, re-run to confirm before treating this as a regression."
+        );
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, gola_obs::snapshot_json(false)) {
+            eprintln!("ERROR: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(format!("{path}.prom"), gola_obs::prometheus(false)) {
+            eprintln!("ERROR: writing {path}.prom: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics snapshot to {path} (and {path}.prom)");
+    }
+
     if stats.iter().any(|s| !s.identical) {
         eprintln!("ERROR: reports differ across thread counts");
+        std::process::exit(1);
+    }
+    if !obs_identical {
+        eprintln!("ERROR: enabling the metrics registry perturbed the reports");
         std::process::exit(1);
     }
 }

@@ -1,4 +1,27 @@
 //! Estimates with bootstrap-derived error bars.
+//!
+//! # Finite-population correction
+//!
+//! Online aggregation samples *without replacement* from a population of
+//! known, finite size: after seeing `n` of `N` rows, only `N - n` rows of
+//! uncertainty remain, and at `n = N` the answer is exact. The plain
+//! bootstrap doesn't know this — its replica spread models sampling *with*
+//! replacement from an infinite population, which inflates CI width by
+//! ≈ `1 / √(1 − n/N)` as a run approaches full data (and leaves a non-zero
+//! interval even at `n = N`). The classic-OLA closed-form baselines apply
+//! the standard correction `fpc = √(1 − n/N)` to their standard errors
+//! (`crates/baselines/src/ola.rs`); [`Estimate`] carries the same factor,
+//! set by the executor via [`Estimate::with_fpc`] from the batch schedule's
+//! sampling fraction. [`Estimate::std_error`] scales by it directly, and
+//! [`Estimate::ci_percentile`] contracts the replica interval around the
+//! point estimate by it — so widths shrink by exactly `fpc` and collapse to
+//! zero at the final batch, matching the baselines.
+//!
+//! The correction applies only to *reported* uncertainty. Variation ranges
+//! (`range_policy`) deliberately keep the uncorrected replica spread: they
+//! drive tuple classification, where a conservative envelope is the safe
+//! direction, and correcting them would change executor decisions rather
+//! than just tightening the error bars.
 
 use std::fmt;
 
@@ -48,11 +71,19 @@ pub struct Estimate {
     /// One value per bootstrap replica. Empty when error estimation is
     /// disabled (`trials = 0`) or the value is non-numeric.
     pub replicas: Vec<f64>,
+    /// Finite-population correction factor `√(1 − n/N)` (see the module
+    /// docs). `1.0` — no correction — when the sampling fraction is
+    /// unknown; `0.0` once the full population has been seen.
+    pub fpc: f64,
 }
 
 impl Estimate {
     pub fn new(value: f64, replicas: Vec<f64>) -> Self {
-        Estimate { value, replicas }
+        Estimate {
+            value,
+            replicas,
+            fpc: 1.0,
+        }
     }
 
     /// An estimate with no error information.
@@ -60,13 +91,22 @@ impl Estimate {
         Estimate {
             value,
             replicas: Vec::new(),
+            fpc: 1.0,
         }
     }
 
+    /// Attach the finite-population correction factor (clamped to
+    /// `[0, 1]`): `√(1 − n/N)` for `n` of `N` rows seen.
+    pub fn with_fpc(mut self, fpc: f64) -> Self {
+        self.fpc = fpc.clamp(0.0, 1.0);
+        self
+    }
+
     /// Bootstrap standard error: the standard deviation of the replica
-    /// distribution. `None` without replicas.
+    /// distribution, scaled by the finite-population correction. `None`
+    /// without replicas.
     pub fn std_error(&self) -> Option<f64> {
-        stddev_pop(&self.replicas)
+        stddev_pop(&self.replicas).map(|s| s * self.fpc)
     }
 
     /// Relative standard deviation `σ̂ / |estimate|` — the y-axis of the
@@ -79,16 +119,25 @@ impl Estimate {
         Some(se / self.value.abs())
     }
 
-    /// Percentile-method bootstrap CI at `level` (e.g. 0.95). `None`
-    /// without replicas.
+    /// Percentile-method bootstrap CI at `level` (e.g. 0.95), contracted
+    /// around the point estimate by the finite-population correction so the
+    /// width scales by exactly `fpc` (zero once the full population has
+    /// been seen). `None` without replicas.
     pub fn ci_percentile(&self, level: f64) -> Option<ConfidenceInterval> {
         if self.replicas.is_empty() {
             return None;
         }
         let alpha = (1.0 - level) / 2.0;
+        let lo = percentile(&self.replicas, alpha)?;
+        let hi = percentile(&self.replicas, 1.0 - alpha)?;
+        // `fpc = 1` must be a bit-exact no-op (uncorrected bootstrap), not
+        // a round trip through `value - (value - lo)`.
+        if self.fpc >= 1.0 {
+            return Some(ConfidenceInterval { lo, hi, level });
+        }
         Some(ConfidenceInterval {
-            lo: percentile(&self.replicas, alpha)?,
-            hi: percentile(&self.replicas, 1.0 - alpha)?,
+            lo: self.value - (self.value - lo) * self.fpc,
+            hi: self.value + (hi - self.value) * self.fpc,
             level,
         })
     }
@@ -227,6 +276,54 @@ mod tests {
         assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
         assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
         assert!((inverse_normal_cdf(0.001) + 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fpc_scales_widths_and_collapses() {
+        let plain = est().ci_percentile(0.95).unwrap();
+        let half = est().with_fpc(0.5);
+        let ci = half.ci_percentile(0.95).unwrap();
+        assert!(
+            (ci.width() - plain.width() * 0.5).abs() < 1e-12,
+            "width {} vs uncorrected {}",
+            ci.width(),
+            plain.width()
+        );
+        assert!(ci.contains(10.0), "correction keeps the point estimate");
+        assert!((half.std_error().unwrap() - est().std_error().unwrap() * 0.5).abs() < 1e-12);
+        // Full population seen: the interval collapses onto the point
+        // estimate, exactly like the closed-form baselines.
+        let done = est().with_fpc(0.0);
+        let ci0 = done.ci_percentile(0.95).unwrap();
+        assert_eq!((ci0.lo, ci0.hi), (10.0, 10.0));
+        assert_eq!(ci0.width(), 0.0);
+        assert_eq!(done.std_error(), Some(0.0));
+        // The factor is clamped to [0, 1].
+        assert_eq!(est().with_fpc(1.5).fpc, 1.0);
+        assert_eq!(est().with_fpc(-0.1).fpc, 0.0);
+    }
+
+    #[test]
+    fn fpc_one_is_bit_exact_noop() {
+        let a = est().ci_percentile(0.95).unwrap();
+        let b = est().with_fpc(1.0).ci_percentile(0.95).unwrap();
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+    }
+
+    #[test]
+    fn ci_at_replica_count_boundaries() {
+        // n = 1: every percentile is the single replica (interpolation has
+        // nothing to interpolate between).
+        let one = Estimate::new(5.0, vec![4.0]);
+        let ci = one.ci_percentile(0.95).unwrap();
+        assert_eq!((ci.lo, ci.hi), (4.0, 4.0));
+        // n = 2, alpha = 0.025: linear interpolation between the two order
+        // statistics at positions 0.025 and 0.975 of [4, 6].
+        let two = Estimate::new(5.0, vec![6.0, 4.0]);
+        let ci = two.ci_percentile(0.95).unwrap();
+        assert!((ci.lo - 4.05).abs() < 1e-12, "lo {}", ci.lo);
+        assert!((ci.hi - 5.95).abs() < 1e-12, "hi {}", ci.hi);
     }
 
     #[test]

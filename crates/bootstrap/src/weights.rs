@@ -1,6 +1,22 @@
 //! Bootstrap trial configuration and weight streams.
 
+use std::sync::OnceLock;
+
 use gola_common::rng::{mix, poisson_from_stream, poisson_weight};
+
+/// Per-call timing of the batched weight kernel (chunk granularity — the
+/// per-tuple [`BootstrapSpec::weights_into`] path is deliberately left
+/// uninstrumented). Only touched when the obs registry is enabled.
+fn weights_seconds() -> &'static gola_obs::Histogram {
+    static H: OnceLock<gola_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| gola_obs::duration_histogram("bootstrap.weights_seconds"))
+}
+
+/// Replica-weight cells (`tuples × trials`) produced by the batched kernel.
+fn weight_cells() -> &'static gola_obs::Counter {
+    static C: OnceLock<gola_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| gola_obs::counter("bootstrap.weight_cells"))
+}
 
 /// `hash_combine`'s multiplier (the SplitMix64 increment), reproduced here
 /// so the batched kernel can hoist the per-replica term out of the tuple
@@ -65,6 +81,7 @@ impl BootstrapSpec {
     /// inner loop: each cell costs two SplitMix64 finalizers plus the Knuth
     /// product loop, instead of re-deriving both hash_combine multiplies.
     pub fn weights_batch(&self, tuple_ids: &[u64], out: &mut Vec<u32>) {
+        let sw = gola_obs::enabled().then(gola_common::timing::Stopwatch::start);
         let trials = self.trials as usize;
         out.clear();
         out.reserve(tuple_ids.len() * trials);
@@ -79,6 +96,10 @@ impl BootstrapSpec {
                 let stream = mix(mix(t ^ x) ^ seed_m);
                 out.push(poisson_from_stream(stream) + self.weight_bias);
             }
+        }
+        if let Some(sw) = sw {
+            weights_seconds().observe_duration(sw.elapsed());
+            weight_cells().add((tuple_ids.len() * trials) as u64);
         }
     }
 }

@@ -11,6 +11,11 @@
 //! gola> SELECT AVG(play_time) FROM sessions
 //!       WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions);
 //! ```
+//!
+//! Flags: `--threads N`, `--demo`, `--progress` (live single-line batch
+//! status), `--metrics-out <path>` (enable the observability registry and
+//! write a JSON snapshot plus `<path>.prom` Prometheus text after each
+//! query), `--timings` (include wall-clock values in those exports).
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -22,16 +27,31 @@ use gola_workloads::{ConvivaGenerator, MyTubeGenerator, TpchGenerator};
 struct Console {
     catalog: Catalog,
     config: OnlineConfig,
+    /// `--progress`: redraw one live status line per batch instead of
+    /// printing every report.
+    progress: bool,
+    /// `--timings`: include wall-clock-derived values in metric exports.
+    timings: bool,
+    /// `--metrics-out <path>`: after each query, write the registry
+    /// snapshot as JSON to `<path>` and Prometheus text to `<path>.prom`.
+    /// Metrics accumulate over the whole session.
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut console = Console {
         catalog: Catalog::new(),
         config: OnlineConfig::default().with_batches(40),
+        progress: args.iter().any(|a| a == "--progress"),
+        timings: args.iter().any(|a| a == "--timings"),
+        metrics_out: flag_str(&args, "--metrics-out").map(std::path::PathBuf::from),
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(threads) = flag_value(&args, "--threads") {
         console.config = console.config.clone().with_threads(threads);
+    }
+    if console.metrics_out.is_some() {
+        gola_obs::set_enabled(true);
     }
     if args.iter().any(|a| a == "--demo") {
         console.load("mytube", 100_000);
@@ -80,12 +100,17 @@ fn main() {
 
 /// Parse `--flag N` or `--flag=N` from the argument list.
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    flag_str(args, flag).and_then(|v| v.parse().ok())
+}
+
+/// Parse `--flag VALUE` or `--flag=VALUE` from the argument list.
+fn flag_str(args: &[String], flag: &str) -> Option<String> {
     for (i, a) in args.iter().enumerate() {
         if a == flag {
-            return args.get(i + 1).and_then(|v| v.parse().ok());
+            return args.get(i + 1).cloned();
         }
         if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return v.parse().ok();
+            return Some(v.to_string());
         }
     }
     None
@@ -160,6 +185,7 @@ impl Console {
                     }
                     Err(e) => println!("error: {e}"),
                 }
+                self.dump_metrics();
             }
             "\\demo" => self.demo(),
             other => println!("unknown command {other}; try \\help"),
@@ -209,18 +235,49 @@ impl Console {
         for report in exec {
             match report {
                 Ok(r) => {
-                    println!("  {r}");
+                    if self.progress {
+                        print!("\r\x1b[2K  {r}");
+                        std::io::stdout().flush().ok();
+                    } else {
+                        println!("  {r}");
+                    }
                     last = Some(r);
                 }
                 Err(e) => {
+                    if self.progress {
+                        println!();
+                    }
                     println!("execution error: {e}");
                     return;
                 }
             }
         }
+        if self.progress {
+            println!();
+        }
         if let Some(r) = last {
             println!("\nfinal answer ({} rows):", r.table.num_rows());
             print!("{}", r.table.display_limit(20));
+        }
+        self.dump_metrics();
+    }
+
+    /// Write the metric registry to `--metrics-out` (JSON) and its `.prom`
+    /// sibling (Prometheus text). No-op unless the flag was given.
+    fn dump_metrics(&self) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        if let Err(e) = std::fs::write(path, gola_obs::snapshot_json(self.timings)) {
+            eprintln!("metrics-out: failed to write {}: {e}", path.display());
+        }
+        let mut prom = path.as_os_str().to_owned();
+        prom.push(".prom");
+        if let Err(e) = std::fs::write(&prom, gola_obs::prometheus(self.timings)) {
+            eprintln!(
+                "metrics-out: failed to write {}: {e}",
+                prom.to_string_lossy()
+            );
         }
     }
 

@@ -31,6 +31,16 @@ pub fn stddev_sample(xs: &[f64]) -> Option<f64> {
 
 /// Percentile with linear interpolation (`q` in `[0, 1]`), like numpy's
 /// default. Returns `None` for an empty slice. Sorts a copy.
+///
+/// The pinned convention (exercised by the unit tests below, relied on by
+/// `gola_bootstrap::Estimate::ci_percentile`):
+///
+/// * **linear interpolation** between order statistics — `pos = q·(n−1)`,
+///   result `= x[⌊pos⌋]·(1−frac) + x[⌈pos⌉]·frac` — *not* nearest-rank;
+/// * `n = 1` returns the single element for every `q`;
+/// * when `pos` lands exactly on an index (including the `q = 0` / `q = 1`
+///   endpoints) the element is returned as-is, with no arithmetic applied;
+/// * `q` outside `[0, 1]` clamps to the endpoints.
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
@@ -147,6 +157,54 @@ mod tests {
     fn percentile_unsorted_input() {
         let xs = [9.0, 1.0, 5.0];
         assert_eq!(percentile(&xs, 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_single_element_for_any_q() {
+        for q in [-1.0, 0.0, 0.025, 0.31, 0.5, 0.975, 1.0, 2.0] {
+            assert_eq!(percentile(&[7.25], q), Some(7.25), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_two_elements_interpolates_linearly() {
+        // n = 2: pos = q, so the result is the straight line between the
+        // two order statistics — the convention ci_percentile leans on at
+        // the smallest replica counts.
+        let xs = [10.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(4.0));
+        assert_eq!(percentile(&xs, 1.0), Some(10.0));
+        let lo = percentile(&xs, 0.025).unwrap();
+        assert!((lo - (4.0 * 0.975 + 10.0 * 0.025)).abs() < 1e-12, "lo {lo}");
+        let hi = percentile(&xs, 0.975).unwrap();
+        assert!((hi - (4.0 * 0.025 + 10.0 * 0.975)).abs() < 1e-12, "hi {hi}");
+    }
+
+    #[test]
+    fn percentile_exact_index_hits_skip_interpolation() {
+        // pos = q·(n−1) landing on an integer returns that element with no
+        // floating-point arithmetic applied — bit-exact.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for (q, want) in [
+            (0.0, 1.0f64),
+            (0.25, 2.0),
+            (0.5, 3.0),
+            (0.75, 4.0),
+            (1.0, 5.0),
+        ] {
+            let got = percentile(&xs, q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "q = {q}");
+        }
+        // Endpoints are exact hits even when (n−1)·q would round badly.
+        let odd = [0.1, 0.2, 0.3];
+        assert_eq!(percentile(&odd, 1.0).unwrap().to_bits(), 0.3f64.to_bits());
+    }
+
+    #[test]
+    fn percentile_out_of_range_q_clamps() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -0.5), Some(1.0));
+        assert_eq!(percentile(&xs, 1.5), Some(3.0));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //!
 //! ```text
 //! gola-soak [--cases N] [--seed S] [--rows R] [--calib-seeds N] [--quick]
+//!           [--metrics-out PATH]
 //! ```
+//!
+//! `--metrics-out` enables the observability registry for the whole soak and
+//! writes its JSON snapshot (plus `PATH.prom` Prometheus text) at the end.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,6 +25,7 @@ struct Args {
     seed: u64,
     rows: usize,
     calib_seeds: usize,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x50AC,
         rows: 1200,
         calib_seeds: 300,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
                 args.rows = 400;
                 args.calib_seeds = 200;
             }
+            "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -59,6 +66,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.metrics_out.is_some() {
+        gola_obs::set_enabled(true);
+    }
 
     let oracle = OracleConfig {
         num_batches: 8,
@@ -131,6 +142,15 @@ fn main() -> ExitCode {
         "soak: {total} differential cases + {} calibration classes, {failures} failure(s)",
         default_classes().len()
     );
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, gola_obs::snapshot_json(false))
+            .and_then(|()| std::fs::write(format!("{path}.prom"), gola_obs::prometheus(false)))
+        {
+            eprintln!("gola-soak: writing metrics to {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote metrics snapshot to {path} (and {path}.prom)");
+    }
     if failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -3,8 +3,9 @@
 //! A 95% CI is only worth reporting if, across many independent datasets,
 //! it actually contains the true answer about 95% of the time. For each
 //! aggregate kind this module runs one fixed query shape over many freshly
-//! seeded datasets, reads the CI of an *early* batch report (where the
-//! answer is still genuinely approximate), and counts how often the exact
+//! seeded datasets, reads the CI of a *late* (but not final) batch report —
+//! where the answer is still approximate and the finite-population
+//! correction carries real weight — and counts how often the exact
 //! full-data answer falls inside. The hit count must land in an exact
 //! binomial acceptance band around the nominal level — computed from the
 //! binomial pmf, not a normal approximation, so the band is honest at the
@@ -75,8 +76,8 @@ pub struct CalibConfig {
     pub num_batches: usize,
     /// Bootstrap replicas.
     pub trials: u32,
-    /// Which batch's report to read the CI from (0-based). Early batches
-    /// are where calibration is actually at stake.
+    /// Which batch's report to read the CI from (0-based). Must be before
+    /// the final batch (whose CI collapses to zero width by construction).
     pub report_batch: usize,
     /// Nominal CI level.
     pub level: f64,
@@ -92,13 +93,15 @@ impl Default for CalibConfig {
             rows: 400,
             num_batches: 8,
             trials: 64,
-            // The first batch: the sampling fraction is smallest (1/8) there,
-            // so the bootstrap's missing finite-population correction —
-            // which inflates CI width by ≈ 1/(1 - n/N) — barely registers
-            // and measured coverage honestly reflects the resampling
-            // machinery. Later batches drift toward 100% coverage for the
-            // wrong reason (over-wide intervals near full data).
-            report_batch: 0,
+            // Batch 5 of 8: three quarters of the data seen, where the
+            // finite-population correction (√(1 − n/N) = 0.5) does real
+            // work. Before the fpc landed in `gola_bootstrap::ci`, late
+            // batches drifted to 100% coverage for the wrong reason
+            // (uncorrected intervals are ≈ 2× too wide at n/N = 3/4) and
+            // calibration had to hide at batch 0 to stay honest. With the
+            // correction, a late batch is the sharper check: it verifies
+            // both the resampling machinery and the correction itself.
+            report_batch: 5,
             level: 0.95,
             // With four classes and many CI runs, 1e-4 per class keeps the
             // whole-suite false-failure rate well under 1/1000 while still

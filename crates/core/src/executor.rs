@@ -239,6 +239,7 @@ impl OnlineExecutor {
         let batch = self.partitioner.batch(i);
         let m = self.partitioner.multiplicity_after(i);
         let last = i + 1 == self.num_batches();
+        let _batch_span = gola_obs::span!("batch", index = i);
 
         let mut timing = BatchTiming {
             batch_rows: batch.len(),
@@ -260,11 +261,17 @@ impl OnlineExecutor {
                 continue;
             }
             let t_in = Stopwatch::start();
-            self.ingest_wave(&streaming, &batch, &mut timing)?;
+            {
+                let _span = gola_obs::span!("ingest");
+                self.ingest_wave(&streaming, &batch, &mut timing)?;
+            }
             let t_pub = Stopwatch::start();
-            for &b in &streaming {
-                if self.publish_block(b, m, last)? {
-                    violated.push(b);
+            {
+                let _span = gola_obs::span!("publish");
+                for &b in &streaming {
+                    if self.publish_block(b, m, last)? {
+                        violated.push(b);
+                    }
                 }
             }
             timing.publish += t_pub.elapsed();
@@ -279,12 +286,15 @@ impl OnlineExecutor {
 
         if !violated.is_empty() {
             let t_rec = Stopwatch::start();
+            let _span = gola_obs::span!("recompute", blocks = violated.len());
             self.recover(&violated, i, m, last)?;
             timing.recover = t_rec.elapsed();
         }
 
         let t_rep = Stopwatch::start();
+        let report_span = gola_obs::span!("report");
         let (mut report, claims) = self.build_report(i, m, last)?;
+        drop(report_span);
         // Honor previously reported certainty: once the user has seen a row
         // flagged `row_certain`, that row may not silently vanish or revert
         // — the claim is a reliance exactly like a consumer's envelope, and
@@ -323,6 +333,14 @@ impl OnlineExecutor {
         report.batch_time = elapsed;
         report.cumulative_time = self.cumulative;
         report.timing = timing;
+        if gola_obs::enabled() {
+            crate::metrics::report_batches().inc();
+            crate::metrics::report_uncertain().set(report.uncertain_tuples as f64);
+            crate::metrics::report_recomputations().set(report.recomputations as f64);
+            if let Some(ci) = report.ci() {
+                crate::metrics::report_ci_width().set(ci.width());
+            }
+        }
         Ok(report)
     }
 
@@ -408,6 +426,7 @@ impl OnlineExecutor {
         let cb = &self.compiled[b];
         let pubs = &self.published;
         let t_join = Stopwatch::start();
+        let join_span = gola_obs::span!("join");
         let mut candidates = std::mem::take(&mut rt.uncertain);
 
         // Join + certain filters for the new tuples, then lineage-project.
@@ -432,6 +451,7 @@ impl OnlineExecutor {
                 });
             }
         }
+        drop(join_span);
         timing.join += t_join.elapsed();
 
         // Stage 1 — classify fixed-size chunks. Classification is per-tuple
@@ -440,6 +460,7 @@ impl OnlineExecutor {
         // aggregates cannot merge. Workers borrow slices of `candidates` —
         // no cloning.
         let t_classify = Stopwatch::start();
+        let classify_span = gola_obs::span!("classify");
         let chunks: Vec<&[CachedTuple]> = candidates.chunks(CHUNK).collect();
         let mut slots: Vec<Option<Result<ChunkClass>>> = Vec::new();
         slots.resize_with(chunks.len(), || None);
@@ -466,6 +487,7 @@ impl OnlineExecutor {
             // every job stored its slot; an empty slot is a pool bug
             classes.push(s.expect("classify job ran")?);
         }
+        drop(classify_span);
         timing.classify += t_classify.elapsed();
 
         // Stage 2 — fold. Mergeable aggregates fold each chunk into a
@@ -475,6 +497,7 @@ impl OnlineExecutor {
         // count. Quantile/UDAF states cannot merge — their fold stays
         // sequential (classification above was still parallel).
         let t_fold = Stopwatch::start();
+        let fold_span = gola_obs::span!("fold");
         let mergeable = cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable);
         if mergeable {
             let mut shard_slots: Vec<Option<BlockRuntime>> = Vec::new();
@@ -497,6 +520,7 @@ impl OnlineExecutor {
                     *slot = Some(self.fold_chunk(cb, folds));
                 }
             }
+            let _merge_span = gola_obs::span!("merge");
             for shard in shard_slots {
                 // golint: allow(panic-surface) -- the pool run above blocks
                 // until every job stored its slot; an empty slot is a pool bug
@@ -556,6 +580,7 @@ impl OnlineExecutor {
             .zip(keep)
             .filter_map(|(t, k)| k.then_some(t))
             .collect();
+        drop(fold_span);
         timing.fold += t_fold.elapsed();
         Ok(())
     }
@@ -1552,6 +1577,22 @@ impl OnlineExecutor {
         let rt = &self.runtimes[root];
         let pubs = &self.published;
         let trials = self.config.bootstrap.trials;
+        // Finite-population correction for the reported CIs: the stream is
+        // a without-replacement sample of a known population, so replica
+        // spread overstates the remaining uncertainty by 1/√(1 − n/N) (see
+        // the gola-bootstrap ci module docs). At the final batch the factor
+        // is pinned to exactly zero — the answer is the full-data answer —
+        // rather than trusting `1 − n/N` to reach 0.0 in floats.
+        let rows_seen = self.partitioner.rows_seen_through(batch_index);
+        let total_rows = self.partitioner.total_rows();
+        let fpc = if last || total_rows == 0 {
+            0.0
+        } else {
+            (1.0 - rows_seen as f64 / total_rows as f64).max(0.0).sqrt()
+        };
+        if gola_obs::enabled() {
+            crate::metrics::report_fpc().set(fpc);
+        }
         let n_keys = cb.num_keys();
         let n_aggs = cb.agg_kinds.len();
         let eff = self.effective_states(cb, rt)?;
@@ -1688,7 +1729,7 @@ impl OnlineExecutor {
                     estimates.push(CellEstimate {
                         row: out_idx,
                         col: c,
-                        estimate: Estimate::new(v, reps.clone()),
+                        estimate: Estimate::new(v, reps.clone()).with_fpc(fpc),
                     });
                 }
             }
@@ -1698,8 +1739,8 @@ impl OnlineExecutor {
         let report = BatchReport {
             batch_index,
             num_batches: self.num_batches(),
-            rows_seen: self.partitioner.rows_seen_through(batch_index),
-            total_rows: self.partitioner.total_rows(),
+            rows_seen,
+            total_rows,
             multiplicity: m,
             table,
             estimates,

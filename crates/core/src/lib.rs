@@ -32,6 +32,7 @@
 pub mod compiled;
 pub mod config;
 pub mod executor;
+pub(crate) mod metrics;
 pub mod pool;
 pub mod report;
 pub mod runtime;

@@ -1,0 +1,41 @@
+//! Cached metric handles for gola-core's instrumentation sites.
+//!
+//! Registry lookups take a mutex; the hot path must not. Each site resolves
+//! its handle once through a `OnceLock` (an atomic load afterwards) and the
+//! handle itself is a plain atomic cell. Every caller gates on
+//! [`gola_obs::enabled`] *before* touching these, so a disabled registry
+//! never registers anything and never reads a clock.
+//!
+//! The no-perturbation contract (see `gola-obs`): these handles are
+//! write-only from the executor's point of view — no metric value ever
+//! flows back into computation. `tests/obs_inert.rs` holds this to
+//! bit-identical `BatchReport`s.
+
+use std::sync::OnceLock;
+
+use gola_obs::{Counter, Gauge, Histogram};
+
+macro_rules! handle {
+    ($vis:vis $fn_name:ident: $ty:ty = $ctor:expr) => {
+        $vis fn $fn_name() -> &'static $ty {
+            static H: OnceLock<$ty> = OnceLock::new();
+            H.get_or_init(|| $ctor)
+        }
+    };
+}
+
+// Per-batch report instrumentation (set once per `step`).
+handle!(pub(crate) report_batches: Counter = gola_obs::counter("report.batches"));
+handle!(pub(crate) report_ci_width: Gauge = gola_obs::gauge("report.ci_width"));
+handle!(pub(crate) report_fpc: Gauge = gola_obs::gauge("report.fpc"));
+handle!(pub(crate) report_uncertain: Gauge = gola_obs::gauge("report.uncertain"));
+handle!(pub(crate) report_recomputations: Gauge = gola_obs::gauge("report.recomputations"));
+
+// Worker-pool queue instrumentation (parallel dispatch path only; the
+// sequential fast path has no queue to wait in).
+handle!(pub(crate) pool_runs: Counter = gola_obs::counter("pool.runs"));
+handle!(pub(crate) pool_jobs: Counter = gola_obs::counter("pool.jobs"));
+handle!(pub(crate) pool_queue_wait: Histogram =
+    gola_obs::duration_histogram("pool.queue_wait_seconds"));
+handle!(pub(crate) pool_job_run: Histogram =
+    gola_obs::duration_histogram("pool.job_run_seconds"));

@@ -32,6 +32,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use gola_common::rng::{hash_combine, SplitMix64};
+use gola_common::timing::Stopwatch;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -191,6 +192,21 @@ impl WorkerPool {
             *id += 1;
             *id
         };
+        // Observability (inert): queue-wait and run-time histograms per job,
+        // plus the submitting thread's span path captured *here* — at
+        // submission, deterministically — and re-established around the job
+        // body wherever it lands, so span parent links are independent of
+        // which thread executes the job.
+        let obs = gola_obs::enabled();
+        if obs {
+            crate::metrics::pool_runs().inc();
+            crate::metrics::pool_jobs().add(n as u64);
+        }
+        let span_path = if obs {
+            gola_obs::span::current_path()
+        } else {
+            Vec::new()
+        };
         let latch = Latch::new(n);
         let panics: Arc<Mutex<Vec<IndexedPanic>>> = Arc::new(Mutex::new(Vec::new()));
         let mut wrapped_jobs: Vec<Job> = jobs
@@ -199,9 +215,25 @@ impl WorkerPool {
             .map(|(i, job)| {
                 let latch = Arc::clone(&latch);
                 let panics = Arc::clone(&panics);
+                let submitted = obs.then(Stopwatch::start);
+                let span_path = span_path.clone();
                 let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                        panics.lock().unwrap().push((i, payload));
+                    let run_sw = submitted.map(|sw| {
+                        crate::metrics::pool_queue_wait().observe_duration(sw.elapsed());
+                        Stopwatch::start()
+                    });
+                    let body = || {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                            panics.lock().unwrap().push((i, payload));
+                        }
+                    };
+                    if span_path.is_empty() {
+                        body();
+                    } else {
+                        gola_obs::span::with_path(&span_path, body);
+                    }
+                    if let Some(sw) = run_sw {
+                        crate::metrics::pool_job_run().observe_duration(sw.elapsed());
                     }
                     latch.count_down();
                 });

@@ -13,6 +13,14 @@ pub struct BatchEngine<'a> {
     catalog: &'a Catalog,
 }
 
+/// Rows pulled from base tables by `Scan` nodes (cached handle — see
+/// `gola-core`'s metrics module for the pattern and the inertness
+/// contract).
+fn exact_rows_scanned() -> &'static gola_obs::Counter {
+    static C: std::sync::OnceLock<gola_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| gola_obs::counter("exact.rows_scanned"))
+}
+
 /// Materialized subquery results used to resolve `ScalarRef`/`InSubquery`
 /// expressions during exact evaluation.
 #[derive(Debug, Default)]
@@ -50,6 +58,7 @@ impl<'a> BatchEngine<'a> {
     /// Execute a full query graph: subqueries in dependency order, then the
     /// root.
     pub fn execute(&self, graph: &QueryGraph) -> Result<Table> {
+        let _span = gola_obs::span!("exact.query", subqueries = graph.subqueries.len());
         let n = graph.subqueries.len();
         let mut resolved = Resolved {
             scalars: vec![None; n],
@@ -106,7 +115,13 @@ impl<'a> BatchEngine<'a> {
     /// Generic plan interpreter.
     fn execute_plan(&self, plan: &LogicalPlan, resolved: &Resolved) -> Result<Vec<Row>> {
         match plan {
-            LogicalPlan::Scan { table, .. } => Ok(self.catalog.get(table)?.rows().to_vec()),
+            LogicalPlan::Scan { table, .. } => {
+                let rows = self.catalog.get(table)?.rows().to_vec();
+                if gola_obs::enabled() {
+                    exact_rows_scanned().add(rows.len() as u64);
+                }
+                Ok(rows)
+            }
             LogicalPlan::Filter { input, predicate } => {
                 let rows = self.execute_plan(input, resolved)?;
                 let mut out = Vec::new();

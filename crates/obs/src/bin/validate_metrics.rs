@@ -1,0 +1,127 @@
+//! `validate-metrics` — check a `--metrics-out` JSON snapshot against a
+//! schema of required metrics.
+//!
+//! ```text
+//! validate-metrics <snapshot.json> <schema.json>
+//! ```
+//!
+//! The schema (see `scripts/metrics_schema.json`) lists, per section, the
+//! metric names that must be present:
+//!
+//! ```json
+//! {"required": {"counters": ["report.batches"], "gauges": [...],
+//!               "histograms": [...], "spans": [...]}}
+//! ```
+//!
+//! Beyond presence, the validator checks structure: the snapshot must be a
+//! version-1 object with all four sections, counters must be non-negative
+//! numbers, histograms/spans must carry a `count`, and — unless the
+//! snapshot was taken with timings on — no wall-clock field may appear.
+//! Exit status is non-zero with one line per violation.
+
+use std::process::ExitCode;
+
+use gola_obs::json::{parse, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [snapshot_path, schema_path] = args.as_slice() else {
+        eprintln!("usage: validate-metrics <snapshot.json> <schema.json>");
+        return ExitCode::from(2);
+    };
+    let mut errors = Vec::new();
+    let snapshot = match read_json(snapshot_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate-metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let schema = match read_json(schema_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate-metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    validate(&snapshot, &schema, &mut errors);
+    if errors.is_empty() {
+        println!("validate-metrics: {snapshot_path} ok");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("validate-metrics: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+const SECTIONS: [&str; 4] = ["counters", "gauges", "histograms", "spans"];
+
+fn validate(snapshot: &Value, schema: &Value, errors: &mut Vec<String>) {
+    if snapshot.get("version").and_then(Value::as_f64) != Some(1.0) {
+        errors.push("snapshot version must be 1".to_string());
+    }
+    let timings = snapshot.get("timings") == Some(&Value::Bool(true));
+    if !timings && snapshot.get("generated_unix_ms").is_some() {
+        errors.push("wall-clock timestamp present without timings".to_string());
+    }
+
+    for section in SECTIONS {
+        let Some(Value::Object(entries)) = snapshot.get(section) else {
+            errors.push(format!("snapshot missing '{section}' object"));
+            continue;
+        };
+        // Structural checks per section.
+        for (name, v) in entries {
+            match section {
+                "counters" => {
+                    if !matches!(v.as_f64(), Some(n) if n >= 0.0) {
+                        errors.push(format!("counter '{name}' is not a non-negative number"));
+                    }
+                }
+                "gauges" => {
+                    if !matches!(v, Value::Number(_) | Value::Null) {
+                        errors.push(format!("gauge '{name}' is not a number"));
+                    }
+                }
+                _ => {
+                    if !matches!(v.get("count").and_then(Value::as_f64), Some(n) if n >= 0.0) {
+                        errors.push(format!("{section} entry '{name}' lacks a count"));
+                    }
+                    if !timings {
+                        let clock_field = if section == "spans" {
+                            "total_seconds"
+                        } else {
+                            "sum"
+                        };
+                        if v.get(clock_field).is_some() {
+                            errors.push(format!(
+                                "{section} entry '{name}' leaks wall-clock '{clock_field}' \
+                                 without timings"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Required names from the schema.
+        let required = schema.get("required").and_then(|r| r.get(section));
+        if let Some(Value::Array(names)) = required {
+            for n in names {
+                let Some(name) = n.as_str() else {
+                    errors.push(format!("schema: '{section}' entries must be strings"));
+                    continue;
+                };
+                if !entries.contains_key(name) {
+                    errors.push(format!("required {section} metric '{name}' missing"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Lightweight spans: named start/stop pairs with parent links.
+//!
+//! A [`SpanGuard`] measures the wall-clock time between its creation and
+//! drop and records it — together with a count and the name of the
+//! enclosing span — into the registry. Nesting is tracked with a
+//! thread-local stack of span names, which makes parent links free at
+//! runtime but raises a determinism question for work-stealing executors:
+//! a job may run on the submitting thread or on a pool worker, and a naive
+//! thread-local stack would give the two cases different parents.
+//!
+//! The fix is explicit context propagation, the same shape distributed
+//! tracing uses: the submitter captures [`current_path`] *at submission*
+//! (deterministic — submission happens on the orchestrating thread) and the
+//! pool re-establishes it around the job body with [`with_path`], wherever
+//! the job physically lands. Parent links then depend only on program
+//! structure, never on the schedule.
+
+use std::cell::RefCell;
+
+use gola_common::timing::Stopwatch;
+
+use crate::registry;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Root label recorded as the parent of top-level spans.
+pub const ROOT: &str = "(root)";
+
+/// RAII span: times from construction to drop. Construct via the
+/// [`span!`](crate::span!) macro. When the registry is disabled this is a
+/// no-op that never reads the clock.
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+struct Active {
+    name: &'static str,
+    sw: Stopwatch,
+}
+
+impl SpanGuard {
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !registry::enabled() {
+            return SpanGuard { active: None };
+        }
+        STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard {
+            active: Some(Active {
+                name,
+                sw: Stopwatch::start(),
+            }),
+        }
+    }
+
+    /// Attach a named numeric field: sets the gauge `"<span>.<key>"`.
+    pub fn field(&self, key: &str, value: f64) {
+        if let Some(a) = &self.active {
+            registry::gauge(&format!("{}.{key}", a.name)).set(value);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        let elapsed = a.sw.elapsed();
+        let parent = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own frame; the parent is whatever remains on top.
+            // Guards drop in LIFO order within a thread, so the top frame is
+            // ours unless `with_path` swapped the stack out mid-span (the
+            // pool never does — jobs fully enclose their spans).
+            stack.pop();
+            stack.last().copied().unwrap_or(ROOT)
+        });
+        registry::record_span(a.name, elapsed, parent);
+    }
+}
+
+/// Open a span. `span!("classify")` times until the guard drops;
+/// `span!("classify", batch = 3)` additionally sets the gauge
+/// `classify.batch = 3`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let guard = $crate::span::SpanGuard::enter($name);
+        $( guard.field(stringify!($key), ($value) as f64); )+
+        guard
+    }};
+}
+
+/// The current thread's open-span path, outermost first. Capture this where
+/// work is *submitted* and replay it with [`with_path`] where the work
+/// *runs*, so parent links are schedule-independent.
+pub fn current_path() -> Vec<&'static str> {
+    if !registry::enabled() {
+        return Vec::new();
+    }
+    STACK.with(|s| s.borrow().clone())
+}
+
+/// Run `f` with the span stack temporarily replaced by `path`, restoring
+/// the previous stack afterwards (panic-safe: restoration happens in a drop
+/// guard so a panicking job cannot poison the worker's stack).
+pub fn with_path<R>(path: &[&'static str], f: impl FnOnce() -> R) -> R {
+    struct Restore(Vec<&'static str>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STACK.with(|s| *s.borrow_mut() = std::mem::take(&mut self.0));
+        }
+    }
+    let prev = STACK.with(|s| std::mem::replace(&mut *s.borrow_mut(), path.to_vec()));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // Default-disabled registry: no stack frames, no metrics.
+        let g = SpanGuard::enter("test.span.disabled");
+        assert!(g.active.is_none());
+        assert!(current_path().is_empty());
+    }
+
+    #[test]
+    fn with_path_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_path(&["outer"], || panic!("boom"));
+        });
+        assert!(result.is_err());
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

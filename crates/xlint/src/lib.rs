@@ -147,7 +147,13 @@ impl Default for Config {
                 "crates/agg/src",
                 "crates/bootstrap/src",
             ]),
-            schedule_blessed: s(&["crates/bench/", "crates/common/src/timing.rs"]),
+            schedule_blessed: s(&[
+                "crates/bench/",
+                "crates/common/src/timing.rs",
+                // The observability clock: the one sanctioned absolute-time
+                // read (export timestamps only, never fed back into results).
+                "crates/obs/src/clock.rs",
+            ]),
             float_fold_scope: s(&[
                 "crates/core/src",
                 "crates/engine/src",

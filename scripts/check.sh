@@ -7,16 +7,21 @@
 # part of `cargo test --workspace`. Pass --soak to additionally run the
 # release soak binary: the same three oracles (differential, invariant,
 # calibration) at fuzzing volume, printing shrunk replayable artifacts for
-# any failure.
+# any failure. Pass --metrics to smoke-test the observability exports: one
+# Conviva query through the CLI with --metrics-out, the JSON snapshot
+# validated against scripts/metrics_schema.json and the Prometheus text
+# grepped for the expected families.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 soak=0
+metrics=0
 for arg in "$@"; do
     case "$arg" in
         --soak) soak=1 ;;
+        --metrics) metrics=1 ;;
         *)
-            echo "usage: $0 [--soak]" >&2
+            echo "usage: $0 [--soak] [--metrics]" >&2
             exit 2
             ;;
     esac
@@ -55,6 +60,37 @@ step cargo run --release -q -p xlint --bin golint -- --root .
 
 if [ "$soak" -eq 1 ]; then
     step cargo run --release -q -p gola-conformance --bin gola-soak
+fi
+
+# Observability smoke: drive one online query through the console with the
+# registry enabled (--threads 2 so the worker pool registers its metrics),
+# then validate both export formats.
+metrics_smoke() {
+    local tmp out
+    tmp="$(mktemp -d)" || return 1
+    out="$tmp/metrics.json"
+    # The nested query keeps an uncertain candidate set alive, which is what
+    # drives the chunked classify through the worker pool (a certain-filter
+    # query folds every tuple at ingest and never submits pool jobs).
+    printf '%s\n' \
+        "SELECT AVG(play_time) FROM sessions WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions);" \
+        '\q' \
+        | cargo run --release -q -p gola-cli --bin gola -- \
+            --threads 2 --metrics-out "$out" >/dev/null || return 1
+    [ -s "$out" ] || { echo "    no JSON snapshot at $out" >&2; return 1; }
+    [ -s "$out.prom" ] || { echo "    no Prometheus text at $out.prom" >&2; return 1; }
+    cargo run --release -q -p gola-obs --bin validate-metrics -- \
+        "$out" scripts/metrics_schema.json || return 1
+    local fam
+    for fam in gola_report_batches_total gola_pool_jobs_total \
+               gola_span_classify_total gola_report_ci_width; do
+        grep -q "^$fam" "$out.prom" \
+            || { echo "    $fam missing from $out.prom" >&2; return 1; }
+    done
+    rm -rf "$tmp"
+}
+if [ "$metrics" -eq 1 ]; then
+    step metrics_smoke
 fi
 
 if [ "$failures" -ne 0 ]; then

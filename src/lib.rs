@@ -35,6 +35,7 @@ pub use gola_common as common;
 pub use gola_core as core;
 pub use gola_engine as engine;
 pub use gola_expr as expr;
+pub use gola_obs as obs;
 pub use gola_plan as plan;
 pub use gola_sql as sql;
 pub use gola_storage as storage;
