@@ -92,23 +92,107 @@ impl ReplicatedStates {
     pub fn update_with_weights(&mut self, values: &[Value], weights: &[u32]) {
         debug_assert_eq!(values.len(), self.num_aggs());
         debug_assert_eq!(weights.len(), self.trials() as usize);
-        let stride = self.num_aggs;
         for (j, v) in values.iter().enumerate() {
-            self.states[j].update(v, 1.0);
-            if v.is_null() {
-                continue;
+            self.fold_value(j, v, weights);
+        }
+    }
+
+    /// Fused weight × value fold of one aggregate lane: the main state of
+    /// aggregate `j` updates with weight 1, each replica with the tuple's
+    /// `Poisson(1)` weight scaled in. `x` must equal `v.as_f64().unwrap()`
+    /// and `v` must be non-null — the columnar executor reads `x` straight
+    /// from a typed column vector, so the null check and numeric conversion
+    /// happen once per tuple *column slot* instead of once per replica.
+    /// Bit-identical to lane `j` of [`ReplicatedStates::update_with_weights`].
+    #[inline]
+    pub fn fold_numeric(&mut self, j: usize, v: &Value, x: f64, weights: &[u32]) {
+        let stride = self.num_aggs;
+        self.states[j].update_numeric(v, x, 1.0);
+        // `get_mut(..)`, not `[..]`: with zero replicas the slice start
+        // lies past the main-row-only allocation.
+        for (st, &w) in (self.states.get_mut(stride + j..).unwrap_or_default())
+            .iter_mut()
+            .step_by(stride)
+            .zip(weights)
+        {
+            if w != 0 {
+                st.update_numeric(v, x, w as f64);
             }
-            if let Some(x) = v.as_f64() {
-                for (b, &w) in weights.iter().enumerate() {
-                    if w != 0 {
-                        self.states[(1 + b) * stride + j].update_numeric(v, x, w as f64);
-                    }
+        }
+    }
+
+    /// Fused fold of one aggregate lane for an arbitrary value (null or
+    /// non-numeric arguments take this path). Bit-identical to lane `j` of
+    /// [`ReplicatedStates::update_with_weights`].
+    #[inline]
+    pub fn fold_value(&mut self, j: usize, v: &Value, weights: &[u32]) {
+        if v.is_null() {
+            // `AggState::update` ignores nulls, so the whole lane is a no-op.
+            return;
+        }
+        if let Some(x) = v.as_f64() {
+            self.fold_numeric(j, v, x, weights);
+        } else {
+            let stride = self.num_aggs;
+            self.states[j].update(v, 1.0);
+            // `get_mut(..)`, not `[..]`: with zero replicas the slice start
+            // lies past the main-row-only allocation.
+            for (st, &w) in (self.states.get_mut(stride + j..).unwrap_or_default())
+                .iter_mut()
+                .step_by(stride)
+                .zip(weights)
+            {
+                if w != 0 {
+                    st.update(v, w as f64);
                 }
-            } else {
-                for (b, &w) in weights.iter().enumerate() {
-                    if w != 0 {
-                        self.states[(1 + b) * stride + j].update(v, w as f64);
-                    }
+            }
+        }
+    }
+
+    /// Fused fold of one aggregate lane into the *replica* states only: the
+    /// main state is untouched, replica `b` updates with `weights[b]`
+    /// (zeros are no-ops). `x`/`v` contract as in
+    /// [`ReplicatedStates::fold_numeric`]. Callers that decide per-trial
+    /// inclusion separately (uncertain-set evaluation) mask excluded trials
+    /// to weight 0 — bit-identical to calling
+    /// [`ReplicatedStates::update_replica`] for each included trial in
+    /// ascending order.
+    #[inline]
+    pub fn fold_numeric_replicas(&mut self, j: usize, v: &Value, x: f64, weights: &[u32]) {
+        let stride = self.num_aggs;
+        // `get_mut(..)`, not `[..]`: with zero replicas the slice start
+        // lies past the main-row-only allocation.
+        for (st, &w) in (self.states.get_mut(stride + j..).unwrap_or_default())
+            .iter_mut()
+            .step_by(stride)
+            .zip(weights)
+        {
+            if w != 0 {
+                st.update_numeric(v, x, w as f64);
+            }
+        }
+    }
+
+    /// Replica-only fold of one aggregate lane for an arbitrary value; see
+    /// [`ReplicatedStates::fold_numeric_replicas`].
+    #[inline]
+    pub fn fold_value_replicas(&mut self, j: usize, v: &Value, weights: &[u32]) {
+        if v.is_null() {
+            return;
+        }
+        if let Some(x) = v.as_f64() {
+            self.fold_numeric_replicas(j, v, x, weights);
+        } else {
+            let stride = self.num_aggs;
+            // `get_mut(..)`, not `[..]`: with zero replicas the slice start
+            // lies past the main-row-only allocation.
+            for (st, &w) in (self.states.get_mut(stride + j..).unwrap_or_default())
+                .iter_mut()
+                .step_by(stride)
+                .zip(weights)
+            {
+                if w != 0 {
+                    st.update(v, w as f64);
                 }
             }
         }

@@ -86,11 +86,13 @@ impl AggState {
                 saw_negative,
             } => {
                 if let Some(x) = value.as_f64() {
-                    if weight == 1.0 {
-                        sum.add(x);
-                    } else {
-                        sum.add_product(x, weight);
-                    }
+                    // Uniform `add_product` for every weight: for finite x,
+                    // `add_product(x, 1.0)` is bit-identical to `add(x)`
+                    // (the product is exact and its fma error term is +0.0,
+                    // which `ExactSum::add` drops), and skipping the
+                    // data-dependent `weight == 1` branch keeps the
+                    // per-replica fold pipeline predictable.
+                    sum.add_product(x, weight);
                     *weight_sum += weight;
                     if x < 0.0 {
                         *saw_negative = true;
@@ -99,11 +101,7 @@ impl AggState {
             }
             AggState::Avg { sum, weight_sum } => {
                 if let Some(x) = value.as_f64() {
-                    if weight == 1.0 {
-                        sum.add(x);
-                    } else {
-                        sum.add_product(x, weight);
-                    }
+                    sum.add_product(x, weight);
                     *weight_sum += weight;
                 }
             }
@@ -145,7 +143,9 @@ impl AggState {
     /// bootstrap replicas and must not pay the `Value` match per replica.
     #[inline]
     pub fn update_numeric(&mut self, value: &Value, x: f64, weight: f64) {
-        debug_assert!(!value.is_null() && value.as_f64() == Some(x));
+        // Bit comparison, not `==`: NaN arguments are legitimate and must
+        // not trip the contract check.
+        debug_assert!(!value.is_null() && value.as_f64().map(f64::to_bits) == Some(x.to_bits()));
         if weight <= 0.0 {
             return;
         }
@@ -156,22 +156,17 @@ impl AggState {
                 weight_sum,
                 saw_negative,
             } => {
-                if weight == 1.0 {
-                    sum.add(x);
-                } else {
-                    sum.add_product(x, weight);
-                }
+                // See `update`: `add_product(x, 1.0)` ≡ `add(x)` bit-for-bit
+                // for finite x, and the uniform call avoids a data-dependent
+                // branch per (tuple, replica) cell.
+                sum.add_product(x, weight);
                 *weight_sum += weight;
                 if x < 0.0 {
                     *saw_negative = true;
                 }
             }
             AggState::Avg { sum, weight_sum } => {
-                if weight == 1.0 {
-                    sum.add(x);
-                } else {
-                    sum.add_product(x, weight);
-                }
+                sum.add_product(x, weight);
                 *weight_sum += weight;
             }
             AggState::Min { best } => {

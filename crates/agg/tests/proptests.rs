@@ -158,3 +158,162 @@ proptest! {
         }
     }
 }
+
+/// Equivalence of the fused per-lane fold kernels against the row-major
+/// reference path. `update_with_weights`/`fold_*` are documented
+/// bit-identical to updating main + each replica in ascending trial order
+/// through `AggState::update`; these tests hold them to it — to the last
+/// bit, across every aggregate kind, null/non-numeric arguments, zero
+/// weights, and replica counts (including zero).
+mod fold_kernel_equivalence {
+    use gola_agg::{AggKind, ReplicatedStates};
+    use gola_common::Value;
+    use proptest::prelude::*;
+
+    /// One lane per aggregate kind so the strided replica walk crosses a
+    /// non-trivial stride.
+    fn kinds() -> Vec<AggKind> {
+        vec![
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::VarPop,
+            AggKind::StdDev,
+        ]
+    }
+
+    /// Lane arguments: small float lattice (Min/Max tie-breaks), signed
+    /// zero and NaN edges, ints, strings (non-numeric: SUM ignores, MIN
+    /// orders), and NULLs (whole-lane no-op).
+    fn lane_val() -> BoxedStrategy<Value> {
+        prop_oneof![
+            (-8i32..8).prop_map(|i| Value::Float(i as f64 * 0.25)),
+            (-8i32..8).prop_map(|i| Value::Float(i as f64 * 0.25)),
+            (-100i64..100).prop_map(Value::Int),
+            Just(Value::Float(-0.0)),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::str("s")),
+            Just(Value::str("t")),
+            Just(Value::Null),
+        ]
+        .boxed()
+    }
+
+    /// Rows of (per-lane argument values, per-replica weights). Weights are
+    /// generated at the maximum trial count and truncated to `trials` by
+    /// the test, since strategies cannot depend on another generated value.
+    fn rows() -> BoxedStrategy<Vec<(Vec<Value>, Vec<u32>)>> {
+        prop::collection::vec(
+            (
+                prop::collection::vec(lane_val(), 7),
+                prop::collection::vec(0u32..4, 8),
+            ),
+            0..40,
+        )
+        .boxed()
+    }
+
+    fn bits_eq(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+
+    /// Row-major reference: main with weight 1, then each replica in
+    /// ascending order through the scalar `AggState::update` path.
+    fn reference_update(rs: &mut ReplicatedStates, values: &[Value], weights: &[u32]) {
+        rs.update_main(values);
+        for (b, &w) in weights.iter().enumerate() {
+            if w != 0 {
+                rs.update_replica(b as u32, values, w as f64);
+            }
+        }
+    }
+
+    fn assert_states_match(
+        kernel: &ReplicatedStates,
+        reference: &ReplicatedStates,
+        trials: u32,
+        what: &str,
+    ) -> Result<(), TestCaseError> {
+        for scale in [1.0, 1.5] {
+            for j in 0..kernel.num_aggs() {
+                prop_assert!(
+                    bits_eq(&kernel.value(j, scale), &reference.value(j, scale)),
+                    "{what}: main lane {j} scale {scale}: {:?} vs {:?}",
+                    kernel.value(j, scale),
+                    reference.value(j, scale)
+                );
+                for b in 0..trials {
+                    prop_assert!(
+                        bits_eq(
+                            &kernel.trial_value(j, b, scale),
+                            &reference.trial_value(j, b, scale)
+                        ),
+                        "{what}: lane {j} trial {b} scale {scale}: {:?} vs {:?}",
+                        kernel.trial_value(j, b, scale),
+                        reference.trial_value(j, b, scale)
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// Full fold (main + replicas): `update_with_weights` and direct
+        /// `fold_numeric`/`fold_value` calls, bit for bit against the
+        /// row-major reference.
+        #[test]
+        fn fused_fold_matches_row_major(data in rows(), trials in 0u32..8) {
+            let ks = kinds();
+            let mut via_tuple = ReplicatedStates::new(&ks, trials);
+            let mut via_lane = ReplicatedStates::new(&ks, trials);
+            let mut reference = ReplicatedStates::new(&ks, trials);
+            for (values, wfull) in &data {
+                let weights = &wfull[..trials as usize];
+                via_tuple.update_with_weights(values, weights);
+                for (j, v) in values.iter().enumerate() {
+                    // Exercise the numeric entry point directly where its
+                    // contract (non-null, x == as_f64) is satisfiable.
+                    match v.as_f64() {
+                        Some(x) if !v.is_null() => via_lane.fold_numeric(j, v, x, weights),
+                        _ => via_lane.fold_value(j, v, weights),
+                    }
+                }
+                reference_update(&mut reference, values, weights);
+            }
+            assert_states_match(&via_tuple, &reference, trials, "update_with_weights")?;
+            assert_states_match(&via_lane, &reference, trials, "fold_numeric/fold_value")?;
+        }
+
+        /// Replica-only fold: `fold_numeric_replicas`/`fold_value_replicas`
+        /// leave main untouched and match ascending `update_replica` calls.
+        #[test]
+        fn replica_only_fold_matches_row_major(data in rows(), trials in 0u32..8) {
+            let ks = kinds();
+            let mut kernel = ReplicatedStates::new(&ks, trials);
+            let mut reference = ReplicatedStates::new(&ks, trials);
+            for (values, wfull) in &data {
+                let weights = &wfull[..trials as usize];
+                for (j, v) in values.iter().enumerate() {
+                    match v.as_f64() {
+                        Some(x) if !v.is_null() => kernel.fold_numeric_replicas(j, v, x, weights),
+                        _ => kernel.fold_value_replicas(j, v, weights),
+                    }
+                }
+                for (b, &w) in weights.iter().enumerate() {
+                    if w != 0 {
+                        reference.update_replica(b as u32, values, w as f64);
+                    }
+                }
+            }
+            assert_states_match(&kernel, &reference, trials, "fold_*_replicas")?;
+            // Main states never touched: still empty.
+            prop_assert!(kernel.is_empty());
+        }
+    }
+}

@@ -73,7 +73,7 @@ impl CdmExecutor {
                 let table = catalog.get(&d.table)?;
                 let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
                 for row in table.rows() {
-                    let ctx = ExactContext::new(row);
+                    let ctx = ExactContext::new(&row);
                     let key: Result<Vec<Value>> =
                         d.dim_keys.iter().map(|k| eval(k, &ctx)).collect();
                     let key = key?;
@@ -129,13 +129,8 @@ impl CdmExecutor {
         let m = self.partitioner.multiplicity_after(i);
         let last = i + 1 == self.partitioner.num_batches();
         let prev_seen = self.seen.len();
-        self.seen.extend(
-            batch
-                .tuple_ids
-                .iter()
-                .copied()
-                .zip(batch.rows.iter().cloned()),
-        );
+        self.seen
+            .extend(batch.tuple_ids.iter().copied().zip(batch.rows()));
 
         let order = self.meta.order.clone();
         for &b in &order {
@@ -176,7 +171,7 @@ impl CdmExecutor {
             join_one(fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
             'rows: for joined in &joined_buf {
                 let point_ctx = TupleCtx {
-                    row: joined,
+                    row: joined.values(),
                     pubs: &self.published,
                     mode: CtxMode::Point,
                 };
@@ -219,7 +214,7 @@ impl CdmExecutor {
                         continue;
                     }
                     let trial_ctx = TupleCtx {
-                        row: joined,
+                        row: joined.values(),
                         pubs: &self.published,
                         mode: CtxMode::Trial(t),
                     };
@@ -285,7 +280,7 @@ impl CdmExecutor {
                         trial_vals.push(eval(post, &ctx)?);
                     }
                     out.scalars.insert(
-                        key.clone(),
+                        key.as_slice().into(),
                         PublishedScalar {
                             value,
                             trials: trial_vals,
@@ -304,7 +299,7 @@ impl CdmExecutor {
                         trial_pass.push(self.having_pass(cb, key, &agg_t, CtxMode::Trial(t))?);
                     }
                     out.members.insert(
-                        key.clone(),
+                        key.as_slice().into(),
                         PublishedMember {
                             point,
                             trials: trial_pass,

@@ -70,7 +70,7 @@ impl NaiveExecutor {
         let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
-        self.seen.extend(batch.rows.iter().cloned());
+        self.seen.extend(batch.rows());
 
         // Swap in the seen prefix as the stream table and re-run exactly.
         let schema = Arc::clone(self.partitioner.table().schema());

@@ -107,7 +107,7 @@ impl ClassicOlaExecutor {
             let table = catalog.get(&d.table)?;
             let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
             for row in table.rows() {
-                let ctx = ExactContext::new(row);
+                let ctx = ExactContext::new(&row);
                 let key: Result<Vec<Value>> = d.dim_keys.iter().map(|k| eval(k, &ctx)).collect();
                 let key = key?;
                 if key.iter().any(Value::is_null) {
@@ -145,10 +145,10 @@ impl ClassicOlaExecutor {
         let mut joined_buf: Vec<Row> = Vec::new();
         for (_tid, fact_row) in batch.iter() {
             joined_buf.clear();
-            join_one(fact_row, &self.dims, &cb.block.dims, &mut joined_buf)?;
+            join_one(&fact_row, &self.dims, &cb.block.dims, &mut joined_buf)?;
             'rows: for joined in &joined_buf {
                 let ctx = TupleCtx {
-                    row: joined,
+                    row: joined.values(),
                     pubs: &no_pubs,
                     mode: CtxMode::Point,
                 };

@@ -26,6 +26,13 @@ use gola_core::{BatchReport, BatchTiming, OnlineConfig};
 const TRIALS: u32 = 100;
 const BATCHES: usize = 20;
 
+/// The pre-columnar row-store (`Vec<Row>`) measurement of this exact
+/// workload (tpch_q17, 200k rows, 20 batches, 100 trials, threads=1) on the
+/// reference host, kept as the "before" row of the columnar comparison.
+/// Source: results/BENCH_scaling.json as of the row-store seed.
+const ROW_STORE_WALL_S: f64 = 4.653450;
+const ROW_STORE_TUPLES_PER_SEC: f64 = 42_978.9;
+
 /// Exact fingerprint of a run: every float is rendered via `to_bits`, so two
 /// runs fingerprint equal iff their reports are bit-identical.
 fn fingerprint(reports: &[BatchReport]) -> String {
@@ -114,7 +121,21 @@ fn main() {
             a.strip_prefix("--metrics-out=").map(str::to_string)
         }
     });
-    let n = rows(200_000);
+    // --rows overrides the dataset size (the bench-smoke gate runs a small
+    // configuration; the default is the full experiment).
+    let requested_rows: usize = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            if a == "--rows" {
+                args.get(i + 1).cloned()
+            } else {
+                a.strip_prefix("--rows=").map(str::to_string)
+            }
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let n = rows(requested_rows);
     let catalog = tpch_catalog(n);
     let cpus = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -158,6 +179,7 @@ fn main() {
             format!("{:.2}", s.per_batch_ms),
             format!("{:.0}", s.tuples_per_sec),
             format!("{:.2}x", base / s.wall.as_secs_f64()),
+            format!("{:.2}x", s.tuples_per_sec / ROW_STORE_TUPLES_PER_SEC),
             s.identical.to_string(),
         ]);
         csv_line(&[
@@ -176,9 +198,52 @@ fn main() {
             "batch_ms",
             "tuples/s",
             "speedup",
+            "vs_row_store",
             "bit_identical",
         ],
         &table,
+    );
+
+    // Per-stage throughput: tuples scanned per second spent inside each
+    // pipeline stage (summed across batches). `recover` is usually 0s —
+    // rendered as null rather than a fake infinity.
+    let stage_tps = |d: Duration| -> String {
+        let s = d.as_secs_f64();
+        if s > 0.0 {
+            format!("{:.1}", n as f64 / s)
+        } else {
+            "null".into()
+        }
+    };
+    let mut stage_table = Vec::new();
+    for s in &stats {
+        stage_table.push(vec![
+            s.threads.to_string(),
+            stage_tps(s.stages.join),
+            stage_tps(s.stages.classify),
+            stage_tps(s.stages.fold),
+            stage_tps(s.stages.publish),
+            stage_tps(s.stages.recover),
+        ]);
+    }
+    print_table(
+        &[
+            "threads",
+            "join_t/s",
+            "classify_t/s",
+            "fold_t/s",
+            "publish_t/s",
+            "recover_t/s",
+        ],
+        &stage_table,
+    );
+    println!(
+        "columnar vs row-store seed at 1 thread: {:.2}x tuples/s \
+         ({:.1} -> {:.1}; seed wall {ROW_STORE_WALL_S:.3}s -> {})",
+        stats[0].tuples_per_sec / ROW_STORE_TUPLES_PER_SEC,
+        ROW_STORE_TUPLES_PER_SEC,
+        stats[0].tuples_per_sec,
+        secs(stats[0].wall),
     );
 
     let results: Vec<String> = stats
@@ -187,27 +252,41 @@ fn main() {
             format!(
                 "{{\"threads\":{},\"wall_s\":{:.6},\"per_batch_ms\":{:.4},\
                  \"tuples_per_sec\":{:.1},\"speedup_vs_1\":{:.4},\
+                 \"speedup_vs_row_store\":{:.4},\
                  \"bit_identical_to_t1\":{},\"stage_totals_s\":{{\
                  \"join\":{:.6},\"classify\":{:.6},\"fold\":{:.6},\
-                 \"publish\":{:.6},\"recover\":{:.6}}}}}",
+                 \"publish\":{:.6},\"recover\":{:.6}}},\
+                 \"stage_tuples_per_sec\":{{\
+                 \"join\":{},\"classify\":{},\"fold\":{},\
+                 \"publish\":{},\"recover\":{}}}}}",
                 s.threads,
                 s.wall.as_secs_f64(),
                 s.per_batch_ms,
                 s.tuples_per_sec,
                 base / s.wall.as_secs_f64(),
+                s.tuples_per_sec / ROW_STORE_TUPLES_PER_SEC,
                 s.identical,
                 s.stages.join.as_secs_f64(),
                 s.stages.classify.as_secs_f64(),
                 s.stages.fold.as_secs_f64(),
                 s.stages.publish.as_secs_f64(),
                 s.stages.recover.as_secs_f64(),
+                stage_tps(s.stages.join),
+                stage_tps(s.stages.classify),
+                stage_tps(s.stages.fold),
+                stage_tps(s.stages.publish),
+                stage_tps(s.stages.recover),
             )
         })
         .collect();
     println!(
         "json,{{\"experiment\":\"thread_scaling\",\"workload\":\"{name}\",\
          \"rows\":{n},\"batches\":{BATCHES},\"trials\":{TRIALS},\
-         \"host_cpus\":{cpus},\"results\":[{}]}}",
+         \"host_cpus\":{cpus},\"row_store_baseline\":{{\
+         \"store\":\"row (pre-columnar seed)\",\"threads\":1,\
+         \"wall_s\":{ROW_STORE_WALL_S:.6},\
+         \"tuples_per_sec\":{ROW_STORE_TUPLES_PER_SEC:.1}}},\
+         \"results\":[{}]}}",
         results.join(",")
     );
     if cpus == 1 {

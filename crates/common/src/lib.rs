@@ -9,6 +9,7 @@
 //! Everything here is dependency-free so the rest of the workspace can build
 //! on a stable, minimal base.
 
+pub mod column;
 pub mod error;
 pub mod fsum;
 pub mod hash;
@@ -19,6 +20,7 @@ pub mod stats;
 pub mod timing;
 pub mod value;
 
+pub use column::{Bitmap, Column, ColumnBuilder, ColumnData};
 pub use error::{Error, Result};
 pub use fsum::{ExactSum, ExactVariance};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -62,13 +62,6 @@ pub fn hash_combine(a: u64, b: u64) -> u64 {
     mix(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Uniform f64 in `(0, 1]` derived from a hash (never returns 0 so it is
-/// safe inside `ln`).
-#[inline]
-fn unit_from_hash(h: u64) -> f64 {
-    (((h >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
-}
-
 /// Deterministic `Poisson(1)` draw for `(tuple_id, replica)` under `seed`.
 ///
 /// Uses Knuth's product method: count multiplications of hash-derived
@@ -85,14 +78,31 @@ pub fn poisson_weight(tuple_id: u64, replica: u32, seed: u64) -> u32 {
 /// that derive `stream` differently (e.g. with hoisted per-replica terms)
 /// must produce bit-identical streams to `hash_combine(hash_combine(t, b ^
 /// 0xB007), seed)` or weights will diverge.
+///
+/// The first draw's termination test is done in integer space: with
+/// `u = m · 2⁻⁵³` for the integer mantissa `m = (h >> 11) + 1` (an exact
+/// product — `m ≤ 2⁵³` and the scale is a power of two), `u ≤ e⁻¹` holds
+/// iff `m ≤ ⌊e⁻¹ · 2⁵³⌋`. ~37% of draws return 0, and every call skips one
+/// int→float conversion, multiply and float compare — with not a single
+/// bit of output changed (the remaining iterations run the original float
+/// product chain seeded with the exact same `p = 1.0 · u₁ = u₁`).
 #[inline]
 pub fn poisson_from_stream(stream: u64) -> u32 {
+    // ⌊e⁻¹ · 2⁵³⌋: the f64 product is exact (power-of-two scaling of a
+    // 53-bit significand), so the truncating cast is the true floor.
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
     let limit = (-1.0f64).exp();
-    let mut k = 0u32;
-    let mut p = 1.0f64;
-    let mut g = SplitMix64::new(stream);
+    let t0 = (limit * (1u64 << 53) as f64) as u64;
+    let mut state = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let m1 = (mix(state) >> 11) + 1;
+    if m1 <= t0 {
+        return 0;
+    }
+    let mut p = m1 as f64 * SCALE;
+    let mut k = 1u32;
     loop {
-        p *= unit_from_hash(g.next_u64());
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        p *= (((mix(state) >> 11) + 1) as f64) * SCALE;
         if p <= limit {
             return k;
         }

@@ -17,11 +17,12 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use gola_conformance::gen::Filter;
+use gola_conformance::gen::{Filter, GroupBy};
 use gola_conformance::{
     calibrate, default_classes, run_case, shrink_calibration, shrink_case, CalibConfig, Fault,
     OracleConfig, QueryGen, SchemaClass,
 };
+use gola_storage::{ColumnChunk, Table};
 
 const ROWS: usize = 360;
 const DATA_SEED: u64 = 0x5EED_DA7A;
@@ -172,4 +173,85 @@ fn injected_online_skew_is_caught_and_shrunk() {
         "differential",
         "replay diverged: {replayed}"
     );
+}
+
+/// Columnar-path smoke: the fact table is deliberately re-chunked into
+/// small, irregular [`ColumnChunk`]s — every low-cardinality group (and in
+/// particular every dictionary-encoded string key) splits across many chunk
+/// boundaries, and each chunk carries its own string dictionary. The corpus
+/// is restricted to queries that group or filter on string columns, so the
+/// vectorized classify kernels run against dictionary codes and the
+/// per-group fold merges partial states that originate in different
+/// chunks. The differential oracle then checks exactness and the
+/// threads-{1,1,4} runs check merge-order bit-identity.
+#[test]
+fn columnar_chunk_splits_and_dictionary_strings_pass_oracles() {
+    let cfg = oracle_cfg();
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        let generated = class.generate(ROWS, DATA_SEED ^ 0xC01);
+        let schema = Arc::clone(generated.schema());
+        let rows = generated.rows();
+        // Irregular chunk lengths (including a singleton) so no index
+        // arithmetic shortcut survives: 37, 1, 96, 37, 1, 96, ...
+        let mut chunks = Vec::new();
+        let mut at = 0usize;
+        for (i, _) in std::iter::repeat(()).enumerate() {
+            if at >= rows.len() {
+                break;
+            }
+            let take = [37usize, 1, 96][i % 3].min(rows.len() - at);
+            chunks.push(ColumnChunk::from_rows(&schema, &rows[at..at + take]));
+            at += take;
+        }
+        assert!(chunks.len() > 4, "re-chunking must produce many chunks");
+        let data = Arc::new(Table::from_chunks(schema, chunks));
+        assert_eq!(data.num_rows(), rows.len());
+
+        let strs: BTreeSet<&str> = class.info().str_keys.iter().map(|(c, _)| *c).collect();
+        let mut gen = QueryGen::new(class, &data, 0xD1C7_0000 ^ class.table_name().len() as u64);
+        let mut seen = BTreeSet::new();
+        let mut str_grouped = 0usize;
+        let mut str_filtered = 0usize;
+        let mut failures = Vec::new();
+        let mut attempts = 0usize;
+        // Collect until both coverage quotas are met, not a fixed count —
+        // the generator's mix of string-keyed shapes varies per schema.
+        while str_grouped < 10 || str_filtered < 8 {
+            attempts += 1;
+            assert!(
+                attempts < 5000,
+                "{class}: generator starved of string-key queries"
+            );
+            let q = gen.next_query();
+            let grouped_on_str =
+                matches!(&q.group_by, Some(GroupBy::Key(c)) if strs.contains(c.as_str()));
+            let filtered_on_str = q
+                .filters
+                .iter()
+                .any(|f| matches!(f, Filter::KeyEq { col, .. } if strs.contains(col.as_str())));
+            if !(grouped_on_str || filtered_on_str) {
+                continue;
+            }
+            let sql = q.sql(class.table_name());
+            if !seen.insert(sql.clone()) {
+                continue;
+            }
+            str_grouped += usize::from(grouped_on_str);
+            str_filtered += usize::from(filtered_on_str);
+            if let Err(f) = run_case(class, &data, &sql, q.key_cols(), &cfg, Fault::None) {
+                failures.push(format!("{sql}\n    -> {f}"));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{} columnar oracle failure(s) on {class}:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
+        assert!(
+            seen.len() >= 15,
+            "{class}: only {} distinct queries",
+            seen.len()
+        );
+    }
 }

@@ -16,25 +16,29 @@
 //! 4. **Report**: materialize the root block's current answer with
 //!    bootstrap error bars ([`BatchReport`]).
 
+use std::borrow::Cow;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
 use gola_bootstrap::{Estimate, VariationRange};
 use gola_common::timing::Stopwatch;
-use gola_common::{cmp_values, Error, FxHashMap, FxHashSet, Result, Row, Value};
+use gola_common::{
+    cmp_values, Bitmap, ColumnData, Error, FxHashMap, FxHashSet, Result, Row, Value,
+};
 use gola_expr::eval::{eval, eval_predicate, eval_tri, ExactContext};
+use gola_expr::vector::predicate_mask;
 use gola_expr::{Expr, RangeVal, Tri};
 use gola_plan::{BlockRole, MetaPlan};
-use gola_storage::{Catalog, MiniBatch, MiniBatchPartitioner};
+use gola_storage::{Catalog, ColumnChunk, MiniBatch, MiniBatchPartitioner};
 
 use crate::compiled::CompiledBlock;
 use crate::config::OnlineConfig;
 use crate::pool::WorkerPool;
 use crate::report::{BatchReport, BatchTiming, CellEstimate};
 use crate::runtime::{
-    sorted_entries, sorted_into_entries, BlockRuntime, CachedTuple, CtxMode, GroupCtx, Published,
-    PublishedMember, PublishedScalar, TupleCtx,
+    sorted_entries, sorted_into_entries, BlockRuntime, CtxMode, GroupCtx, Published,
+    PublishedMember, PublishedScalar, TupleCtx, UncertainSet,
 };
 
 /// Fixed candidate-chunk size for the two-stage (classify → fold) ingest
@@ -46,22 +50,159 @@ const CHUNK: usize = 1024;
 /// Group-entry chunk size for parallel publication.
 const PUB_CHUNK: usize = 64;
 
-/// A candidate tuple classified deterministic-true, carrying the fold
-/// inputs already evaluated during the classify stage.
-struct FoldItem {
-    tuple_id: u64,
-    /// Membership key (semi-join aggregation blocks only).
-    mkey: Option<Vec<Value>>,
-    key: Vec<Value>,
-    args: Vec<Value>,
-}
-
-/// Classify-stage output for one fixed-size candidate chunk.
+/// Classify-stage output for one fixed-size candidate chunk: chunk-relative
+/// indices of the deterministic-true tuples (the fold stage reads their
+/// inputs straight off the candidate columns) and of the tuples that stay
+/// uncertain.
 #[derive(Default)]
 struct ChunkClass {
-    folds: Vec<FoldItem>,
+    folds: Vec<u32>,
     /// Chunk-relative indices of tuples that stay uncertain.
     uncertain_idx: Vec<u32>,
+}
+
+/// Where a per-tuple expression reads from: a lineage column directly (the
+/// common case — no row materialization, no expression-tree walk) or a
+/// general expression evaluated over a lazily materialized row buffer.
+enum ExprSrc<'a> {
+    Col(usize),
+    Expr(&'a Expr),
+}
+
+fn plan_src(e: &Expr) -> ExprSrc<'_> {
+    match e {
+        Expr::Column(i) => ExprSrc::Col(*i),
+        other => ExprSrc::Expr(other),
+    }
+}
+
+/// Evaluate one planned expression for tuple `i` of `chunk`, filling the
+/// shared row buffer only if a general expression actually needs it.
+fn src_value(
+    chunk: &ColumnChunk,
+    i: usize,
+    src: &ExprSrc<'_>,
+    rowbuf: &mut Vec<Value>,
+    filled: &mut bool,
+    pubs: &[Published],
+    mode: CtxMode,
+) -> Result<Value> {
+    match src {
+        ExprSrc::Col(c) => Ok(chunk.column(*c).value(i)),
+        ExprSrc::Expr(e) => {
+            if !*filled {
+                chunk.row_values_into(i, rowbuf);
+                *filled = true;
+            }
+            let ctx = TupleCtx {
+                row: rowbuf,
+                pubs,
+                mode,
+            };
+            eval(e, &ctx)
+        }
+    }
+}
+
+/// Fold one tuple's aggregate arguments into `states` with the fused
+/// weight × value kernels: plain numeric columns skip `Value`
+/// materialization entirely; general expressions evaluate over the lazily
+/// filled row buffer (shared with the caller's key evaluation via `filled`).
+#[allow(clippy::too_many_arguments)]
+fn fold_tuple_args(
+    cand: &ColumnChunk,
+    i: usize,
+    arg_plans: &[ExprSrc<'_>],
+    states: &mut gola_agg::ReplicatedStates,
+    weights: &[u32],
+    rowbuf: &mut Vec<Value>,
+    filled: &mut bool,
+    pubs: &[Published],
+) -> Result<()> {
+    for (j, p) in arg_plans.iter().enumerate() {
+        match p {
+            ExprSrc::Col(c) => {
+                let col = cand.column(*c);
+                match col.data() {
+                    ColumnData::Float(xs) if col.is_valid(i) => {
+                        states.fold_numeric(j, &Value::Float(xs[i]), xs[i], weights);
+                    }
+                    ColumnData::Int(xs) if col.is_valid(i) => {
+                        states.fold_numeric(j, &Value::Int(xs[i]), xs[i] as f64, weights);
+                    }
+                    _ => {
+                        let v = col.value(i);
+                        states.fold_value(j, &v, weights);
+                    }
+                }
+            }
+            ExprSrc::Expr(e) => {
+                if !*filled {
+                    cand.row_values_into(i, rowbuf);
+                    *filled = true;
+                }
+                let ctx = TupleCtx {
+                    row: rowbuf,
+                    pubs,
+                    mode: CtxMode::Point,
+                };
+                let v = eval(e, &ctx)?;
+                states.fold_value(j, &v, weights);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `x (op) y` for the scalar-comparison fast path.
+#[inline(always)]
+fn cmp_op(op: gola_expr::BinOp, x: f64, y: f64) -> bool {
+    match op {
+        gola_expr::BinOp::Lt => x < y,
+        gola_expr::BinOp::LtEq => x <= y,
+        gola_expr::BinOp::Gt => x > y,
+        gola_expr::BinOp::GtEq => x >= y,
+        gola_expr::BinOp::Eq => x == y,
+        gola_expr::BinOp::NotEq => x != y,
+        _ => false,
+    }
+}
+
+/// Per-trial weight mask for the scalar-comparison fast path: `mask[b] =
+/// weights[b]` when trial `b`'s RHS is non-null and `lx (op) rhs[b]`
+/// holds, else `0`. The operator dispatch happens once per call so each
+/// arm compiles to a tight, bounds-check-free sweep over the trial vector.
+fn fill_cmp_mask(
+    mask: &mut Vec<u32>,
+    weights: &[u32],
+    rhs: &[Option<f64>],
+    op: gola_expr::BinOp,
+    lx: f64,
+) {
+    #[inline(always)]
+    fn sweep(
+        mask: &mut Vec<u32>,
+        weights: &[u32],
+        rhs: &[Option<f64>],
+        lx: f64,
+        f: impl Fn(f64, f64) -> bool,
+    ) {
+        mask.clear();
+        mask.extend(weights.iter().zip(rhs).map(|(&w, &rv)| match rv {
+            Some(y) if f(lx, y) => w,
+            _ => 0,
+        }));
+    }
+    use gola_expr::BinOp;
+    match op {
+        BinOp::Lt => sweep(mask, weights, rhs, lx, |x, y| x < y),
+        BinOp::LtEq => sweep(mask, weights, rhs, lx, |x, y| x <= y),
+        BinOp::Gt => sweep(mask, weights, rhs, lx, |x, y| x > y),
+        BinOp::GtEq => sweep(mask, weights, rhs, lx, |x, y| x >= y),
+        BinOp::Eq => sweep(mask, weights, rhs, lx, |x, y| x == y),
+        BinOp::NotEq => sweep(mask, weights, rhs, lx, |x, y| x != y),
+        _ => sweep(mask, weights, rhs, lx, |_, _| false),
+    }
 }
 
 /// One group's publication result (scalar or membership block).
@@ -71,10 +212,17 @@ enum PubEntry {
 }
 
 /// Publication output of one group chunk: `(key, entry, violated)` each.
-type PubChunk = Vec<(Vec<Value>, PubEntry, bool)>;
+/// Keys are interned `Arc` slices so live groups reuse the previous batch's
+/// allocation instead of cloning a `Vec<Value>` every batch.
+type PubChunk = Vec<(Arc<[Value]>, PubEntry, bool)>;
 
 /// Per-group certainty claims made by a report: `(key, certain)` each.
 type GroupClaims = Vec<(Vec<Value>, bool)>;
+
+/// One publish-stage group: interned key plus effective states; the
+/// `Certain` variant carries the semi-join membership-certainty flag.
+type EffGroup<'a> = (Cow<'a, [Value]>, EffStates<'a>);
+type EffGroupCertain<'a> = (Cow<'a, [Value]>, EffStates<'a>, bool);
 
 /// Aggregate states for one group during answer/publish computation:
 /// borrowed when the group has no uncertain contributions, owned (a merged
@@ -142,7 +290,7 @@ impl OnlineExecutor {
                 let table = catalog.get(&d.table)?;
                 let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
                 for row in table.rows() {
-                    let ctx = ExactContext::new(row);
+                    let ctx = ExactContext::new(&row);
                     let key: Result<Vec<Value>> =
                         d.dim_keys.iter().map(|k| eval(k, &ctx)).collect();
                     let key = key?;
@@ -424,61 +572,54 @@ impl OnlineExecutor {
         timing: &mut BatchTiming,
     ) -> Result<()> {
         let cb = &self.compiled[b];
-        let pubs = &self.published;
         let t_join = Stopwatch::start();
         let join_span = gola_obs::span!("join");
-        let mut candidates = std::mem::take(&mut rt.uncertain);
 
-        // Join + certain filters for the new tuples, then lineage-project.
-        let mut joined_buf: Vec<Row> = Vec::new();
-        for (tid, fact_row) in batch.iter() {
-            joined_buf.clear();
-            join_one(fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
-            'rows: for joined in &joined_buf {
-                let ctx = TupleCtx {
-                    row: joined,
-                    pubs,
-                    mode: CtxMode::Point,
-                };
-                for f in &cb.certain_filters {
-                    if !eval_predicate(f, &ctx)? {
-                        continue 'rows;
-                    }
-                }
-                candidates.push(CachedTuple {
-                    tuple_id: tid,
-                    lineage: joined.project(&cb.lineage_cols),
-                });
-            }
-        }
+        // Join + certain filters + lineage projection for the new tuples.
+        let (new_ids, new_chunk) = self.new_candidates(cb, b, batch)?;
+
+        // Candidates = carried uncertain set ++ new tuples, column-major.
+        // The carried prefix keeps its cached bootstrap weights; new tuples
+        // get weights from the batched kernel only if/when they fold or
+        // enter the uncertain set.
+        let carried = std::mem::take(&mut rt.uncertain);
+        let carried_len = carried.len();
+        let cand_chunk = carried.chunk.concat(&new_chunk);
+        let mut cand_ids = carried.tuple_ids;
+        cand_ids.extend_from_slice(&new_ids);
+        let carried_weights = carried.weights;
         drop(join_span);
         timing.join += t_join.elapsed();
 
         // Stage 1 — classify fixed-size chunks. Classification is per-tuple
         // independent (reliance marking is atomic and idempotent), so this
         // runs in parallel for *every* block, including ones whose
-        // aggregates cannot merge. Workers borrow slices of `candidates` —
-        // no cloning.
+        // aggregates cannot merge. Workers borrow ranges of the candidate
+        // chunk — no cloning.
         let t_classify = Stopwatch::start();
         let classify_span = gola_obs::span!("classify");
-        let chunks: Vec<&[CachedTuple]> = candidates.chunks(CHUNK).collect();
+        let n = cand_chunk.len();
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(CHUNK.max(1))
+            .map(|s| (s, CHUNK.min(n - s)))
+            .collect();
         let mut slots: Vec<Option<Result<ChunkClass>>> = Vec::new();
-        slots.resize_with(chunks.len(), || None);
-        if chunks.len() > 1 && self.pool.threads() > 1 {
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        slots.resize_with(ranges.len(), || None);
+        if ranges.len() > 1 && self.pool.threads() > 1 {
+            let cand_ref = &cand_chunk;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
                 .iter()
                 .zip(slots.iter_mut())
-                .map(|(chunk, slot)| {
-                    let chunk: &[CachedTuple] = chunk;
+                .map(|(&(start, len), slot)| {
                     Box::new(move || {
-                        *slot = Some(self.classify_chunk(cb, chunk));
+                        *slot = Some(self.classify_chunk(cb, cand_ref, start, len));
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             self.pool.run(jobs);
         } else {
-            for (chunk, slot) in chunks.iter().zip(slots.iter_mut()) {
-                *slot = Some(self.classify_chunk(cb, chunk));
+            for (&(start, len), slot) in ranges.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.classify_chunk(cb, &cand_chunk, start, len));
             }
         }
         let mut classes = Vec::with_capacity(slots.len());
@@ -490,41 +631,53 @@ impl OnlineExecutor {
         drop(classify_span);
         timing.classify += t_classify.elapsed();
 
-        // Stage 2 — fold. Mergeable aggregates fold each chunk into a
-        // private shard, then merge shards in chunk index order; the
-        // one-thread path uses the *same* chunk structure and merge order,
-        // so every float operation sequence is identical for any thread
-        // count. Quantile/UDAF states cannot merge — their fold stays
-        // sequential (classification above was still parallel).
+        // Stage 2 — fold. With several workers, mergeable aggregates fold
+        // each chunk into a private shard, then merge shards in chunk index
+        // order. The one-thread path folds chunks directly into the block
+        // runtime — no shards, no merges — and still produces bit-identical
+        // published values: every mergeable state (COUNT/SUM/AVG/MIN/MAX/
+        // VAR) finalizes to a pure function of the folded *multiset*
+        // (`ExactSum` expansions; exact small-integer weight sums; strict
+        // MIN/MAX comparisons), so shard-merging in chunk order and folding
+        // sequentially in chunk order round to the same bits.
+        // Quantile/UDAF states cannot merge — their fold stays sequential
+        // on any thread count (classification above was still parallel).
         let t_fold = Stopwatch::start();
         let fold_span = gola_obs::span!("fold");
         let mergeable = cb.agg_kinds.iter().all(gola_agg::AggKind::is_mergeable);
-        if mergeable {
-            let mut shard_slots: Vec<Option<BlockRuntime>> = Vec::new();
+        if mergeable && classes.len() > 1 && self.pool.threads() > 1 {
+            let mut shard_slots: Vec<Option<Result<BlockRuntime>>> = Vec::new();
             shard_slots.resize_with(classes.len(), || None);
-            if classes.len() > 1 && self.pool.threads() > 1 {
+            {
+                let cand_ref = &cand_chunk;
+                let ids_ref = &cand_ids;
+                let cw_ref = carried_weights.as_slice();
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = classes
-                    .iter_mut()
+                    .iter()
+                    .enumerate()
                     .zip(shard_slots.iter_mut())
-                    .map(|(class, slot)| {
-                        let folds = std::mem::take(&mut class.folds);
+                    .map(|((ci, class), slot)| {
+                        let folds: &[u32] = &class.folds;
                         Box::new(move || {
-                            *slot = Some(self.fold_chunk(cb, folds));
+                            *slot = Some(self.fold_chunk(
+                                cb,
+                                cand_ref,
+                                ids_ref,
+                                ci * CHUNK,
+                                folds,
+                                carried_len,
+                                cw_ref,
+                            ));
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 self.pool.run(jobs);
-            } else {
-                for (class, slot) in classes.iter_mut().zip(shard_slots.iter_mut()) {
-                    let folds = std::mem::take(&mut class.folds);
-                    *slot = Some(self.fold_chunk(cb, folds));
-                }
             }
             let _merge_span = gola_obs::span!("merge");
             for shard in shard_slots {
                 // golint: allow(panic-surface) -- the pool run above blocks
                 // until every job stored its slot; an empty slot is a pool bug
-                let shard = shard.expect("fold job ran");
+                let shard = shard.expect("fold job ran")?;
                 // golint: allow(hash-order-leak) -- per-key merge into disjoint
                 // entries; key visit order only affects rt.groups insertion
                 // order, which is sorted before anything observable reads it
@@ -556,114 +709,259 @@ impl OnlineExecutor {
                 }
             }
         } else {
-            // Non-mergeable states (P² quantile, UDAFs) cannot merge
-            // shards — fold chunk by chunk, in chunk order, directly into
-            // the block runtime. The batched weight kernel still applies.
+            // One worker (any kinds), or non-mergeable states (P² quantile,
+            // UDAFs): fold chunk by chunk, in chunk order, directly into
+            // the block runtime — no per-chunk shard states, no merges. The
+            // batched weight kernel still applies.
             let mut wbuf: Vec<u32> = Vec::new();
-            for class in classes.iter_mut() {
-                let folds = std::mem::take(&mut class.folds);
-                self.fold_into(cb, rt, folds, &mut wbuf);
+            for (ci, class) in classes.iter().enumerate() {
+                self.fold_range(
+                    cb,
+                    &cand_chunk,
+                    &cand_ids,
+                    ci * CHUNK,
+                    &class.folds,
+                    carried_len,
+                    &carried_weights,
+                    rt,
+                    &mut wbuf,
+                )?;
             }
         }
 
         // Reclaim the still-uncertain tuples in candidate order (chunk
         // order × chunk-relative index order) — identical to the order the
-        // sequential classifier would have pushed them.
-        let mut keep = vec![false; candidates.len()];
+        // sequential classifier would have pushed them. Carried tuples keep
+        // their cached bootstrap weights; tuples entering the uncertain set
+        // get theirs from one batched kernel call, so later publish stages
+        // never recompute a weight.
+        let mut keep_idx: Vec<usize> = Vec::new();
         for (ci, class) in classes.iter().enumerate() {
             for &idx in &class.uncertain_idx {
-                keep[ci * CHUNK + idx as usize] = true;
+                keep_idx.push(ci * CHUNK + idx as usize);
             }
         }
-        rt.uncertain = candidates
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(t, k)| k.then_some(t))
+        let stride = self.config.bootstrap.trials as usize;
+        let entering: Vec<u64> = keep_idx
+            .iter()
+            .filter(|&&i| i >= carried_len)
+            .map(|&i| cand_ids[i])
             .collect();
+        let mut new_w: Vec<u32> = Vec::new();
+        self.config.bootstrap.weights_batch(&entering, &mut new_w);
+        let mut kept_weights: Vec<u32> = Vec::with_capacity(keep_idx.len() * stride);
+        let mut next_new = 0usize;
+        for &i in &keep_idx {
+            if i < carried_len {
+                kept_weights.extend_from_slice(&carried_weights[i * stride..(i + 1) * stride]);
+            } else {
+                kept_weights.extend_from_slice(&new_w[next_new * stride..(next_new + 1) * stride]);
+                next_new += 1;
+            }
+        }
+        rt.uncertain = UncertainSet {
+            tuple_ids: keep_idx.iter().map(|&i| cand_ids[i]).collect(),
+            weights: kept_weights,
+            chunk: cand_chunk.gather(&keep_idx),
+        };
         drop(fold_span);
         timing.fold += t_fold.elapsed();
         Ok(())
     }
 
-    /// Classify one chunk of candidates against the current envelopes,
-    /// evaluating fold inputs (group key, aggregate args) for the tuples
-    /// that pass deterministically. Runs on pool workers: touches `self`
-    /// read-only and records reliance via idempotent atomic stores.
-    fn classify_chunk(&self, cb: &CompiledBlock, chunk: &[CachedTuple]) -> Result<ChunkClass> {
+    /// Join one batch against the block's dimensions, apply the certain
+    /// filters, and project to lineage columns — producing the block's new
+    /// candidate tuples as a columnar chunk.
+    ///
+    /// Without dimension joins this path is vectorized: certain filters the
+    /// kernel supports are evaluated column-at-a-time into selection
+    /// bitmaps, and the lineage projection of the survivors is an `Arc`
+    /// bump (no filters, or all rows pass) or a typed gather — no `Row` is
+    /// ever materialized.
+    fn new_candidates(
+        &self,
+        cb: &CompiledBlock,
+        b: usize,
+        batch: &MiniBatch,
+    ) -> Result<(Vec<u64>, ColumnChunk)> {
+        let pubs = &self.published;
+        if cb.block.dims.is_empty() {
+            let chunk = batch.chunk();
+            let len = chunk.len();
+            let mut mask: Option<Bitmap> = None;
+            let mut fallback: Vec<&Expr> = Vec::new();
+            for f in &cb.certain_filters {
+                match predicate_mask(f, chunk.columns(), len) {
+                    Some(m) => match mask.as_mut() {
+                        Some(acc) => acc.and_with(&m),
+                        None => mask = Some(m),
+                    },
+                    None => fallback.push(f),
+                }
+            }
+            if mask.is_none() && fallback.is_empty() {
+                return Ok((batch.tuple_ids.clone(), chunk.project(&cb.lineage_cols)));
+            }
+            let mut sel: Vec<usize> = Vec::new();
+            let mut rowbuf: Vec<Value> = Vec::new();
+            'rows: for i in 0..len {
+                if let Some(m) = &mask {
+                    if !m.get(i) {
+                        continue;
+                    }
+                }
+                if !fallback.is_empty() {
+                    chunk.row_values_into(i, &mut rowbuf);
+                    let ctx = TupleCtx {
+                        row: &rowbuf,
+                        pubs,
+                        mode: CtxMode::Point,
+                    };
+                    for &f in &fallback {
+                        if !eval_predicate(f, &ctx)? {
+                            continue 'rows;
+                        }
+                    }
+                }
+                sel.push(i);
+            }
+            let ids: Vec<u64> = sel.iter().map(|&i| batch.tuple_ids[i]).collect();
+            let lineage = chunk.project(&cb.lineage_cols);
+            if sel.len() == len {
+                return Ok((ids, lineage));
+            }
+            return Ok((ids, lineage.gather(&sel)));
+        }
+        // Dimension joins stay row-at-a-time (broadcast hash join), then
+        // the joined lineage rows transpose back into a columnar chunk.
+        let mut ids: Vec<u64> = Vec::new();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut joined_buf: Vec<Row> = Vec::new();
+        for (tid, fact_row) in batch.iter() {
+            joined_buf.clear();
+            join_one(&fact_row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
+            'rows: for joined in &joined_buf {
+                let ctx = TupleCtx {
+                    row: joined.values(),
+                    pubs,
+                    mode: CtxMode::Point,
+                };
+                for f in &cb.certain_filters {
+                    if !eval_predicate(f, &ctx)? {
+                        continue 'rows;
+                    }
+                }
+                ids.push(tid);
+                rows.push(joined.project(&cb.lineage_cols));
+            }
+        }
+        Ok((
+            ids,
+            ColumnChunk::from_rows_untyped(cb.lineage_cols.len(), &rows),
+        ))
+    }
+
+    /// Classify one range of the candidate chunk against the current
+    /// envelopes. Runs on pool workers: touches `self` read-only and records
+    /// reliance via idempotent atomic stores. Fold inputs (group key,
+    /// aggregate args) are no longer evaluated here — the fold stage reads
+    /// them straight off the candidate columns.
+    fn classify_chunk(
+        &self,
+        cb: &CompiledBlock,
+        cand: &ColumnChunk,
+        start: usize,
+        len: usize,
+    ) -> Result<ChunkClass> {
         let pubs = &self.published;
         let mut out = ChunkClass::default();
         // Semi-join aggregation strategy: fold every candidate into
         // partial aggregates keyed by its membership key — no
         // classification, no caching, no reliance on the producer. The
         // answer re-selects member partitions each batch, so membership
-        // flips cost nothing.
-        if let Some((_, key_exprs, _)) = &cb.semi_join {
-            for t in chunk {
-                let ctx = TupleCtx {
-                    row: &t.lineage,
-                    pubs,
-                    mode: CtxMode::Point,
-                };
-                let mkey: Result<Vec<Value>> = key_exprs.iter().map(|k| eval(k, &ctx)).collect();
-                let mkey = mkey?;
-                if mkey.iter().any(Value::is_null) {
-                    continue; // NULL IN (...) never passes a filter
-                }
-                let gkey: Result<Vec<Value>> =
-                    cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
-                let args: Result<Vec<Value>> =
-                    cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
-                out.folds.push(FoldItem {
-                    tuple_id: t.tuple_id,
-                    mkey: Some(mkey),
-                    key: gkey?,
-                    args: args?,
-                });
-            }
+        // flips cost nothing. (NULL membership keys drop in the fold.)
+        //
+        // Likewise, a block with no uncertain predicates folds everything
+        // deterministically — no row materialization at all.
+        if cb.semi_join.is_some() || cb.lin_filters.is_empty() {
+            out.folds = (0..len as u32).collect();
             return Ok(out);
         }
 
         // Scalar-comparison fast classification: cache the RHS variation
-        // range per correlation key, then each tuple classifies with two
-        // float comparisons instead of a generic interval evaluation.
+        // range (and the producer's published entry, for reliance marking)
+        // per correlation key, then each tuple classifies with two float
+        // comparisons instead of a generic interval evaluation.
         if let Some(fsc) = &cb.fast_scalar_cmp {
-            let mut range_cache: FxHashMap<Vec<Value>, RangeVal> = FxHashMap::default();
-            for (i, t) in chunk.iter().enumerate() {
-                let ctx = TupleCtx {
-                    row: &t.lineage,
+            let sub = fsc_subquery(cb);
+            let key_plans: Vec<ExprSrc<'_>> = fsc.key.iter().map(plan_src).collect();
+            let lhs_plan = plan_src(&fsc.lhs);
+            let mut cache: FxHashMap<Vec<Value>, (RangeVal, Option<&PublishedScalar>)> =
+                FxHashMap::default();
+            let mut skey: Vec<Value> = Vec::with_capacity(key_plans.len());
+            let mut rowbuf: Vec<Value> = Vec::new();
+            for r in 0..len {
+                let i = start + r;
+                let mut filled = false;
+                skey.clear();
+                for p in &key_plans {
+                    skey.push(src_value(
+                        cand,
+                        i,
+                        p,
+                        &mut rowbuf,
+                        &mut filled,
+                        pubs,
+                        CtxMode::Classify,
+                    )?);
+                }
+                let lhs = src_value(
+                    cand,
+                    i,
+                    &lhs_plan,
+                    &mut rowbuf,
+                    &mut filled,
                     pubs,
-                    mode: CtxMode::Classify,
-                };
-                let skey: Result<Vec<Value>> = fsc.key.iter().map(|k| eval(k, &ctx)).collect();
-                let skey = skey?;
-                let rhs = match range_cache.entry(skey.clone()) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(gola_expr::eval::eval_range(&fsc.rhs, &ctx)?)
+                    CtxMode::Classify,
+                )?;
+                if !cache.contains_key(skey.as_slice()) {
+                    if !filled {
+                        cand.row_values_into(i, &mut rowbuf);
                     }
-                };
-                let lhs = eval(&fsc.lhs, &ctx)?;
+                    let ctx = TupleCtx {
+                        row: &rowbuf,
+                        pubs,
+                        mode: CtxMode::Classify,
+                    };
+                    let range = gola_expr::eval::eval_range(&fsc.rhs, &ctx)?;
+                    let ps = pubs[sub].scalars.get(skey.as_slice());
+                    cache.insert(skey.clone(), (range, ps));
+                }
+                // golint: allow(panic-surface) -- inserted above if missing
+                let (rhs, ps) = cache.get(skey.as_slice()).expect("rhs range cached");
                 let tri = classify_cmp(&lhs, fsc.op, rhs);
                 match tri {
                     Tri::True | Tri::False => {
                         // The decision relies on this key's envelope.
-                        if let Some(ps) = pubs[fsc_subquery(cb)].scalars.get(&skey) {
+                        if let Some(ps) = ps {
                             ps.used.store(true, std::sync::atomic::Ordering::Relaxed);
                         }
                         if tri == Tri::True {
-                            out.folds.push(self.fold_item(cb, t)?);
+                            out.folds.push(r as u32);
                         }
                     }
-                    Tri::Maybe => out.uncertain_idx.push(i as u32),
+                    Tri::Maybe => out.uncertain_idx.push(r as u32),
                 }
             }
             return Ok(out);
         }
 
         // Generic path: classify against the producers' envelopes.
-        for (i, t) in chunk.iter().enumerate() {
+        let mut rowbuf: Vec<Value> = Vec::new();
+        for r in 0..len {
+            cand.row_values_into(start + r, &mut rowbuf);
             let ctx = TupleCtx {
-                row: &t.lineage,
+                row: &rowbuf,
                 pubs,
                 mode: CtxMode::Classify,
             };
@@ -676,79 +974,211 @@ impl OnlineExecutor {
             }
             match tri {
                 Tri::True => {
-                    self.mark_reliance(&cb.lin_filters, &t.lineage)?;
-                    out.folds.push(self.fold_item(cb, t)?);
+                    self.mark_reliance(&cb.lin_filters, &rowbuf)?;
+                    out.folds.push(r as u32);
                 }
                 Tri::False => {
-                    self.mark_reliance(&cb.lin_filters, &t.lineage)?;
+                    self.mark_reliance(&cb.lin_filters, &rowbuf)?;
                 }
-                Tri::Maybe => out.uncertain_idx.push(i as u32),
+                Tri::Maybe => out.uncertain_idx.push(r as u32),
             }
         }
         Ok(out)
     }
 
-    /// Evaluate one deterministic-true tuple's fold inputs.
-    fn fold_item(&self, cb: &CompiledBlock, t: &CachedTuple) -> Result<FoldItem> {
-        let ctx = TupleCtx {
-            row: &t.lineage,
-            pubs: &self.published,
-            mode: CtxMode::Point,
-        };
-        let key: Result<Vec<Value>> = cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
-        let args: Result<Vec<Value>> = cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
-        Ok(FoldItem {
-            tuple_id: t.tuple_id,
-            mkey: None,
-            key: key?,
-            args: args?,
-        })
-    }
-
     /// Fold one chunk's deterministic-true tuples into a private shard,
     /// computing the chunk's bootstrap weights with the batched kernel (one
     /// flat `tuples × trials` SoA buffer instead of a hash chain per cell).
-    fn fold_chunk(&self, cb: &CompiledBlock, folds: Vec<FoldItem>) -> BlockRuntime {
+    #[allow(clippy::too_many_arguments)]
+    fn fold_chunk(
+        &self,
+        cb: &CompiledBlock,
+        cand: &ColumnChunk,
+        ids: &[u64],
+        start: usize,
+        folds: &[u32],
+        carried_len: usize,
+        carried_weights: &[u32],
+    ) -> Result<BlockRuntime> {
         let mut shard = BlockRuntime::default();
         let mut wbuf: Vec<u32> = Vec::new();
-        self.fold_into(cb, &mut shard, folds, &mut wbuf);
-        shard
+        self.fold_range(
+            cb,
+            cand,
+            ids,
+            start,
+            folds,
+            carried_len,
+            carried_weights,
+            &mut shard,
+            &mut wbuf,
+        )?;
+        Ok(shard)
     }
 
     /// Fold deterministic-true tuples into `rt`'s group states with batched
-    /// bootstrap weights.
-    fn fold_into(
+    /// bootstrap weights. Group keys and aggregate arguments are read
+    /// directly from the candidate columns when they are plain column
+    /// references (the common case); numeric argument columns take the
+    /// fused weight × value kernel without materializing a `Value` per
+    /// (tuple, replica).
+    #[allow(clippy::too_many_arguments)]
+    fn fold_range(
         &self,
         cb: &CompiledBlock,
+        cand: &ColumnChunk,
+        ids: &[u64],
+        start: usize,
+        folds: &[u32],
+        carried_len: usize,
+        carried_weights: &[u32],
         rt: &mut BlockRuntime,
-        folds: Vec<FoldItem>,
         wbuf: &mut Vec<u32>,
-    ) {
+    ) -> Result<()> {
         let trials = self.config.bootstrap.trials;
-        let ids: Vec<u64> = folds.iter().map(|f| f.tuple_id).collect();
-        self.config.bootstrap.weights_batch(&ids, wbuf);
         let stride = trials as usize;
-        for (i, f) in folds.into_iter().enumerate() {
-            let weights = &wbuf[i * stride..(i + 1) * stride];
-            let states = match f.mkey {
-                Some(mkey) => rt
+        let pubs = &self.published;
+        // Tuples carried over from the uncertain set (candidate index <
+        // carried_len) already have their weights cached — the batched
+        // kernel only runs over the genuinely new fold tuples. `weight_at`
+        // maps a fold position back to the right slice: carried slices are
+        // indexed by candidate position, fresh ones consume `wbuf` in fold
+        // order (the same order `idbuf` was assembled in).
+        let idbuf: Vec<u64> = folds
+            .iter()
+            .filter(|&&r| start + r as usize >= carried_len)
+            .map(|&r| ids[start + r as usize])
+            .collect();
+        self.config.bootstrap.weights_batch(&idbuf, wbuf);
+        let fresh: &[u32] = wbuf;
+        let mut next_fresh = 0usize;
+        // Semi-join aggregation: the membership key is evaluated here too;
+        // NULL keys never pass `IN (...)`, so those tuples drop.
+        if let Some((_, key_exprs, _)) = &cb.semi_join {
+            let mut rowbuf: Vec<Value> = Vec::new();
+            for &r in folds {
+                let i = start + r as usize;
+                let weights = if i < carried_len {
+                    &carried_weights[i * stride..(i + 1) * stride]
+                } else {
+                    let w = &fresh[next_fresh * stride..(next_fresh + 1) * stride];
+                    next_fresh += 1;
+                    w
+                };
+                cand.row_values_into(i, &mut rowbuf);
+                let ctx = TupleCtx {
+                    row: &rowbuf,
+                    pubs,
+                    mode: CtxMode::Point,
+                };
+                let mkey: Result<Vec<Value>> = key_exprs.iter().map(|k| eval(k, &ctx)).collect();
+                let mkey = mkey?;
+                if mkey.iter().any(Value::is_null) {
+                    continue; // NULL IN (...) never passes a filter
+                }
+                let gkey: Result<Vec<Value>> =
+                    cb.lin_group_by.iter().map(|g| eval(g, &ctx)).collect();
+                let args: Result<Vec<Value>> =
+                    cb.lin_agg_args.iter().map(|a| eval(a, &ctx)).collect();
+                let states = rt
                     .semi_groups
                     .entry(mkey)
                     .or_default()
-                    .entry(f.key)
-                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
-                None => rt
-                    .groups
-                    .entry(f.key)
-                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
-            };
-            states.update_with_weights(&f.args, weights);
+                    .entry(gkey?)
+                    .or_insert_with(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials));
+                states.update_with_weights(&args?, weights);
+            }
+            return Ok(());
         }
+        let key_plans: Vec<ExprSrc<'_>> = cb.lin_group_by.iter().map(plan_src).collect();
+        let arg_plans: Vec<ExprSrc<'_>> = cb.lin_agg_args.iter().map(plan_src).collect();
+        let mut rowbuf: Vec<Value> = Vec::new();
+        if key_plans.is_empty() {
+            // No GROUP BY: every fold lands in the single empty-key group.
+            // Resolve (or create) it once and keep the mutable borrow for
+            // the whole range instead of re-probing the map per tuple.
+            if !rt.groups.contains_key(&[] as &[Value]) {
+                rt.groups.insert(
+                    Vec::new(),
+                    gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials),
+                );
+            }
+            // golint: allow(panic-surface) -- inserted above if missing
+            let states = rt
+                .groups
+                .get_mut(&[] as &[Value])
+                .expect("empty-key group exists");
+            for &r in folds {
+                let i = start + r as usize;
+                let weights = if i < carried_len {
+                    &carried_weights[i * stride..(i + 1) * stride]
+                } else {
+                    let w = &fresh[next_fresh * stride..(next_fresh + 1) * stride];
+                    next_fresh += 1;
+                    w
+                };
+                let mut filled = false;
+                fold_tuple_args(
+                    cand,
+                    i,
+                    &arg_plans,
+                    states,
+                    weights,
+                    &mut rowbuf,
+                    &mut filled,
+                    pubs,
+                )?;
+            }
+            return Ok(());
+        }
+        let mut keybuf: Vec<Value> = Vec::with_capacity(key_plans.len());
+        for &r in folds {
+            let i = start + r as usize;
+            let weights = if i < carried_len {
+                &carried_weights[i * stride..(i + 1) * stride]
+            } else {
+                let w = &fresh[next_fresh * stride..(next_fresh + 1) * stride];
+                next_fresh += 1;
+                w
+            };
+            let mut filled = false;
+            keybuf.clear();
+            for p in &key_plans {
+                keybuf.push(src_value(
+                    cand,
+                    i,
+                    p,
+                    &mut rowbuf,
+                    &mut filled,
+                    pubs,
+                    CtxMode::Point,
+                )?);
+            }
+            if !rt.groups.contains_key(keybuf.as_slice()) {
+                rt.groups.insert(
+                    keybuf.clone(),
+                    gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials),
+                );
+            }
+            // golint: allow(panic-surface) -- inserted above if missing
+            let states = rt.groups.get_mut(keybuf.as_slice()).expect("group exists");
+            fold_tuple_args(
+                cand,
+                i,
+                &arg_plans,
+                states,
+                weights,
+                &mut rowbuf,
+                &mut filled,
+                pubs,
+            )?;
+        }
+        Ok(())
     }
 
     /// Record that a deterministic decision was made against the referenced
     /// producers' envelopes/membership.
-    fn mark_reliance(&self, filters: &[Expr], lineage: &Row) -> Result<()> {
+    fn mark_reliance(&self, filters: &[Expr], lineage: &[Value]) -> Result<()> {
         let ctx = TupleCtx {
             row: lineage,
             pubs: &self.published,
@@ -758,13 +1188,13 @@ impl OnlineExecutor {
             match e {
                 Expr::ScalarRef { id, key } => {
                     let keys: Result<Vec<Value>> = key.iter().map(|k| eval(k, ctx)).collect();
-                    if let Some(s) = pubs[id.0].scalars.get(&keys?) {
+                    if let Some(s) = pubs[id.0].scalars.get(keys?.as_slice()) {
                         s.used.store(true, std::sync::atomic::Ordering::Relaxed);
                     }
                 }
                 Expr::InSubquery { id, key, .. } => {
                     let keys: Result<Vec<Value>> = key.iter().map(|k| eval(k, ctx)).collect();
-                    if let Some(m) = pubs[id.0].members.get(&keys?) {
+                    if let Some(m) = pubs[id.0].members.get(keys?.as_slice()) {
                         if m.tri.is_deterministic() {
                             m.mark_relied(m.tri == Tri::True);
                         }
@@ -817,7 +1247,7 @@ impl OnlineExecutor {
         // still fires if a consumer already relied on such a group. A
         // global aggregate (no GROUP BY) always has exactly one row, even
         // over zero qualifying tuples.
-        let eff: Vec<(Vec<Value>, EffStates<'_>)> = eff
+        let eff: Vec<EffGroup<'_>> = eff
             .into_iter()
             .filter(|(_, _, supported)| *supported || cb.num_keys() == 0)
             .map(|(k, s, _)| (k, s))
@@ -835,7 +1265,7 @@ impl OnlineExecutor {
         // independent. Assembled in chunk order — the output maps don't
         // depend on insertion order, but the `violated` OR and the entries
         // themselves are identical to the sequential path's.
-        let chunks: Vec<&[(Vec<Value>, EffStates<'_>)]> = eff.chunks(PUB_CHUNK).collect();
+        let chunks: Vec<&[EffGroup<'_>]> = eff.chunks(PUB_CHUNK).collect();
         let mut slots: Vec<Option<Result<PubChunk>>> = Vec::new();
         slots.resize_with(chunks.len(), || None);
         if chunks.len() > 1 && self.pool.threads() > 1 {
@@ -843,7 +1273,7 @@ impl OnlineExecutor {
                 .iter()
                 .zip(slots.iter_mut())
                 .map(|(chunk, slot)| {
-                    let chunk: &[(Vec<Value>, EffStates<'_>)] = chunk;
+                    let chunk: &[EffGroup<'_>] = chunk;
                     Box::new(move || {
                         *slot = Some(self.publish_chunk(cb, chunk, m, last, live, old));
                     }) as Box<dyn FnOnce() + Send + '_>
@@ -896,7 +1326,7 @@ impl OnlineExecutor {
     fn publish_chunk(
         &self,
         cb: &CompiledBlock,
-        chunk: &[(Vec<Value>, EffStates<'_>)],
+        chunk: &[EffGroup<'_>],
         m: f64,
         last: bool,
         live: bool,
@@ -905,8 +1335,17 @@ impl OnlineExecutor {
         chunk
             .iter()
             .map(|(key, states)| {
+                let key: &[Value] = key.as_ref();
                 let (entry, v) = self.publish_entry(cb, key, states.get(), m, last, live, old)?;
-                Ok((key.clone(), entry, v))
+                // Intern the key, reusing the previous batch's allocation
+                // when the group already existed — live groups stop paying
+                // a key clone per batch.
+                let prev = match cb.block.role {
+                    BlockRole::Scalar => old.scalars.get_key_value(key).map(|(k, _)| Arc::clone(k)),
+                    _ => old.members.get_key_value(key).map(|(k, _)| Arc::clone(k)),
+                };
+                let akey = prev.unwrap_or_else(|| Arc::from(key));
+                Ok((akey, entry, v))
             })
             .collect()
     }
@@ -940,35 +1379,62 @@ impl OnlineExecutor {
                     // golint: allow(panic-surface) -- Scalar blocks are built with
                     // a post projection; MetaPlan construction guarantees it
                     .expect("scalar has projection")[0];
-                let ctx = GroupCtx {
-                    keys: key,
-                    aggs: &point_aggs,
-                    agg_ranges: None,
-                    pubs,
-                    mode: CtxMode::Point,
+                let fast_col = match post {
+                    Expr::Column(c) if *c < key.len() + n_aggs => Some(*c),
+                    _ => None,
                 };
-                let value = eval(post, &ctx)?;
                 let mut trial_vals = Vec::with_capacity(trials as usize);
                 let mut numeric_trials = Vec::with_capacity(trials as usize);
-                let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
-                for t in 0..trials {
-                    agg_buf.clear();
-                    for j in 0..n_aggs {
-                        agg_buf.push(states.trial_value(j, t, m));
+                let value = if let Some(c) = fast_col {
+                    // Post-projection is a plain column reference (group key
+                    // or aggregate): read the replicated states directly
+                    // instead of building an eval context per trial.
+                    for t in 0..trials {
+                        let v = if c < key.len() {
+                            key[c].clone()
+                        } else {
+                            states.trial_value(c - key.len(), t, m)
+                        };
+                        if let Some(x) = v.as_f64() {
+                            numeric_trials.push(x);
+                        }
+                        trial_vals.push(v);
                     }
+                    if c < key.len() {
+                        key[c].clone()
+                    } else {
+                        point_aggs[c - key.len()].clone()
+                    }
+                } else {
                     let ctx = GroupCtx {
                         keys: key,
-                        aggs: &agg_buf,
+                        aggs: &point_aggs,
                         agg_ranges: None,
                         pubs,
-                        mode: CtxMode::Trial(t),
+                        mode: CtxMode::Point,
                     };
-                    let v = eval(post, &ctx)?;
-                    if let Some(x) = v.as_f64() {
-                        numeric_trials.push(x);
+                    let value = eval(post, &ctx)?;
+                    let mut agg_buf: Vec<Value> = Vec::with_capacity(n_aggs);
+                    for t in 0..trials {
+                        agg_buf.clear();
+                        for j in 0..n_aggs {
+                            agg_buf.push(states.trial_value(j, t, m));
+                        }
+                        let ctx = GroupCtx {
+                            keys: key,
+                            aggs: &agg_buf,
+                            agg_ranges: None,
+                            pubs,
+                            mode: CtxMode::Trial(t),
+                        };
+                        let v = eval(post, &ctx)?;
+                        if let Some(x) = v.as_f64() {
+                            numeric_trials.push(x);
+                        }
+                        trial_vals.push(v);
                     }
-                    trial_vals.push(v);
-                }
+                    value
+                };
                 // Small-sample guard: do not trust the bootstrap range
                 // of a scalar derived from a handful of observations.
                 // With no replicas at all (trials = 0) there is no error
@@ -1249,7 +1715,7 @@ impl OnlineExecutor {
         rt: &'a BlockRuntime,
         id: gola_expr::SubqueryId,
         negated: bool,
-    ) -> Result<Vec<(Vec<Value>, EffStates<'a>, bool)>> {
+    ) -> Result<Vec<EffGroupCertain<'a>>> {
         let trials = self.config.bootstrap.trials;
         let members = &self.published[id.0].members;
         let mut merged: FxHashMap<Vec<Value>, (gola_agg::ReplicatedStates, bool)> =
@@ -1258,7 +1724,7 @@ impl OnlineExecutor {
         // membership partitions is part of the published value, so it must
         // be a function of the keys alone — never of hash layout.
         for (mkey, groups) in sorted_entries(&rt.semi_groups) {
-            let entry = members.get(mkey);
+            let entry = members.get(mkey.as_slice());
             let point_in = entry.map(|m| m.point).unwrap_or(false) != negated;
             for (gkey, states) in sorted_entries(groups) {
                 let acc = merged.entry(gkey.clone()).or_insert_with(|| {
@@ -1283,13 +1749,13 @@ impl OnlineExecutor {
                 }
             }
         }
-        let mut result: Vec<(Vec<Value>, EffStates<'a>, bool)> = sorted_into_entries(merged)
+        let mut result: Vec<(Cow<'a, [Value]>, EffStates<'a>, bool)> = sorted_into_entries(merged)
             .into_iter()
-            .map(|(k, (v, sup))| (k, EffStates::Owned(v), sup))
+            .map(|(k, (v, sup))| (Cow::Owned(k), EffStates::Owned(v), sup))
             .collect();
         if result.is_empty() && cb.num_keys() == 0 {
             result.push((
-                Vec::new(),
+                Cow::Owned(Vec::new()),
                 EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
                 true,
             ));
@@ -1310,11 +1776,12 @@ impl OnlineExecutor {
         &self,
         cb: &CompiledBlock,
         rt: &'a BlockRuntime,
-    ) -> Result<Vec<(Vec<Value>, EffStates<'a>, bool)>> {
+    ) -> Result<Vec<EffGroupCertain<'a>>> {
         let trials = self.config.bootstrap.trials;
         if let Some((id, _, negated)) = &cb.semi_join {
             return self.semi_join_states(cb, rt, *id, *negated);
         }
+        let pubs = &self.published;
         // Fast path: a single membership predicate (Q18-shaped semi-joins
         // whose aggregates are not mergeable).
         // Per-trial inclusion is then one hash lookup plus direct reads of
@@ -1332,178 +1799,230 @@ impl OnlineExecutor {
         // tuple).
         let mut touched: FxHashMap<Vec<Value>, (gola_agg::ReplicatedStates, bool)> =
             FxHashMap::default();
-        // Bootstrap weights for the whole uncertain set come from the
-        // batched kernel, one chunk-sized SoA buffer at a time, instead of a
-        // fresh hash chain per (tuple, trial) lookup.
-        let trials_us = trials as usize;
-        let mut idbuf: Vec<u64> = Vec::new();
-        let mut wbuf: Vec<u32> = Vec::new();
-        for tchunk in rt.uncertain.chunks(CHUNK) {
-            idbuf.clear();
-            idbuf.extend(tchunk.iter().map(|t| t.tuple_id));
-            self.config.bootstrap.weights_batch(&idbuf, &mut wbuf);
-            for (ti, t) in tchunk.iter().enumerate() {
-                let tweights = &wbuf[ti * trials_us..(ti + 1) * trials_us];
-                let point_ctx = TupleCtx {
-                    row: &t.lineage,
-                    pubs: &self.published,
-                    mode: CtxMode::Point,
-                };
-                let key: Result<Vec<Value>> = cb
-                    .lin_group_by
-                    .iter()
-                    .map(|g| eval(g, &point_ctx))
-                    .collect();
-                let key = key?;
-                let args: Result<Vec<Value>> = cb
-                    .lin_agg_args
-                    .iter()
-                    .map(|a| eval(a, &point_ctx))
-                    .collect();
-                let args = args?;
-                let slot = match touched.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        let det = rt.groups.get(v.key()).cloned();
-                        let supported = det.is_some();
-                        let base = det.unwrap_or_else(|| {
-                            gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)
-                        });
-                        v.insert((base, supported))
-                    }
-                };
-                let (entry, supported) = (&mut slot.0, &mut slot.1);
-                if let Some((id, key_exprs, negated)) = fast_member {
-                    let member_key: Result<Vec<Value>> =
-                        key_exprs.iter().map(|k| eval(k, &point_ctx)).collect();
-                    let member_key = member_key?;
-                    let null_key = member_key.iter().any(Value::is_null);
-                    let entry_pub = self.published[id.0].members.get(&member_key);
-                    let point_pass =
-                        !null_key && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
-                    if point_pass {
-                        entry.update_main(&args);
-                        *supported = true;
-                    }
-                    for b in 0..trials {
-                        let w = tweights[b as usize];
-                        if w == 0 {
-                            continue;
-                        }
-                        let in_set = entry_pub
-                            .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
-                            .unwrap_or(false);
-                        if !null_key && in_set != negated {
-                            entry.update_replica(b, &args, w as f64);
-                        }
-                    }
-                    continue;
+        // The uncertain set carries its bootstrap weights — computed once
+        // when each tuple entered the set — so no weight kernel runs here
+        // no matter how many batches a tuple stays uncertain.
+        let us = &rt.uncertain;
+        let chunk = &us.chunk;
+        let stride = trials as usize;
+        let key_plans: Vec<ExprSrc<'_>> = cb.lin_group_by.iter().map(plan_src).collect();
+        let arg_plans: Vec<ExprSrc<'_>> = cb.lin_agg_args.iter().map(plan_src).collect();
+        let mut keybuf: Vec<Value> = Vec::with_capacity(key_plans.len());
+        let mut argbuf: Vec<Value> = Vec::with_capacity(arg_plans.len());
+        let mut skeybuf: Vec<Value> = Vec::new();
+        let mut rowbuf: Vec<Value> = Vec::new();
+        let mut maskbuf: Vec<u32> = Vec::with_capacity(stride);
+        for i in 0..us.len() {
+            let tweights = &us.weights[i * stride..(i + 1) * stride];
+            let mut filled = false;
+            keybuf.clear();
+            for p in &key_plans {
+                keybuf.push(src_value(
+                    chunk,
+                    i,
+                    p,
+                    &mut rowbuf,
+                    &mut filled,
+                    pubs,
+                    CtxMode::Point,
+                )?);
+            }
+            argbuf.clear();
+            for p in &arg_plans {
+                argbuf.push(src_value(
+                    chunk,
+                    i,
+                    p,
+                    &mut rowbuf,
+                    &mut filled,
+                    pubs,
+                    CtxMode::Point,
+                )?);
+            }
+            if !touched.contains_key(keybuf.as_slice()) {
+                let det = rt.groups.get(keybuf.as_slice()).cloned();
+                let supported = det.is_some();
+                let base =
+                    det.unwrap_or_else(|| gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials));
+                touched.insert(keybuf.clone(), (base, supported));
+            }
+            // golint: allow(panic-surface) -- inserted above if missing
+            let slot = touched.get_mut(keybuf.as_slice()).expect("group touched");
+            let (entry, supported) = (&mut slot.0, &mut slot.1);
+            if let Some((id, key_exprs, negated)) = fast_member {
+                let mut member_key: Vec<Value> = Vec::with_capacity(key_exprs.len());
+                for k in key_exprs {
+                    member_key.push(src_value(
+                        chunk,
+                        i,
+                        &plan_src(k),
+                        &mut rowbuf,
+                        &mut filled,
+                        pubs,
+                        CtxMode::Point,
+                    )?);
                 }
-                // Scalar-comparison fast path: evaluate the LHS once per tuple
-                // and the RHS once per (correlation key, trial).
-                if let Some(fsc) = &cb.fast_scalar_cmp {
-                    let lhs = eval(&fsc.lhs, &point_ctx)?.as_f64();
-                    let skey: Result<Vec<Value>> =
-                        fsc.key.iter().map(|k| eval(k, &point_ctx)).collect();
-                    let skey = skey?;
-                    let rhs = match rhs_cache.entry(skey) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            let mut vals = Vec::with_capacity(1 + trials as usize);
-                            vals.push(eval(&fsc.rhs, &point_ctx)?.as_f64());
-                            for b in 0..trials {
-                                let trial_ctx = TupleCtx {
-                                    row: &t.lineage,
-                                    pubs: &self.published,
-                                    mode: CtxMode::Trial(b),
-                                };
-                                vals.push(eval(&fsc.rhs, &trial_ctx)?.as_f64());
-                            }
-                            v.insert(vals)
-                        }
+                let null_key = member_key.iter().any(Value::is_null);
+                let entry_pub = self.published[id.0].members.get(member_key.as_slice());
+                let point_pass =
+                    !null_key && entry_pub.map(|m| m.point).unwrap_or(false) != negated;
+                if point_pass {
+                    entry.update_main(&argbuf);
+                    *supported = true;
+                }
+                // Mask out excluded trials (weight 0 is a no-op) and run the
+                // fused replica fold per aggregate lane.
+                maskbuf.clear();
+                maskbuf.extend((0..trials).map(|b| {
+                    let w = tweights[b as usize];
+                    if w == 0 || null_key {
+                        return 0;
+                    }
+                    let in_set = entry_pub
+                        .map(|m| m.trials.get(b as usize).copied().unwrap_or(m.point))
+                        .unwrap_or(false);
+                    if in_set != negated {
+                        w
+                    } else {
+                        0
+                    }
+                }));
+                for (j, v) in argbuf.iter().enumerate() {
+                    entry.fold_value_replicas(j, v, &maskbuf);
+                }
+                continue;
+            }
+            // Scalar-comparison fast path: evaluate the LHS once per tuple
+            // and the RHS once per (correlation key, trial).
+            if let Some(fsc) = &cb.fast_scalar_cmp {
+                let lhs = src_value(
+                    chunk,
+                    i,
+                    &plan_src(&fsc.lhs),
+                    &mut rowbuf,
+                    &mut filled,
+                    pubs,
+                    CtxMode::Point,
+                )?
+                .as_f64();
+                skeybuf.clear();
+                for k in &fsc.key {
+                    skeybuf.push(src_value(
+                        chunk,
+                        i,
+                        &plan_src(k),
+                        &mut rowbuf,
+                        &mut filled,
+                        pubs,
+                        CtxMode::Point,
+                    )?);
+                }
+                if !rhs_cache.contains_key(skeybuf.as_slice()) {
+                    if !filled {
+                        chunk.row_values_into(i, &mut rowbuf);
+                    }
+                    let mut vals = Vec::with_capacity(1 + trials as usize);
+                    let point_ctx = TupleCtx {
+                        row: &rowbuf,
+                        pubs,
+                        mode: CtxMode::Point,
                     };
-                    let cmp = |x: Option<f64>, y: Option<f64>| -> bool {
-                        let (Some(x), Some(y)) = (x, y) else {
-                            return false;
+                    vals.push(eval(&fsc.rhs, &point_ctx)?.as_f64());
+                    for b in 0..trials {
+                        let trial_ctx = TupleCtx {
+                            row: &rowbuf,
+                            pubs,
+                            mode: CtxMode::Trial(b),
                         };
-                        match fsc.op {
-                            gola_expr::BinOp::Lt => x < y,
-                            gola_expr::BinOp::LtEq => x <= y,
-                            gola_expr::BinOp::Gt => x > y,
-                            gola_expr::BinOp::GtEq => x >= y,
-                            gola_expr::BinOp::Eq => x == y,
-                            gola_expr::BinOp::NotEq => x != y,
-                            _ => false,
-                        }
-                    };
-                    if cmp(lhs, rhs[0]) {
-                        entry.update_main(&args);
-                        *supported = true;
+                        vals.push(eval(&fsc.rhs, &trial_ctx)?.as_f64());
                     }
-                    for b in 0..trials {
-                        let w = tweights[b as usize];
-                        if w == 0 {
-                            continue;
-                        }
-                        if cmp(lhs, rhs[1 + b as usize]) {
-                            entry.update_replica(b, &args, w as f64);
-                        }
-                    }
+                    rhs_cache.insert(skeybuf.clone(), vals);
+                }
+                // golint: allow(panic-surface) -- inserted above if missing
+                let rhs = rhs_cache.get(skeybuf.as_slice()).expect("rhs cached");
+                // A null LHS compares false against every RHS under every
+                // operator: no point support, no trial folds (the group
+                // stays marked as touched either way).
+                let Some(lx) = lhs else {
+                    continue;
+                };
+                if rhs[0].is_some_and(|y| cmp_op(fsc.op, lx, y)) {
+                    entry.update_main(&argbuf);
+                    *supported = true;
+                }
+                // Mask excluded trials to weight 0 (a no-op fold) and run
+                // the fused replica fold per aggregate lane.
+                fill_cmp_mask(&mut maskbuf, tweights, &rhs[1..], fsc.op, lx);
+                for (j, v) in argbuf.iter().enumerate() {
+                    entry.fold_value_replicas(j, v, &maskbuf);
+                }
+                continue;
+            }
+            // Generic path needs the full row for predicate evaluation.
+            if !filled {
+                chunk.row_values_into(i, &mut rowbuf);
+            }
+            // Point inclusion.
+            let point_ctx = TupleCtx {
+                row: &rowbuf,
+                pubs,
+                mode: CtxMode::Point,
+            };
+            let mut pass = true;
+            for f in &cb.lin_filters {
+                if !eval_predicate(f, &point_ctx)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                entry.update_main(&argbuf);
+                *supported = true;
+            }
+            // Per-trial inclusion with the trial's own upstream values.
+            for b in 0..trials {
+                let w = tweights[b as usize];
+                if w == 0 {
                     continue;
                 }
-                // Point inclusion.
+                let trial_ctx = TupleCtx {
+                    row: &rowbuf,
+                    pubs,
+                    mode: CtxMode::Trial(b),
+                };
                 let mut pass = true;
                 for f in &cb.lin_filters {
-                    if !eval_predicate(f, &point_ctx)? {
+                    if !eval_predicate(f, &trial_ctx)? {
                         pass = false;
                         break;
                     }
                 }
                 if pass {
-                    entry.update_main(&args);
-                    *supported = true;
-                }
-                // Per-trial inclusion with the trial's own upstream values.
-                for b in 0..trials {
-                    let w = tweights[b as usize];
-                    if w == 0 {
-                        continue;
-                    }
-                    let trial_ctx = TupleCtx {
-                        row: &t.lineage,
-                        pubs: &self.published,
-                        mode: CtxMode::Trial(b),
-                    };
-                    let mut pass = true;
-                    for f in &cb.lin_filters {
-                        if !eval_predicate(f, &trial_ctx)? {
-                            pass = false;
-                            break;
-                        }
-                    }
-                    if pass {
-                        entry.update_replica(b, &args, w as f64);
-                    }
+                    entry.update_replica(b, &argbuf, w as f64);
                 }
             }
         }
         // Assemble in sorted key order: `out` feeds PUB_CHUNK chunking and
         // the report's row order, so its order must not leak hash layout.
-        let mut out: Vec<(Vec<Value>, EffStates<'a>, bool)> =
+        let mut out: Vec<(Cow<'a, [Value]>, EffStates<'a>, bool)> =
             Vec::with_capacity(rt.groups.len() + touched.len());
         for (key, states) in sorted_entries(&rt.groups) {
             if !touched.contains_key(key) {
-                out.push((key.clone(), EffStates::Borrowed(states), true));
+                out.push((
+                    Cow::Borrowed(key.as_slice()),
+                    EffStates::Borrowed(states),
+                    true,
+                ));
             }
         }
         for (key, (states, supported)) in sorted_into_entries(touched) {
-            out.push((key, EffStates::Owned(states), supported));
+            out.push((Cow::Owned(key), EffStates::Owned(states), supported));
         }
         out.sort_by(|a, b| cmp_values(&a.0, &b.0));
         // A global aggregate over no data still has one (empty) group.
         if out.is_empty() && cb.num_keys() == 0 {
             out.push((
-                Vec::new(),
+                Cow::Owned(Vec::new()),
                 EffStates::Owned(gola_agg::ReplicatedStates::new(&cb.agg_kinds, trials)),
                 true,
             ));
@@ -1616,18 +2135,19 @@ impl OnlineExecutor {
         let mut cell_replicas: Vec<Vec<Vec<f64>>> = Vec::new(); // per row, per col
 
         for (key, states, supported) in &eff {
+            let key: &[Value] = key.as_ref();
             // A group with no point support does not exist in the point
             // answer (its only would-be members are uncertain tuples that
             // all fail at point values) — the exact engine never creates
             // it, so it must not appear as an output row.
             if !supported && n_keys > 0 {
-                claims.push((key.clone(), false));
+                claims.push((key.to_vec(), false));
                 continue;
             }
             let states = states.get();
             let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, m)).collect();
             if !self.having_pass(cb, key, &point_aggs, CtxMode::Point)? {
-                claims.push((key.clone(), false));
+                claims.push((key.to_vec(), false));
                 continue;
             }
             // Row certainty — "membership in the result can no longer
@@ -1647,7 +2167,7 @@ impl OnlineExecutor {
                         .collect();
                     self.having_tri(cb, key, &point_aggs, &ranges)? == Tri::True
                 };
-            claims.push((key.clone(), certain));
+            claims.push((key.to_vec(), certain));
             let ctx = GroupCtx {
                 keys: key,
                 aggs: &point_aggs,
@@ -1775,7 +2295,7 @@ impl OnlineExecutor {
                     return false;
                 }
                 // Deterministically *in* the (possibly negated) set.
-                match members.get(mkey) {
+                match members.get(mkey.as_slice()) {
                     Some(m) if *negated => m.tri == Tri::False,
                     Some(m) => m.tri == Tri::True,
                     None => false,
@@ -1804,10 +2324,10 @@ impl OnlineExecutor {
             let mut joined_buf: Vec<Row> = Vec::new();
             for row in table.rows() {
                 joined_buf.clear();
-                join_one(row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
+                join_one(&row, &self.dims[b], &cb.block.dims, &mut joined_buf)?;
                 'rows: for joined in &joined_buf {
                     let ctx = TupleCtx {
-                        row: joined,
+                        row: joined.values(),
                         pubs: &self.published,
                         mode: CtxMode::Point,
                     };
@@ -1857,7 +2377,7 @@ impl OnlineExecutor {
                         let value = eval(post, &ctx)?;
                         let env = RangeVal::Exact(value.clone());
                         out.scalars.insert(
-                            key,
+                            key.into(),
                             PublishedScalar {
                                 trials: vec![value.clone(); trials],
                                 value,
@@ -1869,7 +2389,7 @@ impl OnlineExecutor {
                     BlockRole::Membership => {
                         let point = self.having_pass(cb, &key, &aggs, CtxMode::Point)?;
                         out.members.insert(
-                            key,
+                            key.into(),
                             PublishedMember {
                                 point,
                                 trials: vec![point; trials],

@@ -1,10 +1,12 @@
 //! Per-block runtime state and the online evaluation contexts.
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use gola_agg::ReplicatedStates;
-use gola_common::{cmp_values, Error, FxHashMap, Result, Row, Value};
+use gola_common::{cmp_values, Error, FxHashMap, Result, Value};
 use gola_expr::{EvalContext, RangeVal, SubqueryId, Tri};
+use gola_storage::ColumnChunk;
 
 /// Borrow a hash map's entries in canonical key order ([`cmp_values`]).
 ///
@@ -30,12 +32,48 @@ pub fn sorted_into_entries<V>(map: FxHashMap<Vec<Value>, V>) -> Vec<(Vec<Value>,
     entries
 }
 
-/// A tuple cached in the uncertain set `Uᵢ`: its stable id (for bootstrap
-/// weight replay) and its lineage projection.
-#[derive(Debug, Clone)]
-pub struct CachedTuple {
-    pub tuple_id: u64,
-    pub lineage: Row,
+/// The uncertain set `Uᵢ` of one block, stored struct-of-arrays: stable
+/// tuple ids, the tuples' bootstrap weights, and their lineage projections
+/// as a columnar chunk.
+///
+/// Weights are a pure function of `(tuple_id, trial, seed)`, so they are
+/// computed exactly once — when a tuple first stays uncertain — and carried
+/// here for every later re-evaluation (`effective_states`) and re-classify,
+/// instead of re-deriving `|Uᵢ| × trials` hash streams per batch.
+#[derive(Debug)]
+pub struct UncertainSet {
+    /// Stable per-tuple ids (row index in the source table).
+    pub tuple_ids: Vec<u64>,
+    /// Bootstrap weights, row-major `len × trials`.
+    pub weights: Vec<u32>,
+    /// Lineage projections, column-major (one column per lineage column).
+    pub chunk: ColumnChunk,
+}
+
+impl Default for UncertainSet {
+    fn default() -> UncertainSet {
+        UncertainSet {
+            tuple_ids: Vec::new(),
+            weights: Vec::new(),
+            chunk: ColumnChunk::empty(0),
+        }
+    }
+}
+
+impl UncertainSet {
+    pub fn len(&self) -> usize {
+        self.tuple_ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuple_ids.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.tuple_ids.clear();
+        self.weights.clear();
+        self.chunk = ColumnChunk::empty(0);
+    }
 }
 
 /// The published output of a **scalar** block for one group.
@@ -92,10 +130,14 @@ impl PublishedMember {
 }
 
 /// Everything a block exposes to its consumers.
+///
+/// Keys are interned as `Arc<[Value]>`: the publisher reuses the previous
+/// batch's key allocations (group keys are stable across batches), and
+/// lookups hash the slice directly via `Borrow<[Value]>`.
 #[derive(Debug, Default)]
 pub struct Published {
-    pub scalars: FxHashMap<Vec<Value>, PublishedScalar>,
-    pub members: FxHashMap<Vec<Value>, PublishedMember>,
+    pub scalars: FxHashMap<Arc<[Value]>, PublishedScalar>,
+    pub members: FxHashMap<Arc<[Value]>, PublishedMember>,
     /// `true` while the producer may still add groups or move values
     /// (streaming and not yet finished).
     pub live: bool,
@@ -107,7 +149,7 @@ pub struct BlockRuntime {
     /// Deterministic aggregate states per group (main + bootstrap replicas).
     pub groups: FxHashMap<Vec<Value>, ReplicatedStates>,
     /// The uncertain set `Uᵢ`.
-    pub uncertain: Vec<CachedTuple>,
+    pub uncertain: UncertainSet,
     /// Semi-join partial aggregates: membership key → (group key → states).
     /// Used instead of `groups`/`uncertain` when the block compiles to the
     /// semi-join aggregation strategy.
@@ -246,16 +288,18 @@ fn member_tri_impl(
     })
 }
 
-/// Context for evaluating block-source expressions over one tuple.
+/// Context for evaluating block-source expressions over one tuple. The row
+/// is a plain value slice so both materialized [`gola_common::Row`]s
+/// (`row.values()`) and reused per-chunk row buffers work without copies.
 pub struct TupleCtx<'a> {
-    pub row: &'a Row,
+    pub row: &'a [Value],
     pub pubs: &'a [Published],
     pub mode: CtxMode,
 }
 
 impl EvalContext for TupleCtx<'_> {
     fn column(&self, idx: usize) -> &Value {
-        self.row.get(idx)
+        &self.row[idx]
     }
 
     fn scalar_current(&self, id: SubqueryId, key: &[Value]) -> Result<Value> {
@@ -334,7 +378,7 @@ mod tests {
             ..Default::default()
         };
         p.scalars.insert(
-            vec![],
+            Arc::from(Vec::new()),
             PublishedScalar {
                 value: Value::Float(37.0),
                 trials: vec![Value::Float(36.0), Value::Float(38.0)],
@@ -359,21 +403,21 @@ mod tests {
         let pred = Expr::gt(Expr::col(0), sref());
         // Point: 35 > 37 → false.
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Point,
         };
         assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
         // Trial 0: 35 > 36 → false; trial 1: 35 > 38 → false.
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Trial(0),
         };
         assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(false));
         // Classify: 35 ∈ [28.9, 45.1] → Maybe.
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Classify,
         };
@@ -393,14 +437,14 @@ mod tests {
         );
         // Unknown group while live: uncertain.
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Classify,
         };
         assert_eq!(eval_tri(&pred, &ctx).unwrap(), Tri::Maybe);
         // Point: NULL comparison → filtered.
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Point,
         };
@@ -408,7 +452,7 @@ mod tests {
         // Once the producer is finished, missing = deterministic NULL.
         let pubs = pubs_with_scalar(false);
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Classify,
         };
@@ -422,7 +466,7 @@ mod tests {
             ..Default::default()
         };
         p.members.insert(
-            vec![Value::Int(7)],
+            Arc::from(vec![Value::Int(7)]),
             PublishedMember {
                 point: true,
                 trials: vec![true, false],
@@ -438,19 +482,19 @@ mod tests {
             negated: false,
         };
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Classify,
         };
         assert_eq!(eval_tri(&e, &ctx).unwrap(), Tri::Maybe);
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Point,
         };
         assert_eq!(eval(&e, &ctx).unwrap(), Value::Bool(true));
         let ctx = TupleCtx {
-            row: &row,
+            row: row.values(),
             pubs: &pubs,
             mode: CtxMode::Trial(1),
         };
@@ -458,7 +502,7 @@ mod tests {
         // Missing key while live → Maybe; not live → False.
         let row2 = row![8i64];
         let ctx = TupleCtx {
-            row: &row2,
+            row: row2.values(),
             pubs: &pubs,
             mode: CtxMode::Classify,
         };
@@ -511,10 +555,7 @@ mod tests {
     #[test]
     fn runtime_reset() {
         let mut rt = BlockRuntime::default();
-        rt.uncertain.push(CachedTuple {
-            tuple_id: 1,
-            lineage: row![1i64],
-        });
+        rt.uncertain.tuple_ids.push(1);
         rt.static_done = true;
         rt.reset();
         assert!(rt.uncertain.is_empty());

@@ -116,7 +116,7 @@ impl<'a> BatchEngine<'a> {
     fn execute_plan(&self, plan: &LogicalPlan, resolved: &Resolved) -> Result<Vec<Row>> {
         match plan {
             LogicalPlan::Scan { table, .. } => {
-                let rows = self.catalog.get(table)?.rows().to_vec();
+                let rows = self.catalog.get(table)?.rows();
                 if gola_obs::enabled() {
                     exact_rows_scanned().add(rows.len() as u64);
                 }

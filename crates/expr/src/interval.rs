@@ -162,7 +162,7 @@ impl RangeVal {
                     Tri::Maybe
                 }
             }
-            _ => self.cmp_non_numeric(other),
+            _ => self.cmp_non_numeric(other, false),
         }
     }
 
@@ -178,7 +178,7 @@ impl RangeVal {
                     Tri::Maybe
                 }
             }
-            _ => self.cmp_non_numeric(other),
+            _ => self.cmp_non_numeric(other, true),
         }
     }
 
@@ -196,10 +196,13 @@ impl RangeVal {
     /// both sides are the same exact point; deterministic-false when the
     /// ranges are disjoint.
     pub fn eq_tri(&self, other: &RangeVal) -> Tri {
-        // Non-numeric exact values (strings, bools) compare directly.
+        // Exact values compare under the same total order point evaluation
+        // uses (`Value::total_cmp`) so the two paths agree on every input —
+        // `Value`'s derived `==` would disagree on NaN, which total order
+        // treats as equal to itself.
         if let (RangeVal::Exact(a), RangeVal::Exact(b)) = (self, other) {
             if !a.is_null() && !b.is_null() {
-                return Tri::from(a == b);
+                return Tri::from(a.total_cmp(b) == std::cmp::Ordering::Equal);
             }
             return Tri::Maybe;
         }
@@ -218,11 +221,17 @@ impl RangeVal {
     }
 
     /// Non-numeric fallback for ordered comparison: only exact, same-typed
-    /// values classify deterministically.
-    fn cmp_non_numeric(&self, other: &RangeVal) -> Tri {
+    /// values classify deterministically. `allow_eq` distinguishes `<=`
+    /// from `<` — without it boundary-equal values (e.g. `'b' <= 'b'`)
+    /// would classify as certain-false and be dropped from the result.
+    fn cmp_non_numeric(&self, other: &RangeVal, allow_eq: bool) -> Tri {
         if let (RangeVal::Exact(a), RangeVal::Exact(b)) = (self, other) {
             if !a.is_null() && !b.is_null() {
-                return Tri::from(a.total_cmp(b) == std::cmp::Ordering::Less);
+                let ord = a.total_cmp(b);
+                return Tri::from(
+                    ord == std::cmp::Ordering::Less
+                        || (allow_eq && ord == std::cmp::Ordering::Equal),
+                );
             }
         }
         Tri::Maybe

@@ -24,6 +24,7 @@ pub mod functions;
 pub mod interval;
 pub mod tri;
 pub mod types;
+pub mod vector;
 
 pub use eval::{eval, eval_predicate, eval_range, eval_tri, EvalContext, ExactContext};
 pub use expr::{BinOp, Expr, SubqueryId, UnaryOp};

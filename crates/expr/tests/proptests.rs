@@ -238,3 +238,239 @@ fn ctx_clone(c: &Ctx) -> Ctx {
         member_point: c.member_point,
     }
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized kernel equivalence: `classify_mask` / `predicate_mask` vs the
+// row-at-a-time `eval_tri` / `eval_predicate` reference.
+//
+// The columnar classify path promises strict bit-identity with the scalar
+// evaluator on exact rows: `pass[i]` ⇔ `Tri::True`, `fail[i]` ⇔
+// `Tri::False`, neither ⇔ a NULL outcome. These tests sample chunks with
+// NULL validity holes, ±0.0, NaN, dictionary strings and boolean columns,
+// plus every supported predicate shape (comparisons, IS [NOT] NULL, NOT,
+// AND/OR), and check every row of the bitmaps against the reference.
+// ---------------------------------------------------------------------------
+
+mod kernel_equivalence {
+    use std::sync::Arc;
+
+    use gola_common::{Column, DataType, Row, Value};
+    use gola_expr::eval::{eval_predicate, eval_tri};
+    use gola_expr::vector::{classify_mask, predicate_mask};
+    use gola_expr::{BinOp, Expr, Tri, UnaryOp};
+    use proptest::prelude::*;
+
+    use super::Ctx;
+
+    /// Float slots: a small lattice (for Eq collisions) plus the signed-zero
+    /// and NaN edges the total-order comparison must normalize, plus NULLs.
+    fn float_val() -> BoxedStrategy<Value> {
+        prop_oneof![
+            (-16i32..16).prop_map(|i| Value::Float(i as f64 * 0.5)),
+            (-16i32..16).prop_map(|i| Value::Float(i as f64 * 0.5)),
+            (-16i32..16).prop_map(|i| Value::Float(i as f64 * 0.5)),
+            Just(Value::Float(-0.0)),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::Null),
+        ]
+        .boxed()
+    }
+
+    fn int_val() -> BoxedStrategy<Value> {
+        prop_oneof![
+            (-8i64..8).prop_map(Value::Int),
+            (-8i64..8).prop_map(Value::Int),
+            (-8i64..8).prop_map(Value::Int),
+            Just(Value::Null),
+        ]
+        .boxed()
+    }
+
+    fn some_str() -> BoxedStrategy<Value> {
+        prop_oneof![
+            Just(Value::Str(Arc::from(""))),
+            Just(Value::Str(Arc::from("aa"))),
+            Just(Value::Str(Arc::from("ab"))),
+            Just(Value::Str(Arc::from("b"))),
+        ]
+        .boxed()
+    }
+
+    fn str_val() -> BoxedStrategy<Value> {
+        prop_oneof![some_str(), some_str(), some_str(), Just(Value::Null)].boxed()
+    }
+
+    fn bool_val() -> BoxedStrategy<Value> {
+        prop_oneof![
+            any::<bool>().prop_map(Value::Bool),
+            any::<bool>().prop_map(Value::Bool),
+            any::<bool>().prop_map(Value::Bool),
+            Just(Value::Null),
+        ]
+        .boxed()
+    }
+
+    /// Chunk rows: col 0 float, col 1 int, col 2 dictionary string,
+    /// col 3 bool. Lengths cross the 64-bit bitmap word boundary.
+    fn chunk() -> BoxedStrategy<Vec<(Value, Value, Value, Value)>> {
+        prop::collection::vec((float_val(), int_val(), str_val(), bool_val()), 1..70).boxed()
+    }
+
+    fn cmp_op() -> BoxedStrategy<BinOp> {
+        prop_oneof![
+            Just(BinOp::Lt),
+            Just(BinOp::LtEq),
+            Just(BinOp::Gt),
+            Just(BinOp::GtEq),
+            Just(BinOp::Eq),
+            Just(BinOp::NotEq),
+        ]
+        .boxed()
+    }
+
+    /// Every expression shape the vectorized classifier supports.
+    fn leaf() -> BoxedStrategy<Expr> {
+        prop_oneof![
+            // numeric column vs literal (both orders), incl. NULL literals
+            (cmp_op(), 0usize..2, float_val()).prop_map(|(op, c, v)| Expr::binary(
+                op,
+                Expr::col(c),
+                Expr::lit(v)
+            )),
+            (cmp_op(), 0usize..2, int_val()).prop_map(|(op, c, v)| Expr::binary(
+                op,
+                Expr::lit(v),
+                Expr::col(c)
+            )),
+            // numeric column vs numeric column (mixed int/float dtypes)
+            cmp_op().prop_map(|op| Expr::binary(op, Expr::col(0), Expr::col(1))),
+            // dictionary string vs string literal, both orders
+            (cmp_op(), some_str()).prop_map(|(op, v)| Expr::binary(op, Expr::col(2), Expr::lit(v))),
+            (cmp_op(), some_str()).prop_map(|(op, v)| Expr::binary(op, Expr::lit(v), Expr::col(2))),
+            // IS [NOT] NULL on every column
+            (0usize..4, any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
+                expr: Box::new(Expr::col(c)),
+                negated,
+            }),
+            // bare boolean column as a predicate
+            Just(Expr::col(3)),
+            // constant predicates
+            any::<bool>().prop_map(|b| Expr::lit(Value::Bool(b))),
+            Just(Expr::lit(Value::Null)),
+        ]
+        .boxed()
+    }
+
+    fn predicate() -> BoxedStrategy<Expr> {
+        prop_oneof![
+            leaf(),
+            leaf(),
+            leaf().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (leaf(), leaf()).prop_map(|(a, b)| Expr::binary(BinOp::And, a, b)),
+            (leaf(), leaf()).prop_map(|(a, b)| Expr::binary(BinOp::Or, a, b)),
+        ]
+        .boxed()
+    }
+
+    fn columns(rows: &[(Value, Value, Value, Value)]) -> Vec<Arc<Column>> {
+        let col = |dt, vals: Vec<Value>| Arc::new(Column::from_values(dt, &vals));
+        vec![
+            col(DataType::Float, rows.iter().map(|r| r.0.clone()).collect()),
+            col(DataType::Int, rows.iter().map(|r| r.1.clone()).collect()),
+            col(DataType::Str, rows.iter().map(|r| r.2.clone()).collect()),
+            col(DataType::Bool, rows.iter().map(|r| r.3.clone()).collect()),
+        ]
+    }
+
+    fn row_ctx(rows: &[(Value, Value, Value, Value)], i: usize) -> Ctx {
+        let r = &rows[i];
+        Ctx {
+            row: Row::new(vec![r.0.clone(), r.1.clone(), r.2.clone(), r.3.clone()]),
+            value: 0.0,
+            range: (0.0, 0.0),
+            member: Tri::True,
+            member_point: false,
+        }
+    }
+
+    proptest! {
+        /// 3VL bitmap classify vs the scalar evaluator, bit for bit. The
+        /// references: `pass[i]` ⇔ the predicate is SQL `TRUE` on row `i`
+        /// (`eval_predicate(p)`, and equivalently `eval_tri(p) == True`),
+        /// and `fail[i]` ⇔ it is SQL `FALSE` (`eval_predicate(NOT p)` —
+        /// `NOT p` is `TRUE` exactly when `p` is `FALSE`, so this captures
+        /// the FALSE-vs-NULL distinction `eval_tri`'s filter mapping
+        /// collapses).
+        #[test]
+        fn classify_mask_matches_scalar_eval(rows in chunk(), pred in predicate()) {
+            let cols = columns(&rows);
+            let len = rows.len();
+            let Some(mask) = classify_mask(&pred, &cols, len) else {
+                // Every shape `predicate()` generates is in the vectorized
+                // subset; a bail-out here would be a silent perf regression.
+                return Err(TestCaseError::fail("classify_mask refused a supported shape"));
+            };
+            let not_pred = Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(pred.clone()),
+            };
+            for i in 0..len {
+                let ctx = row_ctx(&rows, i);
+                let is_true = eval_predicate(&pred, &ctx).unwrap();
+                let is_false = eval_predicate(&not_pred, &ctx).unwrap();
+                prop_assert_eq!(
+                    mask.pass.get(i),
+                    is_true,
+                    "pass bit, row {} of {:?}",
+                    i,
+                    &pred
+                );
+                prop_assert_eq!(
+                    mask.fail.get(i),
+                    is_false,
+                    "fail bit, row {} of {:?}",
+                    i,
+                    &pred
+                );
+                // `eval_tri` may be conservatively Maybe (e.g. NaN range
+                // bounds defeat the interval tests), but a definite verdict
+                // must agree with point evaluation.
+                match eval_tri(&pred, &ctx).unwrap() {
+                    Tri::True => prop_assert!(
+                        is_true,
+                        "eval_tri True but row fails: row {} ({:?}) of {:?}",
+                        i,
+                        &rows[i],
+                        &pred
+                    ),
+                    Tri::False => prop_assert!(
+                        !is_true,
+                        "eval_tri False but row passes: row {} ({:?}) of {:?}",
+                        i,
+                        &rows[i],
+                        &pred
+                    ),
+                    Tri::Maybe => {}
+                }
+                prop_assert!(!(mask.pass.get(i) && mask.fail.get(i)));
+            }
+        }
+
+        /// 2VL filter bitmap vs per-row `eval_predicate` (NULL ⇒ filtered).
+        #[test]
+        fn predicate_mask_matches_eval_predicate(rows in chunk(), pred in predicate()) {
+            let cols = columns(&rows);
+            let len = rows.len();
+            let Some(mask) = predicate_mask(&pred, &cols, len) else {
+                return Err(TestCaseError::fail("predicate_mask refused a supported shape"));
+            };
+            for i in 0..len {
+                let pass = eval_predicate(&pred, &row_ctx(&rows, i)).unwrap();
+                prop_assert_eq!(mask.get(i), pass, "row {} of {:?}", i, &pred);
+            }
+        }
+    }
+}

@@ -1,13 +1,16 @@
-//! Storage substrate for G-OLA: an in-memory row store, a table catalog,
-//! random shuffling, the **mini-batch partitioner** at the heart of the
-//! G-OLA execution model (paper §2.1–2.2), and CSV import/export.
+//! Storage substrate for G-OLA: an in-memory **columnar chunk store**, a
+//! table catalog, random shuffling, the **mini-batch partitioner** at the
+//! heart of the G-OLA execution model (paper §2.1–2.2), and CSV
+//! import/export.
 
 pub mod catalog;
+pub mod chunk;
 pub mod csv;
 pub mod partition;
 pub mod shuffle;
 pub mod table;
 
 pub use catalog::Catalog;
+pub use chunk::ColumnChunk;
 pub use partition::{MiniBatch, MiniBatchPartitioner};
-pub use table::{Table, TableBuilder};
+pub use table::{Table, TableBuilder, TABLE_CHUNK_ROWS};

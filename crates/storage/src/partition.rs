@@ -12,37 +12,64 @@
 //! id, so a tuple's weight is identical every time it is (re-)processed —
 //! the property that makes uncertain-set re-evaluation and failure-triggered
 //! recomputation statistically consistent.
+//!
+//! Batches are materialized as [`ColumnChunk`]s — a gather of the shuffled
+//! permutation slice into typed column vectors — so the executor folds
+//! column slices instead of cloning rows.
 
 use std::sync::Arc;
 
 use gola_common::{Error, Result, Row};
 
+use crate::chunk::ColumnChunk;
 use crate::shuffle::permutation;
 use crate::table::Table;
 
-/// One randomly-drawn batch of tuples with stable ids.
+/// One randomly-drawn batch of tuples with stable ids, stored column-major.
 #[derive(Debug, Clone)]
 pub struct MiniBatch {
     /// 0-based batch number.
     pub index: usize,
     /// Stable per-tuple ids (row index in the source table).
     pub tuple_ids: Vec<u64>,
-    /// The tuples themselves (cheap `Arc`-backed clones).
-    pub rows: Vec<Row>,
+    /// The tuples themselves, as a columnar chunk.
+    chunk: ColumnChunk,
 }
 
 impl MiniBatch {
+    pub fn new(index: usize, tuple_ids: Vec<u64>, chunk: ColumnChunk) -> MiniBatch {
+        debug_assert_eq!(tuple_ids.len(), chunk.len());
+        MiniBatch {
+            index,
+            tuple_ids,
+            chunk,
+        }
+    }
+
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.chunk.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.chunk.is_empty()
     }
 
-    /// Iterate `(tuple_id, row)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &Row)> + '_ {
-        self.tuple_ids.iter().copied().zip(self.rows.iter())
+    /// The columnar payload.
+    pub fn chunk(&self) -> &ColumnChunk {
+        &self.chunk
+    }
+
+    /// Materialize the batch as rows (row-oriented baselines).
+    pub fn rows(&self) -> Vec<Row> {
+        self.chunk.to_rows()
+    }
+
+    /// Iterate `(tuple_id, row)` pairs, materializing each row.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Row)> + '_ {
+        self.tuple_ids
+            .iter()
+            .copied()
+            .zip((0..self.chunk.len()).map(|i| self.chunk.row(i)))
     }
 }
 
@@ -111,16 +138,16 @@ impl MiniBatchPartitioner {
         self.total_rows() as f64 / self.rows_seen_through(i) as f64
     }
 
-    /// Materialize batch `i`.
+    /// Materialize batch `i` as a columnar gather of its permutation slice.
     pub fn batch(&self, i: usize) -> MiniBatch {
         let start = if i == 0 { 0 } else { self.bounds[i - 1] };
         let end = self.bounds[i];
         let idxs = &self.perm[start..end];
-        MiniBatch {
-            index: i,
-            tuple_ids: idxs.iter().map(|&x| x as u64).collect(),
-            rows: idxs.iter().map(|&x| self.table.rows()[x].clone()).collect(),
-        }
+        MiniBatch::new(
+            i,
+            idxs.iter().map(|&x| x as u64).collect(),
+            self.table.gather(idxs),
+        )
     }
 
     /// Iterate all batches in order.
@@ -215,5 +242,17 @@ mod tests {
         let p = MiniBatchPartitioner::new(table(10), 1, 1).unwrap();
         assert_eq!(p.batch(0).len(), 10);
         assert!((p.multiplicity_after(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_chunk_matches_rows() {
+        let p = MiniBatchPartitioner::new(table(30), 3, 2).unwrap();
+        let b = p.batch(1);
+        assert_eq!(b.chunk().len(), b.len());
+        let rows = b.rows();
+        for (i, (id, row)) in b.iter().enumerate() {
+            assert_eq!(row, rows[i]);
+            assert_eq!(id, b.tuple_ids[i]);
+        }
     }
 }

@@ -8,7 +8,6 @@
 use std::sync::Arc;
 
 use gola_common::rng::SplitMix64;
-use gola_common::Row;
 
 use crate::table::Table;
 
@@ -28,11 +27,12 @@ pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
     idx
 }
 
-/// Return a new table whose rows are a random permutation of `table`'s.
+/// Return a new table whose rows are a random permutation of `table`'s,
+/// materialized as a columnar gather of the permuted indices.
 pub fn shuffle_table(table: &Table, seed: u64) -> Table {
-    let mut rows: Vec<Row> = table.rows().to_vec();
-    shuffle_in_place(&mut rows, seed);
-    Table::new_unchecked(Arc::clone(table.schema()), rows)
+    let perm = permutation(table.num_rows(), seed);
+    let chunk = table.gather(&perm);
+    Table::from_chunks(Arc::clone(table.schema()), vec![chunk])
 }
 
 #[cfg(test)]

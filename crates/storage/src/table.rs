@@ -1,16 +1,52 @@
-//! The in-memory row-store [`Table`].
+//! The in-memory columnar [`Table`].
+//!
+//! Tables store tuples as a sequence of [`ColumnChunk`]s of up to
+//! [`TABLE_CHUNK_ROWS`] rows each: one typed column vector per attribute
+//! (i64 / f64 / bool / dictionary-encoded strings) with a validity bitmap
+//! where NULLs occur. The row-oriented API (`rows`, `into_rows`) is kept as
+//! a materializing compatibility view for the exact engine and tests; the
+//! online executor reads chunks directly.
 
 use std::fmt;
 use std::sync::Arc;
 
-use gola_common::{Error, Result, Row, Schema, Value};
+use gola_common::{Bitmap, Column, ColumnBuilder, ColumnData, Error, Result, Row, Schema, Value};
 
-/// An immutable, schema-tagged collection of rows. Tables are shared via
-/// `Arc` between the catalog, partitioner and executors.
-#[derive(Debug, Clone, PartialEq)]
+use crate::chunk::ColumnChunk;
+
+/// Rows per storage chunk. Large enough to amortize per-chunk dictionaries,
+/// small enough that a gather touches cache-resident column slices.
+pub const TABLE_CHUNK_ROWS: usize = 65_536;
+
+/// An immutable, schema-tagged collection of tuples stored column-major.
+/// Tables are shared via `Arc` between the catalog, partitioner and
+/// executors; chunks share their columns via `Arc` too, so cloning a table
+/// copies no data.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    rows: Vec<Row>,
+    chunks: Vec<ColumnChunk>,
+    /// Start row of each chunk. Row-built tables are *regular* (every chunk
+    /// but the last holds exactly [`TABLE_CHUNK_ROWS`] rows) and resolve
+    /// indices by division; [`Table::from_chunks`] may produce arbitrary
+    /// chunk lengths, which resolve through this prefix instead.
+    offsets: Vec<usize>,
+    regular: bool,
+    len: usize,
+}
+
+fn chunk_offsets(chunks: &[ColumnChunk]) -> (Vec<usize>, bool) {
+    let mut offsets = Vec::with_capacity(chunks.len());
+    let mut acc = 0usize;
+    let mut regular = true;
+    for (idx, c) in chunks.iter().enumerate() {
+        offsets.push(acc);
+        if idx + 1 < chunks.len() && c.len() != TABLE_CHUNK_ROWS {
+            regular = false;
+        }
+        acc += c.len();
+    }
+    (offsets, regular)
 }
 
 impl Table {
@@ -36,20 +72,50 @@ impl Table {
                 }
             }
         }
-        Ok(Table { schema, rows })
+        Ok(Table::new_unchecked(schema, rows))
     }
 
     /// Build a table without validation (generators construct well-typed
     /// rows by design; validation there would just re-scan gigabytes).
     pub fn new_unchecked(schema: Arc<Schema>, rows: Vec<Row>) -> Table {
-        Table { schema, rows }
+        let len = rows.len();
+        let chunks: Vec<ColumnChunk> = rows
+            .chunks(TABLE_CHUNK_ROWS)
+            .map(|slice| ColumnChunk::from_rows(&schema, slice))
+            .collect();
+        let (offsets, regular) = chunk_offsets(&chunks);
+        Table {
+            schema,
+            chunks,
+            offsets,
+            regular,
+            len,
+        }
+    }
+
+    /// Assemble a table directly from columnar chunks (shuffle, columnar
+    /// loaders). Chunk widths must match the schema.
+    pub fn from_chunks(schema: Arc<Schema>, chunks: Vec<ColumnChunk>) -> Table {
+        debug_assert!(chunks.iter().all(|c| c.num_columns() == schema.len()));
+        let len = chunks.iter().map(|c| c.len()).sum();
+        let (offsets, regular) = chunk_offsets(&chunks);
+        Table {
+            schema,
+            chunks,
+            offsets,
+            regular,
+            len,
+        }
     }
 
     /// Empty table with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Table {
         Table {
             schema,
-            rows: Vec::new(),
+            chunks: Vec::new(),
+            offsets: Vec::new(),
+            regular: true,
+            len: 0,
         }
     }
 
@@ -57,27 +123,133 @@ impl Table {
         &self.schema
     }
 
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The columnar chunks backing this table.
+    pub fn chunks(&self) -> &[ColumnChunk] {
+        &self.chunks
+    }
+
+    /// Materialize every tuple as a [`Row`] (compatibility view: the exact
+    /// engine and tests are row-oriented; the online path reads chunks).
+    pub fn rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend((0..c.len()).map(|i| c.row(i)));
+        }
+        out
     }
 
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// Take ownership of the rows.
+    /// Materialize all tuples, consuming the table.
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        self.rows()
+    }
+
+    /// Locate global row index `i` as `(chunk, offset)`.
+    #[inline]
+    fn locate(&self, i: usize) -> (usize, usize) {
+        if self.regular {
+            // Every chunk but the last holds exactly TABLE_CHUNK_ROWS rows.
+            return (i / TABLE_CHUNK_ROWS, i % TABLE_CHUNK_ROWS);
+        }
+        let c = self.offsets.partition_point(|&o| o <= i) - 1;
+        (c, i - self.offsets[c])
+    }
+
+    /// Value at global row `i`, column `j`.
+    pub fn value(&self, i: usize, j: usize) -> Value {
+        let (c, o) = self.locate(i);
+        self.chunks[c].column(j).value(o)
+    }
+
+    /// Materialize the tuple at global row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        let (c, o) = self.locate(i);
+        self.chunks[c].row(o)
+    }
+
+    /// Gather tuples by global row index into a single [`ColumnChunk`]
+    /// (the partitioner's mini-batch materialization).
+    pub fn gather(&self, indices: &[usize]) -> ColumnChunk {
+        if self.chunks.len() == 1 {
+            return self.chunks[0].gather(indices);
+        }
+        let columns = (0..self.schema.len())
+            .map(|j| Arc::new(self.gather_column(j, indices)))
+            .collect();
+        ColumnChunk::new(columns, indices.len())
+    }
+
+    /// Gather one column across chunk boundaries.
+    fn gather_column(&self, j: usize, indices: &[usize]) -> Column {
+        // Typed fast paths when every chunk stores the same primitive
+        // variant; otherwise rebuild through the builder (re-encoding
+        // dictionary strings against a fresh per-gather dictionary).
+        let all_int = self
+            .chunks
+            .iter()
+            .all(|c| matches!(c.column(j).data(), ColumnData::Int(_)));
+        let all_float = !all_int
+            && self
+                .chunks
+                .iter()
+                .all(|c| matches!(c.column(j).data(), ColumnData::Float(_)));
+        let all_bool = !all_int
+            && !all_float
+            && self
+                .chunks
+                .iter()
+                .all(|c| matches!(c.column(j).data(), ColumnData::Bool(_)));
+        let any_null = self.chunks.iter().any(|c| c.column(j).validity().is_some());
+        macro_rules! typed_gather {
+            ($variant:ident) => {{
+                let mut out = Vec::with_capacity(indices.len());
+                let mut validity = if any_null { Some(Bitmap::new()) } else { None };
+                for &i in indices {
+                    let (c, o) = self.locate(i);
+                    let col = self.chunks[c].column(j);
+                    match col.data() {
+                        ColumnData::$variant(xs) => out.push(xs[o]),
+                        _ => unreachable!("variant checked above"),
+                    }
+                    if let Some(bm) = validity.as_mut() {
+                        bm.push(col.is_valid(o));
+                    }
+                }
+                Column::new(ColumnData::$variant(out), validity)
+            }};
+        }
+        if all_int {
+            typed_gather!(Int)
+        } else if all_float {
+            typed_gather!(Float)
+        } else if all_bool {
+            typed_gather!(Bool)
+        } else {
+            let mut b = ColumnBuilder::new(self.schema.field(j).data_type, indices.len());
+            for &i in indices {
+                let (c, o) = self.locate(i);
+                b.push(&self.chunks[c].column(j).value(o));
+            }
+            b.finish()
+        }
     }
 
     /// Column values by name, for tests and quick inspection.
     pub fn column(&self, name: &str) -> Result<Vec<Value>> {
         let idx = self.schema.index_of_or_err(name)?;
-        Ok(self.rows.iter().map(|r| r.get(idx).clone()).collect())
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            let col = c.column(idx);
+            out.extend((0..c.len()).map(|i| col.value(i)));
+        }
+        Ok(out)
     }
 
     /// Pretty-print at most `limit` rows as an aligned text table.
@@ -89,11 +261,13 @@ impl Table {
             .map(|f| f.name.clone())
             .collect();
         let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-        let shown: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .take(limit)
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+        let shown: Vec<Vec<String>> = (0..self.len.min(limit))
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         for row in &shown {
             for (i, cell) in row.iter().enumerate() {
@@ -120,10 +294,21 @@ impl Table {
             out.push_str(&fmt_row(row, &widths));
             out.push('\n');
         }
-        if self.rows.len() > limit {
-            out.push_str(&format!("... {} more rows\n", self.rows.len() - limit));
+        if self.len > limit {
+            out.push_str(&format!("... {} more rows\n", self.len - limit));
         }
         out
+    }
+}
+
+impl PartialEq for Table {
+    /// Semantic equality: same schema and the same values in the same
+    /// order, regardless of chunking or encoding.
+    fn eq(&self, other: &Table) -> bool {
+        if self.schema != other.schema || self.len != other.len {
+            return false;
+        }
+        (0..self.len).all(|i| (0..self.schema.len()).all(|j| self.value(i, j) == other.value(i, j)))
     }
 }
 
@@ -133,7 +318,8 @@ impl fmt::Display for Table {
     }
 }
 
-/// Incremental construction of a [`Table`].
+/// Incremental construction of a [`Table`]. Buffers rows and transposes
+/// into columnar chunks on `finish`.
 #[derive(Debug)]
 pub struct TableBuilder {
     schema: Arc<Schema>,
@@ -201,6 +387,30 @@ mod tests {
     }
 
     #[test]
+    fn irregular_chunks_index_correctly() {
+        // `from_chunks` accepts arbitrary chunk lengths; global-row lookup
+        // must resolve through the offset prefix, not division.
+        let rows: Vec<Row> = (0..50).map(|i| row![i as i64, i as f64]).collect();
+        let sch = schema();
+        let chunks: Vec<ColumnChunk> = [0..7usize, 7..8, 8..31, 31..50]
+            .into_iter()
+            .map(|r| ColumnChunk::from_rows(&sch, &rows[r]))
+            .collect();
+        let t = Table::from_chunks(Arc::clone(&sch), chunks);
+        assert_eq!(t.num_rows(), 50);
+        for (i, expect) in rows.iter().enumerate() {
+            assert_eq!(&t.row(i), expect, "row {i}");
+            assert_eq!(t.value(i, 0), Value::Int(i as i64));
+        }
+        let gathered = t.gather(&[49, 0, 8, 7, 30]);
+        assert_eq!(gathered.row(0), rows[49]);
+        assert_eq!(gathered.row(3), rows[7]);
+        // Semantic equality ignores chunking.
+        let regular = Table::new_unchecked(Arc::clone(&sch), rows);
+        assert_eq!(t, regular);
+    }
+
+    #[test]
     fn validates_arity_and_types() {
         let ok = Table::try_new(schema(), vec![row![1i64, 2.0f64]]);
         assert!(ok.is_ok());
@@ -241,5 +451,34 @@ mod tests {
         let s = t.display_limit(5);
         assert!(s.contains("... 25 more rows"));
         assert!(s.contains("| id | score |"));
+    }
+
+    #[test]
+    fn rows_round_trip_and_equality() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Row::new(vec![Value::Int(i), Value::Null])
+                } else {
+                    row![i, i as f64 / 2.0]
+                }
+            })
+            .collect();
+        let t = Table::new_unchecked(schema(), rows.clone());
+        assert_eq!(t.rows(), rows);
+        assert_eq!(t.row(4), rows[4]);
+        assert_eq!(t.value(3, 1), Value::Null);
+        let u = Table::new_unchecked(schema(), rows);
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn gather_matches_row_view() {
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, i as f64]).collect();
+        let t = Table::new_unchecked(schema(), rows);
+        let g = t.gather(&[7, 3, 99]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.row(0), t.row(7));
+        assert_eq!(g.row(2), t.row(99));
     }
 }

@@ -66,8 +66,9 @@ fn check(sql: &str, expected: &[Value]) {
     let session = OnlineSession::new(catalog(), OnlineConfig::for_tests(2));
     let exact = session.execute_exact(sql).unwrap();
     assert_eq!(exact.num_rows(), 1, "{sql}");
+    let exact_row = exact.row(0);
     for (i, want) in expected.iter().enumerate() {
-        let got = exact.rows()[0].get(i);
+        let got = exact_row.get(i);
         match (got.as_f64(), want.as_f64()) {
             (Some(g), Some(w)) => {
                 assert!((g - w).abs() < 1e-9, "{sql} col {i}: {got} vs {want}")
@@ -81,8 +82,9 @@ fn check(sql: &str, expected: &[Value]) {
         .run_to_completion()
         .unwrap();
     assert_eq!(online.table.num_rows(), 1, "{sql} online");
+    let online_row = online.table.row(0);
     for (i, want) in expected.iter().enumerate() {
-        let got = online.table.rows()[0].get(i);
+        let got = online_row.get(i);
         match (got.as_f64(), want.as_f64()) {
             (Some(g), Some(w)) => {
                 assert!(
