@@ -54,8 +54,11 @@ impl ReplicatedStates {
     /// Number of bootstrap replicas.
     pub fn trials(&self) -> u32 {
         match self.states.len().checked_div(self.num_aggs) {
-            Some(rows) => (rows - 1) as u32,
-            None => 0,
+            // `rows == 0` (empty state table) must not underflow, and a
+            // replica count that overflows `u32` is a construction bug —
+            // fail loudly instead of truncating.
+            Some(rows) if rows > 0 => u32::try_from(rows - 1).expect("replica count exceeds u32"),
+            _ => 0,
         }
     }
 

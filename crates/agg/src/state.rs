@@ -199,6 +199,7 @@ impl AggState {
     /// maintained sequentially.
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {
+            // golint: allow(merge-commutativity) -- Poisson bootstrap weights are small exact integers carried in f64; addition is exact below 2^53, hence order-free (multiset-exact)
             (AggState::Count { weight_sum: a }, AggState::Count { weight_sum: b }) => *a += b,
             (
                 AggState::Sum {
@@ -213,6 +214,7 @@ impl AggState {
                 },
             ) => {
                 s1.merge(s2);
+                // golint: allow(merge-commutativity) -- Poisson bootstrap weights are small exact integers carried in f64; addition is exact below 2^53, hence order-free (multiset-exact)
                 *w1 += w2;
                 *n1 |= n2;
             }
@@ -227,6 +229,7 @@ impl AggState {
                 },
             ) => {
                 s1.merge(s2);
+                // golint: allow(merge-commutativity) -- Poisson bootstrap weights are small exact integers carried in f64; addition is exact below 2^53, hence order-free (multiset-exact)
                 *w1 += w2;
             }
             (AggState::Min { best: a }, AggState::Min { best: b }) => {

@@ -28,7 +28,7 @@ use std::fmt;
 use gola_common::stats::{mean, percentile, stddev_pop};
 
 /// A two-sided confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConfidenceInterval {
     pub lo: f64,
     pub hi: f64,
@@ -64,7 +64,7 @@ impl fmt::Display for ConfidenceInterval {
 }
 
 /// A running estimate together with its bootstrap replica values.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Estimate {
     /// The point estimate (computed with the true multiplicity weights).
     pub value: f64,

@@ -460,7 +460,9 @@ impl ColumnBuilder {
                 let code = match index.get(s.as_ref()) {
                     Some(&c) => c,
                     None => {
-                        let c = dict.len() as u32;
+                        // A dictionary past u32 code space must fail, not
+                        // silently alias code 0.
+                        let c = u32::try_from(dict.len()).expect("dictionary exceeds u32 codes");
                         dict.push(Arc::clone(s));
                         index.insert(Arc::clone(s), c);
                         c

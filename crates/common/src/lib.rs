@@ -21,6 +21,15 @@ pub mod timing;
 pub mod value;
 
 pub use column::{Bitmap, Column, ColumnBuilder, ColumnData};
+
+/// Chunk-relative row index as `u32`, checked. Silent `usize → u32`
+/// truncation of a row count is exactly the bug class `lossy-cast-audit`
+/// exists for; chunk framing keeps real indices far below `u32::MAX`, so
+/// an overflow here is a framing bug and must fail loudly.
+#[inline]
+pub fn row_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("row index exceeds u32::MAX (chunk framing bug)")
+}
 pub use error::{Error, Result};
 pub use fsum::{ExactSum, ExactVariance};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

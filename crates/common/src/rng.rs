@@ -44,6 +44,9 @@ impl SplitMix64 {
         debug_assert!(n > 0);
         // Multiply-shift bounded rand (Lemire); bias is negligible for the
         // table sizes used here and the method is branch-free.
+        // golint: allow(lossy-cast-audit) -- Lemire multiply-shift: the high
+        // 64 bits of the 128-bit product ARE the result; truncation is the
+        // algorithm, not an accident.
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 }

@@ -10,6 +10,9 @@ use std::sync::Arc;
 use crate::value::Value;
 
 /// A single tuple.
+// golint: allow(float-total-order) -- the derived impls delegate to `Value`,
+// whose PartialEq/Eq/Hash are the manual total order (value.rs): NaN equals
+// itself and hashes consistently, so the derive is total, not IEEE-partial.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Row {
     values: Arc<[Value]>,

@@ -67,7 +67,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// Online mean/variance accumulator (Welford), with merge support so it can
 /// be maintained per mini-batch and combined.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Welford {
     pub count: f64,
     pub mean: f64,
@@ -104,9 +104,13 @@ impl Welford {
             *self = *other;
             return;
         }
+        // golint: allow(merge-commutativity) -- parallel-variance formula is inherently rounding; Welford is the baseline/diagnostic accumulator — the engine's deterministic result path merges via ExactSum (fsum)
         let total = self.count + other.count;
+        // golint: allow(merge-commutativity) -- see above: baseline-only accumulator
         let delta = other.mean - self.mean;
+        // golint: allow(merge-commutativity) -- see above: baseline-only accumulator
         self.mean += delta * other.count / total;
+        // golint: allow(merge-commutativity) -- see above: baseline-only accumulator
         self.m2 += other.m2 + delta * delta * self.count * other.count / total;
         self.count = total;
     }

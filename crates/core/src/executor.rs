@@ -24,7 +24,7 @@ use std::time::Duration;
 use gola_bootstrap::{Estimate, VariationRange};
 use gola_common::timing::Stopwatch;
 use gola_common::{
-    cmp_values, Bitmap, ColumnData, Error, FxHashMap, FxHashSet, Result, Row, Value,
+    cmp_values, row_u32, Bitmap, ColumnData, Error, FxHashMap, FxHashSet, Result, Row, Value,
 };
 use gola_expr::eval::{eval, eval_predicate, eval_tri, ExactContext};
 use gola_expr::vector::predicate_mask;
@@ -162,6 +162,9 @@ fn cmp_op(op: gola_expr::BinOp, x: f64, y: f64) -> bool {
         gola_expr::BinOp::LtEq => x <= y,
         gola_expr::BinOp::Gt => x > y,
         gola_expr::BinOp::GtEq => x >= y,
+        // golint: allow(float-total-order) -- SQL `=`/`<>` on floats: NaN compares
+        // false/true per IEEE, the defined per-row-deterministic query result;
+        // no ordering is derived from it.
         gola_expr::BinOp::Eq => x == y,
         gola_expr::BinOp::NotEq => x != y,
         _ => false,
@@ -884,7 +887,7 @@ impl OnlineExecutor {
         // Likewise, a block with no uncertain predicates folds everything
         // deterministically — no row materialization at all.
         if cb.semi_join.is_some() || cb.lin_filters.is_empty() {
-            out.folds = (0..len as u32).collect();
+            out.folds = (0..row_u32(len)).collect();
             return Ok(out);
         }
 
@@ -947,10 +950,10 @@ impl OnlineExecutor {
                             ps.used.store(true, std::sync::atomic::Ordering::Relaxed);
                         }
                         if tri == Tri::True {
-                            out.folds.push(r as u32);
+                            out.folds.push(row_u32(r));
                         }
                     }
-                    Tri::Maybe => out.uncertain_idx.push(r as u32),
+                    Tri::Maybe => out.uncertain_idx.push(row_u32(r)),
                 }
             }
             return Ok(out);
@@ -975,12 +978,12 @@ impl OnlineExecutor {
             match tri {
                 Tri::True => {
                     self.mark_reliance(&cb.lin_filters, &rowbuf)?;
-                    out.folds.push(r as u32);
+                    out.folds.push(row_u32(r));
                 }
                 Tri::False => {
                     self.mark_reliance(&cb.lin_filters, &rowbuf)?;
                 }
-                Tri::Maybe => out.uncertain_idx.push(r as u32),
+                Tri::Maybe => out.uncertain_idx.push(row_u32(r)),
             }
         }
         Ok(out)
@@ -1508,6 +1511,9 @@ impl OnlineExecutor {
                         gola_expr::BinOp::LtEq => x <= k,
                         gola_expr::BinOp::Gt => x > k,
                         gola_expr::BinOp::GtEq => x >= k,
+                        // golint: allow(float-total-order) -- SQL `=`/`<>` on
+                        // floats: NaN compares false/true per IEEE, the defined
+                        // per-row-deterministic query result; no ordering derived.
                         gola_expr::BinOp::Eq => x == k,
                         gola_expr::BinOp::NotEq => x != k,
                         _ => false,

@@ -158,7 +158,9 @@ impl ScalarFn for RoundFn {
         } else {
             0
         };
-        let m = 10f64.powi(digits as i32);
+        // Clamp before converting: `round(x, 5_000_000_000)` must saturate,
+        // not truncate through `as i32`. ±400 is beyond f64's decimal range.
+        let m = 10f64.powi(i32::try_from(digits.clamp(-400, 400)).unwrap_or(0));
         Ok(Value::Float((x * m).round() / m))
     }
 
@@ -344,10 +346,12 @@ impl ScalarFn for SubstrFn {
         let s = args[0]
             .as_str()
             .ok_or_else(|| Error::exec("substr expects a string"))?;
-        // SQL substr is 1-based.
-        let start = (args[1].as_i64().unwrap_or(1).max(1) - 1) as usize;
+        // SQL substr is 1-based. The `max` guards make the values
+        // non-negative, so the checked conversions cannot fail — but they
+        // keep a future edit from reintroducing a sign-wrapping `as usize`.
+        let start = usize::try_from(args[1].as_i64().unwrap_or(1).max(1) - 1).unwrap_or(0);
         let len = if args.len() == 3 {
-            args[2].as_i64().unwrap_or(0).max(0) as usize
+            usize::try_from(args[2].as_i64().unwrap_or(0).max(0)).unwrap_or(0)
         } else {
             usize::MAX
         };

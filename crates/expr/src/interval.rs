@@ -13,7 +13,7 @@ use gola_common::Value;
 use crate::tri::Tri;
 
 /// The possible values an expression may take across future mini-batches.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum RangeVal {
     /// Exactly this value (deterministic operand, e.g. a base-table column).
     Exact(Value),
@@ -22,6 +22,23 @@ pub enum RangeVal {
     Num { lo: f64, hi: f64 },
     /// No usable bound — classification must fall back to `Maybe`.
     Unknown,
+}
+
+/// Total-order equality: `Num` bounds compare via `total_cmp`, so two
+/// ranges are equal iff they are bitwise the same interval. The derived
+/// impl used IEEE `==`, under which a NaN bound made a range unequal to
+/// itself — the `eq_tri` bug class from the vectorized-kernel PR.
+impl PartialEq for RangeVal {
+    fn eq(&self, other: &RangeVal) -> bool {
+        match (self, other) {
+            (RangeVal::Exact(a), RangeVal::Exact(b)) => a == b,
+            (RangeVal::Num { lo: a, hi: b }, RangeVal::Num { lo: c, hi: d }) => {
+                a.total_cmp(c).is_eq() && b.total_cmp(d).is_eq()
+            }
+            (RangeVal::Unknown, RangeVal::Unknown) => true,
+            _ => false,
+        }
+    }
 }
 
 impl RangeVal {
@@ -37,9 +54,13 @@ impl RangeVal {
         }
     }
 
-    /// A degenerate interval holding one number.
+    /// A degenerate interval holding one number. Routed through [`num`]
+    /// so a NaN collapses to `Unknown` instead of forging a `Num` range
+    /// that violates the NaN-free bounds invariant.
+    ///
+    /// [`num`]: RangeVal::num
     pub fn point(x: f64) -> RangeVal {
-        RangeVal::Num { lo: x, hi: x }
+        RangeVal::num(x, x)
     }
 
     /// Numeric bounds of this range, if it has them.

@@ -1,0 +1,2408 @@
+//! A lightweight Rust AST subset and hand-written recursive-descent parser.
+//!
+//! `golint`'s first generation matched token patterns; this parser gives the
+//! rules real structure to stand on: items with attributes (derives,
+//! `cfg(test)`), function signatures with parameter/return types, `let`
+//! bindings, and a full expression tree (method calls with turbofish, `as`
+//! casts, comparisons, closures, loops, match arms with guards). It is
+//! built directly on [`crate::lexer`] — zero dependencies, no `syn`.
+//!
+//! Design rules:
+//!
+//! * **Never fail.** Static analysis must degrade gracefully: anything the
+//!   parser half-understands becomes [`Expr::Unknown`] / [`Item::Other`]
+//!   and scanning continues. Every parse loop provably consumes at least
+//!   one token.
+//! * **Lossy where lints don't care.** Patterns reduce to their bound
+//!   identifier names; generic parameters, lifetimes and `where` clauses
+//!   are skipped; trait objects collapse to their head path.
+//! * **`>>` is split by context.** The lexer emits single-character puncts
+//!   with jointness flags ([`Tok::joint`]); in type position every `>`
+//!   closes a generic, in expression position a joint `>` `>` pair is the
+//!   shift operator (and `>=`, `==`, `&&`, … reassemble the same way).
+
+use crate::lexer::{Tok, TokKind};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+/// A parsed source file: top-level items plus every `unsafe` occurrence
+/// (recorded during the parse, since `unsafe` may appear at item or
+/// expression level).
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    pub items: Vec<Item>,
+}
+
+/// Attributes that matter to the lints.
+#[derive(Debug, Clone, Default)]
+pub struct Attrs {
+    /// Trait names listed in `#[derive(…)]`.
+    pub derives: Vec<String>,
+    /// `true` for `#[cfg(test)]` (any attribute mentioning both).
+    pub cfg_test: bool,
+}
+
+#[derive(Debug)]
+pub enum Item {
+    Fn(FnItem),
+    Struct(StructItem),
+    Enum(EnumItem),
+    /// `impl` blocks and `trait` definitions: a type name plus nested items.
+    Impl(ImplBlock),
+    Mod(ModItem),
+    Const(ConstItem),
+    /// Anything else (`use`, `type`, `macro_rules!`, `extern` blocks, …).
+    Other,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Option<Ty>,
+    pub body: Option<Block>,
+    pub line: u32,
+}
+
+/// One function parameter: the bound pattern identifiers and the declared
+/// type. A simple `name: Ty` has one identifier; destructuring patterns
+/// carry all their bindings (typed by position when the type is a tuple).
+#[derive(Debug)]
+pub struct Param {
+    pub names: Vec<String>,
+    pub ty: Ty,
+}
+
+#[derive(Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub attrs: Attrs,
+    /// Named fields (`name: Ty`); tuple-struct fields get empty names.
+    pub fields: Vec<(String, Ty)>,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub attrs: Attrs,
+    /// All payload types across variants, with field names where present.
+    pub fields: Vec<(String, Ty)>,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct ImplBlock {
+    pub self_ty: String,
+    pub items: Vec<Item>,
+}
+
+#[derive(Debug)]
+pub struct ModItem {
+    pub name: String,
+    pub cfg_test: bool,
+    pub items: Vec<Item>,
+}
+
+#[derive(Debug)]
+pub struct ConstItem {
+    pub name: String,
+    pub ty: Ty,
+    pub init: Option<Expr>,
+}
+
+/// A type, reduced to what hint inference needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// Path type: last segment plus generic arguments (`HashMap<K, V>`,
+    /// `f64`, `Option<f64>`).
+    Path {
+        name: String,
+        args: Vec<Ty>,
+    },
+    Ref(Box<Ty>),
+    Slice(Box<Ty>),
+    Tuple(Vec<Ty>),
+    Unknown,
+}
+
+impl Ty {
+    pub fn path(name: &str) -> Ty {
+        Ty::Path {
+            name: name.to_string(),
+            args: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let(LetStmt),
+    Expr(Expr),
+    Item(Item),
+}
+
+#[derive(Debug)]
+pub struct LetStmt {
+    /// Identifiers bound by the pattern.
+    pub names: Vec<String>,
+    pub ty: Option<Ty>,
+    pub init: Option<Expr>,
+    /// `let … else { … }` diverging block.
+    pub else_block: Option<Block>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    pub fn is_eq(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne)
+    }
+
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+}
+
+#[derive(Debug)]
+pub enum Expr {
+    /// Numeric literal, verbatim (`0.5f64`, `1_000`).
+    Num {
+        text: String,
+        line: u32,
+    },
+    /// String/char/byte literal (payload dropped by the lexer).
+    Lit {
+        line: u32,
+    },
+    Bool {
+        line: u32,
+    },
+    /// Path expression: all segments (`gola_common::timing::Stopwatch` →
+    /// `["gola_common", "timing", "Stopwatch"]`).
+    Path {
+        segs: Vec<String>,
+        line: u32,
+    },
+    Unary {
+        op: char,
+        expr: Box<Expr>,
+        line: u32,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    /// `lhs = rhs` and compound assignment (`op` set for `+=` etc.).
+    Assign {
+        op: Option<BinOp>,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: Ty,
+        line: u32,
+    },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        /// Turbofish type arguments (`.sum::<f64>()`).
+        targs: Vec<Ty>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Field {
+        base: Box<Expr>,
+        name: String,
+        line: u32,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        line: u32,
+    },
+    Closure {
+        /// Per-parameter bound names and optional annotations.
+        params: Vec<(Vec<String>, Option<Ty>)>,
+        body: Box<Expr>,
+        line: u32,
+    },
+    If {
+        /// For `if let pat = scrut`, the scrutinee; `binds` carries the
+        /// pattern's identifiers (scoped to the then-block).
+        cond: Box<Expr>,
+        binds: Vec<String>,
+        then: Block,
+        els: Option<Box<Expr>>,
+        line: u32,
+    },
+    Match {
+        scrut: Box<Expr>,
+        arms: Vec<Arm>,
+        line: u32,
+    },
+    For {
+        binds: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+        line: u32,
+    },
+    While {
+        cond: Box<Expr>,
+        binds: Vec<String>,
+        body: Block,
+        line: u32,
+    },
+    Loop {
+        body: Block,
+        line: u32,
+    },
+    Block {
+        block: Block,
+        line: u32,
+    },
+    Macro {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Tuple {
+        items: Vec<Expr>,
+        line: u32,
+    },
+    Array {
+        items: Vec<Expr>,
+        line: u32,
+    },
+    /// Struct literal `Name { field: expr, … }`.
+    StructLit {
+        name: String,
+        fields: Vec<Expr>,
+        line: u32,
+    },
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+        line: u32,
+    },
+    Return {
+        expr: Option<Box<Expr>>,
+        line: u32,
+    },
+    Unknown {
+        line: u32,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Num { line, .. }
+            | Expr::Lit { line }
+            | Expr::Bool { line }
+            | Expr::Path { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::For { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::Array { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Range { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Unknown { line } => *line,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers bound by the arm's pattern.
+    pub binds: Vec<String>,
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse the comment-free code token stream of one file.
+pub fn parse(code: &[Tok]) -> SourceFile {
+    let mut p = Parser { toks: code, i: 0 };
+    let mut items = Vec::new();
+    while !p.eof() {
+        let before = p.i;
+        if let Some(item) = p.item() {
+            items.push(item);
+        }
+        if p.i == before {
+            p.i += 1; // recovery: always make progress
+        }
+    }
+    SourceFile { items }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+const PATTERN_KEYWORDS: [&str; 6] = ["mut", "ref", "box", "_", "if", "in"];
+
+impl Parser<'_> {
+    // -- cursor ------------------------------------------------------------
+
+    fn eof(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn kind(&self, ahead: usize) -> Option<&TokKind> {
+        self.toks.get(self.i + ahead).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.kind(0).is_some_and(|k| k.is_punct(c))
+    }
+
+    /// Two joint punct characters starting at the cursor (`==`, `->`, …).
+    fn at_punct2(&self, a: char, b: char) -> bool {
+        self.toks
+            .get(self.i)
+            .is_some_and(|t| t.kind.is_punct(a) && t.joint)
+            && self.kind(1).is_some_and(|k| k.is_punct(b))
+    }
+
+    fn at_punct3(&self, a: char, b: char, c: char) -> bool {
+        self.at_punct2(a, b)
+            && self.toks.get(self.i + 1).is_some_and(|t| t.joint)
+            && self.kind(2).is_some_and(|k| k.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.kind(0).is_some_and(|k| k.is_ident(s))
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident_text(&self) -> Option<String> {
+        self.kind(0).and_then(|k| k.ident()).map(str::to_string)
+    }
+
+    /// Skip tokens until one of `stops` at bracket depth 0, or until the
+    /// enclosing bracket closes (depth would go negative). Does not consume
+    /// the stop token. `->`/`=>` arrows are skipped as units so their `>`
+    /// never miscounts.
+    fn skip_until(&mut self, stops: &[char]) {
+        let mut depth = 0i32;
+        while let Some(k) = self.kind(0) {
+            if depth == 0 && stops.iter().any(|&c| k.is_punct(c)) {
+                return;
+            }
+            if (self.at_punct2('-', '>') || self.at_punct2('=', '>')) && !stops.contains(&'>') {
+                self.i += 2;
+                continue;
+            }
+            match k {
+                k if k.is_punct('(') || k.is_punct('[') || k.is_punct('{') => depth += 1,
+                k if k.is_punct(')') || k.is_punct(']') || k.is_punct('}') => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip one balanced bracket group starting at the cursor (which must
+    /// be on `(`, `[`, or `{`). No-op otherwise.
+    fn skip_balanced(&mut self) {
+        let open = match self.kind(0) {
+            Some(k) if k.is_punct('(') => '(',
+            Some(k) if k.is_punct('[') => '[',
+            Some(k) if k.is_punct('{') => '{',
+            _ => return,
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let mut depth = 0i32;
+        while let Some(k) = self.kind(0) {
+            if k.is_punct(open) {
+                depth += 1;
+            } else if k.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a generic parameter list starting at `<` (angle depth tracked,
+    /// `->` skipped as a unit, other brackets balanced).
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut angle = 0i32;
+        let mut other = 0i32;
+        while let Some(k) = self.kind(0) {
+            if self.at_punct2('-', '>') {
+                self.i += 2;
+                continue;
+            }
+            match k {
+                k if k.is_punct('<') && other == 0 => angle += 1,
+                k if k.is_punct('>') && other == 0 => {
+                    angle -= 1;
+                    if angle == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                k if k.is_punct('(') || k.is_punct('[') || k.is_punct('{') => other += 1,
+                k if k.is_punct(')') || k.is_punct(']') || k.is_punct('}') => {
+                    if other == 0 {
+                        return; // unbalanced — bail without consuming
+                    }
+                    other -= 1;
+                }
+                k if k.is_punct(';') && other == 0 => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // -- attributes ----------------------------------------------------------
+
+    /// Parse any number of `#[…]` / `#![…]` attributes.
+    fn attrs(&mut self) -> Attrs {
+        let mut out = Attrs::default();
+        while self.at_punct('#') {
+            let save = self.i;
+            self.bump();
+            self.eat_punct('!');
+            if !self.at_punct('[') {
+                self.i = save;
+                return out;
+            }
+            // Scan the balanced body for derive/cfg/test markers.
+            let start = self.i;
+            self.skip_balanced();
+            let body = &self.toks[start..self.i];
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut derive_at = None;
+            for (j, t) in body.iter().enumerate() {
+                match t.kind.ident() {
+                    Some("cfg") => saw_cfg = true,
+                    Some("test") => saw_test = true,
+                    Some("derive") => derive_at = Some(j),
+                    _ => {}
+                }
+            }
+            if saw_cfg && saw_test {
+                out.cfg_test = true;
+            }
+            if let Some(j) = derive_at {
+                for t in &body[j + 1..] {
+                    if let Some(name) = t.kind.ident() {
+                        out.derives.push(name.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // -- items ---------------------------------------------------------------
+
+    fn item(&mut self) -> Option<Item> {
+        let attrs = self.attrs();
+        // Visibility: `pub`, `pub(crate)`, `pub(in …)`.
+        if self.eat_ident("pub") && self.at_punct('(') {
+            self.skip_balanced();
+        }
+        // Qualifiers before `fn`.
+        let mut is_unsafe_fn = false;
+        loop {
+            if (self.at_ident("const") && self.kind(1).is_some_and(|k| k.is_ident("fn")))
+                || self.at_ident("async")
+            {
+                self.bump();
+            } else if self.at_ident("unsafe")
+                && self
+                    .kind(1)
+                    .is_some_and(|k| k.is_ident("fn") || k.is_ident("impl") || k.is_ident("trait"))
+            {
+                is_unsafe_fn = true;
+                self.bump();
+            } else if self.at_ident("extern")
+                && self.kind(1).is_some_and(|k| matches!(k, TokKind::Literal))
+                && self.kind(2).is_some_and(|k| k.is_ident("fn"))
+            {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let _ = is_unsafe_fn;
+        match self.ident_text().as_deref() {
+            Some("fn") => {
+                self.bump();
+                Some(Item::Fn(self.fn_item(attrs)))
+            }
+            Some("struct") => {
+                self.bump();
+                Some(Item::Struct(self.struct_item(attrs)))
+            }
+            Some("enum") => {
+                self.bump();
+                Some(Item::Enum(self.enum_item(attrs)))
+            }
+            Some("union") => {
+                self.bump();
+                Some(Item::Struct(self.struct_item(attrs)))
+            }
+            Some("impl") => {
+                self.bump();
+                Some(Item::Impl(self.impl_block()))
+            }
+            Some("trait") => {
+                self.bump();
+                // `trait Name<…>: Bounds { items }` — reuse the impl-block
+                // machinery with the trait name as the self type.
+                let name = self.ident_text().unwrap_or_default();
+                if !name.is_empty() {
+                    self.bump();
+                }
+                if self.at_punct('<') {
+                    self.skip_generics();
+                }
+                self.skip_until(&['{', ';']);
+                if self.at_punct(';') {
+                    self.bump();
+                    return Some(Item::Other);
+                }
+                Some(Item::Impl(ImplBlock {
+                    self_ty: name,
+                    items: self.brace_items(),
+                }))
+            }
+            Some("mod") => {
+                self.bump();
+                let name = self.ident_text().unwrap_or_default();
+                if !name.is_empty() {
+                    self.bump();
+                }
+                if self.at_punct(';') {
+                    self.bump();
+                    return Some(Item::Other);
+                }
+                Some(Item::Mod(ModItem {
+                    name,
+                    cfg_test: attrs.cfg_test,
+                    items: self.brace_items(),
+                }))
+            }
+            Some("const") | Some("static") => {
+                self.bump();
+                self.eat_ident("mut");
+                let name = self.ident_text().unwrap_or_default();
+                if !name.is_empty() {
+                    self.bump();
+                }
+                let ty = if self.eat_punct(':') {
+                    self.ty()
+                } else {
+                    Ty::Unknown
+                };
+                let init = if self.eat_punct('=') {
+                    Some(self.expr(0, false))
+                } else {
+                    None
+                };
+                self.eat_punct(';');
+                Some(Item::Const(ConstItem { name, ty, init }))
+            }
+            Some("use") | Some("type") => {
+                self.bump();
+                self.skip_until(&[';']);
+                self.eat_punct(';');
+                Some(Item::Other)
+            }
+            Some("macro_rules") => {
+                self.bump();
+                self.eat_punct('!');
+                if self.ident_text().is_some() {
+                    self.bump();
+                }
+                self.skip_balanced();
+                Some(Item::Other)
+            }
+            Some("extern") => {
+                self.bump();
+                self.skip_until(&['{', ';']);
+                if self.at_punct(';') {
+                    self.bump();
+                } else {
+                    self.skip_balanced();
+                }
+                Some(Item::Other)
+            }
+            _ => None,
+        }
+    }
+
+    /// `{ item* }` for impl/trait/mod bodies.
+    fn brace_items(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        if !self.eat_punct('{') {
+            return items;
+        }
+        while !self.eof() && !self.at_punct('}') {
+            let before = self.i;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        items
+    }
+
+    /// Cursor just past `fn`.
+    fn fn_item(&mut self, _attrs: Attrs) -> FnItem {
+        let line = self.line();
+        let name = self.ident_text().unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.eat_punct('(') {
+            while !self.eof() && !self.at_punct(')') {
+                let before = self.i;
+                let _ = self.attrs();
+                // `self` receivers (possibly `&`, `&'a`, `&mut`, `mut`).
+                if self.at_punct('&') || self.at_ident("self") || self.at_ident("mut") {
+                    let save = self.i;
+                    while self.at_punct('&')
+                        || self.at_ident("mut")
+                        || matches!(self.kind(0), Some(TokKind::Lifetime(_)))
+                    {
+                        self.bump();
+                    }
+                    if self.eat_ident("self") {
+                        params.push(Param {
+                            names: vec!["self".to_string()],
+                            ty: Ty::path("Self"),
+                        });
+                        self.eat_punct(',');
+                        continue;
+                    }
+                    self.i = save;
+                }
+                // Pattern up to `:`, then the type.
+                let names = self.pattern_until(&[':', ',', ')']);
+                let ty = if self.eat_punct(':') {
+                    self.ty()
+                } else {
+                    Ty::Unknown
+                };
+                params.push(Param { names, ty });
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct(')');
+        }
+        let ret = if self.at_punct2('-', '>') {
+            self.i += 2;
+            Some(self.ty())
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            self.skip_until(&['{', ';']);
+        }
+        let body = if self.at_punct('{') {
+            Some(self.block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnItem {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        }
+    }
+
+    fn struct_item(&mut self, attrs: Attrs) -> StructItem {
+        let line = self.line();
+        let name = self.ident_text().unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_ident("where") {
+            self.skip_until(&['{', '(', ';']);
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('(') {
+            // Tuple struct: positional types.
+            self.bump();
+            while !self.eof() && !self.at_punct(')') {
+                let before = self.i;
+                let _ = self.attrs();
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                let ty = self.ty();
+                fields.push((String::new(), ty));
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct(')');
+            self.eat_punct(';');
+        } else if self.eat_punct('{') {
+            while !self.eof() && !self.at_punct('}') {
+                let before = self.i;
+                let _ = self.attrs();
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                let fname = self.ident_text().unwrap_or_default();
+                if !fname.is_empty() {
+                    self.bump();
+                }
+                let ty = if self.eat_punct(':') {
+                    self.ty()
+                } else {
+                    Ty::Unknown
+                };
+                fields.push((fname, ty));
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';'); // unit struct
+        }
+        StructItem {
+            name,
+            attrs,
+            fields,
+            line,
+        }
+    }
+
+    fn enum_item(&mut self, attrs: Attrs) -> EnumItem {
+        let line = self.line();
+        let name = self.ident_text().unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_ident("where") {
+            self.skip_until(&['{', ';']);
+        }
+        let mut fields = Vec::new();
+        if self.eat_punct('{') {
+            while !self.eof() && !self.at_punct('}') {
+                let before = self.i;
+                let _ = self.attrs();
+                if self.ident_text().is_some() {
+                    self.bump(); // variant name
+                }
+                if self.at_punct('(') {
+                    self.bump();
+                    while !self.eof() && !self.at_punct(')') {
+                        let b2 = self.i;
+                        let ty = self.ty();
+                        fields.push((String::new(), ty));
+                        self.eat_punct(',');
+                        if self.i == b2 {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct(')');
+                } else if self.at_punct('{') {
+                    self.bump();
+                    while !self.eof() && !self.at_punct('}') {
+                        let b2 = self.i;
+                        let fname = self.ident_text().unwrap_or_default();
+                        if !fname.is_empty() {
+                            self.bump();
+                        }
+                        let ty = if self.eat_punct(':') {
+                            self.ty()
+                        } else {
+                            Ty::Unknown
+                        };
+                        fields.push((fname, ty));
+                        self.eat_punct(',');
+                        if self.i == b2 {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct('}');
+                }
+                if self.eat_punct('=') {
+                    // Explicit discriminant.
+                    self.skip_until(&[',', '}']);
+                }
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct('}');
+        }
+        EnumItem {
+            name,
+            attrs,
+            fields,
+            line,
+        }
+    }
+
+    /// Cursor just past `impl`.
+    fn impl_block(&mut self) -> ImplBlock {
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        let first = self.ty();
+        let self_ty = if self.eat_ident("for") {
+            self.ty()
+        } else {
+            first
+        };
+        if self.at_ident("where") {
+            self.skip_until(&['{']);
+        }
+        let name = match &self_ty {
+            Ty::Path { name, .. } => name.clone(),
+            _ => String::new(),
+        };
+        ImplBlock {
+            self_ty: name,
+            items: self.brace_items(),
+        }
+    }
+
+    // -- types ---------------------------------------------------------------
+
+    fn ty(&mut self) -> Ty {
+        match self.kind(0) {
+            Some(k) if k.is_punct('&') => {
+                self.bump();
+                while matches!(self.kind(0), Some(TokKind::Lifetime(_))) {
+                    self.bump();
+                }
+                self.eat_ident("mut");
+                Ty::Ref(Box::new(self.ty()))
+            }
+            Some(k) if k.is_punct('*') => {
+                self.bump();
+                let _ = self.eat_ident("const") || self.eat_ident("mut");
+                Ty::Ref(Box::new(self.ty()))
+            }
+            Some(k) if k.is_punct('(') => {
+                self.bump();
+                let mut items = Vec::new();
+                let mut trailing_comma = false;
+                while !self.eof() && !self.at_punct(')') {
+                    let before = self.i;
+                    items.push(self.ty());
+                    trailing_comma = self.eat_punct(',');
+                    if self.i == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(')');
+                if items.len() == 1 && !trailing_comma {
+                    items.pop().unwrap_or(Ty::Unknown)
+                } else {
+                    Ty::Tuple(items)
+                }
+            }
+            Some(k) if k.is_punct('[') => {
+                self.bump();
+                let inner = self.ty();
+                if self.eat_punct(';') {
+                    self.skip_until(&[']']);
+                }
+                self.eat_punct(']');
+                Ty::Slice(Box::new(inner))
+            }
+            Some(k) if k.is_punct('<') => {
+                // Qualified path `<T as Trait>::Assoc` — skip, unknown.
+                self.skip_generics();
+                while self.at_punct2(':', ':') {
+                    self.i += 2;
+                    if self.ident_text().is_some() {
+                        self.bump();
+                    }
+                    if self.at_punct('<') {
+                        self.skip_generics();
+                    }
+                }
+                Ty::Unknown
+            }
+            Some(TokKind::Ident(s)) if s == "dyn" || s == "impl" => {
+                self.bump();
+                let t = self.ty();
+                while self.eat_punct('+') {
+                    while matches!(self.kind(0), Some(TokKind::Lifetime(_))) {
+                        self.bump();
+                    }
+                    if self.ident_text().is_some() || self.at_punct('(') {
+                        let _ = self.ty();
+                    }
+                }
+                t
+            }
+            Some(TokKind::Ident(s)) if s == "fn" || s == "Fn" || s == "FnMut" || s == "FnOnce" => {
+                // Function types: `fn(A) -> B`, `Fn(A) -> B`.
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                if self.at_punct2('-', '>') {
+                    self.i += 2;
+                    let _ = self.ty();
+                }
+                Ty::Unknown
+            }
+            Some(TokKind::Ident(_)) => {
+                let mut name = self.ident_text().unwrap_or_default();
+                self.bump();
+                let mut args = Vec::new();
+                loop {
+                    // Generic arguments for this segment.
+                    if self.at_punct('<') {
+                        args = self.generic_args();
+                    }
+                    if self.at_punct2(':', ':') {
+                        self.i += 2;
+                        if self.at_punct('<') {
+                            // Turbofish in type position.
+                            args = self.generic_args();
+                            continue;
+                        }
+                        match self.ident_text() {
+                            Some(seg) => {
+                                name = seg;
+                                self.bump();
+                            }
+                            None => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                Ty::Path { name, args }
+            }
+            Some(TokKind::Lifetime(_)) => {
+                self.bump();
+                Ty::Unknown
+            }
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// Parse `<…>` generic arguments into types (lifetimes and const
+    /// arguments collapse to `Unknown`/skipped). Cursor on `<`.
+    fn generic_args(&mut self) -> Vec<Ty> {
+        let mut args = Vec::new();
+        if !self.eat_punct('<') {
+            return args;
+        }
+        while !self.eof() && !self.at_punct('>') {
+            let before = self.i;
+            match self.kind(0) {
+                Some(TokKind::Lifetime(_)) => self.bump(),
+                Some(TokKind::Num(_)) => {
+                    self.bump(); // const argument
+                }
+                Some(k) if k.is_punct(',') => self.bump(),
+                _ => {
+                    args.push(self.ty());
+                    // Associated-type bindings `Item = T` or bound lists.
+                    if self.eat_punct('=') {
+                        args.pop();
+                        args.push(self.ty());
+                    }
+                    while self.eat_punct('+') {
+                        let _ = self.ty();
+                    }
+                }
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('>');
+        args
+    }
+
+    // -- patterns ------------------------------------------------------------
+
+    /// Collect the identifiers a pattern binds, consuming tokens until one
+    /// of `stops` at depth 0 (not consumed). Path segments (`Some`,
+    /// `AggState::Count`) and struct-field keys are heuristically excluded:
+    /// an identifier is a binding if it is not part of a `::` path, does not
+    /// start a call/struct sub-pattern, and is not a pattern keyword.
+    fn pattern_until(&mut self, stops: &[char]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        while let Some(k) = self.kind(0) {
+            if depth == 0 && (self.at_ident("if") || self.at_ident("in") || self.at_ident("else")) {
+                // Keywords that terminate a pattern: a match-arm guard, a
+                // for-loop's iterator clause, a let-else. None can occur
+                // inside a pattern, so stopping here is always safe.
+                break;
+            }
+            if self.at_punct2('=', '>') && stops.contains(&'=') && depth == 0 {
+                break;
+            }
+            match k {
+                k if k.is_punct('(') || k.is_punct('[') || k.is_punct('{') => {
+                    depth += 1;
+                    self.bump();
+                }
+                k if k.is_punct(')') || k.is_punct(']') || k.is_punct('}') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                k if depth == 0 && stops.iter().any(|&c| k.is_punct(c)) => break,
+                TokKind::Ident(name) => {
+                    let name = name.clone();
+                    let prev_path = self.i >= 2
+                        && self.toks[self.i - 1].kind.is_punct(':')
+                        && self.toks[self.i - 2].kind.is_punct(':');
+                    let next_path = self.at_punct2(':', ':')
+                        || self
+                            .toks
+                            .get(self.i + 1)
+                            .is_some_and(|t| t.kind.is_punct(':') && t.joint)
+                            && self.kind(2).is_some_and(|k| k.is_punct(':'));
+                    let next = self.kind(1);
+                    let starts_sub = next.is_some_and(|k| k.is_punct('(') || k.is_punct('{'));
+                    let type_like = name.starts_with(char::is_uppercase);
+                    self.bump();
+                    if self.at_punct2(':', ':') {
+                        self.i += 2;
+                        continue;
+                    }
+                    if !prev_path
+                        && !next_path
+                        && !starts_sub
+                        && !type_like
+                        && !PATTERN_KEYWORDS.contains(&name.as_str())
+                    {
+                        names.push(name);
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+        names
+    }
+
+    // -- statements & blocks --------------------------------------------------
+
+    /// Cursor on `{`.
+    fn block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        if !self.eat_punct('{') {
+            return Block { stmts };
+        }
+        while !self.eof() && !self.at_punct('}') {
+            let before = self.i;
+            if let Some(s) = self.stmt() {
+                stmts.push(s);
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Block { stmts }
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        if self.at_punct(';') {
+            self.bump();
+            return None;
+        }
+        // Item-in-block. `#` attrs also precede items — but they can also
+        // precede statements; `attrs()` inside `item()` handles both, and a
+        // non-item after attrs parses as an expression statement.
+        if self.at_ident("let") {
+            self.bump();
+            let names = self.pattern_until(&[':', '=', ';']);
+            let ty = if self.at_punct(':') && !self.at_punct2(':', ':') {
+                self.bump();
+                Some(self.ty())
+            } else {
+                None
+            };
+            let init = if self.at_punct('=') && !self.at_punct2('=', '=') {
+                self.bump();
+                Some(self.expr(0, false))
+            } else {
+                None
+            };
+            let else_block = if self.eat_ident("else") {
+                Some(self.block())
+            } else {
+                None
+            };
+            self.eat_punct(';');
+            return Some(Stmt::Let(LetStmt {
+                names,
+                ty,
+                init,
+                else_block,
+            }));
+        }
+        let item_kw = matches!(
+            self.ident_text().as_deref(),
+            Some(
+                "fn" | "struct"
+                    | "enum"
+                    | "impl"
+                    | "trait"
+                    | "mod"
+                    | "use"
+                    | "type"
+                    | "static"
+                    | "macro_rules"
+            )
+        ) || (self.at_ident("const")
+            && !self.kind(1).is_some_and(|k| k.is_punct('{')))
+            || (self.at_ident("pub"))
+            || (self.at_punct('#') && self.kind(1).is_some_and(|k| k.is_punct('[')));
+        if item_kw {
+            if let Some(item) = self.item() {
+                return Some(Stmt::Item(item));
+            }
+        }
+        let e = self.expr(0, false);
+        self.eat_punct(';');
+        Some(Stmt::Expr(e))
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    /// Binding powers, Pratt-style. Returns `(op, lbp, tok_len)`.
+    fn peek_binop(&self) -> Option<(BinOp, u8, usize)> {
+        // Order matters: longest match first.
+        if self.at_punct2('&', '&') {
+            return Some((BinOp::And, 4, 2));
+        }
+        if self.at_punct2('|', '|') {
+            return Some((BinOp::Or, 3, 2));
+        }
+        if self.at_punct2('=', '=') {
+            return Some((BinOp::Eq, 5, 2));
+        }
+        if self.at_punct2('!', '=') {
+            return Some((BinOp::Ne, 5, 2));
+        }
+        if self.at_punct2('<', '=') {
+            return Some((BinOp::Le, 5, 2));
+        }
+        if self.at_punct2('>', '=') {
+            return Some((BinOp::Ge, 5, 2));
+        }
+        if self.at_punct2('<', '<') {
+            return Some((BinOp::Shl, 9, 2));
+        }
+        if self.at_punct2('>', '>') {
+            return Some((BinOp::Shr, 9, 2));
+        }
+        match self.kind(0) {
+            Some(k) if k.is_punct('<') => Some((BinOp::Lt, 5, 1)),
+            Some(k) if k.is_punct('>') => Some((BinOp::Gt, 5, 1)),
+            Some(k) if k.is_punct('+') => Some((BinOp::Add, 10, 1)),
+            Some(k) if k.is_punct('-') => Some((BinOp::Sub, 10, 1)),
+            Some(k) if k.is_punct('*') => Some((BinOp::Mul, 11, 1)),
+            Some(k) if k.is_punct('/') => Some((BinOp::Div, 11, 1)),
+            Some(k) if k.is_punct('%') => Some((BinOp::Rem, 11, 1)),
+            Some(k) if k.is_punct('&') => Some((BinOp::BitAnd, 8, 1)),
+            Some(k) if k.is_punct('|') => Some((BinOp::BitOr, 6, 1)),
+            Some(k) if k.is_punct('^') => Some((BinOp::BitXor, 7, 1)),
+            _ => None,
+        }
+    }
+
+    /// Compound assignment operator at the cursor: `(op, tok_len)`.
+    fn peek_compound_assign(&self) -> Option<(BinOp, usize)> {
+        if self.at_punct3('<', '<', '=') {
+            return Some((BinOp::Shl, 3));
+        }
+        if self.at_punct3('>', '>', '=') {
+            return Some((BinOp::Shr, 3));
+        }
+        let first = self.toks.get(self.i)?;
+        if !first.joint {
+            return None;
+        }
+        if !self.kind(1).is_some_and(|k| k.is_punct('=')) {
+            return None;
+        }
+        // Exclude `==`, `<=`, `>=`, `!=` (comparisons, not assignments).
+        let op = match &first.kind {
+            k if k.is_punct('+') => BinOp::Add,
+            k if k.is_punct('-') => BinOp::Sub,
+            k if k.is_punct('*') => BinOp::Mul,
+            k if k.is_punct('/') => BinOp::Div,
+            k if k.is_punct('%') => BinOp::Rem,
+            k if k.is_punct('&') => BinOp::BitAnd,
+            k if k.is_punct('|') => BinOp::BitOr,
+            k if k.is_punct('^') => BinOp::BitXor,
+            _ => return None,
+        };
+        // `x *= 2` vs `x * = …` — jointness already required above.
+        if self.kind(2).is_some_and(|k| k.is_punct('=')) {
+            // `+==`? Not a thing; let it parse as compound then `=` errors out.
+        }
+        Some((op, 2))
+    }
+
+    fn expr(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let line = self.line();
+        let mut lhs = self.prefix(no_struct);
+        loop {
+            // Postfix-like `as` cast binds tighter than comparisons.
+            if self.at_ident("as") {
+                self.bump();
+                let ty = self.ty();
+                lhs = Expr::Cast {
+                    expr: Box::new(lhs),
+                    ty,
+                    line,
+                };
+                continue;
+            }
+            // Range operators (low precedence).
+            if (self.at_punct2('.', '.') || self.at_punct3('.', '.', '=')) && min_bp <= 2 {
+                let len = if self.at_punct3('.', '.', '=') { 3 } else { 2 };
+                self.i += len;
+                let hi = if self.starts_expr(no_struct) {
+                    Some(Box::new(self.expr(3, no_struct)))
+                } else {
+                    None
+                };
+                lhs = Expr::Range {
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                    line,
+                };
+                continue;
+            }
+            // Assignment (lowest precedence, right-assoc).
+            if min_bp <= 1 {
+                if let Some((op, len)) = self.peek_compound_assign() {
+                    self.i += len;
+                    let rhs = self.expr(1, no_struct);
+                    lhs = Expr::Assign {
+                        op: Some(op),
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                    continue;
+                }
+                if self.at_punct('=') && !self.at_punct2('=', '=') && !self.at_punct2('=', '>') {
+                    self.bump();
+                    let rhs = self.expr(1, no_struct);
+                    lhs = Expr::Assign {
+                        op: None,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                    continue;
+                }
+            }
+            let Some((op, lbp, len)) = self.peek_binop() else {
+                break;
+            };
+            if lbp < min_bp {
+                break;
+            }
+            let op_line = self.line();
+            self.i += len;
+            let rhs = self.expr(lbp + 1, no_struct);
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line: op_line,
+            };
+        }
+        lhs
+    }
+
+    /// Does the current token plausibly start an expression? (Used to
+    /// decide whether a range has an upper bound.)
+    fn starts_expr(&self, no_struct: bool) -> bool {
+        let _ = no_struct;
+        match self.kind(0) {
+            Some(TokKind::Ident(s)) => !matches!(s.as_str(), "in" | "else" | "as" | "where"),
+            Some(TokKind::Num(_)) | Some(TokKind::Literal) => true,
+            Some(k) => {
+                k.is_punct('(')
+                    || k.is_punct('[')
+                    || k.is_punct('-')
+                    || k.is_punct('!')
+                    || k.is_punct('*')
+                    || k.is_punct('&')
+            }
+            None => false,
+        }
+    }
+
+    fn prefix(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let Some(kind) = self.kind(0) else {
+            return Expr::Unknown { line };
+        };
+        let mut e = match kind {
+            TokKind::Num(text) => {
+                let text = text.clone();
+                self.bump();
+                Expr::Num { text, line }
+            }
+            TokKind::Literal => {
+                self.bump();
+                Expr::Lit { line }
+            }
+            TokKind::Lifetime(_) => {
+                // Loop label `'a: loop { … }`.
+                self.bump();
+                self.eat_punct(':');
+                return self.prefix(no_struct);
+            }
+            k if k.is_punct('-') || k.is_punct('!') || k.is_punct('*') => {
+                let op = match k {
+                    k if k.is_punct('-') => '-',
+                    k if k.is_punct('!') => '!',
+                    _ => '*',
+                };
+                self.bump();
+                let inner = self.expr(12, no_struct);
+                Expr::Unary {
+                    op,
+                    expr: Box::new(inner),
+                    line,
+                }
+            }
+            k if k.is_punct('&') => {
+                self.bump();
+                self.eat_punct('&'); // `&&x` double-reference
+                self.eat_ident("mut");
+                let inner = self.expr(12, no_struct);
+                Expr::Unary {
+                    op: '&',
+                    expr: Box::new(inner),
+                    line,
+                }
+            }
+            k if k.is_punct('(') => {
+                self.bump();
+                let mut items = Vec::new();
+                let mut trailing = false;
+                while !self.eof() && !self.at_punct(')') {
+                    let before = self.i;
+                    items.push(self.expr(0, false));
+                    trailing = self.eat_punct(',');
+                    if self.i == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(')');
+                if items.len() == 1 && !trailing {
+                    items.pop().unwrap_or(Expr::Unknown { line })
+                } else {
+                    Expr::Tuple { items, line }
+                }
+            }
+            k if k.is_punct('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.eof() && !self.at_punct(']') {
+                    let before = self.i;
+                    items.push(self.expr(0, false));
+                    let _ = self.eat_punct(',') || self.eat_punct(';');
+                    if self.i == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(']');
+                Expr::Array { items, line }
+            }
+            k if k.is_punct('{') => Expr::Block {
+                block: self.block(),
+                line,
+            },
+            k if k.is_punct('|') || self.at_punct2('|', '|') => self.closure(line),
+            k if k.is_punct('.') && self.at_punct2('.', '.') => {
+                // Leading range `..n` / `..=n`.
+                let len = if self.at_punct3('.', '.', '=') { 3 } else { 2 };
+                self.i += len;
+                let hi = if self.starts_expr(no_struct) {
+                    Some(Box::new(self.expr(3, no_struct)))
+                } else {
+                    None
+                };
+                Expr::Range { lo: None, hi, line }
+            }
+            k if k.is_punct('<') => {
+                // Qualified path expression `<T as Trait>::method(…)`.
+                self.skip_generics();
+                let mut segs = Vec::new();
+                while self.at_punct2(':', ':') {
+                    self.i += 2;
+                    if let Some(seg) = self.ident_text() {
+                        segs.push(seg);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Expr::Path { segs, line }
+            }
+            k if k.is_punct('#') => {
+                // Expression-position attribute (e.g. on a match arm value).
+                let _ = self.attrs();
+                return self.prefix(no_struct);
+            }
+            TokKind::Ident(name) => {
+                let name = name.clone();
+                match name.as_str() {
+                    "if" => {
+                        self.bump();
+                        return self.if_expr(line);
+                    }
+                    "match" => {
+                        self.bump();
+                        return self.match_expr(line);
+                    }
+                    "for" => {
+                        self.bump();
+                        let binds = self.pattern_until(&['=', ';']);
+                        self.eat_ident("in");
+                        let iter = self.expr(0, true);
+                        let body = self.block();
+                        return Expr::For {
+                            binds,
+                            iter: Box::new(iter),
+                            body,
+                            line,
+                        };
+                    }
+                    "while" => {
+                        self.bump();
+                        let (cond, binds) = if self.eat_ident("let") {
+                            let binds = self.pattern_until(&['=']);
+                            self.eat_punct('=');
+                            (self.expr(0, true), binds)
+                        } else {
+                            (self.expr(0, true), Vec::new())
+                        };
+                        let body = self.block();
+                        return Expr::While {
+                            cond: Box::new(cond),
+                            binds,
+                            body,
+                            line,
+                        };
+                    }
+                    "loop" => {
+                        self.bump();
+                        return Expr::Loop {
+                            body: self.block(),
+                            line,
+                        };
+                    }
+                    "unsafe" => {
+                        self.bump();
+                        return Expr::Block {
+                            block: self.block(),
+                            line,
+                        };
+                    }
+                    "move" => {
+                        self.bump();
+                        return self.closure(line);
+                    }
+                    "return" => {
+                        self.bump();
+                        let inner = if self.starts_expr(no_struct) {
+                            Some(Box::new(self.expr(0, no_struct)))
+                        } else {
+                            None
+                        };
+                        return Expr::Return { expr: inner, line };
+                    }
+                    "break" | "continue" => {
+                        self.bump();
+                        while matches!(self.kind(0), Some(TokKind::Lifetime(_))) {
+                            self.bump();
+                        }
+                        if self.starts_expr(no_struct) && !self.at_punct('{') {
+                            let _ = self.expr(0, no_struct);
+                        }
+                        return Expr::Unknown { line };
+                    }
+                    "true" | "false" => {
+                        self.bump();
+                        Expr::Bool { line }
+                    }
+                    "let" => {
+                        // `let pat = expr` inside a condition chain.
+                        self.bump();
+                        let _binds = self.pattern_until(&['=']);
+                        self.eat_punct('=');
+                        return self.expr(5, true);
+                    }
+                    _ => {
+                        // Path, possibly macro call or struct literal.
+                        self.bump();
+                        let mut segs = vec![name];
+                        loop {
+                            if self.at_punct2(':', ':') {
+                                let save = self.i;
+                                self.i += 2;
+                                if self.at_punct('<') {
+                                    let _ = self.generic_args(); // path turbofish
+                                    continue;
+                                }
+                                match self.ident_text() {
+                                    Some(seg) => {
+                                        segs.push(seg);
+                                        self.bump();
+                                    }
+                                    None => {
+                                        self.i = save;
+                                        break;
+                                    }
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if self.at_punct('!') && !self.at_punct2('!', '=') {
+                            self.bump();
+                            return self.macro_call(segs, line);
+                        }
+                        if self.at_punct('{') && !no_struct {
+                            let head = segs.last().cloned().unwrap_or_default();
+                            if head.starts_with(char::is_uppercase) {
+                                return self.struct_lit(head, line);
+                            }
+                        }
+                        Expr::Path { segs, line }
+                    }
+                }
+            }
+            _ => {
+                self.bump();
+                Expr::Unknown { line }
+            }
+        };
+        // Postfix chain.
+        loop {
+            if self.at_punct('.') && !self.at_punct2('.', '.') {
+                self.bump();
+                if self.eat_ident("await") {
+                    continue;
+                }
+                let mline = self.line();
+                match self.kind(0).cloned() {
+                    Some(TokKind::Ident(m)) => {
+                        self.bump();
+                        let mut targs = Vec::new();
+                        if self.at_punct2(':', ':') {
+                            self.i += 2;
+                            if self.at_punct('<') {
+                                targs = self.generic_args();
+                            }
+                        }
+                        if self.at_punct('(') {
+                            let args = self.call_args();
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                method: m,
+                                targs,
+                                args,
+                                line: mline,
+                            };
+                        } else {
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                name: m,
+                                line: mline,
+                            };
+                        }
+                    }
+                    Some(TokKind::Num(n)) => {
+                        self.bump();
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            name: n,
+                            line: mline,
+                        };
+                    }
+                    _ => break,
+                }
+                continue;
+            }
+            if self.at_punct('?') {
+                self.bump();
+                continue; // `?` is transparent to the lints
+            }
+            if self.at_punct('(') {
+                let args = self.call_args();
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    line,
+                };
+                continue;
+            }
+            if self.at_punct('[') {
+                self.bump();
+                let idx = self.expr(0, false);
+                self.eat_punct(']');
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                    line,
+                };
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    /// Cursor on `(`. Parses a comma-separated argument list.
+    fn call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct('(') {
+            return args;
+        }
+        while !self.eof() && !self.at_punct(')') {
+            let before = self.i;
+            args.push(self.expr(0, false));
+            self.eat_punct(',');
+            if self.i == before {
+                // Recovery: skip to the next argument or the close paren.
+                self.skip_until(&[',', ')']);
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+        }
+        self.eat_punct(')');
+        args
+    }
+
+    /// Cursor just past `name!`. Parses macro arguments best-effort as a
+    /// comma/semicolon-separated expression list so rule scanning reaches
+    /// inside `format!`/`assert!`/`vec!` bodies; tokens that do not parse as
+    /// expressions are skipped.
+    fn macro_call(&mut self, segs: Vec<String>, line: u32) -> Expr {
+        let name = segs.last().cloned().unwrap_or_default();
+        let close = match self.kind(0) {
+            Some(k) if k.is_punct('(') => ')',
+            Some(k) if k.is_punct('[') => ']',
+            Some(k) if k.is_punct('{') => '}',
+            _ => {
+                return Expr::Macro {
+                    name,
+                    args: Vec::new(),
+                    line,
+                }
+            }
+        };
+        self.bump();
+        let mut args = Vec::new();
+        while !self.eof() && !self.at_punct(close) {
+            let before = self.i;
+            // A macro argument position may hold a pattern (`matches!`),
+            // a format string, or an expression; expressions subsume enough
+            // of the first two for lint purposes.
+            args.push(self.expr(0, false));
+            let _ = self.eat_punct(',') || self.eat_punct(';');
+            if self.i == before {
+                self.skip_until(&[',', ';', close]);
+                let _ = self.eat_punct(',') || self.eat_punct(';');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+        }
+        self.eat_punct(close);
+        Expr::Macro { name, args, line }
+    }
+
+    /// Cursor just past the struct name, on `{`.
+    fn struct_lit(&mut self, name: String, line: u32) -> Expr {
+        self.bump();
+        let mut fields = Vec::new();
+        while !self.eof() && !self.at_punct('}') {
+            let before = self.i;
+            if self.at_punct2('.', '.') {
+                self.i += 2;
+                if self.starts_expr(false) {
+                    fields.push(self.expr(0, false)); // functional update base
+                }
+                continue;
+            }
+            // `field: expr`, or shorthand `field`.
+            if matches!(self.kind(0), Some(TokKind::Ident(_)))
+                && self.kind(1).is_some_and(|k| k.is_punct(':'))
+                && !self.at_punct2(':', ':')
+                && !(self
+                    .toks
+                    .get(self.i + 1)
+                    .is_some_and(|t| t.kind.is_punct(':') && t.joint)
+                    && self.kind(2).is_some_and(|k| k.is_punct(':')))
+            {
+                self.bump();
+                self.bump();
+            }
+            fields.push(self.expr(0, false));
+            self.eat_punct(',');
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Expr::StructLit { name, fields, line }
+    }
+
+    fn if_expr(&mut self, line: u32) -> Expr {
+        let (cond, binds) = if self.eat_ident("let") {
+            let binds = self.pattern_until(&['=']);
+            self.eat_punct('=');
+            (self.expr(0, true), binds)
+        } else {
+            (self.expr(0, true), Vec::new())
+        };
+        let then = self.block();
+        let els = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                self.bump();
+                Some(Box::new(self.if_expr(self.line())))
+            } else {
+                Some(Box::new(Expr::Block {
+                    block: self.block(),
+                    line: self.line(),
+                }))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            binds,
+            then,
+            els,
+            line,
+        }
+    }
+
+    fn match_expr(&mut self, line: u32) -> Expr {
+        let scrut = self.expr(0, true);
+        let mut arms = Vec::new();
+        if self.eat_punct('{') {
+            while !self.eof() && !self.at_punct('}') {
+                let before = self.i;
+                let _ = self.attrs();
+                let binds = self.pattern_until(&['=']);
+                let guard = if self.at_ident("if") {
+                    // `pattern_until` stops at a depth-0 `if`, so the guard
+                    // expression is parsed (and walkable) rather than
+                    // swallowed by the pattern scan.
+                    self.bump();
+                    Some(self.expr(0, true))
+                } else {
+                    None
+                };
+                if self.at_punct2('=', '>') {
+                    self.i += 2;
+                } else {
+                    // Malformed arm — resync.
+                    self.skip_until(&[',', '}']);
+                    self.eat_punct(',');
+                    if self.i == before {
+                        self.bump();
+                    }
+                    continue;
+                }
+                let body = self.expr(0, false);
+                self.eat_punct(',');
+                arms.push(Arm { binds, guard, body });
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct('}');
+        }
+        Expr::Match {
+            scrut: Box::new(scrut),
+            arms,
+            line,
+        }
+    }
+
+    fn closure(&mut self, line: u32) -> Expr {
+        let mut params = Vec::new();
+        if self.at_punct2('|', '|') {
+            self.i += 2;
+        } else if self.eat_punct('|') {
+            while !self.eof() && !self.at_punct('|') {
+                let before = self.i;
+                let names = self.pattern_until(&[':', ',', '|']);
+                let ty = if self.at_punct(':') && !self.at_punct2(':', ':') {
+                    self.bump();
+                    Some(self.ty())
+                } else {
+                    None
+                };
+                params.push((names, ty));
+                self.eat_punct(',');
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct('|');
+        }
+        if self.at_punct2('-', '>') {
+            self.i += 2;
+            let _ = self.ty();
+        }
+        let body = self.expr(0, false);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walkers
+// ---------------------------------------------------------------------------
+
+/// Visit every expression in a block, depth-first.
+pub fn walk_block<'a>(b: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(e) = &l.init {
+                    walk_expr(e, f);
+                }
+                if let Some(blk) = &l.else_block {
+                    walk_block(blk, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(e, f),
+            Stmt::Item(item) => walk_item(item, f),
+        }
+    }
+}
+
+pub fn walk_item<'a>(item: &'a Item, f: &mut dyn FnMut(&'a Expr)) {
+    match item {
+        Item::Fn(func) => {
+            if let Some(b) = &func.body {
+                walk_block(b, f);
+            }
+        }
+        Item::Impl(i) => {
+            for it in &i.items {
+                walk_item(it, f);
+            }
+        }
+        Item::Mod(m) => {
+            for it in &m.items {
+                walk_item(it, f);
+            }
+        }
+        Item::Const(c) => {
+            if let Some(e) = &c.init {
+                walk_expr(e, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => walk_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            walk_expr(scrut, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::Loop { body, .. } => walk_block(body, f),
+        Expr::Block { block, .. } => walk_block(block, f),
+        Expr::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+            for i in items {
+                walk_expr(i, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for e in fields {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                walk_expr(e, f);
+            }
+            if let Some(e) = hi {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Return { expr: Some(e), .. } => walk_expr(e, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> SourceFile {
+        let code: Vec<Tok> = tokenize(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        parse(&code)
+    }
+
+    fn first_fn(f: &SourceFile) -> &FnItem {
+        for item in &f.items {
+            if let Item::Fn(func) = item {
+                return func;
+            }
+        }
+        panic!("no fn item parsed");
+    }
+
+    #[test]
+    fn fn_signature_types() {
+        let f = parse_src("pub fn scale(x: f64, n: usize) -> f64 { x * n as f64 }");
+        let func = first_fn(&f);
+        assert_eq!(func.name, "scale");
+        assert_eq!(func.params.len(), 2);
+        assert_eq!(func.params[0].ty, Ty::path("f64"));
+        assert_eq!(func.params[1].ty, Ty::path("usize"));
+        assert_eq!(func.ret, Some(Ty::path("f64")));
+    }
+
+    #[test]
+    fn shift_vs_generics() {
+        // Expression position: `>>` is a shift. Type position: two closes.
+        let f = parse_src("fn f(a: u64) -> u64 { let v: Vec<Vec<u8>> = Vec::new(); a >> 3 }");
+        let func = first_fn(&f);
+        let body = func.body.as_ref().unwrap();
+        let Stmt::Let(l) = &body.stmts[0] else {
+            panic!("expected let")
+        };
+        match l.ty.as_ref().unwrap() {
+            Ty::Path { name, args } => {
+                assert_eq!(name, "Vec");
+                assert_eq!(args.len(), 1);
+                assert!(matches!(&args[0], Ty::Path { name, .. } if name == "Vec"));
+            }
+            other => panic!("bad type {other:?}"),
+        }
+        let Stmt::Expr(Expr::Binary { op, .. }) = &body.stmts[1] else {
+            panic!("expected shift, got {:?}", body.stmts[1])
+        };
+        assert_eq!(*op, BinOp::Shr);
+    }
+
+    #[test]
+    fn method_calls_with_turbofish() {
+        let f = parse_src("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }");
+        let func = first_fn(&f);
+        let mut found = false;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if let Expr::MethodCall { method, targs, .. } = e {
+                    if method == "sum" {
+                        assert_eq!(targs, &[Ty::path("f64")]);
+                        found = true;
+                    }
+                }
+            });
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn casts_and_comparisons() {
+        let f = parse_src("fn f(n: usize, x: f64, y: f64) -> bool { (n as u32) < 3 && x == y }");
+        let func = first_fn(&f);
+        let mut casts = 0;
+        let mut eqs = 0;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| match e {
+                Expr::Cast { ty, .. } => {
+                    assert_eq!(*ty, Ty::path("u32"));
+                    casts += 1;
+                }
+                Expr::Binary { op: BinOp::Eq, .. } => eqs += 1,
+                _ => {}
+            });
+        }
+        assert_eq!((casts, eqs), (1, 1));
+    }
+
+    #[test]
+    fn struct_derives_and_fields() {
+        let f = parse_src(
+            "#[derive(Debug, Clone, PartialEq)]\npub struct RangeVal { pub lo: f64, pub hi: f64 }",
+        );
+        let Item::Struct(s) = &f.items[0] else {
+            panic!("expected struct")
+        };
+        assert!(s.attrs.derives.iter().any(|d| d == "PartialEq"));
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0], ("lo".to_string(), Ty::path("f64")));
+    }
+
+    #[test]
+    fn enum_variant_payloads() {
+        let f = parse_src("enum E { A, B(f64), C { w: f64, n: u32 } }");
+        let Item::Enum(e) = &f.items[0] else {
+            panic!("expected enum")
+        };
+        assert_eq!(e.fields.len(), 3);
+        assert_eq!(e.fields[1].0, "w");
+    }
+
+    #[test]
+    fn impl_blocks_nest() {
+        let f = parse_src("impl Foo { fn a(&self) {} fn b(&self) {} }");
+        let Item::Impl(i) = &f.items[0] else {
+            panic!("expected impl")
+        };
+        assert_eq!(i.self_ty, "Foo");
+        assert_eq!(i.items.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_mod_marked() {
+        let f = parse_src("#[cfg(test)]\nmod tests { fn helper() {} }");
+        let Item::Mod(m) = &f.items[0] else {
+            panic!("expected mod")
+        };
+        assert!(m.cfg_test);
+        assert_eq!(m.items.len(), 1);
+    }
+
+    #[test]
+    fn match_arms_and_guards() {
+        let f = parse_src(
+            "fn f(x: Option<f64>, y: f64) -> f64 { match x { Some(v) if v == y => v, _ => 0.0 } }",
+        );
+        let func = first_fn(&f);
+        let mut guard_eq = false;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if let Expr::Binary { op: BinOp::Eq, .. } = e {
+                    guard_eq = true;
+                }
+            });
+        }
+        assert!(guard_eq, "guard expression must be reachable by walkers");
+    }
+
+    #[test]
+    fn closures_bind_params() {
+        let f = parse_src("fn f(xs: Vec<f64>) { xs.sort_by(|a, b| a.total_cmp(b)); }");
+        let func = first_fn(&f);
+        let mut closure_params = Vec::new();
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if let Expr::Closure { params, .. } = e {
+                    for (names, _) in params {
+                        closure_params.extend(names.clone());
+                    }
+                }
+            });
+        }
+        assert_eq!(closure_params, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn macros_expose_arguments() {
+        let f = parse_src(
+            "fn f(m: std::collections::HashMap<u64, f64>) { format!(\"{:?}\", m.iter().count()); }",
+        );
+        let func = first_fn(&f);
+        let mut saw_iter = false;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if let Expr::MethodCall { method, .. } = e {
+                    if method == "iter" {
+                        saw_iter = true;
+                    }
+                }
+            });
+        }
+        assert!(saw_iter, "macro arguments must be walkable");
+    }
+
+    #[test]
+    fn for_loop_over_range() {
+        let f = parse_src("fn f(n: usize) { for i in 0..n { let _ = i; } }");
+        let func = first_fn(&f);
+        let mut fors = 0;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if matches!(e, Expr::For { .. }) {
+                    fors += 1;
+                }
+            });
+        }
+        assert_eq!(fors, 1);
+    }
+
+    #[test]
+    fn struct_literal_vs_block() {
+        // `if x { … }` must not parse `x {` as a struct literal.
+        let f = parse_src("fn f(x: bool) -> u32 { if x { 1 } else { 2 } }");
+        let func = first_fn(&f);
+        let mut ifs = 0;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if matches!(e, Expr::If { .. }) {
+                    ifs += 1;
+                }
+            });
+        }
+        assert_eq!(ifs, 1);
+        // But a real struct literal still parses.
+        let f = parse_src("fn g() -> Point { Point { x: 1.0, y: 2.0 } }");
+        let func = first_fn(&f);
+        let mut lits = 0;
+        if let Some(b) = &func.body {
+            walk_block(b, &mut |e| {
+                if matches!(e, Expr::StructLit { .. }) {
+                    lits += 1;
+                }
+            });
+        }
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn let_else_and_compound_assign() {
+        let f = parse_src(
+            "fn f(o: Option<f64>) -> f64 { let Some(x) = o else { return 0.0; }; let mut a = 0.0; a += x; a }",
+        );
+        let func = first_fn(&f);
+        let body = func.body.as_ref().unwrap();
+        let Stmt::Let(l) = &body.stmts[0] else {
+            panic!("let-else");
+        };
+        assert_eq!(l.names, vec!["x".to_string()]);
+        assert!(l.else_block.is_some());
+        let mut compound = 0;
+        walk_block(body, &mut |e| {
+            if let Expr::Assign { op: Some(op), .. } = e {
+                assert_eq!(*op, BinOp::Add);
+                compound += 1;
+            }
+        });
+        assert_eq!(compound, 1);
+    }
+
+    #[test]
+    fn parser_never_loops_on_garbage() {
+        let f = parse_src("fn f() { @@ %% ^^ }} {{ let = ; impl impl }");
+        let _ = f; // completing at all is the assertion
+        let f = parse_src("} ) ] >>>>> :: fn");
+        let _ = f;
+    }
+}

@@ -17,6 +17,14 @@
 pub struct Tok {
     pub kind: TokKind,
     pub line: u32,
+    /// `true` when the next token begins at the immediately following byte
+    /// (no whitespace or comment between). This is how the parser
+    /// reassembles multi-character operators from single-character
+    /// [`TokKind::Punct`] tokens — and, crucially, how it distinguishes the
+    /// shift operator `>>` (two *joint* `>`s in expression position) from
+    /// two closing angle brackets of nested generics (`Vec<Vec<u8>>`, the
+    /// same two joint `>`s in type position, split by context).
+    pub joint: bool,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +71,7 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         i: 0,
         line: 1,
         out: Vec::new(),
+        last_end: usize::MAX,
     }
     .run()
 }
@@ -73,12 +82,16 @@ struct Lexer<'a> {
     i: usize,
     line: u32,
     out: Vec<Tok>,
+    /// Byte offset just past the previously pushed token, for `joint`.
+    last_end: usize,
 }
 
 impl Lexer<'_> {
     fn run(mut self) -> Vec<Tok> {
         while self.i < self.bytes.len() {
             let line = self.line;
+            let start = self.i;
+            let before = self.out.len();
             let c = self.bytes[self.i];
             match c {
                 b'\n' => {
@@ -94,8 +107,8 @@ impl Lexer<'_> {
                 c if c.is_ascii_digit() => self.number(line),
                 c if c.is_ascii_alphabetic() || c == b'_' => self.ident(line),
                 c if c.is_ascii() => {
-                    self.push(TokKind::Punct(c as char), line);
                     self.i += 1;
+                    self.push(TokKind::Punct(c as char), line);
                 }
                 _ => {
                     // Multi-byte UTF-8 outside literals (e.g. in doc text
@@ -104,12 +117,29 @@ impl Lexer<'_> {
                     self.i += ch.len_utf8();
                 }
             }
+            if self.out.len() > before {
+                // A token was pushed starting at `start`: mark the previous
+                // token joint when nothing separated them. Comments are
+                // invisible to jointness (the parser filters them out of
+                // the code stream, so they must not create false joins).
+                if matches!(self.out[before].kind, TokKind::Comment { .. }) {
+                    continue;
+                }
+                if before > 0 && start == self.last_end {
+                    self.out[before - 1].joint = true;
+                }
+                self.last_end = self.i;
+            }
         }
         self.out
     }
 
     fn push(&mut self, kind: TokKind, line: u32) {
-        self.out.push(Tok { kind, line });
+        self.out.push(Tok {
+            kind,
+            line,
+            joint: false,
+        });
     }
 
     fn peek(&self, ahead: usize) -> Option<u8> {
@@ -160,14 +190,20 @@ impl Lexer<'_> {
         );
     }
 
-    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#`, `b'…'`, and raw
     /// identifiers `r#ident`. Returns `false` when the `r`/`b` is just the
     /// start of a plain identifier (caller falls through to `ident`).
     fn raw_or_byte_literal(&mut self, line: u32) -> bool {
         let mut j = self.i + 1;
-        if self.bytes[self.i] == b'b' && self.peek(1) == Some(b'r') {
-            j += 1;
-        }
+        // `r…` and `br…` are raw (no escape processing); plain `b"…"` is a
+        // byte string whose `\"` escapes must be honoured like `"…"`.
+        let raw = self.bytes[self.i] == b'r' || {
+            let br = self.bytes[self.i] == b'b' && self.peek(1) == Some(b'r');
+            if br {
+                j += 1;
+            }
+            br
+        };
         // Count `#`s of a raw string opener.
         let mut hashes = 0usize;
         while self.bytes.get(j) == Some(&b'#') {
@@ -175,12 +211,18 @@ impl Lexer<'_> {
             j += 1;
         }
         match self.bytes.get(j) {
-            Some(b'"') => {
+            Some(b'"') if raw => {
                 self.i = j + 1;
                 self.raw_string_tail(hashes, line);
                 true
             }
-            Some(b'\'') if self.bytes[self.i] == b'b' && hashes == 0 => {
+            Some(b'"') if hashes == 0 => {
+                // Plain byte string `b"…"`: escape-aware scan.
+                self.i = j;
+                self.string_literal(line);
+                true
+            }
+            Some(b'\'') if self.bytes[self.i] == b'b' && hashes == 0 && !raw => {
                 self.i = j; // byte char literal b'x'
                 self.quote(line);
                 true
@@ -421,5 +463,80 @@ mod tests {
         // A stray `@` or unicode char must not stop the scan.
         let k = kinds("a @ b £ c");
         assert!(k.contains(&TokKind::Ident("c".into())));
+    }
+
+    #[test]
+    fn byte_strings_honour_escapes() {
+        // The `\"` inside a plain byte string must not terminate it; the
+        // `]` lives inside the literal, so no Punct(']') may appear.
+        let k = kinds(r#"let b = b"quote \" bracket ] end"; done"#);
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Literal).count(), 1);
+        assert!(!k.iter().any(|t| t.is_punct(']')));
+        assert!(k.contains(&TokKind::Ident("done".into())));
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        // `br#"…"#` carries no escapes: a lone `\` and an inner `"` are
+        // payload; the literal ends only at `"#`.
+        let k = kinds(r##"let b = br#"raw \ "quoted" bytes"#; done"##);
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Literal).count(), 1);
+        assert!(!k.iter().any(|t| t.is_punct('\\')));
+        assert!(k.contains(&TokKind::Ident("done".into())));
+        // Unhashed raw byte string: backslash before the quote is payload?
+        // No — `br"…"` ends at the first `"`, backslash or not.
+        let k = kinds(r#"br"a\" rest"#);
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Literal).count(), 1);
+        assert!(k.contains(&TokKind::Ident("rest".into())));
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        let k = kinds(r#"let a = b'x'; let q = b'\''; done"#);
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Literal).count(), 2);
+        assert!(k.contains(&TokKind::Ident("done".into())));
+    }
+
+    #[test]
+    fn jointness_distinguishes_shift_from_spaced_angles() {
+        // `a >> b`: the two `>`s are joint (shift material); `c > > d`
+        // (hypothetical spaced closes) are not.
+        let t = tokenize("a >> b; c > > d");
+        let gts: Vec<&Tok> = t.iter().filter(|t| t.kind.is_punct('>')).collect();
+        assert_eq!(gts.len(), 4);
+        assert!(gts[0].joint, "first `>` of `>>` is joint");
+        assert!(!gts[1].joint, "second `>` of `>>` precedes a space");
+        assert!(!gts[2].joint && !gts[3].joint, "spaced `>`s are not joint");
+        // Nested generics produce the same joint pair — the *parser* splits
+        // them by type-vs-expression context.
+        let t = tokenize("Vec<Vec<u8>>");
+        let gts: Vec<&Tok> = t.iter().filter(|t| t.kind.is_punct('>')).collect();
+        assert!(gts[0].joint);
+    }
+
+    #[test]
+    fn comments_are_invisible_to_jointness() {
+        // `>/*c*/>` must not read as a joint `>>`.
+        let t = tokenize("a >/*c*/> b");
+        let gts: Vec<&Tok> = t.iter().filter(|t| t.kind.is_punct('>')).collect();
+        assert_eq!(gts.len(), 2);
+        assert!(!gts[0].joint);
+    }
+
+    #[test]
+    fn multichar_operator_jointness() {
+        let t = tokenize("x == y; a -> b; p :: q; m != n");
+        let joint_pairs: Vec<(char, char)> = t
+            .windows(2)
+            .filter(|w| w[0].joint)
+            .filter_map(|w| match (&w[0].kind, &w[1].kind) {
+                (TokKind::Punct(a), TokKind::Punct(b)) => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        assert!(joint_pairs.contains(&('=', '=')));
+        assert!(joint_pairs.contains(&('-', '>')));
+        assert!(joint_pairs.contains(&(':', ':')));
+        assert!(joint_pairs.contains(&('!', '=')));
     }
 }

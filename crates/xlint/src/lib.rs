@@ -3,18 +3,22 @@
 //! G-OLA's correctness contract is that every mini-batch publishes the same
 //! `BatchReport` regardless of physical schedule (threads=1 ≡ threads=N,
 //! bit-identical). Nothing in the type system stops a future change from
-//! breaking that with a stray `HashMap` iteration or wall-clock read in a
-//! publish path, so this crate enforces the contract as code: a token-level
-//! static-analysis pass over every workspace `.rs` file with five
-//! deny-by-default rules.
+//! breaking that with a stray `HashMap` iteration, a NaN-partial float
+//! comparison, or a wall-clock read in a publish path, so this crate
+//! enforces the contract as code: a static-analysis pass over every
+//! workspace `.rs` file with eight deny-by-default rules, running on a
+//! lightweight Rust AST ([`ast`]) with type-hint dataflow ([`sem`]).
 //!
 //! | rule | what it catches |
 //! |------|-----------------|
-//! | `hash-order-leak` | iteration over `HashMap`/`HashSet`-typed values in result-producing crates |
+//! | `hash-order-leak` | iteration over hash-ordered values in result-producing crates (taint-tracked through bindings, fields and returns) |
 //! | `schedule-leak` | `Instant`/`SystemTime`/thread-identity/thread-count reads outside blessed timing & bench modules |
 //! | `unsafe-audit` | `unsafe` without a `// SAFETY:` comment within 5 lines above |
-//! | `float-fold-ordering` | unchunked `f64`/`f32` sum/product/fold outside the blessed chunk kernels |
+//! | `float-fold-ordering` | unchunked float sum/product/fold outside the blessed chunk kernels (float-ness inferred, not just turbofish-spelled) |
 //! | `panic-surface` | `unwrap`/`expect`/`panic!`-family in library hot paths, minus a poisoning-lock allowlist |
+//! | `float-total-order` | raw `==`/`!=` on float values, `partial_cmp`, float `sort_by` without `total_cmp`, and `derive(PartialEq)` on float-bearing types — outside the modules that implement the total order |
+//! | `lossy-cast-audit` | `as` casts between integer types that can truncate (narrowing) or wrap (signed→unsigned) row counts and chunk offsets |
+//! | `merge-commutativity` | arithmetic on non-integer per-shard state inside `*merge*` functions — merges must go through the blessed multiset-exact ops (DESIGN.md §3.9) |
 //!
 //! Every rule has a scoped escape hatch:
 //!
@@ -27,17 +31,20 @@
 //! `-- reason` is mandatory — a reasonless allow is itself a
 //! diagnostic (`allow-syntax`), as is an unknown rule name.
 //!
-//! The analysis is name-based and heuristic by design (no type inference):
-//! pass 1 collects every identifier bound or declared with a hash-map/set
-//! type anywhere in the workspace; pass 2 flags order-sensitive uses of
-//! those names inside scoped crates. False positives are expected to be
-//! rare and are silenced with a reasoned allow comment — that reason is the
-//! documentation reviewers actually want.
+//! The analysis is hint-based, not a type checker: pass 1 parses every file
+//! and builds workspace-global tables (field name → class, fn name → return
+//! class, float-bearing type names); pass 2 walks each function with a
+//! lexically scoped environment, classifying values as float / int / hash /
+//! unknown and flagging rule-specific uses. Each rule decides which way
+//! unknown errs — see [`sem`]. False positives are silenced with a reasoned
+//! allow comment; that reason is the documentation reviewers actually want.
 
+pub mod ast;
 pub mod lexer;
+pub mod sem;
 
 use lexer::{Tok, TokKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -50,16 +57,22 @@ pub enum Rule {
     UnsafeAudit,
     FloatFoldOrdering,
     PanicSurface,
+    FloatTotalOrder,
+    LossyCastAudit,
+    MergeCommutativity,
     AllowSyntax,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::HashOrderLeak,
         Rule::ScheduleLeak,
         Rule::UnsafeAudit,
         Rule::FloatFoldOrdering,
         Rule::PanicSurface,
+        Rule::FloatTotalOrder,
+        Rule::LossyCastAudit,
+        Rule::MergeCommutativity,
     ];
 
     pub fn name(self) -> &'static str {
@@ -69,6 +82,9 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::FloatFoldOrdering => "float-fold-ordering",
             Rule::PanicSurface => "panic-surface",
+            Rule::FloatTotalOrder => "float-total-order",
+            Rule::LossyCastAudit => "lossy-cast-audit",
+            Rule::MergeCommutativity => "merge-commutativity",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -135,6 +151,20 @@ pub struct Config {
     /// (sorting sinks). A `for`-loop whose iterated expression routes
     /// through one of these is not an order leak.
     pub hash_order_sinks: Vec<String>,
+    /// `float-total-order` fires only under these prefixes.
+    pub float_total_scope: Vec<String>,
+    /// `lossy-cast-audit` fires only under these prefixes.
+    pub lossy_cast_scope: Vec<String>,
+    /// `merge-commutativity` fires only under these prefixes, and only in
+    /// functions whose name contains one of `merge_fn_markers`.
+    pub merge_scope: Vec<String>,
+    /// Function-name substrings that mark a per-shard merge path.
+    pub merge_fn_markers: Vec<String>,
+    /// Files that *implement* the float total order and the exact
+    /// accumulators (`Value::total_cmp`, `ExactSum`): exempt from
+    /// `float-total-order` and `merge-commutativity`, because raw IEEE
+    /// comparisons there are the definition the rules point everyone at.
+    pub float_blessed: Vec<String>,
 }
 
 impl Default for Config {
@@ -165,9 +195,43 @@ impl Default for Config {
                 "crates/core/src/executor.rs",
                 "crates/core/src/pool.rs",
                 "crates/engine/src",
+                // Self-hosting: the lint library must hold itself to the
+                // no-panic bar (the CLI may exit, the library may not).
+                "crates/xlint/src/lib.rs",
+                "crates/xlint/src/ast.rs",
+                "crates/xlint/src/sem.rs",
+                "crates/xlint/src/lexer.rs",
             ]),
             panic_allowed_receivers: s(&["lock", "read", "write", "wait", "join", "recv"]),
             hash_order_sinks: s(&["sorted_entries", "sorted_into_entries"]),
+            float_total_scope: s(&[
+                "crates/core/src",
+                "crates/engine/src",
+                "crates/agg/src",
+                "crates/bootstrap/src",
+                "crates/common/src",
+                "crates/expr/src",
+                "crates/storage/src",
+            ]),
+            lossy_cast_scope: s(&[
+                "crates/core/src",
+                "crates/engine/src",
+                "crates/agg/src",
+                "crates/bootstrap/src",
+                "crates/common/src",
+                "crates/expr/src",
+                "crates/storage/src",
+                "crates/xlint/src",
+            ]),
+            merge_scope: s(&[
+                "crates/core/src",
+                "crates/engine/src",
+                "crates/agg/src",
+                "crates/bootstrap/src",
+                "crates/common/src",
+            ]),
+            merge_fn_markers: s(&["merge"]),
+            float_blessed: s(&["crates/common/src/fsum.rs", "crates/common/src/value.rs"]),
         }
     }
 }
@@ -182,8 +246,6 @@ fn in_scope(path: &str, prefixes: &[String]) -> bool {
 fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
 }
-
-const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 
 const ORDER_SENSITIVE_METHODS: [&str; 9] = [
     "iter",
@@ -203,8 +265,10 @@ const ORDER_SENSITIVE_METHODS: [&str; 9] = [
 
 struct FileView<'a> {
     path: &'a str,
-    /// Non-comment tokens only — all pattern scanning happens here.
+    /// Non-comment tokens only — lexical scanning happens here.
     code: Vec<Tok>,
+    /// The parsed AST — structural rules run on this.
+    ast: ast::SourceFile,
     /// `(start_line, end_line, text)` of every comment.
     comments: Vec<(u32, u32, String)>,
     /// Inclusive line ranges of `#[cfg(test)]`-guarded items.
@@ -222,9 +286,11 @@ impl<'a> FileView<'a> {
             }
         }
         let test_regions = find_test_regions(&code);
+        let ast = ast::parse(&code);
         FileView {
             path,
             code,
+            ast,
             comments,
             test_regions,
         }
@@ -408,217 +474,12 @@ fn collect_allows(view: &FileView<'_>, diags: &mut Vec<Diagnostic>) -> Vec<Allow
 }
 
 // ---------------------------------------------------------------------------
-// Pass 1 — global hash-typed symbol table
+// Lexical rule scanners (schedule-leak, unsafe-audit)
+//
+// These two rules deliberately stay token-based: `schedule-leak` must see
+// `use` imports and type positions the AST subset drops, and
+// `unsafe-audit` is about comment adjacency, which no AST can express.
 // ---------------------------------------------------------------------------
-
-/// Collect every identifier bound or declared with a hash-map/set type in
-/// `code`. Name-based and workspace-global: a field declared
-/// `groups: FxHashMap<…>` in one file marks `groups` hash-typed everywhere.
-fn collect_hash_symbols(code: &[Tok], out: &mut BTreeSet<String>) {
-    let is_hash = |t: &Tok| matches!(t.kind.ident(), Some(s) if HASH_TYPES.contains(&s));
-    let mut i = 0;
-    while i < code.len() {
-        // Pattern A/C: `name : TYPE…` where TYPE mentions a hash type.
-        // Skip `::` path segments on either side of the colon.
-        if let TokKind::Ident(name) = &code[i].kind {
-            let single_colon = code.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
-                && !code.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
-                && !(i > 0 && code[i - 1].kind.is_punct(':'));
-            if single_colon {
-                if let Some(region) = type_region(code, i + 2) {
-                    if code[i + 2..region].iter().any(is_hash) {
-                        out.insert(name.clone());
-                    }
-                }
-            }
-            // Pattern B: `let [mut] name = <init>` where the initializer
-            // constructs a hash type (`FxHashMap::default()` etc.).
-            if name == "let" {
-                let mut j = i + 1;
-                if code.get(j).is_some_and(|t| t.kind.is_ident("mut")) {
-                    j += 1;
-                }
-                if let Some(TokKind::Ident(bound)) = code.get(j).map(|t| &t.kind) {
-                    let mut k = j + 1;
-                    // Skip over an explicit `: TYPE` to the `=`.
-                    if code.get(k).is_some_and(|t| t.kind.is_punct(':')) {
-                        if let Some(end) = type_region(code, k + 1) {
-                            k = end;
-                        }
-                    }
-                    if code.get(k).is_some_and(|t| t.kind.is_punct('=')) {
-                        let mut depth = 0i32;
-                        let mut m = k + 1;
-                        while let Some(t) = code.get(m) {
-                            match &t.kind {
-                                k if k.is_punct('(') || k.is_punct('[') || k.is_punct('{') => {
-                                    depth += 1
-                                }
-                                k if k.is_punct(')') || k.is_punct(']') || k.is_punct('}') => {
-                                    depth -= 1
-                                }
-                                k if k.is_punct(';') && depth <= 0 => break,
-                                _ if is_hash(t)
-                                    && code.get(m + 1).is_some_and(|t| t.kind.is_punct(':'))
-                                    && code.get(m + 2).is_some_and(|t| t.kind.is_punct(':')) =>
-                                {
-                                    out.insert(bound.clone());
-                                }
-                                _ => {}
-                            }
-                            m += 1;
-                        }
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Scan a type region starting at `start`, returning the index of the
-/// delimiter that ends it (`,` `;` `)` `}` `=` `{` at depth 0). Tracks
-/// `() [] <>` depth; `->` and `=>` arrows do not close a generic.
-fn type_region(code: &[Tok], start: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    let mut i = start;
-    while let Some(t) = code.get(i) {
-        match &t.kind {
-            k if k.is_punct('<') || k.is_punct('(') || k.is_punct('[') => depth += 1,
-            k if (k.is_punct('-') || k.is_punct('='))
-                && code.get(i + 1).is_some_and(|t| t.kind.is_punct('>')) =>
-            {
-                if depth == 0 && k.is_punct('=') {
-                    return Some(i); // `=>` at depth 0: match arm, not a type
-                }
-                i += 2; // skip `->` / nested `=>` as a unit
-                continue;
-            }
-            k if k.is_punct('>') || k.is_punct(')') || k.is_punct(']') => {
-                depth -= 1;
-                if depth < 0 {
-                    return Some(i);
-                }
-            }
-            k if depth == 0
-                && (k.is_punct(',')
-                    || k.is_punct(';')
-                    || k.is_punct('=')
-                    || k.is_punct('{')
-                    || k.is_punct('}')) =>
-            {
-                return Some(i);
-            }
-            _ => {}
-        }
-        i += 1;
-        // Types don't run forever; bail out of pathological regions.
-        if i - start > 256 {
-            return None;
-        }
-    }
-    Some(code.len())
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2 — rule scanners
-// ---------------------------------------------------------------------------
-
-fn scan_hash_order(
-    view: &FileView<'_>,
-    symbols: &BTreeSet<String>,
-    cfg: &Config,
-    out: &mut Vec<Diagnostic>,
-) {
-    let code = &view.code;
-    let push = |out: &mut Vec<Diagnostic>, line: u32, name: &str| {
-        out.push(Diagnostic {
-            file: view.path.to_string(),
-            line,
-            rule: Rule::HashOrderLeak,
-            message: format!(
-                "iteration over hash-ordered `{name}` in a result-producing crate; \
-                 sort entries (or use a BTreeMap) before results can reach a BatchReport"
-            ),
-        });
-    };
-    let mut i = 0;
-    while i < code.len() {
-        if let TokKind::Ident(name) = &code[i].kind {
-            // `m.iter()` / `m.values()` / … on a hash-typed name, or a hash
-            // type constructor used inline (`FxHashMap::default().iter()`).
-            let hash_named = symbols.contains(name) || HASH_TYPES.contains(&name.as_str());
-            if hash_named
-                && code.get(i + 1).is_some_and(|t| t.kind.is_punct('.'))
-                && code.get(i + 2).is_some_and(
-                    |t| matches!(t.kind.ident(), Some(m) if ORDER_SENSITIVE_METHODS.contains(&m)),
-                )
-                && code.get(i + 3).is_some_and(|t| t.kind.is_punct('('))
-            {
-                push(out, code[i + 2].line, name);
-                i += 3;
-                continue;
-            }
-            // `for pat in <expr> {` — a hash-typed name consumed whole
-            // (`for (k, v) in shard.groups {`), i.e. implicit into_iter.
-            if name == "for" {
-                // Find the `in` at depth 0, then scan to the `{` at depth 0.
-                let mut depth = 0i32;
-                let mut j = i + 1;
-                let mut in_at = None;
-                while let Some(t) = code.get(j) {
-                    match &t.kind {
-                        k if k.is_punct('(') || k.is_punct('[') => depth += 1,
-                        k if k.is_punct(')') || k.is_punct(']') => depth -= 1,
-                        k if depth == 0 && k.is_ident("in") => {
-                            in_at = Some(j);
-                            break;
-                        }
-                        k if k.is_punct('{') || k.is_punct(';') => break,
-                        _ => {}
-                    }
-                    j += 1;
-                    if j - i > 64 {
-                        break;
-                    }
-                }
-                if let Some(start) = in_at {
-                    let mut depth = 0i32;
-                    let mut j = start + 1;
-                    while let Some(t) = code.get(j) {
-                        match &t.kind {
-                            k if k.is_punct('(') || k.is_punct('[') => depth += 1,
-                            k if k.is_punct(')') || k.is_punct(']') => depth -= 1,
-                            k if depth == 0 && k.is_punct('{') => break,
-                            TokKind::Ident(n)
-                                if cfg.hash_order_sinks.iter().any(|s| s == n)
-                                    && code.get(j + 1).is_some_and(|t| t.kind.is_punct('(')) =>
-                            {
-                                // Routed through a sorting sink: iteration
-                                // order is erased before the loop sees it.
-                                break;
-                            }
-                            TokKind::Ident(n)
-                                if symbols.contains(n)
-                                    && !code.get(j + 1).is_some_and(|t| {
-                                        t.kind.is_punct('.') || t.kind.is_punct('(')
-                                    }) =>
-                            {
-                                push(out, t.line, n);
-                            }
-                            _ => {}
-                        }
-                        j += 1;
-                        if j - start > 96 {
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-}
 
 fn scan_schedule(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
     let code = &view.code;
@@ -693,124 +554,429 @@ fn scan_unsafe(view: &FileView<'_>, out: &mut Vec<Diagnostic>) -> Vec<UnsafeSite
     sites
 }
 
-fn scan_float_fold(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
-    let code = &view.code;
-    let push = |out: &mut Vec<Diagnostic>, line: u32, what: &str| {
+// ---------------------------------------------------------------------------
+// AST rule scanners
+// ---------------------------------------------------------------------------
+
+/// Which AST-based rules are active for one file (scope already resolved).
+struct AstRules {
+    hash: bool,
+    float_fold: bool,
+    panic: bool,
+    float_total: bool,
+    lossy_cast: bool,
+    merge: bool,
+}
+
+impl AstRules {
+    fn any(&self) -> bool {
+        self.hash
+            || self.float_fold
+            || self.panic
+            || self.float_total
+            || self.lossy_cast
+            || self.merge
+    }
+}
+
+/// A short human name for an integer class in cast messages. `usize`/`isize`
+/// report as their 64-bit equivalents (documented policy: 64-bit targets).
+fn int_name(bits: u8, signed: bool) -> String {
+    format!("{}{bits}", if signed { "i" } else { "u" })
+}
+
+/// Strip `&`/`*` so `for x in &m` sees `m`.
+fn strip_ref(e: &ast::Expr) -> &ast::Expr {
+    match e {
+        ast::Expr::Unary {
+            op: '&' | '*',
+            expr,
+            ..
+        } => strip_ref(expr),
+        _ => e,
+    }
+}
+
+/// A display name for the value an expression denotes, for messages.
+fn expr_name(e: &ast::Expr) -> String {
+    match e {
+        ast::Expr::Path { segs, .. } => segs.last().cloned().unwrap_or_else(|| "map".into()),
+        ast::Expr::Field { name, .. } => name.clone(),
+        ast::Expr::Unary { expr, .. } => expr_name(expr),
+        ast::Expr::MethodCall { recv, .. } => expr_name(recv),
+        ast::Expr::Call { callee, .. } => expr_name(callee),
+        ast::Expr::Index { base, .. } => expr_name(base),
+        _ => "map".to_string(),
+    }
+}
+
+/// Is this a literal (possibly negated)? Literal comparisons like
+/// `x == 0.0` are exempt from `float-total-order`: they are exact-value
+/// guards, and NaN correctly compares unequal to every literal.
+fn is_num_literal(e: &ast::Expr) -> bool {
+    match e {
+        ast::Expr::Num { .. } => true,
+        ast::Expr::Unary { op: '-', expr, .. } => matches!(expr.as_ref(), ast::Expr::Num { .. }),
+        _ => false,
+    }
+}
+
+/// Does any argument mention `total_cmp` (closure body or fn path)? Used to
+/// bless `sort_by(|a, b| a.total_cmp(b))` and `sort_by(f64::total_cmp)`.
+fn args_mention_total_cmp(args: &[ast::Expr]) -> bool {
+    let mut found = false;
+    for a in args {
+        ast::walk_expr(a, &mut |e| match e {
+            ast::Expr::MethodCall { method, .. } if method == "total_cmp" => found = true,
+            ast::Expr::Path { segs, .. } if segs.iter().any(|s| s == "total_cmp") => found = true,
+            _ => {}
+        });
+    }
+    found
+}
+
+/// `lock().unwrap()`-style receivers where propagating the panic is the
+/// conventional response (lock poisoning, thread joins).
+fn recv_is_allowed(recv: &ast::Expr, allowed: &[String]) -> bool {
+    match recv {
+        ast::Expr::MethodCall { method, .. } => allowed.iter().any(|a| a == method),
+        ast::Expr::Call { callee, .. } => matches!(
+            callee.as_ref(),
+            ast::Expr::Path { segs, .. }
+                if segs.last().is_some_and(|s| allowed.iter().any(|a| a == s))
+        ),
+        _ => false,
+    }
+}
+
+/// Can this operand participate in a merge without the result depending on
+/// merge-tree shape? Integer and bool arithmetic is exact (no rounding), so
+/// any association order gives the same bits.
+fn merge_exact(c: &sem::Class) -> bool {
+    c.is_int() || matches!(c, sem::Class::Bool)
+}
+
+fn scan_ast(
+    view: &FileView<'_>,
+    g: &sem::Globals,
+    cfg: &Config,
+    on: &AstRules,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !on.any() {
+        return;
+    }
+    sem::for_each_item(&view.ast, &mut |item, _| match item {
+        ast::Item::Struct(s) if on.float_total => {
+            check_float_derive(view, g, &s.attrs, &s.name, s.line, out);
+        }
+        ast::Item::Enum(e) if on.float_total => {
+            check_float_derive(view, g, &e.attrs, &e.name, e.line, out);
+        }
+        ast::Item::Fn(f) => {
+            let merge_fn = on.merge
+                && cfg
+                    .merge_fn_markers
+                    .iter()
+                    .any(|m| f.name.contains(m.as_str()));
+            sem::walk_fn(f, g, &mut |e, env| {
+                scan_expr(view, g, cfg, on, merge_fn, e, env, out);
+            });
+        }
+        _ => {}
+    });
+}
+
+/// `float-total-order` item check: deriving `PartialEq`/`PartialOrd`/`Ord`
+/// on a float-bearing type inherits IEEE partial comparison — the exact bug
+/// class behind `eq_tri` disagreeing with itself under NaN.
+fn check_float_derive(
+    view: &FileView<'_>,
+    g: &sem::Globals,
+    attrs: &ast::Attrs,
+    name: &str,
+    line: u32,
+    out: &mut Vec<Diagnostic>,
+) {
+    let bad: Vec<&str> = attrs
+        .derives
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|d| matches!(*d, "PartialEq" | "PartialOrd" | "Ord"))
+        .collect();
+    if !bad.is_empty() && g.float_bearing.contains(name) {
         out.push(Diagnostic {
             file: view.path.to_string(),
             line,
-            rule: Rule::FloatFoldOrdering,
+            rule: Rule::FloatTotalOrder,
             message: format!(
-                "unchunked float {what}: accumulation order must be fixed \
-                 (1024-tuple chunk kernel) or proven order-insensitive"
+                "derive({}) on float-bearing `{name}` inherits IEEE partial comparison \
+                 (NaN-unsound); implement the total order via `total_cmp` like `Value`",
+                bad.join(", ")
             ),
         });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_expr(
+    view: &FileView<'_>,
+    g: &sem::Globals,
+    cfg: &Config,
+    on: &AstRules,
+    merge_fn: bool,
+    e: &ast::Expr,
+    env: &sem::Env,
+    out: &mut Vec<Diagnostic>,
+) {
+    use ast::Expr;
+    let push = |out: &mut Vec<Diagnostic>, line: u32, rule: Rule, message: String| {
+        out.push(Diagnostic {
+            file: view.path.to_string(),
+            line,
+            rule,
+            message,
+        });
     };
-    let mut i = 0;
-    while i + 1 < code.len() {
-        if code[i].kind.is_punct('.') {
-            if let Some(m) = code[i + 1].kind.ident() {
-                // `.sum::<f64>()` / `.product::<f32>()`
-                if (m == "sum" || m == "product")
-                    && code.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
-                    && code.get(i + 3).is_some_and(|t| t.kind.is_punct(':'))
-                    && code.get(i + 4).is_some_and(|t| t.kind.is_punct('<'))
-                    && code
-                        .get(i + 5)
-                        .is_some_and(|t| t.kind.is_ident("f64") || t.kind.is_ident("f32"))
-                {
-                    push(out, code[i + 1].line, m);
-                    i += 5;
-                    continue;
+    match e {
+        Expr::MethodCall {
+            recv,
+            method,
+            targs,
+            args,
+            line,
+        } => {
+            let m = method.as_str();
+            if on.hash && ORDER_SENSITIVE_METHODS.contains(&m) && sem::infer(recv, env, g).is_hash()
+            {
+                push(
+                    out,
+                    *line,
+                    Rule::HashOrderLeak,
+                    format!(
+                        "iteration over hash-ordered `{}` in a result-producing crate; \
+                         sort entries (or use a BTreeMap) before results can reach a BatchReport",
+                        expr_name(recv)
+                    ),
+                );
+            }
+            if on.float_fold {
+                let float_acc = match m {
+                    "sum" | "product" => match targs.first() {
+                        Some(t) => sem::classify_ty(t).is_float(),
+                        None => sem::infer(recv, env, g).is_float(),
+                    },
+                    "fold" => args
+                        .first()
+                        .is_some_and(|a| sem::infer(a, env, g).is_float()),
+                    _ => false,
+                };
+                if float_acc {
+                    push(
+                        out,
+                        *line,
+                        Rule::FloatFoldOrdering,
+                        format!(
+                            "unchunked float {m}: accumulation order must be fixed \
+                             (1024-tuple chunk kernel) or proven order-insensitive"
+                        ),
+                    );
                 }
-                // `.fold(0.0, …)` / `.fold(-1.0f64, …)` — float seed.
-                if m == "fold" && code.get(i + 2).is_some_and(|t| t.kind.is_punct('(')) {
-                    let mut j = i + 3;
-                    if code.get(j).is_some_and(|t| t.kind.is_punct('-')) {
-                        j += 1;
-                    }
-                    let float_seed = match code.get(j).map(|t| &t.kind) {
-                        Some(TokKind::Num(n)) => {
-                            n.contains('.') || n.ends_with("f64") || n.ends_with("f32")
-                        }
-                        Some(TokKind::Ident(id)) => id == "f64" || id == "f32",
-                        _ => false,
-                    };
-                    if float_seed {
-                        push(out, code[i + 1].line, "fold");
-                        i = j;
-                        continue;
-                    }
+            }
+            if on.panic
+                && (m == "unwrap" || m == "expect")
+                && !recv_is_allowed(recv, &cfg.panic_allowed_receivers)
+            {
+                push(
+                    out,
+                    *line,
+                    Rule::PanicSurface,
+                    format!(
+                        "`.{m}()` in a library hot path; propagate the error \
+                         or annotate the invariant that makes this infallible"
+                    ),
+                );
+            }
+            if on.float_total {
+                if m == "partial_cmp" && sem::infer(recv, env, g).is_float() {
+                    push(
+                        out,
+                        *line,
+                        Rule::FloatTotalOrder,
+                        "`partial_cmp` on floats returns None on NaN and poisons \
+                         downstream ordering; use `total_cmp`"
+                            .to_string(),
+                    );
+                }
+                if matches!(
+                    m,
+                    "sort_by" | "sort_unstable_by" | "min_by" | "max_by" | "binary_search_by"
+                ) && sem::infer(recv, env, g).is_float()
+                    && !args_mention_total_cmp(args)
+                {
+                    push(
+                        out,
+                        *line,
+                        Rule::FloatTotalOrder,
+                        format!(
+                            "float `{m}` comparator without `total_cmp`; IEEE comparison \
+                             is partial under NaN — order floats with the total order"
+                        ),
+                    );
                 }
             }
         }
-        i += 1;
-    }
-}
-
-fn scan_panic(view: &FileView<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    let code = &view.code;
-    let mut i = 0;
-    while i < code.len() {
-        let t = &code[i];
-        if let Some(name) = t.kind.ident() {
-            match name {
+        Expr::Macro { name, line, .. } if on.panic => {
+            if matches!(
+                name.as_str(),
                 "panic" | "unreachable" | "todo" | "unimplemented"
-                    if code.get(i + 1).is_some_and(|t| t.kind.is_punct('!')) =>
-                {
-                    out.push(Diagnostic {
-                        file: view.path.to_string(),
-                        line: t.line,
-                        rule: Rule::PanicSurface,
-                        message: format!(
-                            "`{name}!` in a library hot path; return an error or \
-                             annotate why this is unreachable"
-                        ),
-                    });
-                }
-                "unwrap" | "expect"
-                    if i > 0
-                        && code[i - 1].kind.is_punct('.')
-                        && code.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
-                        && !receiver_is_allowed(code, i - 1, &cfg.panic_allowed_receivers) =>
-                {
-                    out.push(Diagnostic {
-                        file: view.path.to_string(),
-                        line: t.line,
-                        rule: Rule::PanicSurface,
-                        message: format!(
-                            "`.{name}()` in a library hot path; propagate the error \
-                             or annotate the invariant that makes this infallible"
-                        ),
-                    });
-                }
-                _ => {}
+            ) {
+                push(
+                    out,
+                    *line,
+                    Rule::PanicSurface,
+                    format!(
+                        "`{name}!` in a library hot path; return an error or \
+                         annotate why this is unreachable"
+                    ),
+                );
             }
         }
-        i += 1;
-    }
-}
-
-/// For `recv().unwrap()`-style chains: walk left from the `.` before
-/// `unwrap`/`expect`; if the receiver is a call whose callee is an allowed
-/// method (`lock`, `wait`, `join`, …), the unwrap is conventional panic
-/// propagation (lock poisoning) and not flagged.
-fn receiver_is_allowed(code: &[Tok], dot: usize, allowed: &[String]) -> bool {
-    if dot == 0 || !code[dot - 1].kind.is_punct(')') {
-        return false;
-    }
-    // Match the `)` back to its `(`.
-    let mut depth = 1i32;
-    let mut i = dot - 1;
-    while i > 0 && depth > 0 {
-        i -= 1;
-        if code[i].kind.is_punct(')') {
-            depth += 1;
-        } else if code[i].kind.is_punct('(') {
-            depth -= 1;
+        Expr::For { iter, .. } if on.hash => {
+            // `.iter()`/`.keys()` on a hash value is already flagged at the
+            // method call; flag only whole-value consumption here
+            // (`for (k, v) in shard.groups`), and skip loops routed through
+            // a sorting sink.
+            let base = strip_ref(iter);
+            let already = matches!(base, Expr::MethodCall { method, .. }
+                if ORDER_SENSITIVE_METHODS.contains(&method.as_str()));
+            let sunk = matches!(base, Expr::Call { callee, .. }
+                if matches!(callee.as_ref(), Expr::Path { segs, .. }
+                    if segs.last().is_some_and(|s| cfg.hash_order_sinks.contains(s))));
+            if !already && !sunk && sem::infer(base, env, g).is_hash() {
+                push(
+                    out,
+                    base.line(),
+                    Rule::HashOrderLeak,
+                    format!(
+                        "iteration over hash-ordered `{}` in a result-producing crate; \
+                         sort entries (or use a BTreeMap) before results can reach a BatchReport",
+                        expr_name(base)
+                    ),
+                );
+            }
         }
+        Expr::Binary { op, lhs, rhs, line } => {
+            if on.float_total && op.is_eq() && !is_num_literal(lhs) && !is_num_literal(rhs) {
+                let floaty =
+                    sem::infer(lhs, env, g).is_float() || sem::infer(rhs, env, g).is_float();
+                if floaty {
+                    push(
+                        out,
+                        *line,
+                        Rule::FloatTotalOrder,
+                        "raw float `==`/`!=` is partial under NaN; compare via `total_cmp` \
+                         or against a literal guard"
+                            .to_string(),
+                    );
+                }
+            }
+            if merge_fn && op.is_arith() {
+                let l = sem::infer(lhs, env, g);
+                let r = sem::infer(rhs, env, g);
+                if !(merge_exact(&l) && merge_exact(&r)) {
+                    push(
+                        out,
+                        *line,
+                        Rule::MergeCommutativity,
+                        "arithmetic on non-integer state in a merge path; per-shard \
+                         merges must use the blessed multiset-exact ops \
+                         (ExactSum add, min/max, integer counts — DESIGN.md §3.9)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        Expr::Assign {
+            op: Some(op),
+            lhs,
+            rhs,
+            line,
+        } if merge_fn && op.is_arith() => {
+            let l = sem::infer(lhs, env, g);
+            let r = sem::infer(rhs, env, g);
+            if !(merge_exact(&l) && merge_exact(&r)) {
+                push(
+                    out,
+                    *line,
+                    Rule::MergeCommutativity,
+                    "compound assignment on non-integer state in a merge path; per-shard \
+                     merges must use the blessed multiset-exact ops \
+                     (ExactSum add, min/max, integer counts — DESIGN.md §3.9)"
+                        .to_string(),
+                );
+            }
+        }
+        Expr::Cast { expr, ty, line } if on.lossy_cast => {
+            // Pointer casts reinterpret addresses, not values.
+            if matches!(ty, ast::Ty::Ref(_)) {
+                return;
+            }
+            let sem::Class::Int {
+                bits: tb,
+                signed: ts,
+            } = sem::classify_ty(ty)
+            else {
+                return;
+            };
+            // A literal that provably fits its target is exact by
+            // construction (`0u64 as u32`, `1 as u8`).
+            if let Expr::Num { text, .. } = strip_ref(expr) {
+                if let Some(v) = sem::num_literal_value(text) {
+                    if !sem::literal_fits(v, tb, ts) {
+                        push(
+                            out,
+                            *line,
+                            Rule::LossyCastAudit,
+                            format!(
+                                "literal `{text}` does not fit `{}`; the cast wraps at \
+                                 compile-visible constant value",
+                                int_name(tb, ts)
+                            ),
+                        );
+                    }
+                    return;
+                }
+            }
+            if let sem::Class::Int {
+                bits: sb,
+                signed: ss,
+            } = sem::infer(expr, env, g)
+            {
+                let narrowing = tb < sb;
+                let sign_wrap = ss && !ts;
+                if narrowing || sign_wrap {
+                    let how = if narrowing {
+                        "silently truncates"
+                    } else {
+                        "wraps negative values"
+                    };
+                    push(
+                        out,
+                        *line,
+                        Rule::LossyCastAudit,
+                        format!(
+                            "`as` cast {}→{} {how}; row counts and chunk offsets must \
+                             use a checked conversion (`try_from` + explicit failure path)",
+                            int_name(sb, ss),
+                            int_name(tb, ts)
+                        ),
+                    );
+                }
+            }
+        }
+        _ => {}
     }
-    i > 0 && matches!(code[i - 1].kind.ident(), Some(m) if allowed.iter().any(|a| a == m))
 }
 
 // ---------------------------------------------------------------------------
@@ -829,15 +995,14 @@ pub fn lint_sources_full(
     sources: &[(String, String)],
     cfg: &Config,
 ) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
-    // Pass 1: global hash-typed symbol table.
-    let mut symbols = BTreeSet::new();
+    // Pass 1: parse every file and build the workspace-global tables
+    // (field classes, fn return classes, float-bearing type names).
     let views: Vec<FileView<'_>> = sources
         .iter()
         .map(|(path, src)| FileView::new(path, src))
         .collect();
-    for v in &views {
-        collect_hash_symbols(&v.code, &mut symbols);
-    }
+    let asts: Vec<&ast::SourceFile> = views.iter().map(|v| &v.ast).collect();
+    let globals = sem::build_globals(&asts);
 
     // Pass 2: per-file rule scans, then allow/test-region filtering.
     let mut diags = Vec::new();
@@ -849,18 +1014,19 @@ pub fn lint_sources_full(
 
         inventory.extend(scan_unsafe(v, &mut raw));
         if !test_file {
-            if in_scope(v.path, &cfg.hash_order_scope) {
-                scan_hash_order(v, &symbols, cfg, &mut raw);
-            }
             if !in_scope(v.path, &cfg.schedule_blessed) {
                 scan_schedule(v, &mut raw);
             }
-            if in_scope(v.path, &cfg.float_fold_scope) {
-                scan_float_fold(v, &mut raw);
-            }
-            if in_scope(v.path, &cfg.panic_scope) {
-                scan_panic(v, cfg, &mut raw);
-            }
+            let blessed = in_scope(v.path, &cfg.float_blessed);
+            let on = AstRules {
+                hash: in_scope(v.path, &cfg.hash_order_scope),
+                float_fold: in_scope(v.path, &cfg.float_fold_scope),
+                panic: in_scope(v.path, &cfg.panic_scope),
+                float_total: in_scope(v.path, &cfg.float_total_scope) && !blessed,
+                lossy_cast: in_scope(v.path, &cfg.lossy_cast_scope),
+                merge: in_scope(v.path, &cfg.merge_scope) && !blessed,
+            };
+            scan_ast(v, &globals, cfg, &on, &mut raw);
         }
 
         let allowed = |d: &Diagnostic| {
@@ -948,10 +1114,14 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The `--json` document schema version. Bump when the shape changes;
+/// `scripts/golint_schema.json` describes (and CI validates) this version.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
 /// Render diagnostics (and optionally the unsafe inventory) as a stable
 /// machine-readable JSON document.
 pub fn to_json(diags: &[Diagnostic], inventory: Option<&[UnsafeSite]>) -> String {
-    let mut out = String::from("{\n  \"diagnostics\": [");
+    let mut out = format!("{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');

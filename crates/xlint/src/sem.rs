@@ -1,0 +1,958 @@
+//! Semantic layer over the AST: type-hint classification and a small
+//! taint-style dataflow for "float-valued" and "hash-ordered" values.
+//!
+//! This is deliberately a *hint* system, not a type checker. A value's
+//! [`Class`] is inferred from declared types (fn signatures, `let`
+//! ascriptions, struct fields) and propagated through bindings, field
+//! accesses, method chains and returns. Anything the inference cannot prove
+//! is [`Class::Unknown`], and each rule decides which way unknown errs —
+//! `float-total-order` skips unknowns (precision over recall),
+//! `merge-commutativity` flags them (recall over precision inside the small
+//! blessed-merge surface). Containers are transparent: `&[f64]`, `Vec<f64>`
+//! and `Option<f64>` all classify as `Float`, because iterating, indexing or
+//! unwrapping them yields float values and comparing them compares floats
+//! elementwise.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Block, Expr, FnItem, Item, SourceFile, Stmt, Ty};
+
+/// What a value *is*, as far as the lints care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Class {
+    /// IEEE float or a transparent container of floats.
+    Float,
+    /// Integer with width/signedness (`usize`/`isize` count as 64-bit —
+    /// documented policy: this repo only targets 64-bit platforms).
+    Int {
+        bits: u8,
+        signed: bool,
+    },
+    Bool,
+    Str,
+    /// A hash-ordered container (`HashMap`, `HashSet`, `FxHashMap`, …) or
+    /// an iterator derived from one: its order is nondeterministic.
+    Hash,
+    /// A known named type that is none of the above (`Value`, `Ordering`).
+    Named(String),
+    Unknown,
+}
+
+impl Class {
+    pub fn is_float(&self) -> bool {
+        matches!(self, Class::Float)
+    }
+
+    pub fn is_int(&self) -> bool {
+        matches!(self, Class::Int { .. })
+    }
+
+    pub fn is_hash(&self) -> bool {
+        matches!(self, Class::Hash)
+    }
+}
+
+/// Workspace-level symbol tables built in a first pass over every parsed
+/// file, so per-file scanning can resolve `x.weight_sum` or `trials(...)`
+/// cross-file by name.
+#[derive(Debug, Default)]
+pub struct Globals {
+    /// Field name → class, across all struct/enum declarations.
+    pub fields: BTreeMap<String, Class>,
+    /// Function name → return class, across all `fn` items.
+    pub fn_returns: BTreeMap<String, Class>,
+    /// Struct/enum names with float payload anywhere in their fields
+    /// (transitively through other local types).
+    pub float_bearing: BTreeSet<String>,
+}
+
+/// Conflict policy when the same name maps to different classes in
+/// different declarations: hash-ordered wins (the hash-leak rule must not
+/// lose taint to a name collision), everything else degrades to `Unknown`
+/// (the float rules must not gain false positives from one).
+fn merge_class(slot: &mut Class, new: Class) {
+    if *slot == new {
+        return;
+    }
+    if slot.is_hash() || new.is_hash() {
+        *slot = Class::Hash;
+    } else {
+        *slot = Class::Unknown;
+    }
+}
+
+/// Iterate every item in a file, recursing through `mod` and `impl` blocks
+/// (but not into function bodies). The callback receives each item and
+/// whether it sits under a `#[cfg(test)]` module.
+pub fn for_each_item<'a>(file: &'a SourceFile, f: &mut dyn FnMut(&'a Item, bool)) {
+    fn rec<'a>(items: &'a [Item], in_test: bool, f: &mut dyn FnMut(&'a Item, bool)) {
+        for item in items {
+            f(item, in_test);
+            match item {
+                Item::Impl(i) => rec(&i.items, in_test, f),
+                Item::Mod(m) => rec(&m.items, in_test || m.cfg_test, f),
+                _ => {}
+            }
+        }
+    }
+    rec(&file.items, false, f);
+}
+
+/// Build the global tables from all parsed files.
+pub fn build_globals(files: &[&SourceFile]) -> Globals {
+    let mut g = Globals::default();
+    // Fields and returns first; float-bearing needs a fixpoint afterwards.
+    let mut type_fields: BTreeMap<String, Vec<Ty>> = BTreeMap::new();
+    for file in files {
+        for_each_item(file, &mut |item, _| match item {
+            Item::Struct(s) => {
+                for (name, ty) in &s.fields {
+                    if !name.is_empty() {
+                        let c = classify_ty(ty);
+                        g.fields
+                            .entry(name.clone())
+                            .and_modify(|slot| merge_class(slot, c.clone()))
+                            .or_insert(c);
+                    }
+                }
+                type_fields
+                    .entry(s.name.clone())
+                    .or_default()
+                    .extend(s.fields.iter().map(|(_, t)| t.clone()));
+            }
+            Item::Enum(e) => {
+                for (name, ty) in &e.fields {
+                    if !name.is_empty() {
+                        let c = classify_ty(ty);
+                        g.fields
+                            .entry(name.clone())
+                            .and_modify(|slot| merge_class(slot, c.clone()))
+                            .or_insert(c);
+                    }
+                }
+                type_fields
+                    .entry(e.name.clone())
+                    .or_default()
+                    .extend(e.fields.iter().map(|(_, t)| t.clone()));
+            }
+            Item::Fn(func) => {
+                let c = func.ret.as_ref().map(classify_ty).unwrap_or(Class::Unknown);
+                g.fn_returns
+                    .entry(func.name.clone())
+                    .and_modify(|slot| merge_class(slot, c.clone()))
+                    .or_insert(c);
+            }
+            _ => {}
+        });
+    }
+    // Float-bearing fixpoint: a type is float-bearing if any field type
+    // mentions f32/f64 or another float-bearing local type.
+    loop {
+        let mut changed = false;
+        for (name, tys) in &type_fields {
+            if g.float_bearing.contains(name) {
+                continue;
+            }
+            if tys.iter().any(|t| ty_mentions_float(t, &g.float_bearing)) {
+                g.float_bearing.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    g
+}
+
+/// Does this type mention `f32`/`f64` (or a known float-bearing name) at
+/// any nesting depth?
+pub fn ty_mentions_float(ty: &Ty, float_bearing: &BTreeSet<String>) -> bool {
+    match ty {
+        Ty::Path { name, args } => {
+            name == "f64"
+                || name == "f32"
+                || float_bearing.contains(name)
+                || args.iter().any(|a| ty_mentions_float(a, float_bearing))
+        }
+        Ty::Ref(inner) | Ty::Slice(inner) => ty_mentions_float(inner, float_bearing),
+        Ty::Tuple(items) => items.iter().any(|t| ty_mentions_float(t, float_bearing)),
+        Ty::Unknown => false,
+    }
+}
+
+const HASH_TYPES: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+];
+
+/// Wrappers that are transparent for classification: operating on the
+/// wrapper (iterate/index/unwrap/compare) operates on the payload.
+const TRANSPARENT: [&str; 12] = [
+    "Option",
+    "Box",
+    "Arc",
+    "Rc",
+    "Cow",
+    "Vec",
+    "VecDeque",
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "MaybeUninit",
+];
+
+/// Classify a declared type. Named (user) types stay [`Class::Named`]:
+/// the classifier resolves fields and returns through the global tables at
+/// use sites ([`infer`]), not by rewriting the declared type itself.
+pub fn classify_ty(ty: &Ty) -> Class {
+    match ty {
+        Ty::Ref(inner) | Ty::Slice(inner) => classify_ty(inner),
+        Ty::Tuple(_) | Ty::Unknown => Class::Unknown,
+        Ty::Path { name, args } => match name.as_str() {
+            "f32" | "f64" => Class::Float,
+            "u8" => Class::Int {
+                bits: 8,
+                signed: false,
+            },
+            "u16" => Class::Int {
+                bits: 16,
+                signed: false,
+            },
+            "u32" => Class::Int {
+                bits: 32,
+                signed: false,
+            },
+            "u64" | "usize" => Class::Int {
+                bits: 64,
+                signed: false,
+            },
+            "u128" => Class::Int {
+                bits: 128,
+                signed: false,
+            },
+            "i8" => Class::Int {
+                bits: 8,
+                signed: true,
+            },
+            "i16" => Class::Int {
+                bits: 16,
+                signed: true,
+            },
+            "i32" => Class::Int {
+                bits: 32,
+                signed: true,
+            },
+            "i64" | "isize" => Class::Int {
+                bits: 64,
+                signed: true,
+            },
+            "i128" => Class::Int {
+                bits: 128,
+                signed: true,
+            },
+            "bool" => Class::Bool,
+            "String" | "str" | "char" => Class::Str,
+            n if HASH_TYPES.contains(&n) => Class::Hash,
+            n if TRANSPARENT.contains(&n) => {
+                args.first().map(classify_ty).unwrap_or(Class::Unknown)
+            }
+            n => Class::Named(n.to_string()),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric literals
+// ---------------------------------------------------------------------------
+
+const INT_SUFFIXES: [&str; 12] = [
+    "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+];
+
+/// Classify a numeric literal from its verbatim text.
+pub fn num_literal_class(text: &str) -> Class {
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return Class::Float;
+    }
+    for suf in INT_SUFFIXES {
+        if let Some(body) = text.strip_suffix(suf) {
+            if !body.is_empty() {
+                let bits = match suf {
+                    "u8" | "i8" => 8,
+                    "u16" | "i16" => 16,
+                    "u32" | "i32" => 32,
+                    "u128" | "i128" => 128,
+                    _ => 64,
+                };
+                return Class::Int {
+                    bits,
+                    signed: suf.starts_with('i'),
+                };
+            }
+        }
+    }
+    let radix_prefixed = text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b");
+    if !radix_prefixed && (text.contains('.') || text.contains('e') || text.contains('E')) {
+        return Class::Float;
+    }
+    // Unsuffixed integer: width unknown until context fixes it.
+    Class::Int {
+        bits: 32,
+        signed: true,
+    }
+}
+
+/// The integer value of an integer literal, if it is one.
+pub fn num_literal_value(text: &str) -> Option<i128> {
+    let mut body = text;
+    if body.ends_with("f32") || body.ends_with("f64") {
+        return None;
+    }
+    for suf in INT_SUFFIXES {
+        if let Some(stripped) = body.strip_suffix(suf) {
+            if !stripped.is_empty() {
+                body = stripped;
+                break;
+            }
+        }
+    }
+    let clean: String = body.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = clean.strip_prefix("0x") {
+        return i128::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = clean.strip_prefix("0o") {
+        return i128::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = clean.strip_prefix("0b") {
+        return i128::from_str_radix(bin, 2).ok();
+    }
+    if clean.contains('.') || clean.contains('e') || clean.contains('E') {
+        return None;
+    }
+    clean.parse().ok()
+}
+
+/// Does `v` fit in an integer of the given width/signedness?
+pub fn literal_fits(v: i128, bits: u8, signed: bool) -> bool {
+    if bits >= 128 {
+        return signed || v >= 0;
+    }
+    if signed {
+        let half = 1i128 << (bits - 1);
+        (-half..half).contains(&v)
+    } else {
+        v >= 0 && (bits == 127 || v < (1i128 << bits))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-function environment & inference
+// ---------------------------------------------------------------------------
+
+/// Lexically scoped name → class bindings inside one function.
+#[derive(Debug, Default)]
+pub struct Env {
+    scopes: Vec<BTreeMap<String, Class>>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env {
+            scopes: vec![BTreeMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    pub fn bind(&mut self, name: &str, class: Class) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string(), class);
+        }
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&Class> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+/// Methods whose return classifies as the receiver's class (value-preserving
+/// or order-preserving adaptors).
+const PASS_THROUGH: [&str; 30] = [
+    "clone",
+    "copied",
+    "cloned",
+    "to_owned",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "expect",
+    "abs",
+    "sqrt",
+    "recip",
+    "floor",
+    "ceil",
+    "round",
+    "powi",
+    "powf",
+    "ln",
+    "exp",
+    "min",
+    "max",
+    "clamp",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "filter",
+    "take",
+    "skip",
+    "rev",
+    "enumerate",
+];
+
+/// Hash-ordered views of a hash-ordered receiver.
+const HASH_VIEWS: [&str; 6] = [
+    "keys",
+    "values",
+    "values_mut",
+    "entry",
+    "drain",
+    "into_keys",
+];
+
+/// Infer the class of an expression under the current environment.
+pub fn infer(e: &Expr, env: &Env, g: &Globals) -> Class {
+    match e {
+        Expr::Num { text, .. } => num_literal_class(text),
+        Expr::Lit { .. } => Class::Str,
+        Expr::Bool { .. } => Class::Bool,
+        Expr::Path { segs, .. } => match segs.as_slice() {
+            // A local binding wins; an unknown name falls back to the
+            // workspace field table (`groups` bound by destructuring still
+            // carries its declared field class).
+            [one] => match env.lookup(one) {
+                Some(c) if *c != Class::Unknown => c.clone(),
+                _ => g.fields.get(one).cloned().unwrap_or(Class::Unknown),
+            },
+            [first, ..] => {
+                // `f64::NAN`, `usize::MAX`, `Value::Null`, `Ordering::Less`.
+                match classify_ty(&Ty::path(first)) {
+                    Class::Named(_) => Class::Named(first.clone()),
+                    c => c,
+                }
+            }
+            [] => Class::Unknown,
+        },
+        Expr::Unary { expr, .. } => infer(expr, env, g),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            if op.is_comparison() || matches!(op, crate::ast::BinOp::And | crate::ast::BinOp::Or) {
+                return Class::Bool;
+            }
+            let l = infer(lhs, env, g);
+            let r = infer(rhs, env, g);
+            if op.is_arith() {
+                if l.is_float() || r.is_float() {
+                    return Class::Float;
+                }
+                if let (
+                    Class::Int {
+                        bits: a,
+                        signed: sa,
+                    },
+                    Class::Int {
+                        bits: b,
+                        signed: sb,
+                    },
+                ) = (&l, &r)
+                {
+                    return Class::Int {
+                        bits: (*a).max(*b),
+                        signed: *sa || *sb,
+                    };
+                }
+                return Class::Unknown;
+            }
+            l // shifts/bitops keep the left class
+        }
+        Expr::Assign { .. } => Class::Unknown,
+        Expr::Cast { ty, .. } => classify_ty(ty),
+        Expr::Call { callee, .. } => match callee.as_ref() {
+            Expr::Path { segs, .. } => {
+                // `f64::from(..)` / `Type::new(..)` / free `helper(..)`.
+                if segs.iter().any(|s| s == "f64" || s == "f32") {
+                    return Class::Float;
+                }
+                if segs.len() >= 2 {
+                    // `u32::try_from(..)`, `HashMap::new()`, `Vec::from(..)`:
+                    // the associated type decides, unless it's just a name.
+                    match classify_ty(&Ty::path(&segs[segs.len() - 2])) {
+                        Class::Named(_) | Class::Unknown => {}
+                        c => return c,
+                    }
+                }
+                segs.last()
+                    .and_then(|name| g.fn_returns.get(name))
+                    .cloned()
+                    .unwrap_or(Class::Unknown)
+            }
+            _ => Class::Unknown,
+        },
+        Expr::MethodCall {
+            recv,
+            method,
+            targs,
+            args,
+            ..
+        } => {
+            let rc = infer(recv, env, g);
+            match method.as_str() {
+                "as_f64" | "to_f64" | "to_degrees" | "to_radians" => Class::Float,
+                "len" | "count" | "capacity" => Class::Int {
+                    bits: 64,
+                    signed: false,
+                },
+                "total_cmp" | "cmp" => Class::Named("Ordering".to_string()),
+                "sum" | "product" => targs.first().map(classify_ty).unwrap_or(rc),
+                "collect" => targs.first().map(classify_ty).unwrap_or(rc),
+                "map" | "filter_map" | "flat_map" | "fold" => {
+                    // Keep hash taint through adaptors; otherwise the
+                    // closure's body decides what comes out.
+                    if rc.is_hash() {
+                        return Class::Hash;
+                    }
+                    match args.last() {
+                        Some(Expr::Closure { body, .. }) => infer(body, env, g),
+                        _ => Class::Unknown,
+                    }
+                }
+                "get" | "first" | "last" | "get_mut" => {
+                    if rc.is_float() {
+                        Class::Float
+                    } else {
+                        Class::Unknown
+                    }
+                }
+                m if HASH_VIEWS.contains(&m) => {
+                    if rc.is_hash() {
+                        Class::Hash
+                    } else {
+                        rc
+                    }
+                }
+                m if PASS_THROUGH.contains(&m) => rc,
+                m => g.fn_returns.get(m).cloned().unwrap_or(Class::Unknown),
+            }
+        }
+        Expr::Field { base, name, .. } => {
+            let _ = infer(base, env, g);
+            g.fields.get(name).cloned().unwrap_or(Class::Unknown)
+        }
+        Expr::Index { base, .. } => match infer(base, env, g) {
+            Class::Hash => Class::Unknown, // map[key] yields a value, unordered
+            c => c,
+        },
+        Expr::If { then, els, .. } => {
+            let t = block_value_class(then, env, g);
+            if t != Class::Unknown {
+                return t;
+            }
+            els.as_ref()
+                .map(|e| infer(e, env, g))
+                .unwrap_or(Class::Unknown)
+        }
+        Expr::Match { arms, .. } => arms
+            .iter()
+            .map(|a| infer(&a.body, env, g))
+            .find(|c| *c != Class::Unknown)
+            .unwrap_or(Class::Unknown),
+        Expr::Block { block, .. } => block_value_class(block, env, g),
+        // `0..n` yields its endpoint class, so `for i in 0..n` binds an int.
+        // Prefer the non-literal endpoint: in `0..len` the `0` is an untyped
+        // literal that unifies with `len`'s type, not the other way round.
+        Expr::Range { lo, hi, .. } => {
+            let is_lit =
+                |e: &Option<Box<Expr>>| e.as_deref().is_some_and(|x| matches!(x, Expr::Num { .. }));
+            let (first, second) = if is_lit(lo) && !is_lit(hi) {
+                (hi, lo)
+            } else {
+                (lo, hi)
+            };
+            first
+                .as_deref()
+                .or(second.as_deref())
+                .map(|e| infer(e, env, g))
+                .unwrap_or(Class::Unknown)
+        }
+        Expr::StructLit { name, .. } => Class::Named(name.clone()),
+        Expr::Macro { name, .. } => match name.as_str() {
+            "format" => Class::Str,
+            "vec" => Class::Unknown,
+            _ => Class::Unknown,
+        },
+        _ => Class::Unknown,
+    }
+}
+
+fn block_value_class(b: &Block, env: &Env, g: &Globals) -> Class {
+    match b.stmts.last() {
+        Some(Stmt::Expr(e)) => infer(e, env, g),
+        _ => Class::Unknown,
+    }
+}
+
+/// Build the initial environment for a function from its parameters.
+pub fn fn_env(f: &FnItem) -> Env {
+    let mut env = Env::new();
+    for p in &f.params {
+        let class = classify_ty(&p.ty);
+        match (p.names.as_slice(), &p.ty) {
+            ([one], _) => env.bind(one, class),
+            (names, Ty::Tuple(tys)) if names.len() == tys.len() => {
+                for (n, t) in names.iter().zip(tys) {
+                    env.bind(n, classify_ty(t));
+                }
+            }
+            (names, _) => {
+                for n in names {
+                    env.bind(n, Class::Unknown);
+                }
+            }
+        }
+    }
+    env
+}
+
+fn bind_pattern(names: &[String], class: Class, env: &mut Env) {
+    match names {
+        [one] => env.bind(one, class),
+        many => {
+            for n in many {
+                env.bind(n, Class::Unknown);
+            }
+        }
+    }
+}
+
+/// Walk every expression in a function body depth-first, maintaining the
+/// lexical environment, and invoke `cb` with each expression and the
+/// environment in effect at that point.
+pub fn walk_fn(f: &FnItem, g: &Globals, cb: &mut dyn FnMut(&Expr, &Env)) {
+    if let Some(body) = &f.body {
+        let mut env = fn_env(f);
+        walk_block_env(body, &mut env, g, cb);
+    }
+}
+
+fn walk_block_env(b: &Block, env: &mut Env, g: &Globals, cb: &mut dyn FnMut(&Expr, &Env)) {
+    env.push();
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(e) = &l.init {
+                    walk_expr_env(e, env, g, cb);
+                }
+                if let Some(blk) = &l.else_block {
+                    walk_block_env(blk, env, g, cb);
+                }
+                let class = match (&l.ty, &l.init) {
+                    (Some(t), _) => classify_ty(t),
+                    (None, Some(e)) => infer(e, env, g),
+                    _ => Class::Unknown,
+                };
+                bind_pattern(&l.names, class, env);
+            }
+            Stmt::Expr(e) => walk_expr_env(e, env, g, cb),
+            Stmt::Item(Item::Fn(nested)) => walk_fn(nested, g, cb),
+            Stmt::Item(Item::Const(c)) => {
+                if let Some(e) = &c.init {
+                    walk_expr_env(e, env, g, cb);
+                }
+            }
+            Stmt::Item(_) => {}
+        }
+    }
+    env.pop();
+}
+
+fn walk_expr_env(e: &Expr, env: &mut Env, g: &Globals, cb: &mut dyn FnMut(&Expr, &Env)) {
+    cb(e, env);
+    match e {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => walk_expr_env(expr, env, g, cb),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr_env(lhs, env, g, cb);
+            walk_expr_env(rhs, env, g, cb);
+        }
+        Expr::Call { callee, args, .. } => {
+            walk_expr_env(callee, env, g, cb);
+            for a in args {
+                walk_expr_env(a, env, g, cb);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr_env(recv, env, g, cb);
+            for a in args {
+                walk_expr_env(a, env, g, cb);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr_env(base, env, g, cb),
+        Expr::Index { base, index, .. } => {
+            walk_expr_env(base, env, g, cb);
+            walk_expr_env(index, env, g, cb);
+        }
+        Expr::Closure { params, body, .. } => {
+            env.push();
+            for (names, ty) in params {
+                let class = ty.as_ref().map(classify_ty);
+                bind_pattern(names, class.unwrap_or(Class::Unknown), env);
+            }
+            walk_expr_env(body, env, g, cb);
+            env.pop();
+        }
+        Expr::If {
+            cond,
+            binds,
+            then,
+            els,
+            ..
+        } => {
+            walk_expr_env(cond, env, g, cb);
+            env.push();
+            if !binds.is_empty() {
+                let class = infer(cond, env, g);
+                bind_pattern(binds, class, env);
+            }
+            walk_block_env(then, env, g, cb);
+            env.pop();
+            if let Some(e) = els {
+                walk_expr_env(e, env, g, cb);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            walk_expr_env(scrut, env, g, cb);
+            let scrut_class = infer(scrut, env, g);
+            for arm in arms {
+                env.push();
+                bind_pattern(&arm.binds, scrut_class.clone(), env);
+                if let Some(guard) = &arm.guard {
+                    walk_expr_env(guard, env, g, cb);
+                }
+                walk_expr_env(&arm.body, env, g, cb);
+                env.pop();
+            }
+        }
+        Expr::For {
+            binds, iter, body, ..
+        } => {
+            walk_expr_env(iter, env, g, cb);
+            env.push();
+            // Containers are class-transparent, so the element class is the
+            // iterated expression's class.
+            let class = infer(iter, env, g);
+            bind_pattern(binds, class, env);
+            walk_block_env(body, env, g, cb);
+            env.pop();
+        }
+        Expr::While {
+            cond, binds, body, ..
+        } => {
+            walk_expr_env(cond, env, g, cb);
+            env.push();
+            if !binds.is_empty() {
+                let class = infer(cond, env, g);
+                bind_pattern(binds, class, env);
+            }
+            walk_block_env(body, env, g, cb);
+            env.pop();
+        }
+        Expr::Loop { body, .. } => walk_block_env(body, env, g, cb),
+        Expr::Block { block, .. } => walk_block_env(block, env, g, cb),
+        Expr::Macro { args, .. } => {
+            for a in args {
+                walk_expr_env(a, env, g, cb);
+            }
+        }
+        Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+            for i in items {
+                walk_expr_env(i, env, g, cb);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for f in fields {
+                walk_expr_env(f, env, g, cb);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                walk_expr_env(e, env, g, cb);
+            }
+            if let Some(e) = hi {
+                walk_expr_env(e, env, g, cb);
+            }
+        }
+        Expr::Return { expr: Some(e), .. } => walk_expr_env(e, env, g, cb),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::{tokenize, TokKind};
+
+    fn parse_src(src: &str) -> SourceFile {
+        let code: Vec<_> = tokenize(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        parse(&code)
+    }
+
+    #[test]
+    fn literal_classes_and_values() {
+        assert_eq!(num_literal_class("0.5f64"), Class::Float);
+        assert_eq!(num_literal_class("2.5e-3"), Class::Float);
+        assert_eq!(
+            num_literal_class("1_000u32"),
+            Class::Int {
+                bits: 32,
+                signed: false
+            }
+        );
+        assert_eq!(num_literal_value("1_000"), Some(1000));
+        assert_eq!(num_literal_value("0xFFu32"), Some(255));
+        assert_eq!(num_literal_value("0.5"), None);
+        assert!(literal_fits(255, 8, false));
+        assert!(!literal_fits(256, 8, false));
+        assert!(!literal_fits(-1, 8, false));
+        assert!(literal_fits(-128, 8, true));
+        assert!(!literal_fits(128, 8, true));
+    }
+
+    #[test]
+    fn transparent_containers_classify_as_payload() {
+        let file = parse_src("fn f(xs: &[f64], m: HashMap<u64, u32>, o: Option<f64>) {}");
+        let crate::ast::Item::Fn(func) = &file.items[0] else {
+            panic!()
+        };
+        let env = fn_env(func);
+        assert_eq!(env.lookup("xs"), Some(&Class::Float));
+        assert_eq!(env.lookup("m"), Some(&Class::Hash));
+        assert_eq!(env.lookup("o"), Some(&Class::Float));
+    }
+
+    #[test]
+    fn globals_field_and_return_tables() {
+        let file = parse_src(
+            "struct Estimate { mean: f64, n: u64 }\n\
+             enum AggState { Count { weight_sum: f64 } }\n\
+             fn trials(rows: usize) -> u32 { 0 }",
+        );
+        let g = build_globals(&[&file]);
+        assert_eq!(g.fields.get("mean"), Some(&Class::Float));
+        assert_eq!(g.fields.get("weight_sum"), Some(&Class::Float));
+        assert_eq!(
+            g.fn_returns.get("trials"),
+            Some(&Class::Int {
+                bits: 32,
+                signed: false
+            })
+        );
+        assert!(g.float_bearing.contains("Estimate"));
+        assert!(g.float_bearing.contains("AggState"));
+    }
+
+    #[test]
+    fn float_bearing_is_transitive() {
+        let file = parse_src(
+            "struct Inner { x: f64 }\nstruct Outer { inner: Inner, n: u32 }\nstruct Clean { n: u32 }",
+        );
+        let g = build_globals(&[&file]);
+        assert!(g.float_bearing.contains("Inner"));
+        assert!(g.float_bearing.contains("Outer"));
+        assert!(!g.float_bearing.contains("Clean"));
+    }
+
+    #[test]
+    fn inference_tracks_bindings_and_methods() {
+        let file = parse_src(
+            "fn f(xs: &[f64], n: usize) {\n\
+                 let y = xs[0];\n\
+                 let z = y * 2.0;\n\
+                 let c = xs.len();\n\
+                 let s = xs.iter().sum::<f64>();\n\
+                 let k = n as u32;\n\
+             }",
+        );
+        let crate::ast::Item::Fn(func) = &file.items[0] else {
+            panic!()
+        };
+        let g = Globals::default();
+        let mut classes: Vec<(String, Class)> = Vec::new();
+        // Observe the env at the last statement by walking and recording
+        // lookups at every expression site.
+        walk_fn(func, &g, &mut |e, env| {
+            if let Expr::Cast { .. } = e {
+                for name in ["y", "z", "c", "s"] {
+                    if let Some(c) = env.lookup(name) {
+                        classes.push((name.to_string(), c.clone()));
+                    }
+                }
+            }
+        });
+        let get = |n: &str| {
+            classes
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, c)| c.clone())
+        };
+        assert_eq!(get("y"), Some(Class::Float));
+        assert_eq!(get("z"), Some(Class::Float));
+        assert_eq!(
+            get("c"),
+            Some(Class::Int {
+                bits: 64,
+                signed: false
+            })
+        );
+        assert_eq!(get("s"), Some(Class::Float));
+    }
+
+    #[test]
+    fn hash_taint_flows_through_views_and_adaptors() {
+        let file = parse_src(
+            "fn f(m: HashMap<u64, f64>) {\n\
+                 let ks = m.keys();\n\
+                 let it = m.iter().map(|kv| kv);\n\
+                 let sorted = m.sorted_entries();\n\
+             }",
+        );
+        let crate::ast::Item::Fn(func) = &file.items[0] else {
+            panic!()
+        };
+        let g = Globals::default();
+        let mut seen = Vec::new();
+        walk_fn(func, &g, &mut |e, env| {
+            if let Expr::MethodCall { method, .. } = e {
+                if method == "sorted_entries" {
+                    for n in ["ks", "it"] {
+                        seen.push(env.lookup(n).cloned());
+                    }
+                }
+            }
+        });
+        assert_eq!(seen, vec![Some(Class::Hash), Some(Class::Hash)]);
+    }
+}

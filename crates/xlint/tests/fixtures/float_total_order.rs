@@ -1,0 +1,85 @@
+//! `float-total-order` fixture. Linted by `tests/golden.rs` under
+//! `crates/expr/src/fixture.rs` and `crates/core/src/fixture.rs` (in
+//! scope), `crates/common/src/fsum.rs` (blessed — that module *implements*
+//! the total order, so raw IEEE comparison is its job), and
+//! `crates/cli/src/fixture.rs` (out of scope).
+
+use std::cmp::Ordering;
+
+/// PR 5's `eq_tri` bug class, reintroduced: the derived `PartialEq`
+/// compares the `f64` bounds with IEEE `==`, under which a NaN bound makes
+/// a range unequal to itself — so `eq_tri` disagrees with point evaluation
+/// exactly as it did before the vectorized-kernel fix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiniRange { //~ float-total-order
+    Num { lo: f64, hi: f64 },
+    Unknown,
+}
+
+impl MiniRange {
+    pub fn eq_tri(&self, other: &MiniRange) -> bool {
+        self == other
+    }
+}
+
+/// Float-bearing through a struct, with an ordering derive.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Estimate { //~ float-total-order
+    pub mean: f64,
+    pub rows: u64,
+}
+
+/// Negative: no float anywhere in the payload — derived equality is exact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RowId {
+    pub chunk: u32,
+    pub row: u32,
+}
+
+pub fn positive_raw_eq(x: f64, y: f64) -> bool {
+    x == y //~ float-total-order
+}
+
+pub fn positive_field_ne(e: &Estimate, y: f64) -> bool {
+    e.mean != y //~ float-total-order
+}
+
+/// Negative: comparison against a numeric literal is a sentinel guard, not
+/// an ordering; NaN falling into the "not the sentinel" branch is sound.
+pub fn negative_literal_guard(x: f64) -> bool {
+    x == 0.0 || x != -1.0
+}
+
+pub fn positive_partial_cmp(x: f64, y: f64) -> Ordering {
+    x.partial_cmp(&y).unwrap_or(Ordering::Equal) //~ float-total-order
+}
+
+/// Negative: `total_cmp` is the sanctioned comparator.
+pub fn negative_total_cmp(x: f64, y: f64) -> Ordering {
+    x.total_cmp(&y)
+}
+
+pub fn positive_sort(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); //~ float-total-order
+}
+
+/// Negative: sorting through `total_cmp` is exactly the fix.
+pub fn negative_sort_total(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn positive_min_by(xs: &[f64]) -> Option<&f64> {
+    xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)) //~ float-total-order
+}
+
+/// Negative: ordering integers by a derived key never involves IEEE.
+pub fn negative_int_sort(ids: &mut Vec<u64>) {
+    ids.sort_unstable_by(|a, b| b.cmp(a));
+}
+
+/// Allowed: a reasoned allow still suppresses.
+pub fn allowed_raw_eq(x: f64, y: f64) -> bool {
+    // golint: allow(float-total-order) -- fixture: inputs are bitwise
+    // canonicalized upstream, so IEEE `==` equals bitwise equality here
+    x == y
+}

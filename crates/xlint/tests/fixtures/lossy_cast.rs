@@ -1,0 +1,64 @@
+//! `lossy-cast-audit` fixture. Linted by `tests/golden.rs` under
+//! `crates/storage/src/fixture.rs` and `crates/xlint/src/fixture.rs` (in
+//! scope — the linter audits itself), and `crates/cli/src/fixture.rs`
+//! (out of scope).
+
+/// The chunk-framing bug class this rule exists for: a row count silently
+/// truncated to the `u32` offset width.
+pub fn positive_chunk_offset(rows: usize) -> u32 {
+    rows as u32 //~ lossy-cast-audit
+}
+
+/// Signed → unsigned wraps every negative value to a huge positive one.
+pub fn positive_signed_to_unsigned(delta: i64) -> u64 {
+    delta as u64 //~ lossy-cast-audit
+}
+
+pub fn positive_narrowing(code: u64) -> u16 {
+    code as u16 //~ lossy-cast-audit
+}
+
+/// A literal that does not fit the target is a truncation spelled as
+/// construction.
+pub fn positive_literal_overflow() -> u8 {
+    300 as u8 //~ lossy-cast-audit
+}
+
+/// Negative: a literal that fits is just construction.
+pub fn negative_literal_fits() -> u8 {
+    255 as u8
+}
+
+/// Negative: widening preserves every value.
+pub fn negative_widening(n: u32) -> u64 {
+    n as u64
+}
+
+/// Negative: unsigned → wider signed is exact.
+pub fn negative_u32_to_i64(n: u32) -> i64 {
+    n as i64
+}
+
+/// Negative: `u32 → usize` widens under the linter's 64-bit-pointer
+/// policy.
+pub fn negative_to_usize(n: u32) -> usize {
+    n as usize
+}
+
+/// Negative: pointer casts reinterpret addresses, not values.
+pub fn negative_pointer(buf: &mut [u8]) -> *const u8 {
+    buf.as_mut_ptr() as *const u8
+}
+
+/// Negative: float → int is rounding policy, not integer truncation —
+/// outside this rule's jurisdiction.
+pub fn negative_float_source(x: f64) -> i64 {
+    x as i64
+}
+
+/// Allowed: a reasoned allow still suppresses.
+pub fn allowed_hash_fold(h: u64) -> u32 {
+    // golint: allow(lossy-cast-audit) -- fixture: folding a hash to its
+    // low 32 bits is the intended mixing step, not an accident
+    h as u32
+}

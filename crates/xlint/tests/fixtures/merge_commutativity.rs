@@ -1,0 +1,59 @@
+//! `merge-commutativity` fixture. Linted by `tests/golden.rs` under
+//! `crates/agg/src/fixture.rs` (in scope), `crates/common/src/value.rs`
+//! (blessed — the exact-accumulator surface may do raw float arithmetic),
+//! and `crates/storage/src/fixture.rs` (out of scope: storage has no
+//! shard-merge paths).
+//!
+//! The rule fires only inside functions whose name marks a merge path,
+//! on arithmetic whose operands it cannot prove exact (integer/bool).
+
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// An opaque partial: the linter cannot prove its arithmetic exact.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial(pub f64);
+
+impl ShardState {
+    /// Positive: raw float accumulation in a merge path makes the result
+    /// depend on shard arrival order (the bit-identity contract breaker).
+    pub fn merge(&mut self, other: &ShardState) {
+        self.sum += other.sum; //~ merge-commutativity
+        self.count += other.count;
+    }
+
+    /// Positive: plain binary float arithmetic in a merge path.
+    pub fn merge_total(&self, other: &ShardState) -> f64 {
+        self.sum + other.sum //~ merge-commutativity
+    }
+
+    /// Negative: identical arithmetic outside a merge path is the
+    /// `float-fold-ordering` rule's jurisdiction, not this one's.
+    pub fn absorb(&mut self, other: &ShardState) {
+        self.sum += other.sum;
+    }
+
+    /// Allowed: the `state.rs` pattern — a reasoned allow for arithmetic
+    /// that is exact despite its float spelling.
+    pub fn merge_weight(&mut self, w: f64) {
+        // golint: allow(merge-commutativity) -- fixture: weights are small
+        // exact integers carried in f64; addition below 2^53 is exact
+        self.sum += w;
+    }
+}
+
+/// Positive: an operand class the linter cannot prove exact still fires —
+/// a merge path must demonstrate exactness, not assume it.
+pub fn merge_partials(a: &Partial, b: &Partial) -> f64 {
+    a.0 + b.0 //~ merge-commutativity
+}
+
+/// Negative: integer-only merge arithmetic is exact in any order.
+pub fn merge_counts(counts: &mut [u64], other: &[u64]) {
+    for i in 0..counts.len() {
+        counts[i] += other[i];
+    }
+}

@@ -15,6 +15,9 @@ const UNSAFE: &str = include_str!("fixtures/unsafe_audit.rs");
 const FLOAT_FOLD: &str = include_str!("fixtures/float_fold.rs");
 const PANIC: &str = include_str!("fixtures/panic_surface.rs");
 const ALLOW_SYNTAX: &str = include_str!("fixtures/allow_syntax.rs");
+const FLOAT_TOTAL: &str = include_str!("fixtures/float_total_order.rs");
+const LOSSY_CAST: &str = include_str!("fixtures/lossy_cast.rs");
+const MERGE_COMM: &str = include_str!("fixtures/merge_commutativity.rs");
 
 /// Parse the fixture's `//~ rule` markers into the expected (line, rule)
 /// multiset.
@@ -147,6 +150,62 @@ fn panic_surface_golden() {
     // Hot-path discipline does not extend to cold crates or tests.
     check_silent("panic_surface.rs", "crates/storage/src/fixture.rs", PANIC);
     check_silent("panic_surface.rs", "tests/fixture.rs", PANIC);
+}
+
+#[test]
+fn float_total_order_golden() {
+    check_in_scope(
+        "float_total_order.rs",
+        "crates/expr/src/fixture.rs",
+        FLOAT_TOTAL,
+    );
+    check_in_scope(
+        "float_total_order.rs",
+        "crates/core/src/fixture.rs",
+        FLOAT_TOTAL,
+    );
+    // The module that implements the total order is blessed: raw IEEE
+    // comparison is its job.
+    check_silent(
+        "float_total_order.rs",
+        "crates/common/src/fsum.rs",
+        FLOAT_TOTAL,
+    );
+    check_silent(
+        "float_total_order.rs",
+        "crates/cli/src/fixture.rs",
+        FLOAT_TOTAL,
+    );
+}
+
+#[test]
+fn lossy_cast_golden() {
+    check_in_scope("lossy_cast.rs", "crates/storage/src/fixture.rs", LOSSY_CAST);
+    // Self-hosting: the linter's own crate is in scope for this rule.
+    check_in_scope("lossy_cast.rs", "crates/xlint/src/fixture.rs", LOSSY_CAST);
+    check_silent("lossy_cast.rs", "crates/cli/src/fixture.rs", LOSSY_CAST);
+}
+
+#[test]
+fn merge_commutativity_golden() {
+    check_in_scope(
+        "merge_commutativity.rs",
+        "crates/agg/src/fixture.rs",
+        MERGE_COMM,
+    );
+    // The exact-accumulator surface is blessed: ExactSum/Value implement
+    // the arithmetic the rule exists to route everyone else through.
+    check_silent(
+        "merge_commutativity.rs",
+        "crates/common/src/value.rs",
+        MERGE_COMM,
+    );
+    // Out of scope: storage has no shard-merge paths.
+    check_silent(
+        "merge_commutativity.rs",
+        "crates/storage/src/fixture.rs",
+        MERGE_COMM,
+    );
 }
 
 #[test]

@@ -55,10 +55,103 @@ else
     echo "==> cargo clippy not installed — skipping"
 fi
 
-# Determinism & concurrency audit (crates/xlint). Deny-by-default: any
-# unannotated hash-order / wall-clock / unsafe / float-fold / panic finding
-# fails the gate. See README.md for the allow-comment convention.
+# Determinism & soundness audit (crates/xlint). Deny-by-default: any
+# unannotated finding from the eight rules (hash-order, wall-clock, unsafe,
+# float-fold, panic, float-total-order, lossy-cast, merge-commutativity)
+# fails the gate, and the audit is self-hosting — crates/xlint is itself in
+# the panic/lossy-cast scopes. See README.md for the allow-comment
+# convention.
 step cargo run --release -q -p xlint --bin golint -- --root .
+
+# Contract checks on the machine-readable report: the --json document must
+# validate against scripts/golint_schema.json (schema_version 2, count
+# consistent with the diagnostics array), and the full AST pass over the
+# workspace must finish inside a 10-second wall budget (the lint runs on
+# every gate; a quadratic parser blowup should fail loudly, not be endured).
+golint_contract() {
+    local out t0 t1
+    out="$(mktemp)" || return 1
+    t0="$(date +%s%N)"
+    cargo run --release -q -p xlint --bin golint -- \
+        --json --unsafe-inventory --root . >"$out" || {
+        cat "$out" >&2
+        rm -f "$out"
+        return 1
+    }
+    t1="$(date +%s%N)"
+    python3 - "$out" scripts/golint_schema.json "$t0" "$t1" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+schema = json.load(open(sys.argv[2]))
+elapsed = (int(sys.argv[4]) - int(sys.argv[3])) / 1e9
+failed = False
+
+
+def err(msg):
+    global failed
+    print(f"    golint --json: {msg}", file=sys.stderr)
+    failed = True
+
+
+try:
+    import jsonschema
+except ImportError:
+    jsonschema = None
+
+if jsonschema is not None:
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as e:
+        err(f"schema violation: {e.message}")
+else:
+    # Structural fallback mirroring scripts/golint_schema.json, so the
+    # gate holds even without the jsonschema package.
+    props = schema["properties"]
+    if set(doc) - set(props):
+        err(f"unknown top-level keys {sorted(set(doc) - set(props))}")
+    for key in schema["required"]:
+        if key not in doc:
+            err(f"missing required key `{key}`")
+    if doc.get("schema_version") != props["schema_version"]["const"]:
+        err(f"schema_version is {doc.get('schema_version')!r}, want "
+            f"{props['schema_version']['const']}")
+    rules = set(props["diagnostics"]["items"]["properties"]["rule"]["enum"])
+    for d in doc.get("diagnostics", []):
+        if set(d) != {"file", "line", "rule", "message"}:
+            err(f"diagnostic keys {sorted(d)} do not match the schema")
+        elif not (isinstance(d["line"], int) and d["line"] >= 1
+                  and d["rule"] in rules and d["file"] and d["message"]):
+            err(f"malformed diagnostic {d}")
+    kinds = set(
+        props["unsafe_inventory"]["items"]["properties"]["kind"]["enum"])
+    for s in doc.get("unsafe_inventory", []):
+        if set(s) != {"file", "line", "kind", "has_safety_comment"}:
+            err(f"unsafe site keys {sorted(s)} do not match the schema")
+        elif not (isinstance(s["line"], int) and s["line"] >= 1
+                  and s["kind"] in kinds
+                  and isinstance(s["has_safety_comment"], bool)):
+            err(f"malformed unsafe site {s}")
+
+if doc.get("count") != len(doc.get("diagnostics", [])):
+    err(f"count={doc.get('count')} but {len(doc.get('diagnostics', []))} "
+        "diagnostics listed")
+if "unsafe_inventory" not in doc:
+    err("--unsafe-inventory run is missing the unsafe_inventory array")
+
+budget = 10.0
+verdict = "ok" if elapsed <= budget else "OVER BUDGET"
+print(f"    golint AST pass: {elapsed:.2f}s (budget {budget:.0f}s) {verdict}")
+if elapsed > budget:
+    failed = True
+sys.exit(1 if failed else 0)
+PY
+    local rc=$?
+    rm -f "$out"
+    return $rc
+}
+step golint_contract
 
 if [ "$soak" -eq 1 ]; then
     step cargo run --release -q -p gola-conformance --bin gola-soak
