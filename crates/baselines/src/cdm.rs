@@ -475,6 +475,7 @@ impl CdmExecutor {
             batch_time: Duration::ZERO,
             cumulative_time: Duration::ZERO,
             timing: Default::default(),
+            contract: None,
         })
     }
 }

@@ -113,7 +113,8 @@ fn cdm_and_gola_agree_every_batch() {
         config.clone(),
     )
     .unwrap();
-    let mut gola = OnlineExecutor::new(&cat, prepared.meta.clone(), partitioner, config).unwrap();
+    let uniform = Arc::new(gola_storage::Partitioner::Uniform((*partitioner).clone()));
+    let mut gola = OnlineExecutor::new(&cat, prepared.meta.clone(), uniform, config).unwrap();
     for _ in 0..6 {
         let a = cdm.step().unwrap();
         let b = gola.step().unwrap();

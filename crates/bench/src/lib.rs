@@ -106,8 +106,10 @@ pub fn gola_executor(
     partitioner: Arc<MiniBatchPartitioner>,
     config: &OnlineConfig,
 ) -> OnlineExecutor {
-    OnlineExecutor::new(catalog, prepared.meta.clone(), partitioner, config.clone())
-        .expect("executor")
+    // Same (table, k, seed) ⇒ the clone produces bit-identical batches, so
+    // baselines sharing `partitioner` still see the exact same schedule.
+    let uniform = Arc::new(gola_storage::Partitioner::Uniform((*partitioner).clone()));
+    OnlineExecutor::new(catalog, prepared.meta.clone(), uniform, config.clone()).expect("executor")
 }
 
 /// Time the exact batch engine on a query.

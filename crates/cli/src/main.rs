@@ -15,12 +15,18 @@
 //! Flags: `--threads N`, `--demo`, `--progress` (live single-line batch
 //! status), `--metrics-out <path>` (enable the observability registry and
 //! write a JSON snapshot plus `<path>.prom` Prometheus text after each
-//! query), `--timings` (include wall-clock values in those exports).
+//! query), `--timings` (include wall-clock values in those exports),
+//! `--error P [--confidence C]` (session-default `ERROR P% CONFIDENCE C%`
+//! contract), `--deadline SECS` (session-default `WITHIN SECS SECONDS`
+//! contract), `--stratify COLUMN` (stratified mini-batch partitioning).
+//! A contract clause written in the SQL statement overrides the
+//! session-level flag for that query.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use gola_core::{OnlineConfig, OnlineSession};
+use gola_plan::QueryContract;
 use gola_storage::Catalog;
 use gola_workloads::{ConvivaGenerator, MyTubeGenerator, TpchGenerator};
 
@@ -49,6 +55,36 @@ fn main() {
     };
     if let Some(threads) = flag_value(&args, "--threads") {
         console.config = console.config.clone().with_threads(threads);
+    }
+    let error_pct = flag_float(&args, "--error");
+    let deadline = flag_float(&args, "--deadline");
+    if error_pct.is_some() && deadline.is_some() {
+        eprintln!("gola: --error and --deadline are mutually exclusive");
+        std::process::exit(2);
+    }
+    if let Some(p) = error_pct {
+        let c = flag_float(&args, "--confidence").unwrap_or(95.0);
+        if !p.is_finite() || p <= 0.0 || p >= 100.0 || !c.is_finite() || c <= 0.0 || c >= 100.0 {
+            eprintln!("gola: --error/--confidence expect percentages in (0, 100)");
+            std::process::exit(2);
+        }
+        console.config = console.config.clone().with_contract(QueryContract::Error {
+            target: p / 100.0,
+            confidence: c / 100.0,
+        });
+    }
+    if let Some(seconds) = deadline {
+        if !seconds.is_finite() || seconds <= 0.0 {
+            eprintln!("gola: --deadline expects a positive number of seconds");
+            std::process::exit(2);
+        }
+        console.config = console
+            .config
+            .clone()
+            .with_contract(QueryContract::Within { seconds });
+    }
+    if let Some(column) = flag_str(&args, "--stratify") {
+        console.config = console.config.clone().with_stratify_column(column);
     }
     if console.metrics_out.is_some() {
         gola_obs::set_enabled(true);
@@ -103,6 +139,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     flag_str(args, flag).and_then(|v| v.parse().ok())
 }
 
+/// Parse `--flag X.Y` or `--flag=X.Y` from the argument list.
+fn flag_float(args: &[String], flag: &str) -> Option<f64> {
+    flag_str(args, flag).and_then(|v| v.parse().ok())
+}
+
 /// Parse `--flag VALUE` or `--flag=VALUE` from the argument list.
 fn flag_str(args: &[String], flag: &str) -> Option<String> {
     for (i, a) in args.iter().enumerate() {
@@ -133,6 +174,10 @@ impl Console {
                 println!("  \\demo                                scripted dashboard demo");
                 println!("  \\q                                   quit");
                 println!("  <sql>;                               run online (finish with ;)");
+                println!();
+                println!("  SQL contracts: append ERROR p% [CONFIDENCE c%] or WITHIN n SECONDS");
+                println!("  to an aggregate query; flags --error/--confidence/--deadline set a");
+                println!("  session default and --stratify <col> stratifies the mini-batches.");
             }
             "\\tables" => {
                 for name in self.catalog.names() {

@@ -1,0 +1,262 @@
+//! `gola-contracts` — the release-mode contract-conformance runner
+//! (`scripts/check.sh --contracts`).
+//!
+//! Four legs, exit status non-zero iff any fails:
+//!
+//! 1. **Contract oracle, clean** — every default `ERROR p% CONFIDENCE c%`
+//!    class over ≥ 200 seeded datasets: zero promise violations, coverage
+//!    inside the exact binomial band. Failures shrink to a replayable
+//!    artifact.
+//! 2. **Planted bug** — the absolute-instead-of-relative stopping rule
+//!    ([`Fault::AbsoluteStop`]) must be *caught* on the small-magnitude
+//!    `rate` class and shrunk; a green run here would mean the oracle lost
+//!    its teeth.
+//! 3. **Generated contract queries** — the conformance generator's
+//!    `ERROR`/`WITHIN` emissions compile, run online, and annotate every
+//!    report with contract progress and a final stop reason; `WITHIN` runs
+//!    respect their deadline (with scheduling slack).
+//! 4. **Stratified rare-group convergence** — on a geo-skewed dataset, the
+//!    stratified partitioner must reach a grouped error target in fewer
+//!    batches than the uniform partitioner (EXPERIMENTS.md table; `csv,`
+//!    lines for scraping).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gola_conformance::{
+    check_contract, default_contract_classes, shrink_contract, ContractConfig, Fault, QueryGen,
+    SchemaClass,
+};
+use gola_core::{ContractStop, OnlineConfig, OnlineSession};
+use gola_plan::QueryContract;
+use gola_storage::Catalog;
+use gola_workloads::ConvivaGenerator;
+
+struct Args {
+    seeds: usize,
+    gen_cases: usize,
+    convergence_seeds: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 200,
+        gen_cases: 40,
+        convergence_seeds: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| it.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = grab("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--gen-cases" => {
+                args.gen_cases = grab("--gen-cases")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--quick" => {
+                args.seeds = 60;
+                args.gen_cases = 15;
+                args.convergence_seeds = 3;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Leg 3: generated contract queries run end-to-end with progress attached.
+fn generated_contracts_leg(cases: usize) -> usize {
+    let mut failures = 0;
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        let data = Arc::new(class.generate(600, 0xC0_47AC7));
+        let mut catalog = Catalog::new();
+        catalog
+            .register(class.table_name(), Arc::clone(&data))
+            .unwrap();
+        let mut gen = QueryGen::new(class, &data, 0x9E_27AC);
+        let mut seen = std::collections::BTreeSet::new();
+        let (mut errors, mut withins) = (0usize, 0usize);
+        while seen.len() < cases {
+            let q = gen.next_contract_query();
+            let sql = q.sql(class.table_name());
+            if !seen.insert(sql.clone()) {
+                continue;
+            }
+            let config = OnlineConfig::for_tests(6).with_trials(24);
+            let session = OnlineSession::new(catalog.clone(), config);
+            let started = gola_common::timing::Stopwatch::start();
+            let run: Result<Vec<_>, _> = match session.execute_online(&sql) {
+                Ok(exec) => exec.collect(),
+                Err(e) => {
+                    eprintln!("FAIL [{class}] contract query rejected: {e}\n  sql: {sql}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let reports = match run {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("FAIL [{class}] contract run errored: {e}\n  sql: {sql}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let elapsed = started.elapsed().as_secs_f64();
+            if reports.iter().any(|r| r.contract.is_none()) {
+                eprintln!("FAIL [{class}] report without contract progress\n  sql: {sql}");
+                failures += 1;
+                continue;
+            }
+            let stop = reports.last().and_then(|r| r.contract.as_ref()?.stop);
+            match q.contract.expect("contracted query") {
+                QueryContract::Error { .. } => {
+                    errors += 1;
+                    if !matches!(
+                        stop,
+                        Some(ContractStop::ErrorTargetMet | ContractStop::Exhausted)
+                    ) {
+                        eprintln!("FAIL [{class}] ERROR run stopped with {stop:?}\n  sql: {sql}");
+                        failures += 1;
+                    }
+                }
+                QueryContract::Within { seconds } => {
+                    withins += 1;
+                    if !matches!(
+                        stop,
+                        Some(ContractStop::DeadlineReached | ContractStop::Exhausted)
+                    ) {
+                        eprintln!("FAIL [{class}] WITHIN run stopped with {stop:?}\n  sql: {sql}");
+                        failures += 1;
+                    }
+                    // Generous slack: the run may overshoot by one batch
+                    // (plus scheduling noise), never by the whole table.
+                    if elapsed > seconds * 4.0 + 1.0 {
+                        eprintln!(
+                            "FAIL [{class}] WITHIN {seconds}s ran {elapsed:.2}s\n  sql: {sql}"
+                        );
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "[generated] {class}: {} contract queries ok ({errors} ERROR, {withins} WITHIN)",
+            seen.len()
+        );
+    }
+    failures
+}
+
+/// Leg 4: batches-to-target for a rare group, uniform vs stratified.
+fn convergence_leg(seeds: u64) -> usize {
+    const SQL: &str =
+        "SELECT geo, AVG(play_time) FROM sessions GROUP BY geo ERROR 10% CONFIDENCE 95%";
+    const ROWS: usize = 4000;
+    const K: usize = 16;
+    let mut failures = 0;
+    let mut rows_out = Vec::new();
+    println!("[convergence] rare-group (~1%) batches-to-10%-error, k = {K}, n = {ROWS}:");
+    for seed in 0..seeds {
+        let table = Arc::new(
+            ConvivaGenerator {
+                seed: 0xF_EED5 + seed * 7919,
+                geo_skew: true,
+                ..Default::default()
+            }
+            .generate(ROWS),
+        );
+        let mut catalog = Catalog::new();
+        catalog.register("sessions", table).unwrap();
+        let stop_batch = |stratify: bool| -> usize {
+            let mut config = OnlineConfig::for_tests(K).with_trials(64);
+            config.partition_seed = 0x9A_27 ^ seed;
+            if stratify {
+                config = config.with_stratify_column("geo");
+            }
+            let session = OnlineSession::new(catalog.clone(), config);
+            let reports: Vec<_> = session
+                .execute_online(SQL)
+                .expect("query compiles")
+                .collect::<Result<Vec<_>, _>>()
+                .expect("batches succeed");
+            reports.last().expect("at least one report").batch_index + 1
+        };
+        let uniform = stop_batch(false);
+        let stratified = stop_batch(true);
+        println!("  seed {seed}: uniform {uniform:>2} batches, stratified {stratified:>2} batches");
+        println!("csv,convergence,{seed},{uniform},{stratified}");
+        rows_out.push((uniform, stratified));
+    }
+    let mean = |xs: &[usize]| xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+    let u: Vec<usize> = rows_out.iter().map(|r| r.0).collect();
+    let s: Vec<usize> = rows_out.iter().map(|r| r.1).collect();
+    println!(
+        "  mean: uniform {:.1}, stratified {:.1}",
+        mean(&u),
+        mean(&s)
+    );
+    if mean(&s) >= mean(&u) {
+        eprintln!("FAIL [convergence] stratified did not converge faster");
+        failures += 1;
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gola-contracts: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = ContractConfig {
+        seeds: args.seeds,
+        ..ContractConfig::default()
+    };
+    let mut failures = 0usize;
+
+    // Leg 1: clean oracle.
+    for class in default_contract_classes() {
+        let report = check_contract(&class, &cfg, Fault::None);
+        println!("[contract] {report}");
+        if !report.pass {
+            failures += 1;
+            if let Some(artifact) = shrink_contract(&class, &cfg, Fault::None) {
+                eprintln!("{artifact}");
+            }
+        }
+    }
+
+    // Leg 2: the planted absolute-stopping bug must be caught and shrunk.
+    let rate = default_contract_classes()
+        .into_iter()
+        .find(|c| c.kind == "rate")
+        .expect("rate class present");
+    match shrink_contract(&rate, &cfg, Fault::AbsoluteStop) {
+        Some(artifact) => {
+            println!(
+                "[planted] absolute stopping rule caught on '{}' ({} violations at seeds={} rows={})",
+                rate.kind, artifact.report.violations, artifact.cfg.seeds, artifact.cfg.rows
+            );
+            println!("{artifact}");
+        }
+        None => {
+            eprintln!("FAIL [planted] AbsoluteStop fault was NOT caught — oracle has no teeth");
+            failures += 1;
+        }
+    }
+
+    // Leg 3 + 4.
+    failures += generated_contracts_leg(args.gen_cases);
+    failures += convergence_leg(args.convergence_seeds);
+
+    println!(
+        "contracts: {} classes + planted bug + generated queries + convergence, {failures} failure(s)",
+        default_contract_classes().len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

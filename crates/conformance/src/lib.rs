@@ -21,11 +21,16 @@
 //! wired into `scripts/check.sh --soak`).
 
 pub mod calib;
+pub mod contract;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
 pub use calib::{binomial_band, calibrate, default_classes, CalibClass, CalibConfig, CalibReport};
+pub use contract::{
+    check_contract, default_contract_classes, shrink_contract, ContractArtifact, ContractClass,
+    ContractConfig, ContractReport,
+};
 pub use gen::{Query, QueryGen, SchemaClass};
 pub use oracle::{run_case, tables_bit_equal, CaseStats, Failure, Fault, OracleConfig};
 pub use shrink::{shrink, shrink_calibration, shrink_case, Artifact, CalibArtifact, ShrinkConfig};

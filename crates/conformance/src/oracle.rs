@@ -64,6 +64,13 @@ pub enum Fault {
     /// before the differential comparison — a stand-in for a wrong
     /// multiplicity/scale estimator bug.
     SkewOnline(f64),
+    /// Stop an `ERROR p%` contract when the *absolute* CI half-width drops
+    /// below `p` instead of the relative half-width — the classic
+    /// absolute-vs-relative stopping-rule bug. Invisible to the
+    /// differential oracle (only *when* we stop changes, not the answer);
+    /// the contract oracle's promise check ([`crate::contract`]) catches it
+    /// on any aggregate whose magnitude is far from 1.
+    AbsoluteStop,
 }
 
 /// Why a case failed. `kind` is the shrinker's discriminant: a reduction

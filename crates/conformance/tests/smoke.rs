@@ -19,7 +19,8 @@ use std::sync::Arc;
 
 use gola_conformance::gen::{Filter, GroupBy};
 use gola_conformance::{
-    calibrate, default_classes, run_case, shrink_calibration, shrink_case, CalibConfig, Fault,
+    calibrate, check_contract, default_classes, default_contract_classes, run_case,
+    shrink_calibration, shrink_case, shrink_contract, CalibConfig, ContractConfig, Fault,
     OracleConfig, QueryGen, SchemaClass,
 };
 use gola_storage::{ColumnChunk, Table};
@@ -95,6 +96,71 @@ fn calibration_coverage_within_binomial_band() {
         let report = calibrate(&class, &cfg, Fault::None);
         assert!(report.pass, "calibration failed clean: {report}");
     }
+}
+
+/// Contract oracle, clean: every default `ERROR p% CONFIDENCE c%` class
+/// over 200 seeded datasets keeps its promise (zero runs that claim the
+/// target was met while the achieved relative error exceeds it) and stays
+/// within-contract often enough (binomial band at the contract confidence;
+/// exhausted runs are exact and count as hits). The suite must actually
+/// stop early somewhere, or the oracle would be vacuous.
+#[test]
+fn contract_oracle_clean_within_band() {
+    let cfg = ContractConfig::default();
+    assert!(cfg.seeds >= 200, "ISSUE floor: ≥ 200 seeds per class");
+    let mut stopped_early = 0;
+    for class in default_contract_classes() {
+        let report = check_contract(&class, &cfg, Fault::None);
+        assert!(report.pass, "contract oracle failed clean: {report}");
+        assert_eq!(report.violations, 0, "{report}");
+        stopped_early += report.stopped_early;
+    }
+    assert!(
+        stopped_early > 100,
+        "suite never exercises early stopping ({stopped_early} early stops)"
+    );
+}
+
+/// Planted bug #3: the absolute-instead-of-relative stopping rule
+/// (`ERROR 5%` read as "half-width ≤ 0.05" instead of "≤ 5% of the
+/// value"). The differential oracle cannot see it — only *when* the run
+/// stops changes, not the answer — but on the `rate` class (a ≈0.04
+/// failure rate) an absolute 0.05 is satisfied almost immediately while
+/// the relative error is still ~10×, so the promise check trips
+/// deterministically. The failing experiment then shrinks to the cheapest
+/// replayable recipe, which must still fail on the same leg.
+#[test]
+fn injected_absolute_stopping_rule_is_caught_and_shrunk() {
+    let cfg = ContractConfig::default();
+    let rate = default_contract_classes()
+        .into_iter()
+        .find(|c| c.kind == "rate")
+        .expect("rate class present");
+
+    let report = check_contract(&rate, &cfg, Fault::AbsoluteStop);
+    assert!(!report.pass, "AbsoluteStop must be caught: {report}");
+    assert!(
+        report.violations > 0,
+        "the promise leg, not just coverage, must trip: {report}"
+    );
+
+    let artifact =
+        shrink_contract(&rate, &cfg, Fault::AbsoluteStop).expect("failing class must shrink");
+    assert!(
+        artifact.cfg.seeds < cfg.seeds && artifact.cfg.rows < cfg.rows,
+        "artifact not minimized: {artifact}"
+    );
+    let replay = artifact.replay();
+    assert!(!replay.pass, "artifact must replay the failure: {replay}");
+    assert!(
+        replay.violations > 0,
+        "replay lost the promise leg: {replay}"
+    );
+
+    // The honest rule on the same class is clean — the fault is the rule,
+    // not the class.
+    let clean = check_contract(&rate, &artifact.cfg, Fault::None);
+    assert_eq!(clean.violations, 0, "honest rule violated promise: {clean}");
 }
 
 /// Planted bug #1: the off-by-one bootstrap weight. Point estimates are

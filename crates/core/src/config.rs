@@ -2,6 +2,7 @@
 
 use gola_bootstrap::{BootstrapSpec, EpsilonPolicy};
 use gola_common::{Error, Result};
+use gola_plan::QueryContract;
 
 /// Tuning knobs of the online executor.
 #[derive(Debug, Clone)]
@@ -45,6 +46,17 @@ pub struct OnlineConfig {
     /// perturbation is a schedule-dependence bug. Test-only; leave `None`
     /// in production.
     pub schedule_perturbation: Option<u64>,
+    /// Accuracy/deadline contract applied when the query itself carries
+    /// none (a SQL-level `ERROR`/`WITHIN` clause wins over this).
+    pub contract: Option<QueryContract>,
+    /// Stratify mini-batches on this stream-table column instead of
+    /// sampling uniformly. Estimates use per-stratum multiplicities and
+    /// FPC when the query groups by this column (see DESIGN.md §3.10).
+    pub stratify_column: Option<String>,
+    /// Planted-bug knob for the contract-conformance oracle: check the
+    /// CI half-width against the target *absolutely* instead of relative
+    /// to the estimate. Deliberately wrong; the oracle must catch it.
+    pub stopping_rule_absolute: bool,
 }
 
 impl Default for OnlineConfig {
@@ -60,6 +72,9 @@ impl Default for OnlineConfig {
             min_group_obs: 5.0,
             envelope_inflation: 3.0,
             schedule_perturbation: None,
+            contract: None,
+            stratify_column: None,
+            stopping_rule_absolute: false,
         }
     }
 }
@@ -116,6 +131,16 @@ impl OnlineConfig {
 
     pub fn with_envelope_inflation(mut self, factor: f64) -> Self {
         self.envelope_inflation = factor;
+        self
+    }
+
+    pub fn with_contract(mut self, contract: QueryContract) -> Self {
+        self.contract = Some(contract);
+        self
+    }
+
+    pub fn with_stratify_column(mut self, column: impl Into<String>) -> Self {
+        self.stratify_column = Some(column.into());
         self
     }
 

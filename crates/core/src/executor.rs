@@ -30,7 +30,7 @@ use gola_expr::eval::{eval, eval_predicate, eval_tri, ExactContext};
 use gola_expr::vector::predicate_mask;
 use gola_expr::{Expr, RangeVal, Tri};
 use gola_plan::{BlockRole, MetaPlan};
-use gola_storage::{Catalog, ColumnChunk, MiniBatch, MiniBatchPartitioner};
+use gola_storage::{Catalog, ColumnChunk, MiniBatch, Partitioner};
 
 use crate::compiled::CompiledBlock;
 use crate::config::OnlineConfig;
@@ -249,7 +249,7 @@ pub struct OnlineExecutor {
     config: OnlineConfig,
     meta: MetaPlan,
     compiled: Vec<CompiledBlock>,
-    partitioner: Arc<MiniBatchPartitioner>,
+    partitioner: Arc<Partitioner>,
     /// Per block, per dimension join: key → dim rows.
     dims: Vec<Vec<FxHashMap<Vec<Value>, Vec<Row>>>>,
     runtimes: Vec<BlockRuntime>,
@@ -274,7 +274,7 @@ impl OnlineExecutor {
     pub fn new(
         catalog: &Catalog,
         meta: MetaPlan,
-        partitioner: Arc<MiniBatchPartitioner>,
+        partitioner: Arc<Partitioner>,
         config: OnlineConfig,
     ) -> Result<OnlineExecutor> {
         config.validate()?;
@@ -2122,6 +2122,18 @@ impl OnlineExecutor {
         let n_aggs = cb.agg_kinds.len();
         let eff = self.effective_states(cb, rt)?;
 
+        // Per-stratum estimation (DESIGN.md §3.10): when the stream is
+        // stratified on one of this block's group-key columns, each group
+        // is a without-replacement sample of *its own stratum*, so its
+        // multiplicity is `m_h = N_h / n_h` and its FPC is
+        // `sqrt(1 - n_h / N_h)` — an exhausted (rare, oversampled) stratum
+        // reaches m_h = 1, fpc_h = 0 and reports exactly, batches before
+        // the uniform design would get there.
+        let strat_key_idx: Option<usize> = self
+            .partitioner
+            .stratify_column()
+            .and_then(|col| (0..n_keys).find(|&i| cb.block.agg_row_schema.field(i).name == col));
+
         // Post-projection (identity when absent).
         let identity: Vec<Expr> = (0..cb.block.agg_row_schema.len()).map(Expr::col).collect();
         let post: &[Expr] = cb.block.post_project.as_deref().unwrap_or(&identity);
@@ -2137,11 +2149,29 @@ impl OnlineExecutor {
 
         let mut rows: Vec<Row> = Vec::new();
         let mut flags: Vec<bool> = Vec::new();
+        let mut row_fpc: Vec<f64> = Vec::new();
         let mut claims: Vec<(Vec<Value>, bool)> = Vec::new();
         let mut cell_replicas: Vec<Vec<Vec<f64>>> = Vec::new(); // per row, per col
 
         for (key, states, supported) in &eff {
             let key: &[Value] = key.as_ref();
+            // Group-level multiplicity and FPC: per-stratum when this
+            // group's key column is the stratification column, global
+            // otherwise (also the fallback for keys no stratum matches,
+            // e.g. groups keyed on a derived expression).
+            let (gm, gfpc) = strat_key_idx
+                .and_then(|ki| self.partitioner.stratum_rate(&key[ki], batch_index))
+                .filter(|&(n_h, _)| n_h > 0)
+                .map(|(n_h, cap_h)| {
+                    let m_h = cap_h as f64 / n_h as f64;
+                    let fpc_h = if last {
+                        0.0
+                    } else {
+                        (1.0 - n_h as f64 / cap_h as f64).max(0.0).sqrt()
+                    };
+                    (m_h, fpc_h)
+                })
+                .unwrap_or((m, fpc));
             // A group with no point support does not exist in the point
             // answer (its only would-be members are uncertain tuples that
             // all fail at point values) — the exact engine never creates
@@ -2151,7 +2181,7 @@ impl OnlineExecutor {
                 continue;
             }
             let states = states.get();
-            let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, m)).collect();
+            let point_aggs: Vec<Value> = (0..n_aggs).map(|j| states.value(j, gm)).collect();
             if !self.having_pass(cb, key, &point_aggs, CtxMode::Point)? {
                 claims.push((key.to_vec(), false));
                 continue;
@@ -2169,7 +2199,7 @@ impl OnlineExecutor {
                     true
                 } else {
                     let ranges: Vec<RangeVal> = (0..n_aggs)
-                        .map(|j| self.agg_range(states, j, m, !last))
+                        .map(|j| self.agg_range(states, j, gm, !last))
                         .collect();
                     self.having_tri(cb, key, &point_aggs, &ranges)? == Tri::True
                 };
@@ -2188,7 +2218,7 @@ impl OnlineExecutor {
             for t in 0..trials {
                 agg_buf.clear();
                 for j in 0..n_aggs {
-                    agg_buf.push(states.trial_value(j, t, m));
+                    agg_buf.push(states.trial_value(j, t, gm));
                 }
                 let ctx = GroupCtx {
                     keys: key,
@@ -2208,6 +2238,7 @@ impl OnlineExecutor {
             }
             rows.push(Row::new(out_vals?));
             flags.push(certain);
+            row_fpc.push(gfpc);
             cell_replicas.push(col_reps);
         }
 
@@ -2255,7 +2286,7 @@ impl OnlineExecutor {
                     estimates.push(CellEstimate {
                         row: out_idx,
                         col: c,
-                        estimate: Estimate::new(v, reps.clone()).with_fpc(fpc),
+                        estimate: Estimate::new(v, reps.clone()).with_fpc(row_fpc[src]),
                     });
                 }
             }
@@ -2277,6 +2308,7 @@ impl OnlineExecutor {
             batch_time: Duration::ZERO,
             cumulative_time: Duration::ZERO,
             timing: BatchTiming::default(),
+            contract: None,
         };
         Ok((report, claims))
     }

@@ -31,6 +31,7 @@
 
 pub mod compiled;
 pub mod config;
+pub(crate) mod contract;
 pub mod executor;
 pub(crate) mod metrics;
 pub mod pool;
@@ -41,5 +42,5 @@ pub mod session;
 pub use config::OnlineConfig;
 pub use executor::OnlineExecutor;
 pub use pool::WorkerPool;
-pub use report::{BatchReport, BatchTiming, CellEstimate};
+pub use report::{BatchReport, BatchTiming, CellEstimate, ContractProgress, ContractStop};
 pub use session::{OnlineExecution, OnlineSession, PreparedQuery};

@@ -16,6 +16,34 @@ pub struct CellEstimate {
     pub estimate: Estimate,
 }
 
+/// Why a contracted query stopped at this report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractStop {
+    /// Every estimated cell's CI half-width met the relative-error target.
+    ErrorTargetMet,
+    /// The wall-clock deadline would be crossed by another batch.
+    /// Nondeterministic by nature: the stopping batch index depends on
+    /// observed throughput.
+    DeadlineReached,
+    /// All mini-batches were processed; the answer is exact.
+    Exhausted,
+}
+
+/// Progress of an `ERROR`/`WITHIN` contract, attached to every report of a
+/// contracted run.
+#[derive(Debug, Clone)]
+pub struct ContractProgress {
+    /// The contract being honored.
+    pub contract: gola_plan::QueryContract,
+    /// Worst (largest) achieved relative CI half-width across the
+    /// estimated cells at this report, `half_width / |value|`. `None`
+    /// while no cell has a usable interval (or for pure deadline runs
+    /// before the first interval exists).
+    pub achieved_rel_error: Option<f64>,
+    /// Set on the report the run stops at; `None` while running.
+    pub stop: Option<ContractStop>,
+}
+
 /// Wall-clock breakdown of one mini-batch, by executor stage. Stages are
 /// summed across all lineage blocks of the batch; `recover` covers the full
 /// failure-triggered replay (whose internal join/classify/fold work is *not*
@@ -102,6 +130,8 @@ pub struct BatchReport {
     pub cumulative_time: Duration,
     /// Per-stage wall-clock breakdown of this batch.
     pub timing: BatchTiming,
+    /// Contract progress; `None` for uncontracted runs.
+    pub contract: Option<ContractProgress>,
 }
 
 impl BatchReport {
@@ -141,6 +171,28 @@ impl BatchReport {
     pub fn progress(&self) -> f64 {
         self.rows_seen as f64 / self.total_rows as f64
     }
+
+    /// Worst achieved relative CI half-width across all estimated cells at
+    /// `level`: `max_cells half_width / |value|`. `None` if no cell has a
+    /// percentile interval, or any estimated cell's value is (near) zero
+    /// while its interval is not degenerate (relative error undefined).
+    pub fn achieved_rel_error(&self, level: f64) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for cell in &self.estimates {
+            let ci = cell.estimate.ci_percentile(level)?;
+            let half = ci.half_width();
+            let scale = cell.estimate.value.abs();
+            let rel = if half == 0.0 {
+                0.0
+            } else if scale > 0.0 {
+                half / scale
+            } else {
+                return None;
+            };
+            worst = Some(worst.map_or(rel, |w: f64| w.max(rel)));
+        }
+        worst
+    }
 }
 
 impl fmt::Display for BatchReport {
@@ -167,6 +219,17 @@ impl fmt::Display for BatchReport {
         }
         if self.recomputations > 0 {
             write!(f, " recomputes={}", self.recomputations)?;
+        }
+        if let Some(c) = &self.contract {
+            if let Some(rel) = c.achieved_rel_error {
+                write!(f, " rel err {:.3}%", rel * 100.0)?;
+            }
+            match c.stop {
+                Some(ContractStop::ErrorTargetMet) => write!(f, " [error target met]")?,
+                Some(ContractStop::DeadlineReached) => write!(f, " [deadline reached]")?,
+                Some(ContractStop::Exhausted) => write!(f, " [exhausted: exact]")?,
+                None => {}
+            }
         }
         Ok(())
     }
@@ -200,6 +263,7 @@ mod tests {
             batch_time: Duration::from_millis(12),
             cumulative_time: Duration::from_millis(60),
             timing: BatchTiming::default(),
+            contract: None,
         }
     }
 
@@ -237,6 +301,43 @@ mod tests {
         let r = sample();
         assert_eq!(r.progress(), 0.5);
         assert!(!r.is_final());
+    }
+
+    #[test]
+    fn achieved_rel_error_is_worst_cell() {
+        let mut r = sample();
+        assert!(r.achieved_rel_error(0.95).unwrap() > 0.0);
+        // A second, much looser cell dominates.
+        r.estimates.push(CellEstimate {
+            row: 0,
+            col: 1,
+            estimate: Estimate::new(10.0, vec![1.0, 5.0, 10.0, 15.0, 19.0]),
+        });
+        let loose = r.achieved_rel_error(0.95).unwrap();
+        assert!(loose > 0.3, "{loose}");
+        // A zero-valued cell with spread makes relative error undefined.
+        r.estimates.push(CellEstimate {
+            row: 0,
+            col: 2,
+            estimate: Estimate::new(0.0, vec![-1.0, 0.0, 1.0]),
+        });
+        assert!(r.achieved_rel_error(0.95).is_none());
+    }
+
+    #[test]
+    fn display_mentions_contract_stop() {
+        let mut r = sample();
+        r.contract = Some(ContractProgress {
+            contract: gola_plan::QueryContract::Error {
+                target: 0.05,
+                confidence: 0.95,
+            },
+            achieved_rel_error: Some(0.012),
+            stop: Some(ContractStop::ErrorTargetMet),
+        });
+        let s = r.to_string();
+        assert!(s.contains("rel err 1.200%"), "{s}");
+        assert!(s.contains("[error target met]"), "{s}");
     }
 
     #[test]

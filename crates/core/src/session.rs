@@ -3,10 +3,11 @@
 use std::sync::Arc;
 
 use gola_common::{Error, Result};
-use gola_plan::{MetaPlan, QueryGraph};
-use gola_storage::{Catalog, MiniBatchPartitioner, Table};
+use gola_plan::{MetaPlan, QueryContract, QueryGraph};
+use gola_storage::{Catalog, MiniBatchPartitioner, Partitioner, StratifiedPartitioner, Table};
 
 use crate::config::OnlineConfig;
+use crate::contract::ContractDriver;
 use crate::executor::OnlineExecutor;
 use crate::report::BatchReport;
 
@@ -89,18 +90,31 @@ impl OnlineSession {
         let table = self.catalog.get(&prepared.stream_table)?;
         // Never ask for more batches than rows.
         let k = self.config.num_batches.min(table.num_rows()).max(1);
-        let partitioner = Arc::new(MiniBatchPartitioner::new(
-            table,
-            k,
-            self.config.partition_seed,
-        )?);
+        let partitioner = Arc::new(match &self.config.stratify_column {
+            Some(col) => Partitioner::Stratified(StratifiedPartitioner::new(
+                table,
+                col,
+                k,
+                self.config.partition_seed,
+            )?),
+            None => Partitioner::Uniform(MiniBatchPartitioner::new(
+                table,
+                k,
+                self.config.partition_seed,
+            )?),
+        });
         let executor = OnlineExecutor::new(
             &self.catalog,
             prepared.meta.clone(),
             partitioner,
             self.config.clone(),
         )?;
-        Ok(OnlineExecution { executor })
+        // A SQL-level contract wins over the config-level default.
+        let contract = prepared.meta.contract.or(self.config.contract);
+        Ok(OnlineExecution {
+            executor,
+            driver: contract.map(|c| ContractDriver::new(c, self.config.stopping_rule_absolute)),
+        })
     }
 
     /// Execute `sql` exactly with the batch engine (the baseline / ground
@@ -111,11 +125,15 @@ impl OnlineSession {
     }
 }
 
-/// A running online query. Each `next()` processes one mini-batch and
-/// yields the refined answer; drop it at any time to stop the query (the
-/// OLA accuracy/time contract).
+/// A running online query. Each `next()` processes one mini-batch (or, for
+/// deadline-contracted runs, a coalesced round of them) and yields the
+/// refined answer; drop it at any time to stop the query. When the query
+/// carries an `ERROR`/`WITHIN` contract the iterator ends at the
+/// contract's stopping report (flagged in [`BatchReport::contract`])
+/// instead of running every batch.
 pub struct OnlineExecution {
     executor: OnlineExecutor,
+    driver: Option<ContractDriver>,
 }
 
 impl OnlineExecution {
@@ -125,11 +143,39 @@ impl OnlineExecution {
         &self.executor
     }
 
-    /// Run every remaining batch, returning the final (exact) report.
+    /// The contract this execution honors, if any.
+    pub fn contract(&self) -> Option<QueryContract> {
+        self.driver.as_ref().map(ContractDriver::contract)
+    }
+
+    /// One published report: a single executor step, or — under a deadline
+    /// contract — a coalesced round of steps sized to the remaining budget.
+    fn step_round(&mut self) -> Result<BatchReport> {
+        let Some(driver) = &mut self.driver else {
+            return self.executor.step();
+        };
+        driver.start_clock();
+        let remaining = self.executor.num_batches() - self.executor.batches_done();
+        let round = driver.batches_this_round(remaining);
+        let mut report = self.executor.step()?;
+        driver.note_batch(report.batch_time.as_secs_f64());
+        for _ in 1..round {
+            if self.executor.is_finished() {
+                break;
+            }
+            report = self.executor.step()?;
+            driver.note_batch(report.batch_time.as_secs_f64());
+        }
+        driver.observe(&mut report, self.executor.is_finished());
+        Ok(report)
+    }
+
+    /// Run until the iterator ends — the final (exact) batch, or the
+    /// contract's stopping report. Returns the last report.
     pub fn run_to_completion(mut self) -> Result<BatchReport> {
         let mut last = None;
-        while !self.executor.is_finished() {
-            last = Some(self.executor.step()?);
+        for report in &mut self {
+            last = Some(report?);
         }
         last.ok_or_else(|| Error::exec("query had no batches"))
     }
@@ -138,8 +184,8 @@ impl OnlineExecution {
     /// below `target` (or data runs out). Returns the stopping report.
     pub fn run_until_rel_stddev(mut self, target: f64) -> Result<BatchReport> {
         let mut last: Option<BatchReport> = None;
-        while !self.executor.is_finished() {
-            let report = self.executor.step()?;
+        for report in &mut self {
+            let report = report?;
             let done = report.primary_rel_stddev().is_some_and(|rsd| rsd <= target);
             last = Some(report);
             if done {
@@ -154,10 +200,11 @@ impl Iterator for OnlineExecution {
     type Item = Result<BatchReport>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.executor.is_finished() {
+        let stopped = self.driver.as_ref().is_some_and(ContractDriver::is_stopped);
+        if stopped || self.executor.is_finished() {
             None
         } else {
-            Some(self.executor.step())
+            Some(self.step_round())
         }
     }
 }

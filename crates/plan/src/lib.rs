@@ -15,5 +15,5 @@
 pub mod logical;
 pub mod meta;
 
-pub use logical::{AggCall, LogicalPlan, QueryGraph, SubqueryKind, SubqueryPlan};
+pub use logical::{AggCall, LogicalPlan, QueryContract, QueryGraph, SubqueryKind, SubqueryPlan};
 pub use meta::{Block, BlockRole, DimJoin, MetaPlan};

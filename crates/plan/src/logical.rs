@@ -244,12 +244,30 @@ pub struct SubqueryPlan {
     pub kind: SubqueryKind,
 }
 
+/// A precision or deadline contract attached to a query (BlinkDB-style).
+///
+/// `Error` stops at the first mini-batch where every selected aggregate's
+/// FPC-corrected confidence interval (at `confidence`) has a half-width of
+/// at most `target` times the estimate's magnitude. `Within` adapts the
+/// number of mini-batches folded per report so the query finishes before
+/// the wall-clock deadline; its stopping batch index is explicitly
+/// nondeterministic (everything else stays deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryContract {
+    /// `ERROR <p>% CONFIDENCE <c>%`: both stored as fractions in (0, 1).
+    Error { target: f64, confidence: f64 },
+    /// `WITHIN <n> SECONDS`: a positive wall-clock budget.
+    Within { seconds: f64 },
+}
+
 /// The root plan plus all aggregate subqueries it (transitively)
 /// references. `subqueries[i]` is referenced as `SubqueryId(i)`.
 #[derive(Debug, Clone)]
 pub struct QueryGraph {
     pub subqueries: Vec<SubqueryPlan>,
     pub root: LogicalPlan,
+    /// Precision/deadline contract on the root query, if any.
+    pub contract: Option<QueryContract>,
 }
 
 impl QueryGraph {
@@ -258,6 +276,7 @@ impl QueryGraph {
         QueryGraph {
             subqueries: Vec::new(),
             root,
+            contract: None,
         }
     }
 
@@ -329,6 +348,7 @@ mod tests {
                 kind: SubqueryKind::Scalar,
             }],
             root,
+            contract: None,
         }
     }
 

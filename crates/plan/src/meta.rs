@@ -15,7 +15,7 @@ use std::sync::Arc;
 use gola_common::{Error, Result, Schema};
 use gola_expr::{Expr, SubqueryId};
 
-use crate::logical::{AggCall, LogicalPlan, QueryGraph, SubqueryKind};
+use crate::logical::{AggCall, LogicalPlan, QueryContract, QueryGraph, SubqueryKind};
 
 /// A broadcast join against a small, fully-materialized dimension table.
 #[derive(Debug, Clone)]
@@ -101,6 +101,8 @@ pub struct MetaPlan {
     pub order: Vec<usize>,
     /// The streamed fact table.
     pub stream_table: String,
+    /// Precision/deadline contract carried down from the query graph.
+    pub contract: Option<QueryContract>,
 }
 
 impl MetaPlan {
@@ -144,6 +146,7 @@ impl MetaPlan {
             root: root_id,
             order,
             stream_table: stream_table.to_string(),
+            contract: graph.contract,
         })
     }
 
@@ -531,6 +534,7 @@ mod tests {
                 kind: SubqueryKind::Scalar,
             }],
             root: outer,
+            contract: None,
         }
     }
 
@@ -603,6 +607,7 @@ mod tests {
                 kind: SubqueryKind::Scalar,
             }],
             root: plan,
+            contract: None,
         };
         assert!(MetaPlan::compile(&g, "sessions").is_err());
     }
@@ -706,6 +711,7 @@ mod tests {
                 kind: SubqueryKind::Scalar,
             }],
             root: outer,
+            contract: None,
         };
         let err = MetaPlan::compile(&g, "sessions").unwrap_err();
         assert!(err.to_string().contains("static block"), "{err}");
@@ -732,6 +738,7 @@ mod tests {
                 kind: SubqueryKind::Membership,
             }],
             root: outer,
+            contract: None,
         };
         assert!(MetaPlan::compile(&g, "sessions").is_err());
     }

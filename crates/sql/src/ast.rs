@@ -114,6 +114,8 @@ pub struct SelectStmt {
     pub having: Option<AstExpr>,
     pub order_by: Vec<OrderKey>,
     pub limit: Option<usize>,
+    /// `ERROR p% CONFIDENCE c%` / `WITHIN n SECONDS`, if present.
+    pub contract: Option<gola_plan::QueryContract>,
 }
 
 impl AstExpr {

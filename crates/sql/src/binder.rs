@@ -56,12 +56,33 @@ impl<'a> Binder<'a> {
 
     /// Bind a parsed statement into a resolved query graph.
     pub fn bind(&self, stmt: &SelectStmt) -> Result<QueryGraph> {
+        if stmt.contract.is_some() && !self.is_aggregate_stmt(stmt) {
+            return Err(Error::bind(
+                "ERROR/WITHIN contracts require an aggregate query",
+            ));
+        }
         let mut ctx = BindCtx::default();
         let root = self.bind_select(stmt, None, &mut ctx, &[])?;
         Ok(QueryGraph {
             subqueries: ctx.subqueries,
             root,
+            contract: stmt.contract,
         })
+    }
+
+    /// `true` if the statement aggregates (any aggregate call in the select
+    /// list or HAVING, or a GROUP BY) — mirrors `bind_select`'s
+    /// classification, before binding.
+    fn is_aggregate_stmt(&self, stmt: &SelectStmt) -> bool {
+        !stmt.group_by.is_empty()
+            || stmt
+                .items
+                .iter()
+                .any(|i| contains_agg(&i.expr, &self.udafs))
+            || stmt
+                .having
+                .as_ref()
+                .is_some_and(|h| contains_agg(h, &self.udafs))
     }
 
     // -----------------------------------------------------------------
@@ -888,6 +909,11 @@ impl<'a> Binder<'a> {
         outer_scope: &Scope,
         ctx: &mut BindCtx,
     ) -> Result<Expr> {
+        if sub.contract.is_some() {
+            return Err(Error::bind(
+                "ERROR/WITHIN contracts are not allowed in subqueries",
+            ));
+        }
         if sub.items.len() != 1 {
             return Err(Error::bind(
                 "scalar subquery must select exactly one expression",
@@ -984,6 +1010,11 @@ impl<'a> Binder<'a> {
 
     /// Bind `expr IN (SELECT …)` as a membership subquery.
     fn bind_membership_subquery(&self, sub: &SelectStmt, ctx: &mut BindCtx) -> Result<SubqueryId> {
+        if sub.contract.is_some() {
+            return Err(Error::bind(
+                "ERROR/WITHIN contracts are not allowed in subqueries",
+            ));
+        }
         if sub.items.len() != 1 {
             return Err(Error::bind("IN subquery must select exactly one column"));
         }

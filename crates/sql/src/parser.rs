@@ -5,7 +5,8 @@
 //! ```text
 //! select   := SELECT item (, item)* FROM table_ref join* [WHERE expr]
 //!             [GROUP BY expr (, expr)*] [HAVING expr]
-//!             [ORDER BY key (, key)*] [LIMIT int]
+//!             [ORDER BY key (, key)*] [LIMIT int] [contract]
+//! contract := WITHIN num SECONDS | ERROR num % [CONFIDENCE num %]
 //! join     := [INNER] JOIN table_ref ON expr
 //! expr     := or_expr
 //! or_expr  := and_expr (OR and_expr)*
@@ -21,6 +22,7 @@
 //! ```
 
 use gola_common::{Error, Result};
+use gola_plan::QueryContract;
 
 use crate::ast::*;
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -183,6 +185,7 @@ impl Parser {
         } else {
             None
         };
+        let contract = self.parse_contract()?;
         Ok(SelectStmt {
             items,
             from,
@@ -192,7 +195,59 @@ impl Parser {
             having,
             order_by,
             limit,
+            contract,
         })
+    }
+
+    /// Parse an optional BlinkDB-style accuracy contract:
+    /// `WITHIN <n> SECONDS` or `ERROR <p>% [CONFIDENCE <c>%]`.
+    fn parse_contract(&mut self) -> Result<Option<QueryContract>> {
+        if self.eat_keyword("WITHIN") {
+            let seconds = self.parse_signed_number("WITHIN")?;
+            self.expect_keyword("SECONDS")?;
+            if seconds <= 0.0 {
+                return Err(self.error(format!(
+                    "WITHIN expects a positive number of seconds, got {seconds}"
+                )));
+            }
+            return Ok(Some(QueryContract::Within { seconds }));
+        }
+        if self.eat_keyword("ERROR") {
+            let target = self.parse_percentage("ERROR")?;
+            let confidence = if self.eat_keyword("CONFIDENCE") {
+                self.parse_percentage("CONFIDENCE")?
+            } else {
+                0.95
+            };
+            return Ok(Some(QueryContract::Error { target, confidence }));
+        }
+        Ok(None)
+    }
+
+    /// A (possibly negative) numeric literal, as a float.
+    fn parse_signed_number(&mut self, clause: &str) -> Result<f64> {
+        let neg = self.eat_token(TokenKind::Minus);
+        let v = match self.advance().map(|t| t.kind.clone()) {
+            Some(TokenKind::Int(n)) => n as f64,
+            Some(TokenKind::Float(f)) => f,
+            other => return Err(self.error(format!("{clause} expects a number, found {other:?}"))),
+        };
+        Ok(if neg { -v } else { v })
+    }
+
+    /// `<num> %` with the percentage required to lie strictly inside
+    /// (0, 100); returns the fraction (5% → 0.05).
+    fn parse_percentage(&mut self, clause: &str) -> Result<f64> {
+        let v = self.parse_signed_number(clause)?;
+        if !self.eat_token(TokenKind::Percent) {
+            return Err(self.error(format!("{clause} expects a percentage (e.g. 5%)")));
+        }
+        if !(v > 0.0 && v < 100.0) {
+            return Err(self.error(format!(
+                "{clause} expects a percentage in (0, 100), got {v}"
+            )));
+        }
+        Ok(v / 100.0)
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -204,7 +259,7 @@ impl Parser {
             match self.peek_keyword().as_deref() {
                 Some(
                     "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER"
-                    | "ON" | "AND" | "OR" | "ASC" | "DESC",
+                    | "ON" | "AND" | "OR" | "ASC" | "DESC" | "WITHIN" | "ERROR",
                 )
                 | None => None,
                 Some(_) => match self.peek_kind() {
@@ -225,7 +280,10 @@ impl Parser {
                 self.advance();
                 Some(self.parse_ident_string()?)
             }
-            Some("WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON")
+            Some(
+                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON"
+                | "WITHIN" | "ERROR",
+            )
             | None => None,
             Some(_) => match self.peek_kind() {
                 Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
@@ -715,5 +773,63 @@ mod tests {
             },
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_error_confidence_contract() {
+        let stmt = parse_select("SELECT AVG(x) FROM t ERROR 5% CONFIDENCE 99%").unwrap();
+        match stmt.contract {
+            Some(QueryContract::Error { target, confidence }) => {
+                assert!((target - 0.05).abs() < 1e-12);
+                assert!((confidence - 0.99).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_contract_confidence_defaults_to_95() {
+        let stmt = parse_select("SELECT AVG(x) FROM t GROUP BY k ERROR 2.5%").unwrap();
+        match stmt.contract {
+            Some(QueryContract::Error { target, confidence }) => {
+                assert!((target - 0.025).abs() < 1e-12);
+                assert!((confidence - 0.95).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_within_seconds_contract() {
+        let stmt = parse_select("SELECT SUM(x) FROM t WHERE x > 1 WITHIN 2.5 SECONDS").unwrap();
+        match stmt.contract {
+            Some(QueryContract::Within { seconds }) => assert!((seconds - 2.5).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_select("SELECT SUM(x) FROM t")
+            .unwrap()
+            .contract
+            .is_none());
+    }
+
+    #[test]
+    fn contract_composes_with_limit_and_order() {
+        let stmt = parse_select(
+            "SELECT k, AVG(x) FROM t GROUP BY k ORDER BY k LIMIT 3 ERROR 10% CONFIDENCE 90%",
+        )
+        .unwrap();
+        assert_eq!(stmt.limit, Some(3));
+        assert!(matches!(stmt.contract, Some(QueryContract::Error { .. })));
+    }
+
+    #[test]
+    fn contract_keywords_not_eaten_as_aliases() {
+        // WITHIN/ERROR start a contract clause, never a bare column or
+        // table alias.
+        let stmt = parse_select("SELECT AVG(x) FROM t WITHIN 1 SECONDS").unwrap();
+        assert_eq!(stmt.from.alias, None);
+        let stmt = parse_select("SELECT AVG(x) FROM t ERROR 5%").unwrap();
+        assert_eq!(stmt.from.alias, None);
+        assert!(matches!(stmt.contract, Some(QueryContract::Error { .. })));
     }
 }

@@ -139,6 +139,72 @@ fn parser_between_requires_and() {
     );
 }
 
+// ------------------------------------------------------------ contracts
+
+#[test]
+fn contract_negative_error_target() {
+    assert_diag(
+        "SELECT AVG(x) FROM t ERROR -5%",
+        "parse error",
+        "ERROR expects a percentage in (0, 100), got -5",
+    );
+}
+
+#[test]
+fn contract_confidence_over_100() {
+    assert_diag(
+        "SELECT AVG(x) FROM t ERROR 5% CONFIDENCE 120%",
+        "parse error",
+        "CONFIDENCE expects a percentage in (0, 100), got 120",
+    );
+}
+
+#[test]
+fn contract_zero_deadline() {
+    assert_diag(
+        "SELECT AVG(x) FROM t WITHIN 0 SECONDS",
+        "parse error",
+        "WITHIN expects a positive number of seconds",
+    );
+}
+
+#[test]
+fn contract_missing_percent_sign() {
+    assert_diag(
+        "SELECT AVG(x) FROM t ERROR 5",
+        "parse error",
+        "ERROR expects a percentage (e.g. 5%)",
+    );
+}
+
+#[test]
+fn contract_on_non_aggregate_query() {
+    assert_diag(
+        "SELECT x FROM t ERROR 5%",
+        "bind error",
+        "ERROR/WITHIN contracts require an aggregate query",
+    );
+    assert_diag(
+        "SELECT x FROM t WITHIN 1 SECONDS",
+        "bind error",
+        "ERROR/WITHIN contracts require an aggregate query",
+    );
+}
+
+#[test]
+fn contract_in_subquery_rejected() {
+    assert_diag(
+        "SELECT AVG(x) FROM t WHERE x > (SELECT AVG(x) FROM u ERROR 5%)",
+        "bind error",
+        "ERROR/WITHIN contracts are not allowed in subqueries",
+    );
+    assert_diag(
+        "SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM u GROUP BY k WITHIN 1 SECONDS)",
+        "bind error",
+        "ERROR/WITHIN contracts are not allowed in subqueries",
+    );
+}
+
 // --------------------------------------------------------------- binder
 
 #[test]

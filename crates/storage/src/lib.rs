@@ -8,9 +8,11 @@ pub mod chunk;
 pub mod csv;
 pub mod partition;
 pub mod shuffle;
+pub mod stratified;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use chunk::ColumnChunk;
 pub use partition::{MiniBatch, MiniBatchPartitioner};
+pub use stratified::{Partitioner, StratifiedPartitioner};
 pub use table::{Table, TableBuilder, TABLE_CHUNK_ROWS};

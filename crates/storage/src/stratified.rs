@@ -1,0 +1,464 @@
+//! Stratified mini-batch partitioning (BlinkDB-style, PAPERS.md §1203.5485).
+//!
+//! The uniform partitioner starves rare groups: a group holding 1% of a
+//! table contributes ~1% of every mini-batch, so its per-group sample — and
+//! its confidence interval — converges k× slower than the overall answer.
+//! The stratified partitioner fixes this by keying **strata** on a
+//! low-cardinality column and allocating every mini-batch
+//! *proportionally-with-a-floor*: each batch takes each stratum's
+//! proportional share, but never fewer than `floor` rows while the stratum
+//! has rows left. Rare strata are therefore **oversampled early** and
+//! exhaust after a few batches — at which point their per-stratum sampling
+//! fraction hits 1, their finite-population correction hits 0, and their
+//! group estimate is exact.
+//!
+//! Statistical honesty: an early stratified prefix is *not* a uniform
+//! sample of the table. Estimates stay calibrated only when the estimator
+//! weights each stratum by its own sampling rate — per-stratum
+//! multiplicity `m_h = N_h / n_h` and per-stratum FPC
+//! `sqrt(1 - n_h / N_h)` — which the executor applies when the query
+//! groups by the stratification column. The final batch always drains
+//! every stratum, so the finished answer is exact regardless.
+//!
+//! Determinism: construction is a pure function of
+//! `(table, column, k, seed, floor)`. Strata are ordered by
+//! [`Value::total_cmp`] on their key, each stratum's row order comes from
+//! one seeded [`SplitMix64`] stream consumed in that order, and the
+//! allocation below is integer arithmetic — so the batch schedule is
+//! bit-identical across runs and thread counts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gola_common::rng::SplitMix64;
+use gola_common::{Error, Result, Value};
+
+use crate::partition::{MiniBatch, MiniBatchPartitioner};
+use crate::shuffle::shuffle_in_place;
+use crate::table::Table;
+
+/// One stratum: all rows sharing a key value, in seeded-shuffled order.
+#[derive(Debug, Clone)]
+struct Stratum {
+    key: Value,
+    /// Row indices into the table, shuffled under the stratum's sub-seed.
+    idxs: Vec<usize>,
+    /// Cumulative rows allocated through batch `i` (length `k`).
+    taken: Vec<usize>,
+}
+
+/// Splits a table into `k` mini-batches stratified on one column.
+/// Deterministic under `(table, column, k, seed, floor)`.
+#[derive(Debug, Clone)]
+pub struct StratifiedPartitioner {
+    table: Arc<Table>,
+    column: String,
+    strata: Vec<Stratum>,
+    /// Stratum index by key value.
+    by_key: HashMap<Value, usize>,
+    /// Cumulative total rows through batch `i` (length `k`).
+    bounds: Vec<usize>,
+}
+
+impl StratifiedPartitioner {
+    /// Partitioner with the default floor `max(1, n / k²)` — small enough
+    /// to leave proportional allocation untouched for common strata, large
+    /// enough that a rare stratum exhausts within the first few batches.
+    pub fn new(table: Arc<Table>, column: &str, k: usize, seed: u64) -> Result<Self> {
+        let floor = if k == 0 {
+            1
+        } else {
+            (table.num_rows() / (k * k)).max(1)
+        };
+        Self::with_floor(table, column, k, seed, floor)
+    }
+
+    /// Partitioner with an explicit per-batch floor per stratum.
+    ///
+    /// Every batch is nonempty, and batch 0 represents every nonempty
+    /// stratum whenever that is feasible (`num_strata <= n - k + 1`); with
+    /// more strata than spare rows, later batches' nonemptiness wins.
+    pub fn with_floor(
+        table: Arc<Table>,
+        column: &str,
+        k: usize,
+        seed: u64,
+        floor: usize,
+    ) -> Result<Self> {
+        let n = table.num_rows();
+        if k == 0 {
+            return Err(Error::config("mini-batch count must be >= 1"));
+        }
+        if n == 0 {
+            return Err(Error::config("cannot partition an empty table"));
+        }
+        if k > n {
+            return Err(Error::config(format!(
+                "mini-batch count {k} exceeds row count {n}"
+            )));
+        }
+        let values = table.column(column)?;
+        let floor = floor.max(1);
+
+        // Group row indices by key, then order strata by key for
+        // determinism (first-appearance order would also be deterministic,
+        // but total_cmp order is stable under row shuffles of the input).
+        let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, v) in values.iter().enumerate() {
+            groups.entry(v.clone()).or_default().push(i);
+        }
+        let mut keys: Vec<Value> = groups.keys().cloned().collect();
+        keys.sort_by(|a, b| a.total_cmp(b));
+
+        let mut rng = SplitMix64::new(seed);
+        let mut strata: Vec<Stratum> = keys
+            .into_iter()
+            .map(|key| {
+                let mut idxs = groups.remove(&key).expect("key came from the map");
+                let sub_seed = rng.next_u64();
+                shuffle_in_place(&mut idxs, sub_seed);
+                Stratum {
+                    key,
+                    idxs,
+                    taken: Vec::with_capacity(k),
+                }
+            })
+            .collect();
+
+        // Allocate batch by batch: proportional share with a floor, capped
+        // by what each stratum has left, then trimmed so every later batch
+        // can still be nonempty. The last batch drains everything.
+        let mut bounds = Vec::with_capacity(k);
+        let mut taken_total = 0usize;
+        for i in 0..k {
+            if i + 1 == k {
+                for s in &mut strata {
+                    s.taken.push(s.idxs.len());
+                }
+                bounds.push(n);
+                break;
+            }
+            let remaining_total = n - taken_total;
+            let mut takes: Vec<usize> = Vec::with_capacity(strata.len());
+            let mut total = 0usize;
+            for s in &strata {
+                let n_h = s.idxs.len();
+                let prev = s.taken.last().copied().unwrap_or(0);
+                // Balanced proportional share: the first n_h % k batches
+                // get one extra row, mirroring the uniform partitioner.
+                let prop = n_h / k + usize::from(i < n_h % k);
+                let t = prop.max(floor.min(n_h)).min(n_h - prev);
+                takes.push(t);
+                total += t;
+            }
+            // Leave at least one row for each of the k-1-i later batches.
+            let max_allowed = remaining_total - (k - 1 - i);
+            let mut over = total.saturating_sub(max_allowed);
+            if over > 0 {
+                // First give back floor-driven oversampling (down to the
+                // proportional share), then, if the table is nearly
+                // drained, the proportional share itself.
+                for (h, s) in strata.iter().enumerate() {
+                    if over == 0 {
+                        break;
+                    }
+                    let n_h = s.idxs.len();
+                    let prev = s.taken.last().copied().unwrap_or(0);
+                    let prop = (n_h / k + usize::from(i < n_h % k)).min(n_h - prev);
+                    let cut = takes[h].saturating_sub(prop).min(over);
+                    takes[h] -= cut;
+                    over -= cut;
+                }
+                for t in takes.iter_mut() {
+                    if over == 0 {
+                        break;
+                    }
+                    let cut = (*t).min(over);
+                    *t -= cut;
+                    over -= cut;
+                }
+            }
+            for (s, &t) in strata.iter_mut().zip(&takes) {
+                let prev = s.taken.last().copied().unwrap_or(0);
+                s.taken.push(prev + t);
+                taken_total += t;
+            }
+            bounds.push(taken_total);
+        }
+        debug_assert_eq!(*bounds.last().expect("k >= 1"), n);
+
+        let by_key = strata
+            .iter()
+            .enumerate()
+            .map(|(h, s)| (s.key.clone(), h))
+            .collect();
+        Ok(StratifiedPartitioner {
+            table,
+            column: column.to_string(),
+            strata,
+            by_key,
+            bounds,
+        })
+    }
+
+    /// The stratification column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Number of batches `k`.
+    pub fn num_batches(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total number of rows `|D|`.
+    pub fn total_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Rows contained in batches `0..=i`.
+    pub fn rows_seen_through(&self, i: usize) -> usize {
+        self.bounds[i]
+    }
+
+    /// Global multiplicity `m = |D| / |Dᵢ|` after batch `i`.
+    pub fn multiplicity_after(&self, i: usize) -> f64 {
+        self.total_rows() as f64 / self.rows_seen_through(i) as f64
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Per-stratum sampling state after batch `i` for the stratum keyed by
+    /// `key`: `(n_h, N_h)` — rows of the stratum seen through batch `i`
+    /// and the stratum's total size. `None` for an unknown key.
+    pub fn stratum_rate(&self, key: &Value, i: usize) -> Option<(usize, usize)> {
+        let s = &self.strata[*self.by_key.get(key)?];
+        Some((s.taken[i], s.idxs.len()))
+    }
+
+    /// Materialize batch `i`: each stratum's slice for this batch,
+    /// concatenated in stratum order.
+    pub fn batch(&self, i: usize) -> MiniBatch {
+        let start_total = if i == 0 { 0 } else { self.bounds[i - 1] };
+        let mut idxs = Vec::with_capacity(self.bounds[i] - start_total);
+        for s in &self.strata {
+            let start = if i == 0 { 0 } else { s.taken[i - 1] };
+            idxs.extend_from_slice(&s.idxs[start..s.taken[i]]);
+        }
+        MiniBatch::new(
+            i,
+            idxs.iter().map(|&x| x as u64).collect(),
+            self.table.gather(&idxs),
+        )
+    }
+
+    /// Iterate all batches in order.
+    pub fn iter(&self) -> impl Iterator<Item = MiniBatch> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch(i))
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+}
+
+/// Either mini-batch partitioner, behind one dispatching surface, so the
+/// executor is agnostic to the sampling design.
+#[derive(Debug, Clone)]
+pub enum Partitioner {
+    Uniform(MiniBatchPartitioner),
+    Stratified(StratifiedPartitioner),
+}
+
+impl Partitioner {
+    pub fn num_batches(&self) -> usize {
+        match self {
+            Partitioner::Uniform(p) => p.num_batches(),
+            Partitioner::Stratified(p) => p.num_batches(),
+        }
+    }
+
+    pub fn total_rows(&self) -> usize {
+        match self {
+            Partitioner::Uniform(p) => p.total_rows(),
+            Partitioner::Stratified(p) => p.total_rows(),
+        }
+    }
+
+    pub fn rows_seen_through(&self, i: usize) -> usize {
+        match self {
+            Partitioner::Uniform(p) => p.rows_seen_through(i),
+            Partitioner::Stratified(p) => p.rows_seen_through(i),
+        }
+    }
+
+    pub fn multiplicity_after(&self, i: usize) -> f64 {
+        match self {
+            Partitioner::Uniform(p) => p.multiplicity_after(i),
+            Partitioner::Stratified(p) => p.multiplicity_after(i),
+        }
+    }
+
+    pub fn batch(&self, i: usize) -> MiniBatch {
+        match self {
+            Partitioner::Uniform(p) => p.batch(i),
+            Partitioner::Stratified(p) => p.batch(i),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = MiniBatch> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch(i))
+    }
+
+    pub fn table(&self) -> &Arc<Table> {
+        match self {
+            Partitioner::Uniform(p) => p.table(),
+            Partitioner::Stratified(p) => p.table(),
+        }
+    }
+
+    /// The stratification column, when stratified.
+    pub fn stratify_column(&self) -> Option<&str> {
+        match self {
+            Partitioner::Uniform(_) => None,
+            Partitioner::Stratified(p) => Some(p.column()),
+        }
+    }
+
+    /// Per-stratum `(n_h, N_h)` after batch `i`; `None` when uniform or
+    /// the key is unknown.
+    pub fn stratum_rate(&self, key: &Value, i: usize) -> Option<(usize, usize)> {
+        match self {
+            Partitioner::Uniform(_) => None,
+            Partitioner::Stratified(p) => p.stratum_rate(key, i),
+        }
+    }
+}
+
+impl From<MiniBatchPartitioner> for Partitioner {
+    fn from(p: MiniBatchPartitioner) -> Self {
+        Partitioner::Uniform(p)
+    }
+}
+
+impl From<StratifiedPartitioner> for Partitioner {
+    fn from(p: StratifiedPartitioner) -> Self {
+        Partitioner::Stratified(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gola_common::{row, DataType, Schema};
+
+    /// `n` rows over `g` groups: group id `i % g`, skewed so group `g-1`
+    /// only appears when `i % rare == 0`.
+    fn grouped_table(n: usize, g: i64) -> Arc<Table> {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("grp", DataType::Int),
+            ("x", DataType::Int),
+        ]));
+        Arc::new(Table::new_unchecked(
+            schema,
+            (0..n).map(|i| row![(i as i64) % g, i as i64]).collect(),
+        ))
+    }
+
+    #[test]
+    fn batches_partition_all_tuples_exactly_once() {
+        let p = StratifiedPartitioner::new(grouped_table(103, 7), "grp", 10, 5).unwrap();
+        let mut ids: Vec<u64> = p.iter().flat_map(|b| b.tuple_ids.clone()).collect();
+        assert_eq!(ids.len(), 103);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..103u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_stratum_in_batch_zero() {
+        let t = grouped_table(200, 9);
+        let p = StratifiedPartitioner::new(Arc::clone(&t), "grp", 8, 3).unwrap();
+        let b0 = p.batch(0);
+        let groups: std::collections::HashSet<i64> = b0
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(groups.len(), 9, "batch 0 must touch all 9 strata");
+    }
+
+    #[test]
+    fn rare_stratum_oversampled_and_exhausted_early() {
+        // 1000 rows, one rare group of 10 rows.
+        let schema = Arc::new(Schema::from_pairs(&[("grp", DataType::Int)]));
+        let rows = (0..1000).map(|i| row![i64::from(i % 100 == 0)]);
+        let t = Arc::new(Table::new_unchecked(schema, rows.collect()));
+        let p = StratifiedPartitioner::with_floor(t, "grp", 10, 1, 5).unwrap();
+        // Rare stratum (10 rows, floor 5) exhausts by batch 1.
+        let (n_h, total_h) = p.stratum_rate(&Value::Int(1), 1).unwrap();
+        assert_eq!(total_h, 10);
+        assert_eq!(n_h, 10, "floor 5/batch drains 10 rows in two batches");
+        // Uniform allocation would have seen ~2 rows by then.
+        let (n0, _) = p.stratum_rate(&Value::Int(1), 0).unwrap();
+        assert_eq!(n0, 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed_and_sensitive_to_it() {
+        let t = grouped_table(150, 5);
+        let a = StratifiedPartitioner::new(Arc::clone(&t), "grp", 6, 9).unwrap();
+        let b = StratifiedPartitioner::new(Arc::clone(&t), "grp", 6, 9).unwrap();
+        for i in 0..6 {
+            assert_eq!(a.batch(i).tuple_ids, b.batch(i).tuple_ids);
+        }
+        let c = StratifiedPartitioner::new(t, "grp", 6, 10).unwrap();
+        assert_ne!(a.batch(0).tuple_ids, c.batch(0).tuple_ids);
+    }
+
+    #[test]
+    fn bounds_cover_table_and_batches_nonempty() {
+        for k in [1, 2, 5, 16] {
+            let p = StratifiedPartitioner::new(grouped_table(64, 13), "grp", k, 2).unwrap();
+            let sizes: Vec<usize> = p.iter().map(|b| b.len()).collect();
+            assert_eq!(sizes.iter().sum::<usize>(), 64);
+            assert!(sizes.iter().all(|&s| s > 0), "k={k}: sizes {sizes:?}");
+            assert_eq!(p.rows_seen_through(k - 1), 64);
+            assert!((p.multiplicity_after(k - 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn config_errors_match_uniform() {
+        let t = grouped_table(10, 2);
+        assert!(StratifiedPartitioner::new(Arc::clone(&t), "grp", 0, 1).is_err());
+        assert!(StratifiedPartitioner::new(Arc::clone(&t), "grp", 11, 1).is_err());
+        assert!(StratifiedPartitioner::new(t, "nope", 2, 1).is_err());
+        let empty = Arc::new(Table::empty(Arc::new(Schema::from_pairs(&[(
+            "grp",
+            DataType::Int,
+        )]))));
+        assert!(StratifiedPartitioner::new(empty, "grp", 1, 1).is_err());
+    }
+
+    #[test]
+    fn partitioner_enum_delegates() {
+        let t = grouped_table(60, 3);
+        let u: Partitioner = MiniBatchPartitioner::new(Arc::clone(&t), 4, 1)
+            .unwrap()
+            .into();
+        let s: Partitioner = StratifiedPartitioner::new(t, "grp", 4, 1).unwrap().into();
+        assert_eq!(u.num_batches(), 4);
+        assert_eq!(s.num_batches(), 4);
+        assert_eq!(u.total_rows(), 60);
+        assert_eq!(s.total_rows(), 60);
+        assert_eq!(u.stratify_column(), None);
+        assert_eq!(s.stratify_column(), Some("grp"));
+        assert!(u.stratum_rate(&Value::Int(0), 0).is_none());
+        assert!(s.stratum_rate(&Value::Int(0), 0).is_some());
+        assert!(s.stratum_rate(&Value::Int(99), 0).is_none());
+    }
+}

@@ -8,8 +8,21 @@ use std::sync::Arc;
 use gola_common::{DataType, Row, Schema, Value};
 use gola_storage::csv::{read_csv, write_csv};
 use gola_storage::shuffle::permutation;
-use gola_storage::{MiniBatchPartitioner, Table};
+use gola_storage::{MiniBatchPartitioner, StratifiedPartitioner, Table};
 use proptest::prelude::*;
+
+/// Table of `n` rows whose `g` column cycles over `groups` distinct keys,
+/// so stratum sizes differ by at most one.
+fn grouped_table(n: usize, groups: usize) -> Arc<Table> {
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("x", DataType::Int),
+    ]));
+    let rows: Vec<Row> = (0..n)
+        .map(|i| Row::new(vec![Value::Int((i % groups) as i64), Value::Int(i as i64)]))
+        .collect();
+    Arc::new(Table::new_unchecked(schema, rows))
+}
 
 proptest! {
     #[test]
@@ -53,6 +66,84 @@ proptest! {
         for i in 0..k {
             prop_assert_eq!(a.batch(i).tuple_ids, b.batch(i).tuple_ids);
         }
+    }
+
+    #[test]
+    fn stratified_is_exact_partition(
+        n in 1usize..400,
+        k in 1usize..50,
+        groups in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(n);
+        let groups = groups.min(n);
+        let table = grouped_table(n, groups);
+        let p = StratifiedPartitioner::new(table, "g", k, seed).unwrap();
+        prop_assert_eq!(p.num_batches(), k);
+        prop_assert_eq!(p.num_strata(), groups);
+        // Multiset match: every tuple appears exactly once across batches.
+        let mut ids: Vec<u64> = p.iter().flat_map(|b| b.tuple_ids.clone()).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        // Every batch nonempty, monotone row accounting.
+        let sizes: Vec<usize> = p.iter().map(|b| b.len()).collect();
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        for i in 0..k {
+            prop_assert_eq!(p.rows_seen_through(i), sizes[..=i].iter().sum::<usize>());
+        }
+        prop_assert_eq!(p.rows_seen_through(k - 1), n);
+        // Per-stratum rates are consistent: counts sum to the batch bound
+        // and never exceed the stratum population.
+        for i in 0..k {
+            let mut sum = 0;
+            for g in 0..groups {
+                let (n_h, cap_h) = p.stratum_rate(&Value::Int(g as i64), i).unwrap();
+                prop_assert!(n_h <= cap_h);
+                sum += n_h;
+            }
+            prop_assert_eq!(sum, p.rows_seen_through(i));
+        }
+    }
+
+    #[test]
+    fn stratified_deterministic_under_seed(
+        n in 2usize..200,
+        groups in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let groups = groups.min(n);
+        let table = grouped_table(n, groups);
+        let k = (n / 2).max(1);
+        let a = StratifiedPartitioner::new(Arc::clone(&table), "g", k, seed).unwrap();
+        let b = StratifiedPartitioner::new(table, "g", k, seed).unwrap();
+        // Same seed ⇒ bit-identical schedule, batch by batch.
+        for i in 0..k {
+            prop_assert_eq!(a.batch(i).tuple_ids, b.batch(i).tuple_ids);
+        }
+    }
+
+    #[test]
+    fn stratified_every_stratum_in_first_batch(
+        n in 8usize..400,
+        k in 1usize..16,
+        groups in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(n);
+        // Feasibility: batch 0 can hold every stratum only when the other
+        // k-1 batches can each keep at least one row.
+        let groups = groups.min(n.saturating_sub(k - 1).max(1));
+        let table = grouped_table(n, groups);
+        let p = StratifiedPartitioner::new(table, "g", k, seed).unwrap();
+        let first = p.batch(0);
+        let mut seen = vec![false; groups];
+        for &t in &first.tuple_ids {
+            seen[t as usize % groups] = true;
+        }
+        prop_assert!(
+            seen.iter().all(|&s| s),
+            "batch 0 missing a stratum: {:?}", seen
+        );
     }
 
     #[test]

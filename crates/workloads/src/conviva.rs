@@ -21,6 +21,10 @@ pub struct ConvivaGenerator {
     pub num_geos: u64,
     /// Fraction of sessions with abnormally long buffering.
     pub abnormal_fraction: f64,
+    /// When set, the *last* geography is rare (~1% of sessions) and the
+    /// rest are uniform — the stratified-sampling rare-group scenario.
+    /// `false` keeps the default generator bit-identical to before.
+    pub geo_skew: bool,
 }
 
 impl Default for ConvivaGenerator {
@@ -31,6 +35,7 @@ impl Default for ConvivaGenerator {
             num_contents: 200,
             num_geos: 12,
             abnormal_fraction: 0.08,
+            geo_skew: false,
         }
     }
 }
@@ -78,7 +83,15 @@ impl ConvivaGenerator {
             let user = rng.next_below(n as u64 / 3 + 1) as i64;
             let content = rng.next_below(self.num_contents) as i64;
             let ad = (rng.next_below(self.num_ads) + 1) as i64;
-            let geo = geos[rng.next_below(geos.len() as u64) as usize];
+            let geo = if self.geo_skew && geos.len() > 1 {
+                if rng.next_f64() < 0.01 {
+                    geos[geos.len() - 1]
+                } else {
+                    geos[rng.next_below(geos.len() as u64 - 1) as usize]
+                }
+            } else {
+                geos[rng.next_below(geos.len() as u64) as usize]
+            };
             let device = DEVICES[rng.next_below(DEVICES.len() as u64) as usize];
             let abnormal = rng.next_f64() < self.abnormal_fraction;
             // Right-skewed buffering; abnormal sessions buffer far longer.
@@ -211,6 +224,30 @@ mod tests {
         }
         assert!(ab_n > 100.0);
         assert!(ab_fail / ab_n > 2.0 * (ok_fail / ok_n));
+    }
+
+    #[test]
+    fn geo_skew_makes_last_geo_rare() {
+        let skewed = ConvivaGenerator {
+            geo_skew: true,
+            ..Default::default()
+        }
+        .generate(20_000);
+        let geos = skewed.column("geo").unwrap();
+        let rare =
+            geos.iter().filter(|v| **v == Value::str(GEOS[11])).count() as f64 / geos.len() as f64;
+        assert!(
+            rare > 0.002 && rare < 0.03,
+            "rare geo fraction {rare} should be ~1%"
+        );
+        // Default path is bit-unchanged by the new knob.
+        let a = ConvivaGenerator::default().generate(500);
+        let b = ConvivaGenerator {
+            geo_skew: false,
+            ..Default::default()
+        }
+        .generate(500);
+        assert_eq!(a.rows(), b.rows());
     }
 
     #[test]

@@ -7,7 +7,11 @@
 # part of `cargo test --workspace`. Pass --soak to additionally run the
 # release soak binary: the same three oracles (differential, invariant,
 # calibration) at fuzzing volume, printing shrunk replayable artifacts for
-# any failure. Pass --metrics to smoke-test the observability exports: one
+# any failure. Pass --contracts to run the release contract-conformance
+# runner (gola-contracts): the ERROR/WITHIN contract oracle over ≥200 seeds
+# per class, the planted absolute-stopping bug, generated contract queries,
+# and the uniform-vs-stratified rare-group convergence check (≤60s).
+# Pass --metrics to smoke-test the observability exports: one
 # Conviva query through the CLI with --metrics-out, the JSON snapshot
 # validated against scripts/metrics_schema.json and the Prometheus text
 # grepped for the expected families.
@@ -15,15 +19,17 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 soak=0
+contracts=0
 metrics=0
 bench_smoke_flag=0
 for arg in "$@"; do
     case "$arg" in
         --soak) soak=1 ;;
+        --contracts) contracts=1 ;;
         --metrics) metrics=1 ;;
         --bench-smoke) bench_smoke_flag=1 ;;
         *)
-            echo "usage: $0 [--soak] [--metrics] [--bench-smoke]" >&2
+            echo "usage: $0 [--soak] [--contracts] [--metrics] [--bench-smoke]" >&2
             exit 2
             ;;
     esac
@@ -155,6 +161,10 @@ step golint_contract
 
 if [ "$soak" -eq 1 ]; then
     step cargo run --release -q -p gola-conformance --bin gola-soak
+fi
+
+if [ "$contracts" -eq 1 ]; then
+    step cargo run --release -q -p gola-conformance --bin gola-contracts
 fi
 
 # Observability smoke: drive one online query through the console with the

@@ -44,7 +44,10 @@ pub use gola_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use gola_common::{DataType, Error, Result, Row, Schema, Value};
-    pub use gola_core::{BatchReport, OnlineConfig, OnlineSession};
+    pub use gola_core::{BatchReport, ContractStop, OnlineConfig, OnlineSession};
     pub use gola_engine::BatchEngine;
-    pub use gola_storage::{Catalog, MiniBatchPartitioner, Table};
+    pub use gola_plan::QueryContract;
+    pub use gola_storage::{
+        Catalog, MiniBatchPartitioner, Partitioner, StratifiedPartitioner, Table,
+    };
 }

@@ -117,6 +117,68 @@ fn conviva_queries_thread_invariant() {
     check(&catalog, "C3", conviva::C3);
 }
 
+fn run_with(catalog: &Catalog, sql: &str, config: OnlineConfig) -> Vec<BatchReport> {
+    let session = OnlineSession::new(catalog.clone(), config);
+    let exec = session.execute_online(sql).expect("query compiles");
+    exec.map(|r| r.expect("batch succeeds")).collect()
+}
+
+/// Stratified partitioning and error-bounded contracts preserve the
+/// thread-count determinism contract: the schedule is fixed by (table,
+/// column, k, seed) and the stopping decision is a pure function of the
+/// (bit-identical) reports, so `threads = 1` and `threads = 4` must agree
+/// on every report *and* on the stopping batch.
+#[test]
+fn stratified_and_error_contract_thread_invariant() {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(6000)),
+        )
+        .unwrap();
+    let base = OnlineConfig::for_tests(8).with_trials(32);
+
+    // Stratified mini-batches on the group column.
+    let strat = |threads| {
+        run_with(
+            &catalog,
+            conviva::C2,
+            base.clone()
+                .with_stratify_column("geo")
+                .with_threads(threads),
+        )
+    };
+    assert_identical("C2/stratified", &strat(1), &strat(4));
+
+    // Error-bounded contract: both runs must stop at the same batch with
+    // the same reports (stopping is deterministic — no wall clock).
+    let contracted = |threads| {
+        run_with(
+            &catalog,
+            "SELECT geo, AVG(play_time) FROM sessions GROUP BY geo ERROR 5% CONFIDENCE 95%",
+            base.clone().with_threads(threads),
+        )
+    };
+    let seq = contracted(1);
+    let par = contracted(4);
+    assert_identical("C2/error-contract", &seq, &par);
+    let stop = |r: &[BatchReport]| r.last().and_then(|r| r.contract.as_ref()?.stop);
+    assert_eq!(stop(&seq), stop(&par), "stopping reason must agree");
+
+    // Stratified + contract together.
+    let both = |threads| {
+        run_with(
+            &catalog,
+            "SELECT geo, AVG(play_time) FROM sessions GROUP BY geo ERROR 5% CONFIDENCE 95%",
+            base.clone()
+                .with_stratify_column("geo")
+                .with_threads(threads),
+        )
+    };
+    assert_identical("C2/stratified+contract", &both(1), &both(4));
+}
+
 #[test]
 fn tpch_queries_thread_invariant() {
     let mut catalog = Catalog::new();
