@@ -46,6 +46,10 @@ struct Console {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
+        return;
+    }
     let mut console = Console {
         catalog: Catalog::new(),
         config: OnlineConfig::default().with_batches(40),
@@ -131,6 +135,72 @@ fn main() {
                 console.run_sql(&sql);
             }
         }
+    }
+}
+
+/// `gola serve` — run the multi-tenant HTTP query service in the
+/// foreground until killed.
+///
+/// Flags: `--addr HOST:PORT` (default 127.0.0.1:8642), `--workload
+/// conviva|tpch` (default conviva), `--rows N` (default 100000),
+/// `--threads N` (shared worker-pool width), `--max-active N` / `--queue
+/// N` (admission window), `--batches N`, `--metrics` (enable the
+/// observability registry; scrape `GET /metrics`).
+fn serve(args: &[String]) {
+    let workload = flag_str(args, "--workload").unwrap_or_else(|| "conviva".into());
+    let rows = flag_value(args, "--rows").unwrap_or(100_000);
+    let mut catalog = Catalog::new();
+    match workload.as_str() {
+        "conviva" => catalog.register_or_replace(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(rows)),
+        ),
+        "tpch" => catalog.register_or_replace(
+            "lineitem_denorm",
+            Arc::new(TpchGenerator::default().generate(rows)),
+        ),
+        other => {
+            eprintln!("gola serve: unknown workload '{other}' (conviva | tpch)");
+            std::process::exit(2);
+        }
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        gola_obs::set_enabled(true);
+    }
+    let addr = flag_str(args, "--addr").unwrap_or_else(|| "127.0.0.1:8642".into());
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gola serve: bad --addr '{addr}': {e}");
+            std::process::exit(2);
+        }
+    };
+    let service = gola_core::sched::ServiceConfig {
+        threads: flag_value(args, "--threads").unwrap_or(2),
+        max_active: flag_value(args, "--max-active").unwrap_or(4),
+        queue_capacity: flag_value(args, "--queue").unwrap_or(16),
+        base: OnlineConfig::default().with_batches(flag_value(args, "--batches").unwrap_or(40)),
+    };
+    let config = gola_server::ServerConfig { addr, service };
+    let server = match gola_server::Server::start(catalog, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gola serve: bind {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gola serve: '{workload}' ({rows} rows) on http://{}",
+        server.addr()
+    );
+    println!(
+        "  POST /query   SQL body -> NDJSON report stream (SSE with accept: text/event-stream)"
+    );
+    println!("  POST /jobs    SQL body -> job id; GET /jobs/<id> to poll, DELETE to cancel");
+    println!("  GET  /healthz, GET /metrics");
+    // Serve until killed: the accept loop runs in background threads.
+    loop {
+        std::thread::park();
     }
 }
 

@@ -1,0 +1,114 @@
+//! `gola-service` — the release-mode multi-tenant conformance runner
+//! (`scripts/check.sh --service`).
+//!
+//! Runs the service leg ([`gola_conformance::run_service_leg`]) at volume:
+//! M generated queries per schema, interleaved through one fair scheduler
+//! on a shared worker pool under a deliberately tight admission window,
+//! every session's stream compared bit-for-bit against its solo
+//! single-threaded reference. Exit status is non-zero iff any leg fails.
+//!
+//! ```text
+//! gola-service [--cases N] [--seed S] [--rows R] [--pool-threads T]
+//!              [--max-active A] [--queue Q] [--quick]
+//! ```
+
+use std::process::ExitCode;
+
+use gola_conformance::{run_service_leg, SchemaClass, ServiceLegConfig};
+
+struct Args {
+    cases: usize,
+    seed: u64,
+    rows: usize,
+    pool_threads: usize,
+    max_active: usize,
+    queue_capacity: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 60,
+        seed: 0x05E4_A1CE,
+        rows: 800,
+        pool_threads: 2,
+        max_active: 3,
+        queue_capacity: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| it.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--cases" => args.cases = grab("--cases")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = grab("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--rows" => args.rows = grab("--rows")?.parse().map_err(|e| format!("{e}"))?,
+            "--pool-threads" => {
+                args.pool_threads = grab("--pool-threads")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--max-active" => {
+                args.max_active = grab("--max-active")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--queue" => {
+                args.queue_capacity = grab("--queue")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--quick" => {
+                args.cases = 16;
+                args.rows = 360;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gola-service: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = ServiceLegConfig {
+        cases: args.cases,
+        rows: args.rows,
+        pool_threads: args.pool_threads,
+        max_active: args.max_active,
+        queue_capacity: args.queue_capacity,
+        ..ServiceLegConfig::default()
+    };
+
+    let mut failed = false;
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        match run_service_leg(class, args.seed, &cfg) {
+            Ok(stats) => {
+                println!(
+                    "service {class}: {} cases bit-identical interleaved vs solo \
+                     ({} rounds, {} queued admissions, {} saturation stalls)",
+                    stats.cases, stats.rounds, stats.queued_admissions, stats.saturation_stalls
+                );
+                // A run that never queued proves nothing about admission;
+                // fail loudly rather than report hollow coverage.
+                if stats.queued_admissions == 0 {
+                    eprintln!(
+                        "service {class}: admission queue never exercised — \
+                         tighten --max-active/--queue or raise --cases"
+                    );
+                    failed = true;
+                }
+            }
+            Err(f) => {
+                eprintln!("service {class}: FAILED [{}]\n  {f}", f.kind());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

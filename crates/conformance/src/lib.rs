@@ -24,6 +24,7 @@ pub mod calib;
 pub mod contract;
 pub mod gen;
 pub mod oracle;
+pub mod service;
 pub mod shrink;
 
 pub use calib::{binomial_band, calibrate, default_classes, CalibClass, CalibConfig, CalibReport};
@@ -33,4 +34,5 @@ pub use contract::{
 };
 pub use gen::{Query, QueryGen, SchemaClass};
 pub use oracle::{run_case, tables_bit_equal, CaseStats, Failure, Fault, OracleConfig};
+pub use service::{run_service_leg, ServiceLegConfig, ServiceLegFailure, ServiceLegStats};
 pub use shrink::{shrink, shrink_calibration, shrink_case, Artifact, CalibArtifact, ShrinkConfig};

@@ -320,7 +320,10 @@ fn row_key(report: &BatchReport, row: usize, key_cols: usize) -> Vec<gola_common
 
 /// Bit-for-bit comparison of two full report sequences (the rerun/thread
 /// determinism contract; same checks as `tests/parallel_equivalence.rs`).
-fn reports_identical(a: &[BatchReport], b: &[BatchReport]) -> Result<(), (usize, String)> {
+pub(crate) fn reports_identical(
+    a: &[BatchReport],
+    b: &[BatchReport],
+) -> Result<(), (usize, String)> {
     if a.len() != b.len() {
         return Err((0, format!("batch count {} vs {}", a.len(), b.len())));
     }

@@ -1,0 +1,301 @@
+//! The multi-tenant service leg of the conformance harness.
+//!
+//! The scheduler's core promise (DESIGN.md §3.11) is that *concurrency is
+//! invisible in the answers*: a query admitted to a busy scheduler — time-
+//! slicing one shared worker pool against arbitrary co-tenants, queued
+//! behind admission control, preempted between every mini-batch — must
+//! stream the exact same reports, bit for bit, as the same query run alone
+//! on a single thread. This leg proves it generatively: M distinct
+//! generated queries per schema are run solo (`threads = 1`, private
+//! workers) and then interleaved through one [`Scheduler`] over a shared
+//! pool, with mixed weights and a deliberately tight admission window so
+//! the queue and saturation paths are actually exercised. Every session's
+//! full stream must satisfy the same bit-identity oracle the differential
+//! tier uses ([`crate::oracle`]'s `reports_identical`).
+//!
+//! The leg drives the *scheduler core* directly rather than the threaded
+//! [`gola_core::sched::service`] wrapper: the wrapper serializes quanta
+//! through this exact `Scheduler`, so equivalence proved here transfers,
+//! while keeping the leg deterministic (no channel timing, no sockets).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use gola_bootstrap::BootstrapSpec;
+use gola_core::sched::{PolicyConfig, QueryTask, Scheduler};
+use gola_core::{BatchReport, OnlineConfig, OnlineSession, WorkerPool};
+use gola_storage::{Catalog, Table};
+
+use crate::gen::{QueryGen, SchemaClass};
+use crate::oracle::reports_identical;
+
+/// Execution parameters of one service-leg run (per schema class).
+#[derive(Debug, Clone)]
+pub struct ServiceLegConfig {
+    /// Distinct generated queries interleaved through one scheduler.
+    pub cases: usize,
+    /// Fact-table rows.
+    pub rows: usize,
+    /// Mini-batches per query.
+    pub num_batches: usize,
+    /// Bootstrap trials per estimate.
+    pub trials: u32,
+    /// Shared worker-pool width for the interleaved run (solo runs use 1).
+    pub pool_threads: usize,
+    /// Admission: concurrently active sessions.
+    pub max_active: usize,
+    /// Admission: FIFO wait-queue depth.
+    pub queue_capacity: usize,
+    /// Mini-batch partition seed (shared by solo and interleaved runs).
+    pub partition_seed: u64,
+}
+
+impl Default for ServiceLegConfig {
+    fn default() -> ServiceLegConfig {
+        ServiceLegConfig {
+            cases: 12,
+            rows: 360,
+            num_batches: 5,
+            trials: 16,
+            pool_threads: 2,
+            // Tighter than `cases` on purpose: admission must queue and
+            // stall, or the leg never leaves the trivially-uncontended path.
+            max_active: 3,
+            queue_capacity: 2,
+            partition_seed: 0xF1_00_DB,
+        }
+    }
+}
+
+/// What one green service-leg run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLegStats {
+    /// Distinct queries compared.
+    pub cases: usize,
+    /// Scheduler rounds (quanta) executed in the interleaved run.
+    pub rounds: usize,
+    /// Sessions that entered via the wait queue rather than a free slot.
+    pub queued_admissions: usize,
+    /// Submissions that had to wait for the scheduler to retire work
+    /// because both the active set and the queue were full.
+    pub saturation_stalls: usize,
+}
+
+/// A service-leg failure, with the offending query attached so the case is
+/// replayable by hand.
+#[derive(Debug, Clone)]
+pub enum ServiceLegFailure {
+    /// The query failed to compile (generator bug — solo path).
+    Compile { sql: String, detail: String },
+    /// The solo reference run failed at execution time.
+    Solo { sql: String, detail: String },
+    /// The interleaved run failed at execution time.
+    Service { sql: String, detail: String },
+    /// The interleaved stream diverged from the solo stream.
+    Mismatch {
+        sql: String,
+        batch: usize,
+        detail: String,
+    },
+    /// A session was admitted but produced no stream (scheduler bug:
+    /// admitted work must never be dropped).
+    MissingStream { sql: String },
+}
+
+impl ServiceLegFailure {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceLegFailure::Compile { .. } => "compile",
+            ServiceLegFailure::Solo { .. } => "solo",
+            ServiceLegFailure::Service { .. } => "service",
+            ServiceLegFailure::Mismatch { .. } => "mismatch",
+            ServiceLegFailure::MissingStream { .. } => "missing-stream",
+        }
+    }
+}
+
+impl fmt::Display for ServiceLegFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceLegFailure::Compile { sql, detail } => {
+                write!(f, "compile failed: {detail}\n  sql: {sql}")
+            }
+            ServiceLegFailure::Solo { sql, detail } => {
+                write!(f, "solo run failed: {detail}\n  sql: {sql}")
+            }
+            ServiceLegFailure::Service { sql, detail } => {
+                write!(f, "interleaved run failed: {detail}\n  sql: {sql}")
+            }
+            ServiceLegFailure::Mismatch { sql, batch, detail } => write!(
+                f,
+                "interleaved stream diverged from solo at batch {batch}: \
+                 {detail}\n  sql: {sql}"
+            ),
+            ServiceLegFailure::MissingStream { sql } => {
+                write!(f, "admitted session produced no stream\n  sql: {sql}")
+            }
+        }
+    }
+}
+
+/// Run the service leg for one schema class under `seed`.
+///
+/// Generates `cfg.cases` distinct queries, runs each solo at
+/// `threads = 1`, then all of them interleaved through one fair scheduler
+/// over a shared `cfg.pool_threads`-wide pool, and demands every session's
+/// full report stream be bit-identical to its solo reference.
+pub fn run_service_leg(
+    class: SchemaClass,
+    seed: u64,
+    cfg: &ServiceLegConfig,
+) -> Result<ServiceLegStats, ServiceLegFailure> {
+    let data = Arc::new(class.generate(cfg.rows, seed ^ 0xDA7A));
+    let mut catalog = Catalog::new();
+    catalog
+        .register(class.table_name(), Arc::clone(&data))
+        .map_err(|e| ServiceLegFailure::Compile {
+            sql: String::new(),
+            detail: e.to_string(),
+        })?;
+
+    let queries = distinct_queries(class, &data, seed, cfg.cases);
+
+    let config = |threads: usize| OnlineConfig {
+        num_batches: cfg.num_batches,
+        bootstrap: BootstrapSpec::new(cfg.trials, 0x60_1A),
+        partition_seed: cfg.partition_seed,
+        threads,
+        ..OnlineConfig::default()
+    };
+
+    // Solo references: each query alone, single-threaded, private workers.
+    let mut solo: Vec<Vec<BatchReport>> = Vec::with_capacity(queries.len());
+    for sql in &queries {
+        let session = OnlineSession::new(catalog.clone(), config(1));
+        let exec = session
+            .execute_online(sql)
+            .map_err(|e| ServiceLegFailure::Compile {
+                sql: sql.clone(),
+                detail: e.to_string(),
+            })?;
+        let reports = exec
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| ServiceLegFailure::Solo {
+                sql: sql.clone(),
+                detail: e.to_string(),
+            })?;
+        solo.push(reports);
+    }
+
+    // Interleaved run: all queries through one scheduler on a shared pool.
+    let session = OnlineSession::new(catalog, config(cfg.pool_threads));
+    let pool = Arc::new(WorkerPool::new(cfg.pool_threads));
+    let mut sched: Scheduler<QueryTask> = Scheduler::new(PolicyConfig {
+        max_active: cfg.max_active,
+        queue_capacity: cfg.queue_capacity,
+    });
+    let mut streams: BTreeMap<u64, Vec<BatchReport>> = BTreeMap::new();
+    let mut stats = ServiceLegStats {
+        cases: queries.len(),
+        rounds: 0,
+        queued_admissions: 0,
+        saturation_stalls: 0,
+    };
+
+    for (i, sql) in queries.iter().enumerate() {
+        let prepared = session
+            .prepare(sql)
+            .map_err(|e| ServiceLegFailure::Compile {
+                sql: sql.clone(),
+                detail: e.to_string(),
+            })?;
+        let exec = session
+            .execute_prepared_with_pool(&prepared, Arc::clone(&pool))
+            .map_err(|e| ServiceLegFailure::Service {
+                sql: sql.clone(),
+                detail: e.to_string(),
+            })?;
+        // Mixed weights: fairness shares differ per session, which must
+        // not matter to any answer — only to interleaving order.
+        let weight = (i % 4 + 1) as u64;
+        // Admission control may be saturated; retire work until a slot or
+        // queue position frees. Admitted sessions are never dropped, so
+        // this always terminates.
+        while sched.num_active() >= cfg.max_active && sched.num_queued() >= cfg.queue_capacity {
+            stats.saturation_stalls += 1;
+            step(&mut sched, &mut streams, &mut stats, &queries)?;
+        }
+        let admitted =
+            sched
+                .submit(QueryTask::new(exec), weight)
+                .map_err(|e| ServiceLegFailure::Service {
+                    sql: sql.clone(),
+                    detail: e.to_string(),
+                })?;
+        if matches!(admitted, gola_core::sched::Admitted::Queued(_)) {
+            stats.queued_admissions += 1;
+        }
+        debug_assert_eq!(admitted.id().0, i as u64, "submission order assigns ids");
+    }
+
+    while !sched.is_idle() {
+        step(&mut sched, &mut streams, &mut stats, &queries)?;
+    }
+
+    for (i, sql) in queries.iter().enumerate() {
+        let got = streams
+            .get(&(i as u64))
+            .ok_or_else(|| ServiceLegFailure::MissingStream { sql: sql.clone() })?;
+        reports_identical(&solo[i], got).map_err(|(batch, detail)| {
+            ServiceLegFailure::Mismatch {
+                sql: sql.clone(),
+                batch,
+                detail,
+            }
+        })?;
+    }
+
+    Ok(stats)
+}
+
+/// One scheduler round; appends the report (if any) to its session stream.
+fn step(
+    sched: &mut Scheduler<QueryTask>,
+    streams: &mut BTreeMap<u64, Vec<BatchReport>>,
+    stats: &mut ServiceLegStats,
+    queries: &[String],
+) -> Result<(), ServiceLegFailure> {
+    let Some(round) = sched.round() else {
+        return Ok(());
+    };
+    stats.rounds += 1;
+    match round.output {
+        Some(Ok(report)) => {
+            streams.entry(round.id.0).or_default().push(report);
+            Ok(())
+        }
+        Some(Err(e)) => Err(ServiceLegFailure::Service {
+            sql: queries
+                .get(round.id.0 as usize)
+                .cloned()
+                .unwrap_or_default(),
+            detail: e.to_string(),
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Draw `n` distinct queries (by rendered SQL) for `class` under `seed`.
+fn distinct_queries(class: SchemaClass, data: &Arc<Table>, seed: u64, n: usize) -> Vec<String> {
+    let mut gen = QueryGen::new(class, data, seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let sql = gen.next_query().sql(class.table_name());
+        if seen.insert(sql.clone()) {
+            out.push(sql);
+        }
+    }
+    out
+}

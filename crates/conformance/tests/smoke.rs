@@ -321,3 +321,26 @@ fn columnar_chunk_splits_and_dictionary_strings_pass_oracles() {
         );
     }
 }
+
+/// Service leg, smoke tier: generated queries interleaved through one fair
+/// scheduler on a shared pool must stream bit-identically to their solo
+/// single-threaded runs — with the admission queue actually exercised.
+/// (`gola-service` runs the same leg at fuzzing volume.)
+#[test]
+fn interleaved_service_streams_match_solo_runs() {
+    use gola_conformance::{run_service_leg, ServiceLegConfig};
+    let cfg = ServiceLegConfig {
+        cases: 10,
+        rows: ROWS,
+        ..ServiceLegConfig::default()
+    };
+    for class in [SchemaClass::Conviva, SchemaClass::Tpch] {
+        let stats = run_service_leg(class, 0x05E4_A1CE, &cfg)
+            .unwrap_or_else(|f| panic!("service leg failed on {class} [{}]: {f}", f.kind()));
+        assert_eq!(stats.cases, 10);
+        assert!(
+            stats.queued_admissions > 0,
+            "{class}: admission queue never exercised ({stats:?})"
+        );
+    }
+}

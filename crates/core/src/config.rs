@@ -57,6 +57,13 @@ pub struct OnlineConfig {
     /// CI half-width against the target *absolutely* instead of relative
     /// to the estimate. Deliberately wrong; the oracle must catch it.
     pub stopping_rule_absolute: bool,
+    /// Session dimension for the observability registry. When set, the
+    /// executor's per-report metrics (`report.batches`, `report.ci_width`,
+    /// ...) are registered with a `session="<label>"` label so concurrent
+    /// sessions in one process never write through the same gauge cell.
+    /// `None` (the default, and the single-session CLI path) keeps the
+    /// historical unlabeled names.
+    pub session_label: Option<String>,
 }
 
 impl Default for OnlineConfig {
@@ -75,6 +82,7 @@ impl Default for OnlineConfig {
             contract: None,
             stratify_column: None,
             stopping_rule_absolute: false,
+            session_label: None,
         }
     }
 }
@@ -141,6 +149,11 @@ impl OnlineConfig {
 
     pub fn with_stratify_column(mut self, column: impl Into<String>) -> Self {
         self.stratify_column = Some(column.into());
+        self
+    }
+
+    pub fn with_session_label(mut self, label: impl Into<String>) -> Self {
+        self.session_label = Some(label.into());
         self
     }
 

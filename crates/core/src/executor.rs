@@ -257,8 +257,14 @@ pub struct OnlineExecutor {
     /// Direct consumers of each block.
     consumers: Vec<Vec<usize>>,
     /// Persistent worker pool, alive for the whole query session (workers
-    /// park between batches instead of respawning per ingest).
-    pool: WorkerPool,
+    /// park between batches instead of respawning per ingest). Under the
+    /// multi-tenant scheduler many sessions share one pool
+    /// ([`OnlineExecutor::with_pool`]); batch-granularity preemption means
+    /// at most one session's batch runs on it at a time.
+    pool: Arc<WorkerPool>,
+    /// Lazily resolved per-session metric handles (see
+    /// [`crate::metrics::SessionMetrics`]).
+    session_metrics: std::sync::OnceLock<crate::metrics::SessionMetrics>,
     batches_done: usize,
     recomputations: usize,
     /// Root-block group keys the user has already seen flagged
@@ -276,6 +282,27 @@ impl OnlineExecutor {
         meta: MetaPlan,
         partitioner: Arc<Partitioner>,
         config: OnlineConfig,
+    ) -> Result<OnlineExecutor> {
+        let pool = Arc::new(match config.schedule_perturbation {
+            Some(seed) => WorkerPool::with_perturbation(config.threads, seed),
+            None => WorkerPool::new(config.threads),
+        });
+        OnlineExecutor::with_pool(catalog, meta, partitioner, config, pool)
+    }
+
+    /// As [`OnlineExecutor::new`], but execute on a caller-provided worker
+    /// pool. The multi-tenant scheduler uses this so every session
+    /// time-slices one shared pool instead of spawning `threads - 1` OS
+    /// threads per session. The determinism contract makes sharing safe:
+    /// reports are bit-identical at any thread count, so the pool's size
+    /// (not `config.threads`) governing physical parallelism cannot change
+    /// any session's output.
+    pub fn with_pool(
+        catalog: &Catalog,
+        meta: MetaPlan,
+        partitioner: Arc<Partitioner>,
+        config: OnlineConfig,
+        pool: Arc<WorkerPool>,
     ) -> Result<OnlineExecutor> {
         config.validate()?;
         let compiled: Vec<CompiledBlock> = meta
@@ -316,10 +343,6 @@ impl OnlineExecutor {
             .map(|_| BlockRuntime::default())
             .collect();
         let published = (0..compiled.len()).map(|_| Published::default()).collect();
-        let pool = match config.schedule_perturbation {
-            Some(seed) => WorkerPool::with_perturbation(config.threads, seed),
-            None => WorkerPool::new(config.threads),
-        };
         let mut exec = OnlineExecutor {
             config,
             meta,
@@ -330,6 +353,7 @@ impl OnlineExecutor {
             published,
             consumers,
             pool,
+            session_metrics: std::sync::OnceLock::new(),
             batches_done: 0,
             recomputations: 0,
             claimed_certain: FxHashSet::default(),
@@ -337,6 +361,15 @@ impl OnlineExecutor {
         };
         exec.compute_static_blocks(catalog)?;
         Ok(exec)
+    }
+
+    /// Per-session metric handles, resolved on first use so a disabled
+    /// registry never registers anything (callers gate on
+    /// [`gola_obs::enabled`] first).
+    fn session_metrics(&self) -> &crate::metrics::SessionMetrics {
+        self.session_metrics.get_or_init(|| {
+            crate::metrics::SessionMetrics::resolve(self.config.session_label.as_deref())
+        })
     }
 
     /// Number of batches processed so far.
@@ -485,11 +518,12 @@ impl OnlineExecutor {
         report.cumulative_time = self.cumulative;
         report.timing = timing;
         if gola_obs::enabled() {
-            crate::metrics::report_batches().inc();
-            crate::metrics::report_uncertain().set(report.uncertain_tuples as f64);
-            crate::metrics::report_recomputations().set(report.recomputations as f64);
+            let m = self.session_metrics();
+            m.batches.inc();
+            m.uncertain.set(report.uncertain_tuples as f64);
+            m.recomputations.set(report.recomputations as f64);
             if let Some(ci) = report.ci() {
-                crate::metrics::report_ci_width().set(ci.width());
+                m.ci_width.set(ci.width());
             }
         }
         Ok(report)
@@ -2116,7 +2150,7 @@ impl OnlineExecutor {
             (1.0 - rows_seen as f64 / total_rows as f64).max(0.0).sqrt()
         };
         if gola_obs::enabled() {
-            crate::metrics::report_fpc().set(fpc);
+            self.session_metrics().fpc.set(fpc);
         }
         let n_keys = cb.num_keys();
         let n_aggs = cb.agg_kinds.len();

@@ -37,10 +37,12 @@ pub(crate) mod metrics;
 pub mod pool;
 pub mod report;
 pub mod runtime;
+pub mod sched;
 pub mod session;
 
 pub use config::OnlineConfig;
 pub use executor::OnlineExecutor;
+pub use gola_plan::QueryContract;
 pub use pool::WorkerPool;
 pub use report::{BatchReport, BatchTiming, CellEstimate, ContractProgress, ContractStop};
 pub use session::{OnlineExecution, OnlineSession, PreparedQuery};

@@ -24,12 +24,37 @@ macro_rules! handle {
     };
 }
 
-// Per-batch report instrumentation (set once per `step`).
-handle!(pub(crate) report_batches: Counter = gola_obs::counter("report.batches"));
-handle!(pub(crate) report_ci_width: Gauge = gola_obs::gauge("report.ci_width"));
-handle!(pub(crate) report_fpc: Gauge = gola_obs::gauge("report.fpc"));
-handle!(pub(crate) report_uncertain: Gauge = gola_obs::gauge("report.uncertain"));
-handle!(pub(crate) report_recomputations: Gauge = gola_obs::gauge("report.recomputations"));
+/// Per-report instrumentation handles for one executor. A single-process
+/// session (`session_label = None`) resolves the historical unlabeled
+/// names; an executor running under the multi-tenant scheduler resolves a
+/// `session="<label>"` series per instrument, so concurrent sessions never
+/// write through the same gauge cell (`tests/obs_sessions.rs` pins this).
+/// Resolved lazily on the first enabled batch and cached on the executor,
+/// so a disabled registry never registers anything.
+#[derive(Clone, Debug)]
+pub(crate) struct SessionMetrics {
+    pub(crate) batches: Counter,
+    pub(crate) ci_width: Gauge,
+    pub(crate) fpc: Gauge,
+    pub(crate) uncertain: Gauge,
+    pub(crate) recomputations: Gauge,
+}
+
+impl SessionMetrics {
+    pub(crate) fn resolve(session: Option<&str>) -> SessionMetrics {
+        let labels: Vec<(&str, &str)> = match session {
+            Some(s) => vec![("session", s)],
+            None => Vec::new(),
+        };
+        SessionMetrics {
+            batches: gola_obs::counter_with("report.batches", &labels),
+            ci_width: gola_obs::gauge_with("report.ci_width", &labels),
+            fpc: gola_obs::gauge_with("report.fpc", &labels),
+            uncertain: gola_obs::gauge_with("report.uncertain", &labels),
+            recomputations: gola_obs::gauge_with("report.recomputations", &labels),
+        }
+    }
+}
 
 // Worker-pool queue instrumentation (parallel dispatch path only; the
 // sequential fast path has no queue to wait in).

@@ -1,0 +1,345 @@
+//! The threaded multi-tenant query service: one scheduler thread
+//! time-slicing every admitted session over one shared [`WorkerPool`].
+//!
+//! Clients call [`QueryService::submit`] from any thread; admission is
+//! answered synchronously (typed [`SubmitError`] on refusal, so the HTTP
+//! layer can emit a 429 with the exact saturation numbers). Each admitted
+//! session gets its own report channel — the [`QueryHandle`] iterates it
+//! exactly like a solo [`crate::session::OnlineExecution`], and because the
+//! scheduler runs one batch round at a time on the shared pool, the stream
+//! it sees is bit-identical to that solo run (`tests/sched_equivalence.rs`).
+//!
+//! Observability: every session's executor metrics carry a
+//! `session="s<id>"` label (see `OnlineConfig::session_label`), and the
+//! service itself maintains `service.submitted` / `service.rejected` /
+//! `service.completed` / `service.canceled` counters plus
+//! `service.active` / `service.queued` gauges — all behind
+//! [`gola_obs::enabled`], preserving the obs-inert contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use gola_common::Result;
+use gola_storage::Catalog;
+
+use crate::config::OnlineConfig;
+use crate::pool::WorkerPool;
+use crate::report::BatchReport;
+use crate::sched::task::QueryTask;
+use crate::sched::{AdmissionError, Admitted, PolicyConfig, Scheduler, SessionId};
+use crate::session::OnlineSession;
+
+/// Capacity and sizing of a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Sessions time-slicing concurrently; more wait in the queue.
+    pub max_active: usize,
+    /// Admitted-but-waiting sessions beyond the active set.
+    pub queue_capacity: usize,
+    /// Threads of the one shared worker pool (1 = sequential batches).
+    pub threads: usize,
+    /// Per-session execution defaults; `session_label`, `threads` and the
+    /// worker pool itself are overridden per session by the service.
+    pub base: OnlineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_active: 4,
+            queue_capacity: 16,
+            threads: 1,
+            base: OnlineConfig::default(),
+        }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The SQL did not compile / plan; carries the engine diagnostic.
+    Compile(gola_common::Error),
+    /// Admission control refused the session (HTTP: 429).
+    Admission(AdmissionError),
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Compile(e) => write!(f, "{e}"),
+            SubmitError::Admission(e) => write!(f, "{e}"),
+            SubmitError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+enum Command {
+    Submit {
+        id: SessionId,
+        task: Box<QueryTask>,
+        weight: u64,
+        reports: Sender<Result<BatchReport>>,
+        reply: SyncSender<std::result::Result<Admitted, AdmissionError>>,
+    },
+    Cancel(SessionId),
+    Shutdown,
+}
+
+/// A client's view of one admitted session: iterate it for the report
+/// stream (ends after the final report; an execution error is the last
+/// item). Dropping the handle lazily cancels the session — the scheduler
+/// notices the closed channel at its next report and reclaims the slot.
+pub struct QueryHandle {
+    id: SessionId,
+    reports: Receiver<Result<BatchReport>>,
+    cmds: Sender<Command>,
+}
+
+impl QueryHandle {
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Block for the next report; `None` once the stream has ended.
+    pub fn recv(&self) -> Option<Result<BatchReport>> {
+        self.reports.recv().ok()
+    }
+
+    /// Non-blocking pull of one ready report (job-poll surface).
+    pub fn try_recv(
+        &self,
+    ) -> std::result::Result<Result<BatchReport>, std::sync::mpsc::TryRecvError> {
+        self.reports.try_recv()
+    }
+
+    /// Cancel the session now (idempotent; finishing first is fine).
+    pub fn cancel(&self) {
+        let _ = self.cmds.send(Command::Cancel(self.id));
+    }
+}
+
+impl Iterator for QueryHandle {
+    type Item = Result<BatchReport>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.recv()
+    }
+}
+
+struct ServiceMetrics {
+    submitted: gola_obs::Counter,
+    rejected: gola_obs::Counter,
+    completed: gola_obs::Counter,
+    canceled: gola_obs::Counter,
+    active: gola_obs::Gauge,
+    queued: gola_obs::Gauge,
+}
+
+impl ServiceMetrics {
+    fn resolve() -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: gola_obs::counter("service.submitted"),
+            rejected: gola_obs::counter("service.rejected"),
+            completed: gola_obs::counter("service.completed"),
+            canceled: gola_obs::counter("service.canceled"),
+            active: gola_obs::gauge("service.active"),
+            queued: gola_obs::gauge("service.queued"),
+        }
+    }
+}
+
+/// The multi-tenant service. Owns the scheduler thread and the shared
+/// pool; dropping it shuts the scheduler down (in-flight sessions see
+/// their streams end early).
+pub struct QueryService {
+    session: Arc<OnlineSession>,
+    pool: Arc<WorkerPool>,
+    cmds: Sender<Command>,
+    next_id: AtomicU64,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl QueryService {
+    pub fn new(catalog: Catalog, cfg: ServiceConfig) -> QueryService {
+        let pool = Arc::new(WorkerPool::new(cfg.threads.max(1)));
+        let policy = PolicyConfig {
+            max_active: cfg.max_active,
+            queue_capacity: cfg.queue_capacity,
+        };
+        let session = Arc::new(OnlineSession::new(catalog, cfg.base));
+        let (cmds, rx) = std::sync::mpsc::channel();
+        let worker = std::thread::Builder::new()
+            .name("gola-sched".into())
+            .spawn(move || scheduler_loop(policy, rx))
+            .ok();
+        QueryService {
+            session,
+            pool,
+            cmds,
+            next_id: AtomicU64::new(0),
+            worker,
+        }
+    }
+
+    /// The shared pool size (for diagnostics / the server's health page).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Compile `sql` and submit it as a weight-1 session.
+    pub fn submit(&self, sql: &str) -> std::result::Result<QueryHandle, SubmitError> {
+        self.submit_weighted(sql, 1)
+    }
+
+    /// Compile `sql` on the calling thread (so diagnostics return before
+    /// admission), then hand the execution to the scheduler.
+    pub fn submit_weighted(
+        &self,
+        sql: &str,
+        weight: u64,
+    ) -> std::result::Result<QueryHandle, SubmitError> {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // Per-session config: labeled metrics, threads pinned to the
+        // shared pool's size (informational only — the pool is shared).
+        let config = self
+            .session
+            .config()
+            .clone()
+            .with_session_label(id.to_string())
+            .with_threads(self.pool.threads());
+        let tenant = OnlineSession::new(self.session.catalog().clone(), config);
+        let prepared = tenant.prepare(sql).map_err(SubmitError::Compile)?;
+        let exec = tenant
+            .execute_prepared_with_pool(&prepared, Arc::clone(&self.pool))
+            .map_err(SubmitError::Compile)?;
+
+        let (report_tx, report_rx) = std::sync::mpsc::channel();
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        self.cmds
+            .send(Command::Submit {
+                id,
+                task: Box::new(QueryTask::new(exec)),
+                weight,
+                reports: report_tx,
+                reply: reply_tx,
+            })
+            .map_err(|_| SubmitError::Shutdown)?;
+        match reply_rx.recv() {
+            Ok(Ok(_admitted)) => Ok(QueryHandle {
+                id,
+                reports: report_rx,
+                cmds: self.cmds.clone(),
+            }),
+            Ok(Err(e)) => Err(SubmitError::Admission(e)),
+            Err(_) => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Cancel a session by id (idempotent).
+    pub fn cancel(&self, id: SessionId) {
+        let _ = self.cmds.send(Command::Cancel(id));
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        let _ = self.cmds.send(Command::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The scheduler thread: drain commands (blocking while idle), then run
+/// one quantum, forever. Exactly one session's batch round executes at any
+/// moment — that serialization is what carries bit-identity.
+fn scheduler_loop(policy: PolicyConfig, cmds: Receiver<Command>) {
+    let mut sched: Scheduler<QueryTask> = Scheduler::new(policy);
+    let mut streams: BTreeMap<SessionId, Sender<Result<BatchReport>>> = BTreeMap::new();
+    let metrics = gola_obs::enabled().then(ServiceMetrics::resolve);
+
+    loop {
+        // Idle: block for the next command. Busy: drain without blocking.
+        loop {
+            let cmd = if sched.is_idle() {
+                match cmds.recv() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                }
+            } else {
+                match cmds.try_recv() {
+                    Ok(c) => c,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            };
+            match cmd {
+                Command::Submit {
+                    id,
+                    task,
+                    weight,
+                    reports,
+                    reply,
+                } => {
+                    let outcome = sched.submit_with_id(id, *task, weight);
+                    if outcome.is_ok() {
+                        streams.insert(id, reports);
+                    }
+                    if let Some(m) = &metrics {
+                        match &outcome {
+                            Ok(_) => m.submitted.inc(),
+                            Err(_) => m.rejected.inc(),
+                        }
+                    }
+                    let _ = reply.send(outcome);
+                }
+                Command::Cancel(id) => {
+                    if sched.cancel(id) {
+                        streams.remove(&id);
+                        if let Some(m) = &metrics {
+                            m.canceled.inc();
+                        }
+                    }
+                }
+                Command::Shutdown => return,
+            }
+        }
+
+        if let Some(round) = sched.round() {
+            let mut gone = round.finished;
+            if let Some(output) = round.output {
+                let delivered = streams
+                    .get(&round.id)
+                    .is_some_and(|tx| tx.send(output).is_ok());
+                if !delivered && !round.finished {
+                    // Client dropped its handle: reclaim the slot.
+                    sched.cancel(round.id);
+                    gone = true;
+                    if let Some(m) = &metrics {
+                        m.canceled.inc();
+                    }
+                }
+            }
+            if gone {
+                streams.remove(&round.id);
+                if round.finished {
+                    if let Some(m) = &metrics {
+                        m.completed.inc();
+                    }
+                }
+            }
+        }
+
+        if let Some(m) = &metrics {
+            m.active.set(sched.num_active() as f64);
+            m.queued.set(sched.num_queued() as f64);
+        }
+    }
+}

@@ -87,6 +87,27 @@ impl OnlineSession {
 
     /// Start online execution of an already-prepared query.
     pub fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<OnlineExecution> {
+        self.execute_prepared_inner(prepared, None)
+    }
+
+    /// Start online execution on a shared worker pool (the multi-tenant
+    /// scheduler's entry point: every admitted session time-slices one
+    /// pool instead of spawning its own workers). Results are unaffected —
+    /// the threads=1/N bit-identity contract means pool size never reaches
+    /// a report.
+    pub fn execute_prepared_with_pool(
+        &self,
+        prepared: &PreparedQuery,
+        pool: Arc<crate::WorkerPool>,
+    ) -> Result<OnlineExecution> {
+        self.execute_prepared_inner(prepared, Some(pool))
+    }
+
+    fn execute_prepared_inner(
+        &self,
+        prepared: &PreparedQuery,
+        pool: Option<Arc<crate::WorkerPool>>,
+    ) -> Result<OnlineExecution> {
         let table = self.catalog.get(&prepared.stream_table)?;
         // Never ask for more batches than rows.
         let k = self.config.num_batches.min(table.num_rows()).max(1);
@@ -103,12 +124,21 @@ impl OnlineSession {
                 self.config.partition_seed,
             )?),
         });
-        let executor = OnlineExecutor::new(
-            &self.catalog,
-            prepared.meta.clone(),
-            partitioner,
-            self.config.clone(),
-        )?;
+        let executor = match pool {
+            Some(pool) => OnlineExecutor::with_pool(
+                &self.catalog,
+                prepared.meta.clone(),
+                partitioner,
+                self.config.clone(),
+                pool,
+            )?,
+            None => OnlineExecutor::new(
+                &self.catalog,
+                prepared.meta.clone(),
+                partitioner,
+                self.config.clone(),
+            )?,
+        };
         // A SQL-level contract wins over the config-level default.
         let contract = prepared.meta.contract.or(self.config.contract);
         Ok(OnlineExecution {
@@ -146,6 +176,13 @@ impl OnlineExecution {
     /// The contract this execution honors, if any.
     pub fn contract(&self) -> Option<QueryContract> {
         self.driver.as_ref().map(ContractDriver::contract)
+    }
+
+    /// `true` once the execution will yield no further reports — the
+    /// contract stopped it, or every mini-batch has been processed. The
+    /// scheduler polls this between quanta.
+    pub fn is_complete(&self) -> bool {
+        self.driver.as_ref().is_some_and(ContractDriver::is_stopped) || self.executor.is_finished()
     }
 
     /// One published report: a single executor step, or — under a deadline
@@ -200,8 +237,7 @@ impl Iterator for OnlineExecution {
     type Item = Result<BatchReport>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let stopped = self.driver.as_ref().is_some_and(ContractDriver::is_stopped);
-        if stopped || self.executor.is_finished() {
+        if self.is_complete() {
             None
         } else {
             Some(self.step_round())

@@ -1,0 +1,358 @@
+//! # gola-load — load-test harness for the multi-tenant query service
+//!
+//! Drives N synthetic clients over **real sockets** against a `gola-server`
+//! instance (self-hosted in-process by default, or an external `--addr`),
+//! each streaming a query's NDJSON reports, and summarizes the two
+//! latencies that define interactive online aggregation:
+//!
+//! * **time-to-first-estimate** — request write → first report frame; the
+//!   paper's "answer within a mini-batch" promise under multi-tenancy;
+//! * **time-to-±1%-CI** — request write → first frame whose worst
+//!   relative CI half-width is ≤ 1% (per-client; clients whose query never
+//!   tightens that far within its batch budget are reported separately).
+//!
+//! Output: a human table plus `results/BENCH_service.json` (see `--out`).
+//! All timing goes through `gola_common::timing::Stopwatch` — this binary
+//! measures the *service*, it never feeds time back into estimates.
+//!
+//! ```text
+//! cargo run --release -p gola-load -- \
+//!     [--clients 10] [--rows 20000] [--batches 20] [--max-active 4] \
+//!     [--threads 1] [--addr host:port] [--out results/BENCH_service.json]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gola_common::stats::percentile;
+use gola_common::timing::Stopwatch;
+use gola_core::sched::ServiceConfig;
+use gola_core::OnlineConfig;
+use gola_server::{Server, ServerConfig};
+use gola_storage::Catalog;
+use gola_workloads::{conviva, ConvivaGenerator};
+
+struct Args {
+    clients: usize,
+    rows: usize,
+    batches: usize,
+    max_active: usize,
+    threads: usize,
+    addr: Option<SocketAddr>,
+    out: String,
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+        if let Some(v) = a
+            .strip_prefix(&format!("{name}="))
+            .and_then(|v| v.parse().ok())
+        {
+            return v;
+        }
+    }
+    default
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    Args {
+        clients: flag(&args, "--clients", 10usize).max(1),
+        rows: flag(&args, "--rows", 20_000usize).max(1000),
+        batches: flag(&args, "--batches", 20usize).max(2),
+        max_active: flag(&args, "--max-active", 4usize).max(1),
+        threads: flag(&args, "--threads", 1usize).max(1),
+        addr: args
+            .iter()
+            .position(|a| a == "--addr")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|a| a.parse().ok()),
+        out: flag(&args, "--out", "results/BENCH_service.json".to_string()),
+    }
+}
+
+/// One client's observations.
+struct ClientResult {
+    ttfe: Duration,
+    /// First frame at ≤1% worst relative CI half-width, if reached.
+    tt_ci1: Option<Duration>,
+    batches: usize,
+    total: Duration,
+}
+
+/// Worst (largest) relative CI half-width across a frame's estimates,
+/// parsed from the NDJSON frame. `None` when any cell lacks a CI.
+fn worst_rel_ci(frame: &str) -> Option<f64> {
+    let value = gola_obs::json::parse(frame).ok()?;
+    let estimates = match value.get("estimates") {
+        Some(gola_obs::json::Value::Array(cells)) if !cells.is_empty() => cells,
+        _ => return None,
+    };
+    let mut worst = 0.0f64;
+    for cell in estimates {
+        let point = cell.get("value")?.as_f64()?;
+        let ci = cell.get("ci")?;
+        let lo = ci.get("lo")?.as_f64()?;
+        let hi = ci.get("hi")?.as_f64()?;
+        let half = (hi - lo) / 2.0;
+        let rel = if half == 0.0 {
+            0.0
+        } else if point == 0.0 {
+            f64::INFINITY
+        } else {
+            half / point.abs()
+        };
+        if rel > worst {
+            worst = rel;
+        }
+    }
+    Some(worst)
+}
+
+/// Stream one query and record latencies. Chunked transfer is decoded
+/// inline so a frame counts the moment its bytes arrive.
+fn run_client(addr: SocketAddr, sql: &str) -> Result<ClientResult, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let request = format!(
+        "POST /query HTTP/1.1\r\nhost: gola-load\r\ncontent-length: {}\r\n\r\n{sql}",
+        sql.len()
+    );
+    let clock = Stopwatch::start();
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    // Head: status line + headers up to the blank line.
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("status: {e}"))?;
+    if !status_line.contains("200") {
+        return Err(format!("non-200 response: {}", status_line.trim()));
+    }
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("head: {e}"))?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    // Body: chunked NDJSON; split on newlines across chunk boundaries.
+    let mut ttfe = None;
+    let mut tt_ci1 = None;
+    let mut batches = 0usize;
+    let mut pending = String::new();
+    loop {
+        let mut size_line = String::new();
+        reader
+            .read_line(&mut size_line)
+            .map_err(|e| format!("chunk size: {e}"))?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+        if size == 0 {
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + trailing CRLF
+        reader
+            .read_exact(&mut chunk)
+            .map_err(|e| format!("chunk body: {e}"))?;
+        chunk.truncate(size);
+        pending.push_str(&String::from_utf8_lossy(&chunk));
+        while let Some(at) = pending.find('\n') {
+            let frame: String = pending.drain(..=at).collect();
+            let frame = frame.trim();
+            if frame.is_empty() {
+                continue;
+            }
+            if frame.starts_with("{\"error\"") {
+                return Err(format!("server error frame: {frame}"));
+            }
+            batches += 1;
+            if ttfe.is_none() {
+                ttfe = Some(clock.elapsed());
+            }
+            if tt_ci1.is_none() && worst_rel_ci(frame).is_some_and(|rel| rel <= 0.01) {
+                tt_ci1 = Some(clock.elapsed());
+            }
+        }
+    }
+    let total = clock.elapsed();
+    let ttfe = ttfe.ok_or("stream ended with no frames")?;
+    Ok(ClientResult {
+        ttfe,
+        tt_ci1,
+        batches,
+        total,
+    })
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn pctl(samples: &[f64], q: f64) -> f64 {
+    percentile(samples, q).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Self-host unless pointed at an external server.
+    let (_server, addr) = match args.addr {
+        Some(addr) => (None, addr),
+        None => {
+            let mut catalog = Catalog::new();
+            catalog
+                .register(
+                    "sessions",
+                    std::sync::Arc::new(ConvivaGenerator::default().generate(args.rows)),
+                )
+                .expect("fresh catalog");
+            let server = Server::start(
+                catalog,
+                ServerConfig {
+                    service: ServiceConfig {
+                        max_active: args.max_active,
+                        // Admit every load client; saturation behavior has
+                        // its own tests — here we measure latency.
+                        queue_capacity: args.clients,
+                        threads: args.threads,
+                        base: OnlineConfig::default().with_batches(args.batches),
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("server binds");
+            let addr = server.addr();
+            (Some(server), addr)
+        }
+    };
+
+    // The query mix: cycle the Conviva suite across clients.
+    let suite = conviva::queries();
+    let wall = Stopwatch::start();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let (name, sql) = suite[i % suite.len()];
+            let sql = sql.to_string();
+            std::thread::spawn(move || (name, run_client(addr, &sql)))
+        })
+        .collect();
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for worker in workers {
+        match worker.join() {
+            Ok((name, Ok(r))) => results.push((name, r)),
+            Ok((name, Err(e))) => failures.push(format!("{name}: {e}")),
+            Err(_) => failures.push("client thread panicked".to_string()),
+        }
+    }
+    let wall = wall.elapsed();
+
+    if !failures.is_empty() {
+        eprintln!("FAILED clients ({}):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let ttfe: Vec<f64> = results
+        .iter()
+        .map(|(_, r)| r.ttfe.as_secs_f64() * 1e3)
+        .collect();
+    let ci1: Vec<f64> = results
+        .iter()
+        .filter_map(|(_, r)| r.tt_ci1.map(|d| d.as_secs_f64() * 1e3))
+        .collect();
+    let totals: Vec<f64> = results
+        .iter()
+        .map(|(_, r)| r.total.as_secs_f64() * 1e3)
+        .collect();
+    let batches_total: usize = results.iter().map(|(_, r)| r.batches).sum();
+
+    println!(
+        "gola-load: {} clients, {} rows, {} batches, max_active {}, pool threads {}",
+        args.clients, args.rows, args.batches, args.max_active, args.threads
+    );
+    println!(
+        "  all clients completed; {} total report frames in {:.3}s wall",
+        batches_total,
+        wall.as_secs_f64()
+    );
+    println!(
+        "  time-to-first-estimate  p50 {:9.3} ms   p99 {:9.3} ms",
+        pctl(&ttfe, 0.50),
+        pctl(&ttfe, 0.99)
+    );
+    if ci1.is_empty() {
+        println!("  time-to-±1%-CI          (no client reached ±1% within its batch budget)");
+    } else {
+        println!(
+            "  time-to-±1%-CI          p50 {:9.3} ms   p99 {:9.3} ms   ({}/{} clients reached)",
+            pctl(&ci1, 0.50),
+            pctl(&ci1, 0.99),
+            ci1.len(),
+            results.len()
+        );
+    }
+    println!(
+        "  stream completion       p50 {:9.3} ms   p99 {:9.3} ms",
+        pctl(&totals, 0.50),
+        pctl(&totals, 0.99)
+    );
+
+    // Machine-readable summary.
+    let mut json = String::from("{\"experiment\":\"service_load\",\"workload\":\"conviva_suite\"");
+    json.push_str(&format!(
+        ",\"clients\":{},\"rows\":{},\"batches\":{},\"max_active\":{},\"pool_threads\":{}",
+        args.clients, args.rows, args.batches, args.max_active, args.threads
+    ));
+    json.push_str(&format!(
+        ",\"self_hosted\":{},\"wall_s\":{:.6},\"report_frames\":{batches_total}",
+        args.addr.is_none(),
+        wall.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        ",\"ttfe_ms\":{{\"p50\":{},\"p99\":{}}}",
+        fmt_ms(Duration::from_secs_f64(pctl(&ttfe, 0.50) / 1e3)),
+        fmt_ms(Duration::from_secs_f64(pctl(&ttfe, 0.99) / 1e3))
+    ));
+    if ci1.is_empty() {
+        json.push_str(",\"tt_ci1pct_ms\":null");
+    } else {
+        json.push_str(&format!(
+            ",\"tt_ci1pct_ms\":{{\"p50\":{:.3},\"p99\":{:.3},\"reached\":{},\"of\":{}}}",
+            pctl(&ci1, 0.50),
+            pctl(&ci1, 0.99),
+            ci1.len(),
+            results.len()
+        ));
+    }
+    json.push_str(&format!(
+        ",\"completion_ms\":{{\"p50\":{:.3},\"p99\":{:.3}}}}}",
+        pctl(&totals, 0.50),
+        pctl(&totals, 0.99)
+    ));
+
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&args.out, format!("{json}\n")) {
+        Ok(()) => println!("  wrote {}", args.out),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+    }
+}

@@ -153,19 +153,32 @@ fn prom_f64(v: f64) -> String {
 pub fn prometheus(timings: bool) -> String {
     let map = global().metrics.lock().unwrap();
     let mut out = String::new();
-    for (name, metric) in map.iter() {
+    // Registry keys may carry a label block (`name{session="s3"}`, see
+    // `registry::labeled`). Series of one family sort adjacently in the
+    // BTreeMap ("f" < "f{...}" < "g"), so one `# TYPE` header per family
+    // suffices: emit it only when the family name changes.
+    let mut last_family = String::new();
+    for (key, metric) in map.iter() {
+        let (name, labels) = crate::registry::split_labels(key);
+        let labels = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
         match metric {
             Metric::Counter(c) => {
                 let n = prom_name(name);
-                let _ = writeln!(out, "# TYPE {n}_total counter");
-                let _ = writeln!(out, "{n}_total {}", c.load(Ordering::Relaxed));
+                if last_family != n {
+                    let _ = writeln!(out, "# TYPE {n}_total counter");
+                    last_family = n.clone();
+                }
+                let _ = writeln!(out, "{n}_total{labels} {}", c.load(Ordering::Relaxed));
             }
             Metric::Gauge(g) => {
                 let n = prom_name(name);
-                let _ = writeln!(out, "# TYPE {n} gauge");
+                if last_family != n {
+                    let _ = writeln!(out, "# TYPE {n} gauge");
+                    last_family = n.clone();
+                }
                 let _ = writeln!(
                     out,
-                    "{n} {}",
+                    "{n}{labels} {}",
                     prom_f64(f64::from_bits(g.load(Ordering::Relaxed)))
                 );
             }
@@ -290,6 +303,23 @@ mod tests {
             panic!("timing hist")
         };
         assert!(h.get("sum").is_some() && h.get("bounds").is_some());
+    }
+
+    #[test]
+    fn prometheus_labeled_series_share_one_family() {
+        registry::counter_with("test.prom.labeled", &[("session", "a")]).add(2);
+        registry::counter_with("test.prom.labeled", &[("session", "b")]).add(4);
+        registry::gauge_with("test.prom.lgauge", &[("session", "a")]).set(0.5);
+        let text = prometheus(false);
+        assert_eq!(
+            text.matches("# TYPE gola_test_prom_labeled_total counter")
+                .count(),
+            1,
+            "one TYPE header per family: {text}"
+        );
+        assert!(text.contains("gola_test_prom_labeled_total{session=\"a\"} 2"));
+        assert!(text.contains("gola_test_prom_labeled_total{session=\"b\"} 4"));
+        assert!(text.contains("gola_test_prom_lgauge{session=\"a\"} 0.5"));
     }
 
     #[test]

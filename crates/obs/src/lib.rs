@@ -51,7 +51,7 @@ pub mod span;
 
 pub use export::{prometheus, snapshot_json};
 pub use registry::{
-    counter, duration_histogram, enabled, gauge, histogram, reset, set_enabled, Counter, Gauge,
-    Histogram, DURATION_BOUNDS,
+    counter, counter_with, duration_histogram, enabled, gauge, gauge_with, histogram, labeled,
+    reset, set_enabled, Counter, Gauge, Histogram, DURATION_BOUNDS,
 };
 pub use span::SpanGuard;

@@ -193,6 +193,66 @@ fn register<T>(
     pick(metric).unwrap_or_else(|| panic!("metric '{name}' already registered with another type"))
 }
 
+/// Build the canonical registry key for a labeled metric:
+/// `name{k1="v1",k2="v2"}` with label pairs sorted by key and `"`/`\`
+/// escaped in values. Metrics differing only in labels are distinct
+/// registry entries but one logical family — the Prometheus exporter
+/// splits the key back apart so every labeled series shares its family's
+/// `# TYPE` header and name.
+///
+/// Labels exist for *dimensions with bounded, code-controlled
+/// cardinality* — the canonical use is the query service's per-session
+/// `session` dimension, so concurrent sessions never write through the
+/// same gauge cell. Do not put user input in label values.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut key = String::with_capacity(name.len() + 16);
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => key.push_str("\\\""),
+                '\\' => key.push_str("\\\\"),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+/// Split a canonical registry key back into `(family name, label block)`.
+/// Unlabeled keys return `(key, None)`.
+pub(crate) fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((name, rest)) => (name, rest.strip_suffix('}')),
+        None => (key, None),
+    }
+}
+
+/// Get or create the counter `name` with a label set (one registry cell
+/// per distinct label combination).
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+    counter(&labeled(name, labels))
+}
+
+/// Get or create the gauge `name` with a label set.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    gauge(&labeled(name, labels))
+}
+
 /// Get or create the counter `name`.
 pub fn counter(name: &str) -> Counter {
     register(
@@ -333,5 +393,39 @@ mod tests {
     fn type_mismatch_panics() {
         counter("test.reg.mismatch");
         gauge("test.reg.mismatch");
+    }
+
+    #[test]
+    fn labeled_keys_are_canonical() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("m", &[("session", "s3"), ("kind", "avg")]),
+            "m{kind=\"avg\",session=\"s3\"}",
+            "labels sort by key"
+        );
+        assert_eq!(labeled("m", &[("k", "a\"b\\c")]), "m{k=\"a\\\"b\\\\c\"}");
+        assert_eq!(split_labels("m{k=\"v\"}"), ("m", Some("k=\"v\"")));
+        assert_eq!(split_labels("m"), ("m", None));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_cells() {
+        let a = counter_with("test.reg.sessions", &[("session", "a")]);
+        let b = counter_with("test.reg.sessions", &[("session", "b")]);
+        a.add(3);
+        b.add(5);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 5);
+        let ga = gauge_with("test.reg.sgauge", &[("session", "a")]);
+        let gb = gauge_with("test.reg.sgauge", &[("session", "b")]);
+        ga.set(1.5);
+        gb.set(-2.5);
+        assert_eq!(ga.get(), 1.5);
+        assert_eq!(gb.get(), -2.5);
+        // Re-resolving the same label set shares the cell.
+        assert_eq!(
+            counter_with("test.reg.sessions", &[("session", "a")]).get(),
+            3
+        );
     }
 }

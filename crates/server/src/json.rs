@@ -1,0 +1,216 @@
+//! Deterministic JSON rendering of [`BatchReport`]s.
+//!
+//! The wire format deliberately carries **no wall-clock fields** — no
+//! batch/cumulative times, no stage timings. Everything serialized here is
+//! bit-deterministic under the engine's threads=1/N contract, so two runs
+//! of the same query produce byte-identical frames: the HTTP golden tests
+//! pin SSE streams byte for byte, and the conformance service leg can
+//! diff whole streams textually. Clients that want timings read
+//! `/metrics` (explicitly nondeterministic) instead.
+//!
+//! Floats use Rust's shortest-roundtrip `Display`; non-finite values
+//! (possible in degenerate estimates) render as `null` to stay valid
+//! JSON.
+
+use gola_common::Value;
+use gola_core::{BatchReport, ContractStop};
+
+/// Append a JSON string literal.
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float, `null` when non-finite.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest roundtrip repr, but keep it recognizably a float.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => push_f64(out, *f),
+        Value::Str(s) => push_str_lit(out, s),
+    }
+}
+
+/// One report as a single-line JSON object (the NDJSON frame; SSE wraps
+/// the same line in an event envelope).
+pub fn report_json(report: &BatchReport) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"batch\":");
+    out.push_str(&report.batch_index.to_string());
+    out.push_str(",\"num_batches\":");
+    out.push_str(&report.num_batches.to_string());
+    out.push_str(",\"rows_seen\":");
+    out.push_str(&report.rows_seen.to_string());
+    out.push_str(",\"total_rows\":");
+    out.push_str(&report.total_rows.to_string());
+    out.push_str(",\"columns\":[");
+    for (i, field) in report.table.schema().fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(&mut out, &field.name);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in report.table.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, value) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_value(&mut out, value);
+        }
+        out.push(']');
+    }
+    out.push_str("],\"row_certain\":[");
+    for (i, certain) in report.row_certain.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(if *certain { "true" } else { "false" });
+    }
+    out.push_str("],\"estimates\":[");
+    for (i, cell) in report.estimates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"row\":");
+        out.push_str(&cell.row.to_string());
+        out.push_str(",\"col\":");
+        out.push_str(&cell.col.to_string());
+        out.push_str(",\"value\":");
+        push_f64(&mut out, cell.estimate.value);
+        match cell.estimate.ci_percentile(report.ci_level) {
+            Some(ci) => {
+                out.push_str(",\"ci\":{\"lo\":");
+                push_f64(&mut out, ci.lo);
+                out.push_str(",\"hi\":");
+                push_f64(&mut out, ci.hi);
+                out.push_str(",\"level\":");
+                push_f64(&mut out, ci.level);
+                out.push('}');
+            }
+            None => out.push_str(",\"ci\":null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"uncertain_tuples\":");
+    out.push_str(&report.uncertain_tuples.to_string());
+    out.push_str(",\"recomputations\":");
+    out.push_str(&report.recomputations.to_string());
+    out.push_str(",\"contract\":");
+    match &report.contract {
+        None => out.push_str("null"),
+        Some(progress) => {
+            match progress.contract {
+                gola_core::QueryContract::Error { target, confidence } => {
+                    out.push_str("{\"type\":\"error\",\"target\":");
+                    push_f64(&mut out, target);
+                    out.push_str(",\"confidence\":");
+                    push_f64(&mut out, confidence);
+                }
+                gola_core::QueryContract::Within { seconds } => {
+                    out.push_str("{\"type\":\"within\",\"seconds\":");
+                    push_f64(&mut out, seconds);
+                }
+            }
+            out.push_str(",\"achieved_rel_error\":");
+            match progress.achieved_rel_error {
+                Some(a) => push_f64(&mut out, a),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"stop\":");
+            match progress.stop {
+                None => out.push_str("null"),
+                Some(ContractStop::ErrorTargetMet) => out.push_str("\"error_target_met\""),
+                Some(ContractStop::DeadlineReached) => out.push_str("\"deadline_reached\""),
+                Some(ContractStop::Exhausted) => out.push_str("\"exhausted\""),
+            }
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A standalone JSON string literal (escaped and quoted).
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::new();
+    push_str_lit(&mut out, s);
+    out
+}
+
+/// A diagnostic payload: `{"error": "..."}` plus optional extra numeric
+/// fields (admission telemetry).
+pub fn error_json(message: &str, extra: &[(&str, u64)]) -> String {
+    let mut out = String::from("{\"error\":");
+    push_str_lit(&mut out, message);
+    for (key, value) in extra {
+        out.push(',');
+        push_str_lit(&mut out, key);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_roundtrip_and_nonfinite_as_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(',');
+        push_f64(&mut out, 3.0);
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "1.5,3.0,null");
+    }
+
+    #[test]
+    fn error_json_shape() {
+        assert_eq!(
+            error_json("nope", &[("active", 2)]),
+            "{\"error\":\"nope\",\"active\":2}"
+        );
+    }
+}

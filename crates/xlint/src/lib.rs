@@ -194,6 +194,10 @@ impl Default for Config {
             panic_scope: s(&[
                 "crates/core/src/executor.rs",
                 "crates/core/src/pool.rs",
+                // The multi-tenant scheduler and HTTP front end: a panic
+                // here takes down every tenant, not one query.
+                "crates/core/src/sched",
+                "crates/server/src",
                 "crates/engine/src",
                 // Self-hosting: the lint library must hold itself to the
                 // no-panic bar (the CLI may exit, the library may not).
@@ -221,6 +225,7 @@ impl Default for Config {
                 "crates/common/src",
                 "crates/expr/src",
                 "crates/storage/src",
+                "crates/server/src",
                 "crates/xlint/src",
             ]),
             merge_scope: s(&[

@@ -1,0 +1,166 @@
+//! The multi-tenant preemption-safety contract, end to end.
+//!
+//! N concurrent sessions time-slicing one shared worker pool through the
+//! `QueryService` must each see a report stream **bit-identical** to the
+//! same query run solo on a single-threaded session. Batch-granularity
+//! preemption plus the engine's threads=1/N contract make this hold by
+//! construction; this test holds the whole threaded stack (channels,
+//! scheduler thread, shared pool) to it — across seeds × {2, 4, 8}
+//! concurrent sessions, same bit-for-bit discipline as
+//! `tests/parallel_equivalence.rs`.
+
+use std::sync::Arc;
+
+use g_ola::core::sched::{QueryService, ServiceConfig};
+use g_ola::core::{BatchReport, OnlineConfig, OnlineSession};
+use g_ola::storage::Catalog;
+use g_ola::workloads::{conviva, ConvivaGenerator};
+
+fn catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            "sessions",
+            Arc::new(ConvivaGenerator::default().generate(4000)),
+        )
+        .expect("register table");
+    catalog
+}
+
+fn base_config(seed: u64) -> OnlineConfig {
+    OnlineConfig::for_tests(6).with_trials(16).with_seed(seed)
+}
+
+fn solo_stream(catalog: &Catalog, sql: &str, seed: u64) -> Vec<BatchReport> {
+    let session = OnlineSession::new(catalog.clone(), base_config(seed).with_threads(1));
+    let exec = session.execute_online(sql).expect("query compiles");
+    exec.map(|r| r.expect("batch succeeds")).collect()
+}
+
+fn assert_identical(name: &str, solo: &[BatchReport], service: &[BatchReport]) {
+    assert_eq!(solo.len(), service.len(), "{name}: stream length");
+    for (a, b) in solo.iter().zip(service) {
+        let i = a.batch_index;
+        assert_eq!(b.batch_index, i, "{name}: batch order");
+        assert_eq!(a.rows_seen, b.rows_seen, "{name} batch {i}: rows seen");
+        assert_eq!(
+            a.uncertain_tuples, b.uncertain_tuples,
+            "{name} batch {i}: uncertain-set size"
+        );
+        assert_eq!(
+            a.recomputations, b.recomputations,
+            "{name} batch {i}: recompute count"
+        );
+        assert_eq!(a.row_certain, b.row_certain, "{name} batch {i}: certainty");
+        for (x, y) in a.table.rows().iter().zip(b.table.rows()) {
+            for (u, v) in x.iter().zip(y.iter()) {
+                match (u.as_f64(), v.as_f64()) {
+                    (Some(fu), Some(fv)) => assert_eq!(
+                        fu.to_bits(),
+                        fv.to_bits(),
+                        "{name} batch {i}: cell {fu} vs {fv}"
+                    ),
+                    _ => assert_eq!(u, v, "{name} batch {i}: cell"),
+                }
+            }
+        }
+        assert_eq!(
+            a.estimates.len(),
+            b.estimates.len(),
+            "{name} batch {i}: estimate count"
+        );
+        for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+            assert_eq!(
+                ea.estimate.value.to_bits(),
+                eb.estimate.value.to_bits(),
+                "{name} batch {i}: estimate value"
+            );
+            for (x, y) in ea.estimate.replicas.iter().zip(&eb.estimate.replicas) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name} batch {i}: replica");
+            }
+        }
+    }
+}
+
+/// Run `n` sessions concurrently through one service and return each
+/// session's full stream, in submission order.
+fn service_streams(
+    catalog: &Catalog,
+    queries: &[(&str, &str)],
+    seed: u64,
+    threads: usize,
+) -> Vec<Vec<BatchReport>> {
+    let service = QueryService::new(
+        catalog.clone(),
+        ServiceConfig {
+            max_active: queries.len(),
+            queue_capacity: queries.len(),
+            threads,
+            base: base_config(seed),
+        },
+    );
+    // Submit everything up front so the scheduler genuinely interleaves,
+    // then drain the per-session channels in any order (delivery order
+    // within one session is the scheduler's round order).
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|(name, sql)| {
+            service
+                .submit(sql)
+                .unwrap_or_else(|e| panic!("{name} admits: {e}"))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .zip(queries)
+        .map(|(handle, (name, _))| {
+            handle
+                .map(|r| r.unwrap_or_else(|e| panic!("{name} batch fails: {e}")))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_streams_are_bit_identical_to_solo_runs() {
+    let catalog = catalog();
+    let suite = conviva::queries();
+    for &n in &[2usize, 4, 8] {
+        for seed in [7u64, 20_260_809] {
+            // n sessions cycling through the query suite, all distinct
+            // work in flight at once on a threads=2 shared pool.
+            let queries: Vec<(&str, &str)> = (0..n).map(|i| suite[i % suite.len()]).collect();
+            let streams = service_streams(&catalog, &queries, seed, 2);
+            for ((name, sql), stream) in queries.iter().zip(&streams) {
+                let solo = solo_stream(&catalog, sql, seed);
+                assert!(
+                    !stream.is_empty(),
+                    "{name} (n={n}, seed={seed}): empty stream"
+                );
+                assert_identical(&format!("{name} (n={n}, seed={seed})"), &solo, stream);
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_frees_a_slot_for_queued_sessions() {
+    let catalog = catalog();
+    let service = QueryService::new(
+        catalog.clone(),
+        ServiceConfig {
+            max_active: 1,
+            queue_capacity: 1,
+            threads: 1,
+            base: base_config(3),
+        },
+    );
+    let first = service.submit(conviva::SBI).expect("first admits");
+    let second = service.submit(conviva::C1).expect("second queues");
+    // Cancel the active session: the queued one must activate and run to
+    // completion (admitted sessions are never dropped).
+    first.cancel();
+    let stream: Vec<BatchReport> = second.map(|r| r.expect("batch succeeds")).collect();
+    let solo = solo_stream(&catalog, conviva::C1, 3);
+    assert_identical("C1 after cancel", &solo, &stream);
+}
