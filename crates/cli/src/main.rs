@@ -18,16 +18,20 @@
 //! query), `--timings` (include wall-clock values in those exports),
 //! `--error P [--confidence C]` (session-default `ERROR P% CONFIDENCE C%`
 //! contract), `--deadline SECS` (session-default `WITHIN SECS SECONDS`
-//! contract), `--stratify COLUMN` (stratified mini-batch partitioning).
-//! A contract clause written in the SQL statement overrides the
-//! session-level flag for that query.
+//! contract), `--stratify COLUMN` (stratified mini-batch partitioning),
+//! `--append NAME=DIR` (open the durable stream at DIR and register it as
+//! table NAME; repeatable). A contract clause written in the SQL statement
+//! overrides the session-level flag for that query.
+//!
+//! Subcommands: `gola serve` (HTTP query service), `gola ingest` (write a
+//! generated workload into a durable segment directory).
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use gola_core::{OnlineConfig, OnlineSession};
 use gola_plan::QueryContract;
-use gola_storage::Catalog;
+use gola_storage::{Catalog, StreamTable};
 use gola_workloads::{ConvivaGenerator, MyTubeGenerator, TpchGenerator};
 
 struct Console {
@@ -48,6 +52,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("ingest") {
+        ingest(&args[1..]);
         return;
     }
     let mut console = Console {
@@ -93,6 +101,7 @@ fn main() {
     if console.metrics_out.is_some() {
         gola_obs::set_enabled(true);
     }
+    attach_streams(&mut console.catalog, &args);
     if args.iter().any(|a| a == "--demo") {
         console.load("mytube", 100_000);
         console.demo();
@@ -145,7 +154,10 @@ fn main() {
 /// conviva|tpch` (default conviva), `--rows N` (default 100000),
 /// `--threads N` (shared worker-pool width), `--max-active N` / `--queue
 /// N` (admission window), `--batches N`, `--metrics` (enable the
-/// observability registry; scrape `GET /metrics`).
+/// observability registry; scrape `GET /metrics`), `--max-connections N`
+/// (fail-closed accept cap, default 64), `--append NAME=DIR` (serve the
+/// durable stream at DIR as table NAME; `POST /append/NAME` then feeds
+/// it, and appended segments persist across restarts).
 fn serve(args: &[String]) {
     let workload = flag_str(args, "--workload").unwrap_or_else(|| "conviva".into());
     let rows = flag_value(args, "--rows").unwrap_or(100_000);
@@ -164,6 +176,7 @@ fn serve(args: &[String]) {
             std::process::exit(2);
         }
     }
+    attach_streams(&mut catalog, args);
     if args.iter().any(|a| a == "--metrics") {
         gola_obs::set_enabled(true);
     }
@@ -181,7 +194,11 @@ fn serve(args: &[String]) {
         queue_capacity: flag_value(args, "--queue").unwrap_or(16),
         base: OnlineConfig::default().with_batches(flag_value(args, "--batches").unwrap_or(40)),
     };
-    let config = gola_server::ServerConfig { addr, service };
+    let config = gola_server::ServerConfig {
+        addr,
+        service,
+        max_connections: flag_value(args, "--max-connections").unwrap_or(64).max(1),
+    };
     let server = match gola_server::Server::start(catalog, config) {
         Ok(s) => s,
         Err(e) => {
@@ -197,10 +214,130 @@ fn serve(args: &[String]) {
         "  POST /query   SQL body -> NDJSON report stream (SSE with accept: text/event-stream)"
     );
     println!("  POST /jobs    SQL body -> job id; GET /jobs/<id> to poll, DELETE to cancel");
+    println!("  POST /append/<table>  CSV body (with header) -> sealed segment on a stream");
     println!("  GET  /healthz, GET /metrics");
     // Serve until killed: the accept loop runs in background threads.
     loop {
         std::thread::park();
+    }
+}
+
+/// `gola ingest` — write a generated workload into a durable stream
+/// directory as write-once columnar segments (DESIGN.md §3.12).
+///
+/// Creates `--dir` if it has no manifest, otherwise reopens it and
+/// appends. Rows are appended and sealed every `--seal-rows`, so the run
+/// adds ⌈rows/seal-rows⌉ segments. The stream is closed afterwards —
+/// queries over it drain to an exact final answer — unless `--keep-open`
+/// leaves it appendable for `gola serve --append` or a later ingest.
+///
+/// Flags: `--dir PATH` (required), `--workload conviva|tpch` (default
+/// conviva), `--rows N` (default 10000), `--seal-rows K` (default ⌈N/4⌉),
+/// `--seed S` (decimal), `--keep-open`.
+fn ingest(args: &[String]) {
+    let Some(dir) = flag_str(args, "--dir") else {
+        eprintln!("gola ingest: --dir is required");
+        std::process::exit(2);
+    };
+    let workload = flag_str(args, "--workload").unwrap_or_else(|| "conviva".into());
+    let rows = flag_value(args, "--rows").unwrap_or(10_000);
+    let seed = match flag_str(args, "--seed").map(|s| s.parse::<u64>()) {
+        None => None,
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
+            eprintln!("gola ingest: bad --seed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let data = match workload.as_str() {
+        "conviva" => {
+            let mut g = ConvivaGenerator::default();
+            if let Some(s) = seed {
+                g.seed = s;
+            }
+            g.generate(rows)
+        }
+        "tpch" => {
+            let mut g = TpchGenerator::default();
+            if let Some(s) = seed {
+                g.seed = s;
+            }
+            g.generate(rows)
+        }
+        other => {
+            eprintln!("gola ingest: unknown workload '{other}' (conviva | tpch)");
+            std::process::exit(2);
+        }
+    };
+    let seal_rows = flag_value(args, "--seal-rows")
+        .unwrap_or_else(|| data.num_rows().div_ceil(4))
+        .max(1);
+    let path = std::path::Path::new(&dir);
+    let result = (|| {
+        let stream = if path.join(gola_storage::stream::MANIFEST_FILE).is_file() {
+            StreamTable::open_dir(path)?
+        } else {
+            StreamTable::create_dir(Arc::clone(data.schema()), path)?
+        };
+        for chunk in data.rows().chunks(seal_rows) {
+            stream.append_rows(chunk)?;
+            stream.seal()?;
+        }
+        if !args.iter().any(|a| a == "--keep-open") {
+            stream.close()?;
+        }
+        Ok::<_, gola_common::Error>(stream)
+    })();
+    match result {
+        Ok(stream) => println!(
+            "gola ingest: '{workload}' +{} rows -> {dir} ({} segments, watermark {}{})",
+            data.num_rows(),
+            stream.num_segments(),
+            stream.watermark(),
+            if stream.is_closed() { ", closed" } else { "" },
+        ),
+        Err(e) => {
+            eprintln!("gola ingest: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Open each `--append NAME=DIR` durable stream and register it in the
+/// catalog. Failures are fatal up front — a missing manifest or a name
+/// collision would otherwise surface later as a confusing query error.
+fn attach_streams(catalog: &mut Catalog, args: &[String]) {
+    for (i, a) in args.iter().enumerate() {
+        let spec = if a == "--append" {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix("--append=").map(str::to_string)
+        };
+        let Some(spec) = spec else { continue };
+        let Some((name, dir)) = spec.split_once('=') else {
+            eprintln!("gola: --append expects NAME=DIR, got '{spec}'");
+            std::process::exit(2);
+        };
+        let stream = match StreamTable::open_dir(std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gola: --append {name}: cannot open '{dir}': {e}");
+                std::process::exit(2);
+            }
+        };
+        let (segments, watermark, closed) = (
+            stream.num_segments(),
+            stream.watermark(),
+            stream.is_closed(),
+        );
+        if let Err(e) = catalog.register_stream(name, stream) {
+            eprintln!("gola: --append: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "  attached stream '{name}' from {dir} ({segments} segments, watermark {watermark}{})",
+            if closed { ", closed" } else { "" },
+        );
     }
 }
 

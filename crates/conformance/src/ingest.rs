@@ -1,0 +1,382 @@
+//! The streaming-ingest leg of the conformance harness (DESIGN.md §3.12).
+//!
+//! Growing queries extend the bit-identity contract to mini-batches that
+//! did not exist when the query started: with a **deterministic** ingest
+//! schedule — appends and seals driven between iterator steps — the full
+//! report stream must be identical bit for bit at `threads = 1` vs
+//! `threads = N`, across same-seed reruns, and between an in-memory stream
+//! and a durable one persisting every segment to disk. This leg proves it
+//! generatively: for each schema class it generates M queries, derives a
+//! per-case append schedule from the seed (seed fraction sealed up front,
+//! one segment sealed mid-run, one tail sealed at close), runs all four
+//! variants, and additionally demands that
+//!
+//! * the **final** report of the drained stream equals the batch engine's
+//!   exact answer over the full data (order-insensitive bit equality), and
+//! * a durable stream **reopened from its manifest** is closed, at the
+//!   right watermark, and snapshots to the full data bit for bit.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use gola_bootstrap::BootstrapSpec;
+use gola_core::{BatchReport, OnlineConfig, OnlineSession};
+use gola_storage::{Catalog, StreamTable, Table};
+
+use crate::gen::{QueryGen, SchemaClass};
+use crate::oracle::{reports_identical, tables_bit_equal};
+
+/// Execution parameters of one ingest-leg run (per schema class).
+#[derive(Debug, Clone)]
+pub struct IngestLegConfig {
+    /// Distinct generated queries, each with its own append schedule.
+    pub cases: usize,
+    /// Total fact-table rows (sealed up front + appended mid-run).
+    pub rows: usize,
+    /// Base mini-batches over the query-start snapshot.
+    pub num_batches: usize,
+    /// Bootstrap trials per estimate.
+    pub trials: u32,
+    /// Worker threads for the `threads = N` variant.
+    pub pool_threads: usize,
+    /// Mini-batch partition seed (shared by every variant).
+    pub partition_seed: u64,
+}
+
+impl Default for IngestLegConfig {
+    fn default() -> IngestLegConfig {
+        IngestLegConfig {
+            cases: 12,
+            rows: 360,
+            num_batches: 4,
+            trials: 16,
+            pool_threads: 3,
+            partition_seed: 0xF1_00_DB,
+        }
+    }
+}
+
+/// What one green ingest-leg run covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestLegStats {
+    /// Distinct queries compared.
+    pub cases: usize,
+    /// Post-start segments consumed as extra mini-batches, summed.
+    pub extra_batches: usize,
+    /// Rows that arrived after query start, summed.
+    pub appended_rows: usize,
+    /// Durable streams replayed bit-exactly from their manifests.
+    pub durable_replays: usize,
+}
+
+/// An ingest-leg failure, with the query and schedule attached so the
+/// case is replayable by hand.
+#[derive(Debug, Clone)]
+pub enum IngestLegFailure {
+    /// The query failed to compile.
+    Compile { sql: String, detail: String },
+    /// One variant failed at execution time.
+    Run {
+        leg: &'static str,
+        sql: String,
+        detail: String,
+    },
+    /// A variant's stream diverged from the reference stream.
+    Mismatch {
+        leg: &'static str,
+        sql: String,
+        batch: usize,
+        detail: String,
+    },
+    /// The drained stream's final answer disagreed with the batch engine.
+    Exact { sql: String, detail: String },
+    /// The durable stream failed to reopen to the expected state.
+    Durable { sql: String, detail: String },
+}
+
+impl IngestLegFailure {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IngestLegFailure::Compile { .. } => "compile",
+            IngestLegFailure::Run { .. } => "run",
+            IngestLegFailure::Mismatch { .. } => "mismatch",
+            IngestLegFailure::Exact { .. } => "exact",
+            IngestLegFailure::Durable { .. } => "durable",
+        }
+    }
+}
+
+impl fmt::Display for IngestLegFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestLegFailure::Compile { sql, detail } => {
+                write!(f, "compile failed: {detail}\n  sql: {sql}")
+            }
+            IngestLegFailure::Run { leg, sql, detail } => {
+                write!(f, "{leg} run failed: {detail}\n  sql: {sql}")
+            }
+            IngestLegFailure::Mismatch {
+                leg,
+                sql,
+                batch,
+                detail,
+            } => write!(
+                f,
+                "{leg} stream diverged from reference at batch {batch}: \
+                 {detail}\n  sql: {sql}"
+            ),
+            IngestLegFailure::Exact { sql, detail } => write!(
+                f,
+                "drained stream's final answer is not exact: {detail}\n  sql: {sql}"
+            ),
+            IngestLegFailure::Durable { sql, detail } => {
+                write!(f, "durable replay failed: {detail}\n  sql: {sql}")
+            }
+        }
+    }
+}
+
+/// A per-case ingest schedule, derived deterministically from the seed:
+/// `upfront` rows are sealed before the query starts, `mid` rows are
+/// sealed as one segment after report `append_after`, and `tail` rows are
+/// appended unsealed (they count toward the live N immediately) and seal
+/// when the stream closes.
+#[derive(Debug, Clone, Copy)]
+struct Schedule {
+    upfront: usize,
+    mid: usize,
+    tail: usize,
+    append_after: usize,
+}
+
+impl Schedule {
+    fn derive(rows: usize, num_batches: usize, seed: u64) -> Schedule {
+        let mut s = seed;
+        let mut next = move || {
+            // splitmix64: cheap, well-mixed, and self-contained.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // 40–70% of the data exists at query start; the rest arrives live.
+        let upfront = (rows * (40 + (next() % 31) as usize) / 100).max(num_batches);
+        let rest = rows - upfront;
+        let mid = (rest / 2).max(1);
+        let tail = (rest - mid).max(1);
+        // The mid-run segment lands after some base report (never the 0th:
+        // an append before any report is just a bigger snapshot).
+        let append_after = 1 + (next() as usize) % num_batches.max(2).saturating_sub(1);
+        Schedule {
+            upfront,
+            mid,
+            tail,
+            append_after,
+        }
+    }
+}
+
+/// Run one query over one ingest schedule. `dir` selects the durable
+/// variant. Returns the full report stream.
+fn run_schedule(
+    data: &Arc<Table>,
+    table_name: &str,
+    sql: &str,
+    sch: Schedule,
+    threads: usize,
+    cfg: &IngestLegConfig,
+    dir: Option<&Path>,
+) -> Result<Vec<BatchReport>, IngestLegFailure> {
+    let rows = data.rows();
+    let run_err = |leg: &'static str| {
+        let sql = sql.to_string();
+        move |e: gola_common::Error| IngestLegFailure::Run {
+            leg,
+            sql,
+            detail: e.to_string(),
+        }
+    };
+    let leg = if dir.is_some() { "durable" } else { "memory" };
+    let stream = match dir {
+        Some(dir) => {
+            StreamTable::create_dir(Arc::clone(data.schema()), dir).map_err(run_err(leg))?
+        }
+        None => StreamTable::new(Arc::clone(data.schema())),
+    };
+    stream
+        .append_rows(&rows[..sch.upfront])
+        .and_then(|()| stream.seal().map(|_| ()))
+        .map_err(run_err(leg))?;
+
+    let mut catalog = Catalog::new();
+    catalog
+        .register_stream(table_name, Arc::clone(&stream))
+        .map_err(run_err(leg))?;
+    let session = OnlineSession::new(
+        catalog,
+        OnlineConfig {
+            num_batches: cfg.num_batches,
+            bootstrap: BootstrapSpec::new(cfg.trials, 0x60_1A),
+            partition_seed: cfg.partition_seed,
+            threads,
+            ..OnlineConfig::default()
+        },
+    );
+    let mut exec = session
+        .execute_online(sql)
+        .map_err(|e| IngestLegFailure::Compile {
+            sql: sql.to_string(),
+            detail: e.to_string(),
+        })?;
+
+    let base_k = cfg.num_batches.min(sch.upfront).max(1);
+    let mut reports = Vec::new();
+    let step = |exec: &mut gola_core::OnlineExecution,
+                reports: &mut Vec<BatchReport>|
+     -> Result<(), IngestLegFailure> {
+        let report = exec.next().ok_or_else(|| IngestLegFailure::Run {
+            leg,
+            sql: sql.to_string(),
+            detail: "stream ended before the schedule drained".to_string(),
+        })?;
+        reports.push(report.map_err(run_err(leg))?);
+        Ok(())
+    };
+    for i in 0..base_k {
+        if i == sch.append_after {
+            // One segment seals mid-run (a future extra batch); the tail
+            // stays buffered — visible to the live N, not yet queryable.
+            let mid_end = sch.upfront + sch.mid;
+            stream
+                .append_rows(&rows[sch.upfront..mid_end])
+                .and_then(|()| stream.seal().map(|_| ()))
+                .and_then(|()| stream.append_rows(&rows[mid_end..]))
+                .map_err(run_err(leg))?;
+        }
+        step(&mut exec, &mut reports)?;
+    }
+    // The mid-run segment surfaces as an extra batch; closing seals the
+    // buffered tail into the final one.
+    step(&mut exec, &mut reports)?;
+    stream.close().map_err(run_err(leg))?;
+    for r in exec {
+        reports.push(r.map_err(run_err(leg))?);
+    }
+    Ok(reports)
+}
+
+/// Run the ingest leg for one schema class under `seed`.
+pub fn run_ingest_leg(
+    class: SchemaClass,
+    seed: u64,
+    cfg: &IngestLegConfig,
+) -> Result<IngestLegStats, IngestLegFailure> {
+    let data = Arc::new(class.generate(cfg.rows, seed ^ 0xDA7A));
+    // Generators may round the row count up (e.g. whole orders); the
+    // schedule and watermark checks go by what was actually generated.
+    let total_rows = data.num_rows();
+    let name = class.table_name();
+
+    // The exact oracle: the full data as a plain static table.
+    let mut exact_catalog = Catalog::new();
+    exact_catalog
+        .register(name, Arc::clone(&data))
+        .map_err(|e| IngestLegFailure::Compile {
+            sql: String::new(),
+            detail: e.to_string(),
+        })?;
+    let exact_session = OnlineSession::new(exact_catalog, OnlineConfig::default());
+
+    let mut gen = QueryGen::new(class, &data, seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stats = IngestLegStats::default();
+    let scratch = std::env::temp_dir().join(format!(
+        "gola-ingest-leg-{class}-{seed:x}-{}",
+        std::process::id()
+    ));
+
+    while stats.cases < cfg.cases {
+        let sql = gen.next_query().sql(name);
+        if !seen.insert(sql.clone()) {
+            continue;
+        }
+        let case = stats.cases as u64;
+        let sch = Schedule::derive(total_rows, cfg.num_batches, seed ^ (case << 32) ^ case);
+
+        // Reference: threads = 1, in-memory.
+        let reference = run_schedule(&data, name, &sql, sch, 1, cfg, None)?;
+        let base_k = cfg.num_batches.min(sch.upfront).max(1);
+        stats.extra_batches += reference.len() - base_k;
+        stats.appended_rows += sch.mid + sch.tail;
+
+        // Same-seed rerun and threads = N: bit-identical streams.
+        for (leg, threads) in [("rerun", 1), ("threads", cfg.pool_threads)] {
+            let got = run_schedule(&data, name, &sql, sch, threads, cfg, None)?;
+            reports_identical(&reference, &got).map_err(|(batch, detail)| {
+                IngestLegFailure::Mismatch {
+                    leg,
+                    sql: sql.clone(),
+                    batch,
+                    detail,
+                }
+            })?;
+        }
+
+        // Durable variant: the same schedule through segment files.
+        let dir = scratch.join(format!("case-{case}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = run_schedule(&data, name, &sql, sch, 1, cfg, Some(&dir))?;
+        reports_identical(&reference, &durable).map_err(|(batch, detail)| {
+            IngestLegFailure::Mismatch {
+                leg: "durable",
+                sql: sql.clone(),
+                batch,
+                detail,
+            }
+        })?;
+        // Reopen from the manifest: closed, full watermark, lossless rows.
+        let reopened = StreamTable::open_dir(&dir).map_err(|e| IngestLegFailure::Durable {
+            sql: sql.clone(),
+            detail: e.to_string(),
+        })?;
+        let durable_err = |detail: String| IngestLegFailure::Durable {
+            sql: sql.clone(),
+            detail,
+        };
+        if !reopened.is_closed() {
+            return Err(durable_err("reopened stream is not closed".to_string()));
+        }
+        if reopened.watermark() != total_rows as u64 {
+            return Err(durable_err(format!(
+                "reopened watermark {} != {} rows",
+                reopened.watermark(),
+                total_rows
+            )));
+        }
+        let snapshot = reopened
+            .snapshot()
+            .map_err(|e| durable_err(e.to_string()))?;
+        tables_bit_equal(&snapshot, &data).map_err(durable_err)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        stats.durable_replays += 1;
+
+        // The drained stream's final report must be the exact answer.
+        let exact = exact_session
+            .execute_exact(&sql)
+            .map_err(|e| IngestLegFailure::Exact {
+                sql: sql.clone(),
+                detail: e.to_string(),
+            })?;
+        let last = reference.last().expect("schedule yields reports");
+        tables_bit_equal(&last.table, &exact).map_err(|detail| IngestLegFailure::Exact {
+            sql: sql.clone(),
+            detail,
+        })?;
+
+        stats.cases += 1;
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(stats)
+}

@@ -23,6 +23,7 @@
 pub mod calib;
 pub mod contract;
 pub mod gen;
+pub mod ingest;
 pub mod oracle;
 pub mod service;
 pub mod shrink;
@@ -33,6 +34,7 @@ pub use contract::{
     ContractConfig, ContractReport,
 };
 pub use gen::{Query, QueryGen, SchemaClass};
+pub use ingest::{run_ingest_leg, IngestLegConfig, IngestLegFailure, IngestLegStats};
 pub use oracle::{run_case, tables_bit_equal, CaseStats, Failure, Fault, OracleConfig};
 pub use service::{run_service_leg, ServiceLegConfig, ServiceLegFailure, ServiceLegStats};
 pub use shrink::{shrink, shrink_calibration, shrink_case, Artifact, CalibArtifact, ShrinkConfig};

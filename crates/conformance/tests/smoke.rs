@@ -270,7 +270,7 @@ fn columnar_chunk_splits_and_dictionary_strings_pass_oracles() {
             at += take;
         }
         assert!(chunks.len() > 4, "re-chunking must produce many chunks");
-        let data = Arc::new(Table::from_chunks(schema, chunks));
+        let data = Arc::new(Table::from_chunks(schema, chunks).expect("consistent chunks"));
         assert_eq!(data.num_rows(), rows.len());
 
         let strs: BTreeSet<&str> = class.info().str_keys.iter().map(|(c, _)| *c).collect();

@@ -408,21 +408,40 @@ impl OnlineExecutor {
         self.runtimes[block].uncertain.len()
     }
 
-    /// `true` once every batch has been processed.
+    /// `true` once every batch has been processed. For a growing query
+    /// this first pulls newly sealed segments into the schedule, so
+    /// "finished" means the stream is closed *and* drained — a query that
+    /// has merely caught up with an open stream is not finished.
     pub fn is_finished(&self) -> bool {
-        self.batches_done == self.num_batches()
+        self.partitioner.refresh();
+        self.batches_done == self.partitioner.num_batches() && self.partitioner.finalized()
     }
 
     /// Process the next mini-batch and return the refined answer.
+    ///
+    /// Over a growing stream this may **block**: when every visible batch
+    /// is processed but the stream is still open, the step parks on the
+    /// stream's condvar until a segment seals (another mini-batch) or the
+    /// stream closes. Ingest therefore drives query progress directly —
+    /// no polling loop in between.
     pub fn step(&mut self) -> Result<BatchReport> {
         if self.is_finished() {
             return Err(Error::exec("all mini-batches already processed"));
+        }
+        while self.batches_done == self.partitioner.num_batches() {
+            self.partitioner.wait_for_growth();
+            if self.is_finished() {
+                // Closed with nothing new: the true last batch was already
+                // reported (its `last` flag said so), so there is nothing
+                // left to publish.
+                return Err(Error::exec("stream closed with no further batches"));
+            }
         }
         let start = Stopwatch::start();
         let i = self.batches_done;
         let batch = self.partitioner.batch(i);
         let m = self.partitioner.multiplicity_after(i);
-        let last = i + 1 == self.num_batches();
+        let last = self.partitioner.is_final_batch(i);
         let _batch_span = gola_obs::span!("batch", index = i);
 
         let mut timing = BatchTiming {
@@ -2142,6 +2161,14 @@ impl OnlineExecutor {
         // the gola-bootstrap ci module docs). At the final batch the factor
         // is pinned to exactly zero — the answer is the full-data answer —
         // rather than trusting `1 − n/N` to reach 0.0 in floats.
+        //
+        // `N` here is the partitioner's **live** population, not a
+        // query-start snapshot. Under a growing stream the old snapshot-N
+        // let n reach N while data was still arriving, collapsing the
+        // correction (and the CI) to zero mid-stream; with the live N an
+        // append strictly widens or holds the correction, and `last` — the
+        // only thing that pins it to exactly 0.0 — exists only once the
+        // stream is closed and drained.
         let rows_seen = self.partitioner.rows_seen_through(batch_index);
         let total_rows = self.partitioner.total_rows();
         let fpc = if last || total_rows == 0 {
@@ -2327,9 +2354,18 @@ impl OnlineExecutor {
         }
         let table =
             gola_storage::Table::new_unchecked(Arc::clone(&cb.block.output_schema), table_rows);
+        // While a growing stream is open, at least one more batch can
+        // always appear — advertise it so `BatchReport::is_final()` never
+        // claims finality for a schedule that can still grow. Static
+        // partitioners are always finalized, so they are unaffected.
+        let known_batches = if self.partitioner.finalized() {
+            self.num_batches()
+        } else {
+            self.num_batches() + 1
+        };
         let report = BatchReport {
             batch_index,
-            num_batches: self.num_batches(),
+            num_batches: known_batches,
             rows_seen,
             total_rows,
             multiplicity: m,

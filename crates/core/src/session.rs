@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use gola_common::{Error, Result};
 use gola_plan::{MetaPlan, QueryContract, QueryGraph};
-use gola_storage::{Catalog, MiniBatchPartitioner, Partitioner, StratifiedPartitioner, Table};
+use gola_storage::{
+    Catalog, GrowingPartitioner, MiniBatchPartitioner, Partitioner, StratifiedPartitioner, Table,
+};
 
 use crate::config::OnlineConfig;
 use crate::contract::ContractDriver;
@@ -108,17 +110,33 @@ impl OnlineSession {
         prepared: &PreparedQuery,
         pool: Option<Arc<crate::WorkerPool>>,
     ) -> Result<OnlineExecution> {
+        // A stream-backed scan table makes this a *growing* query: the
+        // base schedule covers the sealed snapshot at start, and segments
+        // sealed afterwards surface as extra mini-batches (moving N).
+        let live = self.catalog.stream(&prepared.stream_table);
         let table = self.catalog.get(&prepared.stream_table)?;
         // Never ask for more batches than rows.
         let k = self.config.num_batches.min(table.num_rows()).max(1);
-        let partitioner = Arc::new(match &self.config.stratify_column {
-            Some(col) => Partitioner::Stratified(StratifiedPartitioner::new(
+        let partitioner = Arc::new(match (&self.config.stratify_column, live) {
+            (Some(_), Some(_)) => {
+                // Stratified allocation needs the whole population up
+                // front; a growing stream contradicts that by definition.
+                return Err(Error::config(
+                    "stratified partitioning is not supported over a growing stream",
+                ));
+            }
+            (None, Some(stream)) => Partitioner::Growing(GrowingPartitioner::new(
+                Arc::clone(stream),
+                k,
+                self.config.partition_seed,
+            )?),
+            (Some(col), None) => Partitioner::Stratified(StratifiedPartitioner::new(
                 table,
                 col,
                 k,
                 self.config.partition_seed,
             )?),
-            None => Partitioner::Uniform(MiniBatchPartitioner::new(
+            (None, None) => Partitioner::Uniform(MiniBatchPartitioner::new(
                 table,
                 k,
                 self.config.partition_seed,

@@ -39,6 +39,7 @@ struct Args {
     batches: usize,
     max_active: usize,
     threads: usize,
+    max_connections: usize,
     addr: Option<SocketAddr>,
     out: String,
 }
@@ -68,6 +69,7 @@ fn parse_args() -> Args {
         batches: flag(&args, "--batches", 20usize).max(2),
         max_active: flag(&args, "--max-active", 4usize).max(1),
         threads: flag(&args, "--threads", 1usize).max(1),
+        max_connections: flag(&args, "--max-connections", 64usize).max(1),
         addr: args
             .iter()
             .position(|a| a == "--addr")
@@ -115,9 +117,18 @@ fn worst_rel_ci(frame: &str) -> Option<f64> {
     Some(worst)
 }
 
+/// What one client saw: a full stream, or the bounded acceptor's typed
+/// refusal (503 + Retry-After). Rejection is an *expected* outcome when
+/// `--clients` exceeds `--max-connections` — the server fails closed
+/// instead of spawning a thread per socket — so it is counted, not fatal.
+enum ClientOutcome {
+    Completed(ClientResult),
+    Rejected,
+}
+
 /// Stream one query and record latencies. Chunked transfer is decoded
 /// inline so a frame counts the moment its bytes arrive.
-fn run_client(addr: SocketAddr, sql: &str) -> Result<ClientResult, String> {
+fn run_client(addr: SocketAddr, sql: &str) -> Result<ClientOutcome, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     let request = format!(
         "POST /query HTTP/1.1\r\nhost: gola-load\r\ncontent-length: {}\r\n\r\n{sql}",
@@ -134,6 +145,9 @@ fn run_client(addr: SocketAddr, sql: &str) -> Result<ClientResult, String> {
     reader
         .read_line(&mut status_line)
         .map_err(|e| format!("status: {e}"))?;
+    if status_line.starts_with("HTTP/1.1 503") {
+        return Ok(ClientOutcome::Rejected);
+    }
     if !status_line.contains("200") {
         return Err(format!("non-200 response: {}", status_line.trim()));
     }
@@ -188,12 +202,12 @@ fn run_client(addr: SocketAddr, sql: &str) -> Result<ClientResult, String> {
     }
     let total = clock.elapsed();
     let ttfe = ttfe.ok_or("stream ended with no frames")?;
-    Ok(ClientResult {
+    Ok(ClientOutcome::Completed(ClientResult {
         ttfe,
         tt_ci1,
         batches,
         total,
-    })
+    }))
 }
 
 fn fmt_ms(d: Duration) -> String {
@@ -229,6 +243,7 @@ fn main() {
                         threads: args.threads,
                         base: OnlineConfig::default().with_batches(args.batches),
                     },
+                    max_connections: args.max_connections,
                     ..ServerConfig::default()
                 },
             )
@@ -249,16 +264,25 @@ fn main() {
         })
         .collect();
     let mut results = Vec::new();
+    let mut rejected = 0usize;
     let mut failures = Vec::new();
     for worker in workers {
         match worker.join() {
-            Ok((name, Ok(r))) => results.push((name, r)),
+            Ok((name, Ok(ClientOutcome::Completed(r)))) => results.push((name, r)),
+            Ok((_, Ok(ClientOutcome::Rejected))) => rejected += 1,
             Ok((name, Err(e))) => failures.push(format!("{name}: {e}")),
             Err(_) => failures.push("client thread panicked".to_string()),
         }
     }
     let wall = wall.elapsed();
 
+    if results.is_empty() {
+        eprintln!(
+            "no client completed a stream ({rejected} rejected at the connection cap, {} failed)",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
     if !failures.is_empty() {
         eprintln!("FAILED clients ({}):", failures.len());
         for f in &failures {
@@ -286,7 +310,9 @@ fn main() {
         args.clients, args.rows, args.batches, args.max_active, args.threads
     );
     println!(
-        "  all clients completed; {} total report frames in {:.3}s wall",
+        "  {} clients completed, {} rejected at the connection cap; {} total report frames in {:.3}s wall",
+        results.len(),
+        rejected,
         batches_total,
         wall.as_secs_f64()
     );
@@ -322,6 +348,10 @@ fn main() {
         ",\"self_hosted\":{},\"wall_s\":{:.6},\"report_frames\":{batches_total}",
         args.addr.is_none(),
         wall.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        ",\"completed\":{},\"rejected_503\":{rejected}",
+        results.len()
     ));
     json.push_str(&format!(
         ",\"ttfe_ms\":{{\"p50\":{},\"p99\":{}}}",

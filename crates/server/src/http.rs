@@ -159,12 +159,32 @@ impl<'a> Response<'a> {
 
     /// Send a complete response with a `Content-Length` body.
     pub fn send(self, status: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
-        let head = format!(
+        self.send_with_headers(status, content_type, &[], body)
+    }
+
+    /// [`Response::send`] plus extra response headers (e.g. `Retry-After`
+    /// on a 503). Header names/values must be pre-sanitized; callers pass
+    /// literals.
+    pub fn send_with_headers(
+        self,
+        status: u16,
+        content_type: &str,
+        extra: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let mut head = format!(
             "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\n\
-             content-length: {}\r\nconnection: close\r\n\r\n",
+             content-length: {}\r\nconnection: close\r\n",
             reason(status),
             body.len(),
         );
+        for (name, value) in extra {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()
@@ -219,6 +239,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

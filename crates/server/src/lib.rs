@@ -33,7 +33,7 @@ pub mod json;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -48,6 +48,11 @@ pub struct ServerConfig {
     /// Address to bind; port 0 picks a free port (tests).
     pub addr: SocketAddr,
     pub service: ServiceConfig,
+    /// Hard cap on concurrently open connections. The accept loop fails
+    /// closed at the cap — `503` + `Retry-After` on the accepting thread,
+    /// no handler spawned — so a socket flood can no longer exhaust OS
+    /// threads before scheduler admission ever sees a request.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             service: ServiceConfig::default(),
+            max_connections: 64,
         }
     }
 }
@@ -93,6 +99,13 @@ struct Shared {
     service: QueryService,
     jobs: Jobs,
     threads: usize,
+    /// The served catalog (shares `Arc`s — including live streams — with
+    /// the scheduler's copy), so `POST /append/<table>` feeds running
+    /// growing queries.
+    catalog: Catalog,
+    /// Open connections, counted by the accept loop.
+    active_connections: Arc<AtomicUsize>,
+    max_connections: usize,
 }
 
 impl Server {
@@ -103,8 +116,11 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             threads: config.service.threads,
-            service: QueryService::new(catalog, config.service),
+            service: QueryService::new(catalog.clone(), config.service),
             jobs: Jobs::default(),
+            catalog,
+            active_connections: Arc::new(AtomicUsize::new(0)),
+            max_connections: config.max_connections.max(1),
         });
         let accept_stop = Arc::clone(&stop);
         let accept = std::thread::Builder::new()
@@ -131,16 +147,51 @@ impl Drop for Server {
     }
 }
 
+/// Decrements the live-connection count when a handler thread exits, on
+/// every path (including panics inside a handler).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        // Bounded acceptor: at the cap, fail closed on the accepting
+        // thread itself — a 503 with Retry-After and no spawned handler —
+        // so connection floods cost this process one write, not a thread.
+        let active = Arc::clone(&shared.active_connections);
+        if active.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
+            active.fetch_sub(1, Ordering::SeqCst);
+            let body = json::error_json(
+                "connection limit reached",
+                &[("max_connections", shared.max_connections as u64)],
+            );
+            let _ = Response::new(&mut stream).send_with_headers(
+                503,
+                "application/json",
+                &[("retry-after", "1")],
+                body.as_bytes(),
+            );
+            drain_then_close(&stream);
+            continue;
+        }
         let shared = Arc::clone(&shared);
+        let guard = ConnGuard(active);
+        // A refused spawn drops the closure — and with it the guard — so
+        // the count comes back down on that path too.
         let _ = std::thread::Builder::new()
             .name("gola-conn".into())
-            .spawn(move || handle_connection(stream, &shared));
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(stream, &shared);
+            });
     }
 }
 
@@ -189,6 +240,7 @@ fn route(req: &Request, stream: &mut TcpStream, shared: &Shared) -> std::io::Res
         ("GET", "/metrics") => metrics(stream),
         ("GET", path) if path.starts_with("/jobs/") => poll_job(path, stream, shared),
         ("DELETE", path) if path.starts_with("/jobs/") => cancel_job(path, stream, shared),
+        ("POST", path) if path.starts_with("/append/") => append_rows(req, path, stream, shared),
         (_, "/query" | "/jobs" | "/healthz" | "/metrics") => {
             let body = json::error_json("method not allowed", &[]);
             Response::new(stream).send(405, "application/json", body.as_bytes())
@@ -317,6 +369,50 @@ fn submit_job(req: &Request, stream: &mut TcpStream, shared: &Shared) -> std::io
     // channel on its own; polls pull whatever is ready (`drain_ready`).
     let body = format!("{{\"job\":{id}}}");
     Response::new(stream).send(202, "application/json", body.as_bytes())
+}
+
+/// `POST /append/<table>` — append CSV rows (with header) to a
+/// stream-backed table and seal them into a segment, so running growing
+/// queries pick the new data up as extra mini-batches. Returns the
+/// stream's new watermark.
+fn append_rows(
+    req: &Request,
+    path: &str,
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let name = path.trim_start_matches("/append/").to_ascii_lowercase();
+    let Some(live) = shared.catalog.stream(&name) else {
+        let body = json::error_json("no stream-backed table with that name", &[]);
+        return Response::new(stream).send(404, "application/json", body.as_bytes());
+    };
+    let parsed = req
+        .body_utf8()
+        .map_err(|e| e.to_string())
+        .and_then(|text| {
+            gola_storage::csv::read_csv(Arc::clone(live.schema()), text.as_bytes())
+                .map_err(|e| e.to_string())
+        })
+        .and_then(|table| {
+            live.append_rows(&table.rows())
+                .and_then(|()| live.seal())
+                .map_err(|e| e.to_string())
+        });
+    match parsed {
+        Ok(sealed) => {
+            let body = format!(
+                "{{\"table\":{},\"appended\":{sealed},\"watermark\":{},\"segments\":{}}}",
+                json::str_lit(&name),
+                live.watermark(),
+                live.num_segments(),
+            );
+            Response::new(stream).send(200, "application/json", body.as_bytes())
+        }
+        Err(e) => {
+            let body = json::error_json(&e, &[]);
+            Response::new(stream).send(400, "application/json", body.as_bytes())
+        }
+    }
 }
 
 fn healthz(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<()> {

@@ -271,6 +271,140 @@ fn saturated_scheduler_returns_typed_429() {
 }
 
 #[test]
+fn connection_cap_fails_closed_with_503_and_recovers() {
+    // Two connection slots. Hold both open with idle sockets (their
+    // handlers block reading a request that never arrives), then a real
+    // request must bounce on the accept thread: 503 + Retry-After.
+    let server = Server::start(
+        catalog(),
+        ServerConfig {
+            service: ServiceConfig {
+                max_active: 2,
+                queue_capacity: 2,
+                threads: 1,
+                base: base_config(),
+            },
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let holders: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| std::net::TcpStream::connect(server.addr()).expect("holder connects"))
+        .collect();
+    // The holders are accepted asynchronously; poll until the cap bites.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let rejected = loop {
+        let (status, head, body) = call(&server, get("/healthz"));
+        if status == 503 {
+            break (head, String::from_utf8(body).expect("UTF-8"));
+        }
+        assert_eq!(status, 200, "below the cap the server must still serve");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cap never engaged with {} held connections",
+            holders.len()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let (head, body) = rejected;
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after: 1"),
+        "503 must carry Retry-After, head: {head}"
+    );
+    assert!(
+        body.contains("\"error\":\"connection limit reached\""),
+        "{body}"
+    );
+    assert!(body.contains("\"max_connections\":2"), "{body}");
+    // Release the slots; the server must recover without restart.
+    drop(holders);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let (status, _, _) = call(&server, get("/healthz"));
+        if status == 200 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not recover after holders closed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn append_route_feeds_stream_backed_tables() {
+    use gola_common::{DataType, Schema};
+    use gola_storage::StreamTable;
+
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("city", DataType::Str),
+        ("ms", DataType::Int),
+    ]));
+    let stream = StreamTable::new(Arc::clone(&schema));
+    stream
+        .append_rows(&[
+            gola_common::row!["sfo", 10i64],
+            gola_common::row!["nyc", 20i64],
+        ])
+        .expect("seed rows");
+    stream.seal().expect("seed segment");
+
+    let mut catalog = Catalog::new();
+    catalog
+        .register_stream("events", Arc::clone(&stream))
+        .expect("register stream");
+    let server = Server::start(
+        catalog,
+        ServerConfig {
+            service: ServiceConfig {
+                max_active: 2,
+                queue_capacity: 2,
+                threads: 1,
+                base: base_config(),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+
+    // A CSV append lands as one sealed segment; the response reports the
+    // moved watermark, and the served stream (shared Arc) sees it too.
+    let csv = "city,ms\nlhr,30\ncdg,40\nfra,\n";
+    let (status, _, body) = call(&server, post("/append/events", csv, None));
+    assert_eq!(status, 200);
+    assert_eq!(
+        String::from_utf8(body).expect("UTF-8"),
+        "{\"table\":\"events\",\"appended\":3,\"watermark\":5,\"segments\":2}"
+    );
+    assert_eq!(stream.watermark(), 5);
+    assert_eq!(stream.num_segments(), 2);
+
+    // Unknown stream → 404; a static table is not appendable either.
+    let (status, _, _) = call(&server, post("/append/nope", csv, None));
+    assert_eq!(status, 404);
+
+    // Schema-violating CSV → 400 and nothing is sealed.
+    let (status, _, body) = call(
+        &server,
+        post("/append/events", "city\nonly-one-col\n", None),
+    );
+    assert_eq!(status, 400);
+    assert!(
+        String::from_utf8(body)
+            .expect("UTF-8")
+            .starts_with("{\"error\":"),
+        "bad CSV must surface a typed diagnostic"
+    );
+    assert_eq!(
+        stream.watermark(),
+        5,
+        "failed append must not move the watermark"
+    );
+}
+
+#[test]
 fn oversized_and_garbage_requests_fail_closed() {
     let server = start_server(1, 0, 1);
     // Body over MAX_BODY_BYTES → 413 before any execution.

@@ -5,15 +5,23 @@ use std::sync::Arc;
 
 use gola_common::{Error, Result};
 
+use crate::stream::StreamTable;
 use crate::table::Table;
 
 /// A case-insensitive map from table name to table.
 ///
 /// `BTreeMap` keeps iteration deterministic (catalog listings in tests and
 /// the CLI are stable across runs).
+///
+/// A name can also be backed by a [`StreamTable`]: `get` then materializes
+/// a point-in-time snapshot of the sealed segments (cheap — chunks are
+/// `Arc`-shared), while [`Catalog::stream`] hands out the live handle so
+/// growing queries and ingest paths observe appends. Cloning a catalog
+/// clones the `Arc`s, so a clone shares every stream with the original.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
+    streams: BTreeMap<String, Arc<StreamTable>>,
 }
 
 impl Catalog {
@@ -24,11 +32,32 @@ impl Catalog {
     /// Register a table; errors on duplicate names.
     pub fn register(&mut self, name: impl Into<String>, table: Arc<Table>) -> Result<()> {
         let key = name.into().to_ascii_lowercase();
-        if self.tables.contains_key(&key) {
+        if self.tables.contains_key(&key) || self.streams.contains_key(&key) {
             return Err(Error::catalog(format!("table '{key}' already exists")));
         }
         self.tables.insert(key, table);
         Ok(())
+    }
+
+    /// Register an appendable stream under `name`; errors on duplicates.
+    /// Queries resolve the name to a snapshot of the sealed segments;
+    /// [`Catalog::stream`] returns the live handle.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        stream: Arc<StreamTable>,
+    ) -> Result<()> {
+        let key = name.into().to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.streams.contains_key(&key) {
+            return Err(Error::catalog(format!("table '{key}' already exists")));
+        }
+        self.streams.insert(key, stream);
+        Ok(())
+    }
+
+    /// The live stream handle behind `name`, if `name` is stream-backed.
+    pub fn stream(&self, name: &str) -> Option<&Arc<StreamTable>> {
+        self.streams.get(&name.to_ascii_lowercase())
     }
 
     /// Replace or insert a table.
@@ -41,34 +70,42 @@ impl Catalog {
         self.tables.remove(&name.to_ascii_lowercase())
     }
 
-    /// Look up a table by name (case-insensitive).
+    /// Look up a table by name (case-insensitive). A stream-backed name
+    /// yields a fresh snapshot of its sealed segments, so batch engines and
+    /// dimension reads see a consistent point-in-time table.
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .cloned()
-            .ok_or_else(|| {
-                Error::catalog(format!(
-                    "unknown table '{name}' (available: {})",
-                    self.names().join(", ")
-                ))
-            })
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.tables.get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        if let Some(s) = self.streams.get(&key) {
+            return Ok(Arc::new(s.snapshot()?));
+        }
+        Err(Error::catalog(format!(
+            "unknown table '{name}' (available: {})",
+            self.names().join(", ")
+        )))
     }
 
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(&name.to_ascii_lowercase())
+        let key = name.to_ascii_lowercase();
+        self.tables.contains_key(&key) || self.streams.contains_key(&key)
     }
 
-    /// Sorted table names.
+    /// Sorted table names (static tables and streams alike).
     pub fn names(&self) -> Vec<String> {
-        self.tables.keys().cloned().collect()
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.extend(self.streams.keys().cloned());
+        names.sort();
+        names
     }
 
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.tables.len() + self.streams.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.tables.is_empty() && self.streams.is_empty()
     }
 }
 
@@ -107,6 +144,27 @@ mod tests {
         c.register("beta", table()).unwrap();
         let e = c.get("gamma").unwrap_err().to_string();
         assert!(e.contains("alpha") && e.contains("beta"));
+    }
+
+    #[test]
+    fn stream_backed_names_snapshot_and_share() {
+        use crate::stream::StreamTable;
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]));
+        let s = StreamTable::new(Arc::clone(&schema));
+        let mut c = Catalog::new();
+        c.register_stream("Live", Arc::clone(&s)).unwrap();
+        assert!(c.contains("live"));
+        assert!(c.register("LIVE", table()).is_err(), "name is taken");
+        assert!(c.register_stream("live", StreamTable::new(schema)).is_err());
+        // Snapshot sees only sealed rows; a catalog clone shares the stream.
+        s.append_rows(&[row![1i64], row![2i64]]).unwrap();
+        assert_eq!(c.get("live").unwrap().num_rows(), 0);
+        let c2 = c.clone();
+        s.seal().unwrap();
+        assert_eq!(c.get("live").unwrap().num_rows(), 2);
+        assert_eq!(c2.get("live").unwrap().num_rows(), 2);
+        assert!(c2.stream("live").is_some());
+        assert_eq!(c.names(), vec!["live".to_string()]);
     }
 
     #[test]

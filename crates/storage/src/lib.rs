@@ -1,18 +1,26 @@
 //! Storage substrate for G-OLA: an in-memory **columnar chunk store**, a
 //! table catalog, random shuffling, the **mini-batch partitioner** at the
-//! heart of the G-OLA execution model (paper §2.1–2.2), and CSV
-//! import/export.
+//! heart of the G-OLA execution model (paper §2.1–2.2), CSV
+//! import/export, and the **streaming ingest** path — appendable
+//! [`StreamTable`]s sealing into write-once columnar segment files, with a
+//! growing partitioner that exposes live appends as extra mini-batches
+//! (DESIGN.md §3.12).
 
 pub mod catalog;
 pub mod chunk;
 pub mod csv;
+pub mod growing;
 pub mod partition;
+pub mod segment;
 pub mod shuffle;
 pub mod stratified;
+pub mod stream;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use chunk::ColumnChunk;
+pub use growing::GrowingPartitioner;
 pub use partition::{MiniBatch, MiniBatchPartitioner};
 pub use stratified::{Partitioner, StratifiedPartitioner};
+pub use stream::{SealedSegment, StreamTable};
 pub use table::{Table, TableBuilder, TABLE_CHUNK_ROWS};

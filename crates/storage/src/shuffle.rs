@@ -33,6 +33,7 @@ pub fn shuffle_table(table: &Table, seed: u64) -> Table {
     let perm = permutation(table.num_rows(), seed);
     let chunk = table.gather(&perm);
     Table::from_chunks(Arc::clone(table.schema()), vec![chunk])
+        .expect("gather of a valid table yields a schema-consistent chunk")
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use gola_common::rng::SplitMix64;
 use gola_common::{Error, Result, Value};
 
+use crate::growing::GrowingPartitioner;
 use crate::partition::{MiniBatch, MiniBatchPartitioner};
 use crate::shuffle::shuffle_in_place;
 use crate::table::Table;
@@ -266,12 +267,16 @@ impl StratifiedPartitioner {
     }
 }
 
-/// Either mini-batch partitioner, behind one dispatching surface, so the
-/// executor is agnostic to the sampling design.
+/// Any mini-batch partitioner, behind one dispatching surface, so the
+/// executor is agnostic to the sampling design. The `Growing` variant's
+/// batch list can lengthen between calls (live ingest); the static
+/// variants are always `finalized` and their `refresh` is a no-op, so the
+/// executor drives all three through the same moving-N protocol.
 #[derive(Debug, Clone)]
 pub enum Partitioner {
     Uniform(MiniBatchPartitioner),
     Stratified(StratifiedPartitioner),
+    Growing(GrowingPartitioner),
 }
 
 impl Partitioner {
@@ -279,13 +284,18 @@ impl Partitioner {
         match self {
             Partitioner::Uniform(p) => p.num_batches(),
             Partitioner::Stratified(p) => p.num_batches(),
+            Partitioner::Growing(p) => p.num_batches(),
         }
     }
 
+    /// The live population `N`. Static designs return the table size; a
+    /// growing design returns sealed + buffered rows, which can exceed
+    /// the rows reachable through `batch` until the next `refresh`.
     pub fn total_rows(&self) -> usize {
         match self {
             Partitioner::Uniform(p) => p.total_rows(),
             Partitioner::Stratified(p) => p.total_rows(),
+            Partitioner::Growing(p) => p.total_rows(),
         }
     }
 
@@ -293,6 +303,7 @@ impl Partitioner {
         match self {
             Partitioner::Uniform(p) => p.rows_seen_through(i),
             Partitioner::Stratified(p) => p.rows_seen_through(i),
+            Partitioner::Growing(p) => p.rows_seen_through(i),
         }
     }
 
@@ -300,6 +311,7 @@ impl Partitioner {
         match self {
             Partitioner::Uniform(p) => p.multiplicity_after(i),
             Partitioner::Stratified(p) => p.multiplicity_after(i),
+            Partitioner::Growing(p) => p.multiplicity_after(i),
         }
     }
 
@@ -307,6 +319,7 @@ impl Partitioner {
         match self {
             Partitioner::Uniform(p) => p.batch(i),
             Partitioner::Stratified(p) => p.batch(i),
+            Partitioner::Growing(p) => p.batch(i),
         }
     }
 
@@ -318,24 +331,67 @@ impl Partitioner {
         match self {
             Partitioner::Uniform(p) => p.table(),
             Partitioner::Stratified(p) => p.table(),
+            Partitioner::Growing(p) => p.table(),
+        }
+    }
+
+    /// Pull newly sealed segments into the batch list. `true` when new
+    /// batches appeared; always `false` for static designs.
+    pub fn refresh(&self) -> bool {
+        match self {
+            Partitioner::Growing(p) => p.refresh(),
+            _ => false,
+        }
+    }
+
+    /// `true` once the batch list can no longer grow. Static designs are
+    /// finalized from birth.
+    pub fn finalized(&self) -> bool {
+        match self {
+            Partitioner::Growing(p) => p.finalized(),
+            _ => true,
+        }
+    }
+
+    /// Is batch `i` the definitive last batch — the one whose report is
+    /// exact? For a growing design no batch is last until the stream
+    /// closes and every sealed segment is consumed.
+    pub fn is_final_batch(&self, i: usize) -> bool {
+        match self {
+            Partitioner::Growing(p) => p.is_final_batch(i),
+            _ => i + 1 == self.num_batches(),
+        }
+    }
+
+    /// Block until a growing design has more batches (or its stream
+    /// closes). No-op for static designs — their schedule never grows.
+    pub fn wait_for_growth(&self) {
+        if let Partitioner::Growing(p) = self {
+            p.wait_for_growth();
         }
     }
 
     /// The stratification column, when stratified.
     pub fn stratify_column(&self) -> Option<&str> {
         match self {
-            Partitioner::Uniform(_) => None,
             Partitioner::Stratified(p) => Some(p.column()),
+            _ => None,
         }
     }
 
-    /// Per-stratum `(n_h, N_h)` after batch `i`; `None` when uniform or
-    /// the key is unknown.
+    /// Per-stratum `(n_h, N_h)` after batch `i`; `None` when not
+    /// stratified or the key is unknown.
     pub fn stratum_rate(&self, key: &Value, i: usize) -> Option<(usize, usize)> {
         match self {
-            Partitioner::Uniform(_) => None,
             Partitioner::Stratified(p) => p.stratum_rate(key, i),
+            _ => None,
         }
+    }
+}
+
+impl From<GrowingPartitioner> for Partitioner {
+    fn from(p: GrowingPartitioner) -> Self {
+        Partitioner::Growing(p)
     }
 }
 

@@ -94,18 +94,39 @@ impl Table {
     }
 
     /// Assemble a table directly from columnar chunks (shuffle, columnar
-    /// loaders). Chunk widths must match the schema.
-    pub fn from_chunks(schema: Arc<Schema>, chunks: Vec<ColumnChunk>) -> Table {
-        debug_assert!(chunks.iter().all(|c| c.num_columns() == schema.len()));
+    /// loaders, stream snapshots). Every chunk must be as wide as the
+    /// schema and internally consistent: a chunk whose columns disagree on
+    /// length would otherwise surface much later as an out-of-bounds gather
+    /// panic, far from the loader that produced it.
+    pub fn from_chunks(schema: Arc<Schema>, chunks: Vec<ColumnChunk>) -> Result<Table> {
+        for (idx, c) in chunks.iter().enumerate() {
+            if c.num_columns() != schema.len() {
+                return Err(Error::catalog(format!(
+                    "chunk {idx} has {} columns, schema has {}",
+                    c.num_columns(),
+                    schema.len()
+                )));
+            }
+            for j in 0..c.num_columns() {
+                let col_len = c.column(j).len();
+                if col_len != c.len() {
+                    return Err(Error::catalog(format!(
+                        "chunk {idx} column '{}' has {col_len} rows, chunk declares {}",
+                        schema.field(j).name,
+                        c.len()
+                    )));
+                }
+            }
+        }
         let len = chunks.iter().map(|c| c.len()).sum();
         let (offsets, regular) = chunk_offsets(&chunks);
-        Table {
+        Ok(Table {
             schema,
             chunks,
             offsets,
             regular,
             len,
-        }
+        })
     }
 
     /// Empty table with the given schema.
@@ -396,7 +417,7 @@ mod tests {
             .into_iter()
             .map(|r| ColumnChunk::from_rows(&sch, &rows[r]))
             .collect();
-        let t = Table::from_chunks(Arc::clone(&sch), chunks);
+        let t = Table::from_chunks(Arc::clone(&sch), chunks).unwrap();
         assert_eq!(t.num_rows(), 50);
         for (i, expect) in rows.iter().enumerate() {
             assert_eq!(&t.row(i), expect, "row {i}");
@@ -408,6 +429,26 @@ mod tests {
         // Semantic equality ignores chunking.
         let regular = Table::new_unchecked(Arc::clone(&sch), rows);
         assert_eq!(t, regular);
+    }
+
+    #[test]
+    fn from_chunks_rejects_inconsistent_chunks() {
+        let sch = schema();
+        // Width mismatch: one-column chunk against a two-column schema.
+        let narrow = Schema::from_pairs(&[("id", DataType::Int)]);
+        let thin = ColumnChunk::from_rows(&narrow, &[row![1i64]]);
+        let err = Table::from_chunks(Arc::clone(&sch), vec![thin]).unwrap_err();
+        assert!(err.to_string().contains("columns"), "{err}");
+        // Internal disagreement: columns of different lengths inside one
+        // chunk (previously a deferred index panic, now a typed error).
+        let a = Arc::new(Column::from_values(
+            DataType::Int,
+            &[Value::Int(1), Value::Int(2)],
+        ));
+        let b = Arc::new(Column::from_values(DataType::Float, &[Value::Float(0.5)]));
+        let ragged = ColumnChunk::from_columns_untrusted(vec![a, b], 2);
+        let err = Table::from_chunks(Arc::clone(&sch), vec![ragged]).unwrap_err();
+        assert!(err.to_string().contains("rows"), "{err}");
     }
 
     #[test]

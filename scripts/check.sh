@@ -16,6 +16,11 @@
 # (generated queries interleaved through the fair scheduler on a shared
 # pool, bit-compared against solo runs), and a 10-client gola-load smoke
 # over real sockets with a wall-clock budget.
+# Pass --ingest to run the streaming-ingest gates: the gola-ingest
+# conformance leg (generated queries over streams growing under the query,
+# four variants per case bit-compared, durable manifests replayed) plus a
+# CLI smoke — `gola ingest` writes a durable segment directory and two
+# console replays of it must agree byte for byte.
 # Pass --metrics to smoke-test the observability exports: one
 # Conviva query through the CLI with --metrics-out, the JSON snapshot
 # validated against scripts/metrics_schema.json and the Prometheus text
@@ -26,6 +31,7 @@ cd "$(dirname "$0")/.."
 soak=0
 contracts=0
 service=0
+ingest=0
 metrics=0
 bench_smoke_flag=0
 for arg in "$@"; do
@@ -33,10 +39,11 @@ for arg in "$@"; do
         --soak) soak=1 ;;
         --contracts) contracts=1 ;;
         --service) service=1 ;;
+        --ingest) ingest=1 ;;
         --metrics) metrics=1 ;;
         --bench-smoke) bench_smoke_flag=1 ;;
         *)
-            echo "usage: $0 [--soak] [--contracts] [--service] [--metrics] [--bench-smoke]" >&2
+            echo "usage: $0 [--soak] [--contracts] [--service] [--ingest] [--metrics] [--bench-smoke]" >&2
             exit 2
             ;;
     esac
@@ -228,6 +235,48 @@ if [ "$service" -eq 1 ]; then
     step cargo test --release -q -p gola-core --test sched_sim
     step cargo run --release -q -p gola-conformance --bin gola-service
     step service_load_smoke
+fi
+
+# Streaming-ingest gates: (1) the gola-ingest conformance leg — generated
+# queries over streams that grow under the query via seed-derived append
+# schedules, with same-seed rerun / threads=N / durable-segment variants
+# bit-compared and every manifest replayed; (2) a CLI smoke: `gola ingest`
+# seals a workload into write-once segments, then two `--append` console
+# runs replay the directory and their drained final answers must match
+# byte for byte (streamed report lines carry wall-clock timings, so the
+# final answer is the deterministic surface).
+ingest_cli_smoke() {
+    local tmp
+    tmp="$(mktemp -d)" || return 1
+    cargo run --release -q -p gola-cli --bin gola -- ingest \
+        --dir "$tmp/stream" --workload conviva --rows 2400 --seal-rows 800 \
+        --seed 11 || { rm -rf "$tmp"; return 1; }
+    [ -s "$tmp/stream/MANIFEST" ] \
+        || { echo "    ingest wrote no MANIFEST" >&2; rm -rf "$tmp"; return 1; }
+    local sql run
+    sql='SELECT device, AVG(play_time) AS a0, SUM(buffer_time) AS a1 FROM replayed GROUP BY device ORDER BY device;'
+    for run in 1 2; do
+        printf '%s\n\\q\n' "$sql" \
+            | cargo run --release -q -p gola-cli --bin gola -- \
+                --threads 2 --append "replayed=$tmp/stream" \
+            | sed -n '/^final answer/,$p' >"$tmp/answer$run" \
+            || { rm -rf "$tmp"; return 1; }
+        [ -s "$tmp/answer$run" ] || {
+            echo "    replay run $run produced no final answer" >&2
+            rm -rf "$tmp"
+            return 1
+        }
+    done
+    diff -u "$tmp/answer1" "$tmp/answer2" || {
+        echo "    replayed final answers differ between runs" >&2
+        rm -rf "$tmp"
+        return 1
+    }
+    rm -rf "$tmp"
+}
+if [ "$ingest" -eq 1 ]; then
+    step cargo run --release -q -p gola-conformance --bin gola-ingest -- --quick
+    step ingest_cli_smoke
 fi
 
 # Observability smoke: drive one online query through the console with the

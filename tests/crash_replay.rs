@@ -149,6 +149,71 @@ fn crash_replay_reproduces_reports_grouped() {
     check_crash_replay("grouped", GROUPED_SQL, 2);
 }
 
+/// The durable path: the same crash-replay contract, but the restart
+/// rebuilds the catalog **from segment files on disk** instead of from a
+/// live object. Seal the workload into a durable stream in several
+/// segments, close it, run to completion; then drop every in-memory
+/// handle, reopen the catalog from the manifest, and replay. The replayed
+/// stream must be bit-identical to the pre-crash run — and to a plain
+/// in-memory run over the same rows, pinning that the segment round-trip
+/// (validity bitmaps, float bits, dictionary codes) loses nothing.
+#[test]
+fn crash_replay_survives_restart_from_durable_segments() {
+    use g_ola::storage::StreamTable;
+
+    let dir = std::env::temp_dir().join(format!("gola-crash-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rows = {
+        let gen = ConvivaGenerator {
+            seed: 0x5EED_DA7A,
+            ..ConvivaGenerator::default()
+        };
+        gen.generate(360)
+    };
+
+    // Ingest: three sealed segments, in deterministic append order.
+    let stream = StreamTable::create_dir(Arc::clone(rows.schema()), &dir).expect("create stream");
+    for third in rows.rows().chunks(120) {
+        stream.append_rows(third).expect("append");
+        stream.seal().expect("seal");
+    }
+    stream.close().expect("close");
+    assert_eq!(stream.num_segments(), 3);
+    assert_eq!(stream.watermark(), 360);
+
+    let durable_catalog = |stream: Arc<StreamTable>| {
+        let mut c = Catalog::new();
+        c.register_stream("sessions", stream).unwrap();
+        c
+    };
+
+    // The run the user saw before the crash.
+    let before = run_prefix(&durable_catalog(stream), GROUPED_SQL, NUM_BATCHES);
+    assert_eq!(before.len(), NUM_BATCHES);
+
+    // "Crash": every in-memory handle is gone; only the files remain.
+    let reopened = StreamTable::open_dir(&dir).expect("reopen from manifest");
+    assert_eq!(reopened.num_segments(), 3);
+    assert_eq!(reopened.watermark(), 360);
+    assert!(reopened.is_closed(), "closed state must persist");
+
+    let after = run_prefix(&durable_catalog(reopened), GROUPED_SQL, NUM_BATCHES);
+    assert_eq!(after.len(), NUM_BATCHES);
+    for (a, b) in before.iter().zip(&after) {
+        assert_report_identical("durable-replay", a, b);
+    }
+
+    // And the whole durable pipeline must agree with a plain in-memory
+    // table holding the same rows — segment files are a lossless detour.
+    let in_memory = run_prefix(&catalog(), GROUPED_SQL, NUM_BATCHES);
+    for (a, b) in in_memory.iter().zip(&after) {
+        assert_report_identical("durable-vs-memory", a, b);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn crash_replay_reproduces_reports_scalar() {
     check_crash_replay("scalar", SCALAR_SQL, 1);
